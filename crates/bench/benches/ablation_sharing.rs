@@ -1,0 +1,92 @@
+//! Ablation A1 (DESIGN.md): how much of the weight-clustering area gain comes
+//! from multiplier sharing in the bespoke circuit, as opposed to the weight
+//! values themselves becoming more regular.
+//!
+//! The bench prints the shared-vs-unshared area of a clustered Seeds
+//! classifier, then measures the synthesis cost of both variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmlp_core::baseline::BaselineDesign;
+use pmlp_core::bridge::circuit_spec_from_layers;
+use pmlp_core::experiment::Effort;
+use pmlp_hw::constmul::RecodingStrategy;
+use pmlp_hw::{BespokeMlpCircuit, CellLibrary, SharingStrategy};
+use pmlp_minimize::{minimize, MinimizationConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_ablation_sharing(c: &mut Criterion) {
+    let baseline = BaselineDesign::train_with(
+        pmlp_data::UciDataset::Seeds,
+        42,
+        &Effort::Quick.baseline_config(),
+    )
+    .expect("baseline");
+    let mut rng = StdRng::seed_from_u64(5);
+    let clustered = minimize(
+        &baseline.model,
+        &baseline.train,
+        None,
+        &MinimizationConfig::default().with_clusters(3).with_fine_tune_epochs(2),
+        &mut rng,
+    )
+    .expect("clustered model");
+    let spec = circuit_spec_from_layers(&clustered.integer_layers, 4).expect("spec");
+    let library = CellLibrary::egt();
+
+    let unshared = BespokeMlpCircuit::synthesize_with(
+        &spec,
+        &library,
+        SharingStrategy::None,
+        RecodingStrategy::Csd,
+    )
+    .expect("unshared synthesis");
+    let shared = BespokeMlpCircuit::synthesize_with(
+        &spec,
+        &library,
+        SharingStrategy::SharedPerInput,
+        RecodingStrategy::Csd,
+    )
+    .expect("shared synthesis");
+    println!("=== ablation A1: multiplier sharing on a 3-cluster Seeds classifier ===");
+    println!("without sharing: {:.2} mm2 ({} gates)", unshared.area().total_mm2, unshared.area().gate_count);
+    println!("with sharing:    {:.2} mm2 ({} gates)", shared.area().total_mm2, shared.area().gate_count);
+    println!(
+        "sharing saves {:.1}% of the clustered circuit's area",
+        100.0 * (1.0 - shared.area().total_mm2 / unshared.area().total_mm2)
+    );
+
+    let mut group = c.benchmark_group("ablation_sharing");
+    group.sample_size(20).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(5));
+    group.bench_function("synthesize_without_sharing", |b| {
+        b.iter(|| {
+            BespokeMlpCircuit::synthesize_with(
+                &spec,
+                &library,
+                SharingStrategy::None,
+                RecodingStrategy::Csd,
+            )
+            .unwrap()
+            .area()
+            .total_mm2
+        })
+    });
+    group.bench_function("synthesize_with_sharing", |b| {
+        b.iter(|| {
+            BespokeMlpCircuit::synthesize_with(
+                &spec,
+                &library,
+                SharingStrategy::SharedPerInput,
+                RecodingStrategy::Csd,
+            )
+            .unwrap()
+            .area()
+            .total_mm2
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_sharing);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 1(a) — WhiteWine: standalone quantization / pruning / clustering
+//! Pareto fronts, normalized to the bespoke baseline.
+//!
+//! Running this bench first regenerates and prints the figure data (quick
+//! effort), then measures the cost of one hardware-aware candidate
+//! evaluation on the WhiteWine baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmlp_bench::render_figure1;
+use pmlp_core::baseline::BaselineDesign;
+use pmlp_core::experiment::{Effort, Figure1Experiment};
+use pmlp_core::objective::{evaluate_config, EvaluationContext};
+use pmlp_data::UciDataset;
+use pmlp_minimize::MinimizationConfig;
+use std::time::Duration;
+
+fn bench_fig1_whitewine(c: &mut Criterion) {
+    let result = Figure1Experiment::new(UciDataset::WhiteWine, Effort::Quick, 42)
+        .run()
+        .expect("figure 1 (WhiteWine) regeneration");
+    println!("{}", render_figure1(&result));
+
+    let baseline = BaselineDesign::train_with(
+        UciDataset::WhiteWine,
+        42,
+        &Effort::Quick.baseline_config(),
+    )
+    .expect("baseline");
+    let ctx = EvaluationContext::new(&baseline).with_fine_tune_epochs(1);
+
+    let mut group = c.benchmark_group("fig1_whitewine");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(5));
+    group.bench_function("evaluate_quant4_candidate", |b| {
+        b.iter(|| {
+            evaluate_config(&ctx, &MinimizationConfig::default().with_weight_bits(4), 0).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1_whitewine);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Micro-benchmarks of the bespoke hardware model: CSD recoding, constant
+//! multiplier generation, neuron synthesis and full-circuit synthesis +
+//! analysis.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pmlp_hw::adder::input_word;
+use pmlp_hw::constmul::{constant_multiplier, RecodingStrategy};
+use pmlp_hw::neuron::{NeuronCircuit, NeuronSpec};
+use pmlp_hw::{
+    BespokeMlpCircuit, CellLibrary, CircuitSpec, CsdDigits, HwActivation, LayerSpec, Netlist,
+};
+use std::time::Duration;
+
+/// A WhiteWine-shaped spec (11 inputs, 25 hidden, 5 outputs) with
+/// deterministic pseudo-random 5-bit weights.
+fn whitewine_like_spec() -> CircuitSpec {
+    let weight = |i: usize, j: usize| -> i64 { ((i * 31 + j * 17 + 7) % 31) as i64 - 15 };
+    let hidden: Vec<Vec<i64>> = (0..25).map(|n| (0..11).map(|i| weight(n, i)).collect()).collect();
+    let output: Vec<Vec<i64>> = (0..5).map(|n| (0..25).map(|i| weight(n + 100, i)).collect()).collect();
+    CircuitSpec::new(
+        4,
+        vec![
+            LayerSpec::new(hidden, 5, HwActivation::ReLU).expect("hidden layer"),
+            LayerSpec::new(output, 5, HwActivation::Argmax).expect("output layer"),
+        ],
+    )
+    .expect("spec")
+}
+
+fn bench_hw_synthesis(c: &mut Criterion) {
+    let library = CellLibrary::egt();
+    let spec = whitewine_like_spec();
+
+    let mut group = c.benchmark_group("hw_synthesis");
+    group.sample_size(20).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(5));
+
+    group.bench_function("csd_recoding_8bit_range", |b| {
+        b.iter(|| {
+            for v in -127_i64..=127 {
+                black_box(CsdDigits::from_value(v).nonzero_count());
+            }
+        })
+    });
+
+    group.bench_function("constant_multiplier_6bit_input", |b| {
+        b.iter(|| {
+            let mut netlist = Netlist::new("mul");
+            let x = input_word(&mut netlist, 6);
+            for constant in [3_i64, -7, 23, 55, -101] {
+                black_box(constant_multiplier(&mut netlist, &x, constant, RecodingStrategy::Csd));
+            }
+            netlist.gate_count()
+        })
+    });
+
+    group.bench_function("neuron_with_11_inputs", |b| {
+        let spec = NeuronSpec::new(vec![5, -3, 7, 0, 2, -6, 1, 4, 0, -2, 3], true);
+        b.iter(|| NeuronCircuit::synthesize(&spec, 5).unwrap().netlist().gate_count())
+    });
+
+    group.bench_function("whitewine_circuit_synthesis", |b| {
+        b.iter(|| BespokeMlpCircuit::synthesize(&spec, &library).unwrap().area().total_mm2)
+    });
+
+    group.bench_function("whitewine_circuit_timing_analysis", |b| {
+        let circuit = BespokeMlpCircuit::synthesize(&spec, &library).unwrap();
+        b.iter(|| circuit.timing().critical_path_us)
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hw_synthesis);
+criterion_main!(benches);

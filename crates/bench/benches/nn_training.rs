@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the neural-network substrate: forward pass, one
+//! training epoch and QAT fine-tuning on the Seeds classifier.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pmlp_data::{load, UciDataset};
+use pmlp_minimize::qat::quantization_aware_train;
+use pmlp_minimize::QatConfig;
+use pmlp_nn::{Activation, MlpBuilder, TrainConfig, Trainer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_nn_training(c: &mut Criterion) {
+    let data = load(UciDataset::Seeds, 42).expect("seeds dataset");
+    let mut rng = StdRng::seed_from_u64(1);
+    let mlp = MlpBuilder::new(data.feature_count())
+        .hidden(10, Activation::ReLU)
+        .output(data.class_count())
+        .build(&mut rng)
+        .expect("mlp");
+
+    let mut group = c.benchmark_group("nn_training");
+    group.sample_size(20).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(5));
+
+    group.bench_function("forward_pass_full_dataset", |b| {
+        b.iter(|| black_box(mlp.forward(data.features()).unwrap()))
+    });
+
+    group.bench_function("train_one_epoch_seeds", |b| {
+        b.iter(|| {
+            let mut model = mlp.clone();
+            let mut rng = StdRng::seed_from_u64(2);
+            Trainer::new(TrainConfig { epochs: 1, ..TrainConfig::default() })
+                .fit(&mut model, &data, None, &mut rng)
+                .unwrap()
+                .best_accuracy
+        })
+    });
+
+    group.bench_function("qat_two_epochs_4bit", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            quantization_aware_train(&mlp, &data, None, &QatConfig::new(4, 2), &mut rng)
+                .unwrap()
+                .1
+                .best_accuracy
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_nn_training);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Regenerates Figure 1 of the paper: area-accuracy Pareto fronts of the
+//! three standalone minimization techniques, one subplot per dataset,
+//! normalized to the un-minimized bespoke baseline.
+//!
+//! Usage:
+//!   cargo run --release -p pmlp-bench --bin fig1 -- [dataset|all] [full|quick] [seed]
+
+use pmlp_bench::{parse_effort, persist_json, render_figure1, render_headline};
+use pmlp_core::experiment::{headline_summary, Figure1Experiment};
+use pmlp_data::UciDataset;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    let effort = parse_effort(args.get(2).map(String::as_str).unwrap_or("full"));
+    let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    let datasets: Vec<UciDataset> = if which.eq_ignore_ascii_case("all") {
+        UciDataset::all().to_vec()
+    } else {
+        vec![UciDataset::parse(which)?]
+    };
+
+    for dataset in datasets {
+        let start = std::time::Instant::now();
+        let result = Figure1Experiment::new(dataset, effort, seed).run()?;
+        println!("{}", render_figure1(&result));
+        let rows = headline_summary(&result, 0.05);
+        println!("{}", render_headline(&rows));
+        println!("(elapsed: {:.1}s)\n", start.elapsed().as_secs_f64());
+        persist_json(&format!("fig1_{}", dataset.to_string().to_lowercase()), &result);
+    }
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! Regenerates Figure 2 of the paper: the accuracy-area trade-off of the
+//! WhiteWine classifier when quantization, pruning and weight clustering are
+//! combined by the hardware-aware genetic algorithm, compared against the
+//! standalone techniques.
+//!
+//! Usage:
+//!   cargo run --release -p pmlp-bench --bin fig2 -- [dataset] [full|quick] [seed]
+
+use pmlp_bench::{parse_effort, persist_json, render_figure2, render_headline};
+use pmlp_core::experiment::{headline_combined, Figure2Experiment};
+use pmlp_data::UciDataset;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let dataset = args
+        .get(1)
+        .map(|name| UciDataset::parse(name))
+        .transpose()?
+        .unwrap_or(UciDataset::WhiteWine);
+    let effort = parse_effort(args.get(2).map(String::as_str).unwrap_or("full"));
+    let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    let start = std::time::Instant::now();
+    let result = Figure2Experiment::new(dataset, effort, seed).run()?;
+    println!("{}", render_figure2(&result));
+    println!("{}", render_headline(&[headline_combined(&result, 0.05)]));
+    println!("(elapsed: {:.1}s)", start.elapsed().as_secs_f64());
+    persist_json(&format!("fig2_{}", dataset.to_string().to_lowercase()), &result);
+    Ok(())
+}

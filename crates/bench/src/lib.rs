@@ -1,0 +1,94 @@
+//! Shared helpers of the benchmark harness: effort parsing, result printing
+//! and JSON persistence used by both the figure-regeneration binaries and the
+//! criterion benches.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use pmlp_core::experiment::{Effort, Figure1Result, Figure2Result};
+use pmlp_core::report::{render_headline_table, HeadlineRow};
+use std::path::Path;
+
+/// Parses an effort name from the command line (`full`, `quick`).
+pub fn parse_effort(name: &str) -> Effort {
+    match name.to_ascii_lowercase().as_str() {
+        "quick" | "smoke" => Effort::Quick,
+        _ => Effort::Full,
+    }
+}
+
+/// Renders one Fig. 1 subplot as the text table the paper plots.
+pub fn render_figure1(result: &Figure1Result) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "=== Figure 1 ({}) — baseline accuracy {:.1}%, baseline area {:.1} mm2 ===\n",
+        result.dataset,
+        result.baseline_accuracy * 100.0,
+        result.baseline_area_mm2
+    ));
+    for series in &result.series {
+        out.push_str(&series.to_string());
+    }
+    out
+}
+
+/// Renders the Fig. 2 comparison (standalone fronts vs the combined GA front).
+pub fn render_figure2(result: &Figure2Result) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "=== Figure 2 ({}) — baseline accuracy {:.1}%, baseline area {:.1} mm2 ===\n",
+        result.dataset,
+        result.baseline_accuracy * 100.0,
+        result.baseline_area_mm2
+    ));
+    for series in &result.standalone {
+        out.push_str(&series.to_string());
+    }
+    out.push_str(&result.combined.to_string());
+    out.push_str(&format!(
+        "# GA: {} generations, {} evaluations\n",
+        result.search.history.len(),
+        result.search.history.last().map(|h| h.evaluations).unwrap_or(0)
+    ));
+    out
+}
+
+/// Renders headline rows.
+pub fn render_headline(rows: &[HeadlineRow]) -> String {
+    render_headline_table(rows)
+}
+
+/// Writes a serializable result next to the repository root (under
+/// `target/experiment-results/`) so EXPERIMENTS.md can reference raw data.
+///
+/// Errors are printed rather than propagated: persisting results must never
+/// fail a benchmark run.
+pub fn persist_json<T: serde::Serialize>(name: &str, value: &T) {
+    let dir = Path::new("target").join("experiment-results");
+    if let Err(err) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {err}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(err) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {err}", path.display());
+            }
+        }
+        Err(err) => eprintln!("warning: cannot serialize {name}: {err}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_parsing_defaults_to_full() {
+        assert_eq!(parse_effort("quick"), Effort::Quick);
+        assert_eq!(parse_effort("SMOKE"), Effort::Quick);
+        assert_eq!(parse_effort("full"), Effort::Full);
+        assert_eq!(parse_effort("anything"), Effort::Full);
+    }
+}

@@ -1,0 +1,177 @@
+//! The un-minimized bespoke baseline (Mubarik et al., MICRO 2020) that every
+//! figure normalizes against.
+
+use crate::bridge::{synthesize_area, SynthesisSummary};
+use crate::error::CoreError;
+use pmlp_data::{DatasetDescriptor, UciDataset};
+use pmlp_hw::{CellLibrary, SharingStrategy};
+use pmlp_minimize::{minimize, MinimizationConfig};
+use pmlp_nn::{Activation, Dataset, Mlp, MlpBuilder, TrainConfig, Trainer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Training budget of the float baseline model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineConfig {
+    /// Epochs of full-precision training.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Fraction of samples used for training (rest is the held-out test set).
+    pub train_fraction: f64,
+    /// Input bit-width of the bespoke circuit.
+    pub input_bits: u8,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            epochs: 60,
+            batch_size: 32,
+            learning_rate: 0.01,
+            train_fraction: 0.75,
+            input_bits: 4,
+        }
+    }
+}
+
+/// A trained baseline classifier together with its bespoke-circuit
+/// characterization: the reference point of all normalized results.
+#[derive(Debug, Clone)]
+pub struct BaselineDesign {
+    /// Which dataset this baseline belongs to.
+    pub dataset: UciDataset,
+    /// Descriptor of the dataset (shapes, baseline topology).
+    pub descriptor: DatasetDescriptor,
+    /// The float-trained model.
+    pub model: Mlp,
+    /// Training split (used for minimization fine-tuning).
+    pub train: Dataset,
+    /// Held-out test split (used for all reported accuracies).
+    pub test: Dataset,
+    /// Test accuracy of the 8-bit baseline bespoke implementation.
+    pub accuracy: f64,
+    /// Synthesis results of the 8-bit baseline bespoke circuit.
+    pub synthesis: SynthesisSummary,
+    /// Cell library used for synthesis.
+    pub library: CellLibrary,
+    /// Input bit-width of the bespoke circuit.
+    pub input_bits: u8,
+    /// Seed used for data generation and training.
+    pub seed: u64,
+}
+
+impl BaselineDesign {
+    /// Generates the dataset, trains the float MLP with the default budget and
+    /// synthesizes the 8-bit baseline bespoke circuit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset, training and synthesis errors.
+    pub fn train(dataset: UciDataset, seed: u64) -> Result<Self, CoreError> {
+        Self::train_with(dataset, seed, &BaselineConfig::default())
+    }
+
+    /// Same as [`BaselineDesign::train`] with an explicit training budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset, training and synthesis errors.
+    pub fn train_with(
+        dataset: UciDataset,
+        seed: u64,
+        config: &BaselineConfig,
+    ) -> Result<Self, CoreError> {
+        let descriptor = dataset.descriptor();
+        let data = descriptor.generate(seed)?;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBA5E);
+        let (train, test) = data.stratified_split(config.train_fraction, &mut rng)?;
+
+        let mut model = MlpBuilder::new(descriptor.feature_count)
+            .hidden(descriptor.hidden_neurons, Activation::ReLU)
+            .output(descriptor.class_count)
+            .build(&mut rng)?;
+        let trainer = Trainer::new(TrainConfig {
+            epochs: config.epochs,
+            batch_size: config.batch_size,
+            learning_rate: config.learning_rate,
+            ..TrainConfig::default()
+        });
+        trainer.fit(&mut model, &train, Some(&test), &mut rng)?;
+
+        let library = CellLibrary::egt();
+        // The baseline bespoke MLP: 8-bit post-training quantized weights, no
+        // pruning, no clustering, no multiplier sharing.
+        let baseline_cfg = MinimizationConfig::baseline().with_input_bits(config.input_bits);
+        let minimized = minimize(&model, &train, Some(&test), &baseline_cfg, &mut rng)?;
+        let accuracy = minimized.accuracy(&test);
+        let synthesis = synthesize_area(
+            &minimized.integer_layers,
+            config.input_bits,
+            &library,
+            SharingStrategy::None,
+        )?;
+
+        Ok(BaselineDesign {
+            dataset,
+            descriptor,
+            model,
+            train,
+            test,
+            accuracy,
+            synthesis,
+            library,
+            input_bits: config.input_bits,
+            seed,
+        })
+    }
+
+    /// Baseline circuit area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.synthesis.area_mm2
+    }
+
+    /// Baseline test accuracy in `[0, 1]`.
+    pub fn accuracy(&self) -> f64 {
+        self.accuracy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> BaselineConfig {
+        BaselineConfig { epochs: 12, ..BaselineConfig::default() }
+    }
+
+    #[test]
+    fn seeds_baseline_trains_to_useful_accuracy() {
+        let baseline = BaselineDesign::train_with(UciDataset::Seeds, 7, &quick_config()).unwrap();
+        // Chance level is 1/3; the baseline must be clearly better.
+        assert!(baseline.accuracy() > 0.6, "baseline accuracy {}", baseline.accuracy());
+        assert!(baseline.area_mm2() > 0.0);
+        assert_eq!(baseline.descriptor.feature_count, 7);
+        assert_eq!(baseline.model.topology(), vec![7, 10, 3]);
+    }
+
+    #[test]
+    fn baseline_is_deterministic_for_a_seed() {
+        let a = BaselineDesign::train_with(UciDataset::Seeds, 3, &quick_config()).unwrap();
+        let b = BaselineDesign::train_with(UciDataset::Seeds, 3, &quick_config()).unwrap();
+        assert_eq!(a.model, b.model);
+        assert_eq!(a.accuracy(), b.accuracy());
+        assert_eq!(a.synthesis.gate_count, b.synthesis.gate_count);
+    }
+
+    #[test]
+    fn different_datasets_have_different_baseline_sizes() {
+        let seeds = BaselineDesign::train_with(UciDataset::Seeds, 1, &quick_config()).unwrap();
+        let redwine = BaselineDesign::train_with(UciDataset::RedWine, 1, &quick_config()).unwrap();
+        // RedWine (11 x 20 x 5) is a bigger MLP than Seeds (7 x 10 x 3), so its
+        // bespoke circuit must be larger.
+        assert!(redwine.area_mm2() > seeds.area_mm2());
+    }
+}

@@ -1,0 +1,276 @@
+//! Experiment drivers that regenerate every figure and table of the paper.
+//!
+//! * [`Figure1Experiment`] — one subplot of Fig. 1: the three standalone
+//!   technique Pareto fronts for one dataset, normalized to its bespoke
+//!   baseline.
+//! * [`Figure2Experiment`] — Fig. 2: the combined hardware-aware GA front for
+//!   WhiteWine compared against the standalone fronts.
+//! * [`headline_summary`] — the Section III text claims (area gain at ≤5 %
+//!   accuracy loss per technique).
+
+use crate::baseline::{BaselineConfig, BaselineDesign};
+use crate::error::CoreError;
+use crate::nsga2::{Nsga2, Nsga2Config, SearchResult};
+use crate::objective::{DesignPoint, EvaluationContext};
+use crate::pareto::{area_gain_at_accuracy_loss, pareto_front};
+use crate::report::{FigureSeries, HeadlineRow};
+use crate::sweep::{sweep_all, SweepRanges, Technique};
+use pmlp_data::UciDataset;
+use serde::{Deserialize, Serialize};
+
+/// Effort level of an experiment run: `Full` reproduces the paper's ranges,
+/// `Quick` shrinks everything for smoke tests and CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Effort {
+    /// Paper-scale parameter ranges and training budgets.
+    #[default]
+    Full,
+    /// Reduced ranges/budgets for fast runs.
+    Quick,
+}
+
+impl Effort {
+    /// Baseline training budget for this effort level.
+    pub fn baseline_config(self) -> BaselineConfig {
+        match self {
+            Effort::Full => BaselineConfig::default(),
+            Effort::Quick => BaselineConfig { epochs: 12, ..BaselineConfig::default() },
+        }
+    }
+
+    /// Sweep ranges for this effort level.
+    pub fn sweep_ranges(self) -> SweepRanges {
+        match self {
+            Effort::Full => SweepRanges::default(),
+            Effort::Quick => SweepRanges::quick(),
+        }
+    }
+
+    /// Fine-tuning epochs per candidate for this effort level.
+    pub fn fine_tune_epochs(self) -> usize {
+        match self {
+            Effort::Full => 10,
+            Effort::Quick => 2,
+        }
+    }
+
+    /// GA configuration for this effort level.
+    pub fn nsga2_config(self) -> Nsga2Config {
+        match self {
+            Effort::Full => Nsga2Config::default(),
+            Effort::Quick => Nsga2Config { population: 6, generations: 2, ..Nsga2Config::default() },
+        }
+    }
+}
+
+/// The data behind one subplot of Fig. 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure1Result {
+    /// Dataset of this subplot.
+    pub dataset: String,
+    /// Baseline absolute accuracy.
+    pub baseline_accuracy: f64,
+    /// Baseline circuit area in mm².
+    pub baseline_area_mm2: f64,
+    /// One Pareto-filtered series per technique.
+    pub series: Vec<FigureSeries>,
+    /// Every evaluated point per technique (not Pareto filtered), for
+    /// completeness of the record.
+    pub raw_points: Vec<(Technique, Vec<DesignPoint>)>,
+}
+
+/// Driver for one Fig. 1 subplot.
+#[derive(Debug, Clone)]
+pub struct Figure1Experiment {
+    /// Dataset to evaluate.
+    pub dataset: UciDataset,
+    /// Effort level.
+    pub effort: Effort,
+    /// RNG seed (data generation + training).
+    pub seed: u64,
+}
+
+impl Figure1Experiment {
+    /// Creates the experiment for `dataset` at the given effort.
+    pub fn new(dataset: UciDataset, effort: Effort, seed: u64) -> Self {
+        Figure1Experiment { dataset, effort, seed }
+    }
+
+    /// Runs the experiment: trains the baseline, runs the three standalone
+    /// sweeps and packages the normalized Pareto fronts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates baseline, evaluation and synthesis errors.
+    pub fn run(&self) -> Result<Figure1Result, CoreError> {
+        let baseline =
+            BaselineDesign::train_with(self.dataset, self.seed, &self.effort.baseline_config())?;
+        let ctx = EvaluationContext::new(&baseline)
+            .with_fine_tune_epochs(self.effort.fine_tune_epochs());
+        let sweeps = sweep_all(&ctx, &self.effort.sweep_ranges())?;
+
+        let mut series = Vec::with_capacity(sweeps.len());
+        let mut raw_points = Vec::with_capacity(sweeps.len());
+        for sweep in sweeps {
+            let front = pareto_front(&sweep.points);
+            series.push(FigureSeries::from_points(sweep.technique, &front));
+            raw_points.push((sweep.technique, sweep.points));
+        }
+        Ok(Figure1Result {
+            dataset: self.dataset.to_string(),
+            baseline_accuracy: baseline.accuracy(),
+            baseline_area_mm2: baseline.area_mm2(),
+            series,
+            raw_points,
+        })
+    }
+}
+
+/// The data behind Fig. 2: the combined GA front plus the standalone fronts
+/// for the same dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure2Result {
+    /// Dataset (the paper uses WhiteWine).
+    pub dataset: String,
+    /// Baseline absolute accuracy.
+    pub baseline_accuracy: f64,
+    /// Baseline circuit area in mm².
+    pub baseline_area_mm2: f64,
+    /// Standalone series (quantization, pruning, clustering).
+    pub standalone: Vec<FigureSeries>,
+    /// The combined hardware-aware GA series.
+    pub combined: FigureSeries,
+    /// Full GA search result (front, all points, history).
+    pub search: SearchResult,
+}
+
+/// Driver for Fig. 2.
+#[derive(Debug, Clone)]
+pub struct Figure2Experiment {
+    /// Dataset to evaluate (the paper uses WhiteWine).
+    pub dataset: UciDataset,
+    /// Effort level.
+    pub effort: Effort,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Figure2Experiment {
+    /// Creates the Fig. 2 experiment (defaults to WhiteWine in the binaries).
+    pub fn new(dataset: UciDataset, effort: Effort, seed: u64) -> Self {
+        Figure2Experiment { dataset, effort, seed }
+    }
+
+    /// Runs the standalone sweeps and the combined GA and packages the
+    /// normalized fronts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates baseline, evaluation, synthesis and search errors.
+    pub fn run(&self) -> Result<Figure2Result, CoreError> {
+        let baseline =
+            BaselineDesign::train_with(self.dataset, self.seed, &self.effort.baseline_config())?;
+        let ctx = EvaluationContext::new(&baseline)
+            .with_fine_tune_epochs(self.effort.fine_tune_epochs());
+
+        let sweeps = sweep_all(&ctx, &self.effort.sweep_ranges())?;
+        let standalone: Vec<FigureSeries> = sweeps
+            .iter()
+            .map(|s| FigureSeries::from_points(s.technique, &pareto_front(&s.points)))
+            .collect();
+
+        let mut ga_config = self.effort.nsga2_config();
+        ga_config.seed ^= self.seed;
+        let search = Nsga2::new(ga_config).run(&ctx)?;
+        let combined = FigureSeries::from_points(Technique::Combined, &search.pareto_front);
+
+        Ok(Figure2Result {
+            dataset: self.dataset.to_string(),
+            baseline_accuracy: baseline.accuracy(),
+            baseline_area_mm2: baseline.area_mm2(),
+            standalone,
+            combined,
+            search,
+        })
+    }
+}
+
+/// Computes the headline rows (area gain at `max_accuracy_loss`) for one
+/// Fig. 1 result.
+pub fn headline_summary(result: &Figure1Result, max_accuracy_loss: f64) -> Vec<HeadlineRow> {
+    result
+        .raw_points
+        .iter()
+        .map(|(technique, points)| HeadlineRow {
+            dataset: result.dataset.clone(),
+            technique: technique.name().to_string(),
+            baseline_accuracy: result.baseline_accuracy,
+            area_gain: area_gain_at_accuracy_loss(points, result.baseline_accuracy, max_accuracy_loss),
+            max_accuracy_loss,
+        })
+        .collect()
+}
+
+/// Computes the headline row of a Fig. 2 (combined GA) result.
+pub fn headline_combined(result: &Figure2Result, max_accuracy_loss: f64) -> HeadlineRow {
+    HeadlineRow {
+        dataset: result.dataset.clone(),
+        technique: Technique::Combined.name().to_string(),
+        baseline_accuracy: result.baseline_accuracy,
+        area_gain: area_gain_at_accuracy_loss(
+            &result.search.all_points,
+            result.baseline_accuracy,
+            max_accuracy_loss,
+        ),
+        max_accuracy_loss,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_levels_scale_budgets() {
+        assert!(Effort::Quick.baseline_config().epochs < Effort::Full.baseline_config().epochs);
+        assert!(Effort::Quick.fine_tune_epochs() < Effort::Full.fine_tune_epochs());
+        assert!(Effort::Quick.nsga2_config().population < Effort::Full.nsga2_config().population);
+        assert!(
+            Effort::Quick.sweep_ranges().weight_bits.len()
+                < Effort::Full.sweep_ranges().weight_bits.len()
+        );
+    }
+
+    #[test]
+    fn quick_figure1_on_seeds_produces_three_series() {
+        let result = Figure1Experiment::new(UciDataset::Seeds, Effort::Quick, 3).run().unwrap();
+        assert_eq!(result.series.len(), 3);
+        assert!(result.baseline_area_mm2 > 0.0);
+        assert!(result.baseline_accuracy > 0.5);
+        // Every series has at least one point and all normalized areas are
+        // positive.
+        for series in &result.series {
+            assert!(!series.points.is_empty());
+            assert!(series.points.iter().all(|&(_, area, _)| area > 0.0));
+        }
+        // Quantization and pruning produce designs smaller than the baseline.
+        let min_area = |t: Technique| {
+            result
+                .raw_points
+                .iter()
+                .find(|(tech, _)| *tech == t)
+                .map(|(_, pts)| pts.iter().map(|p| p.normalized_area).fold(f64::INFINITY, f64::min))
+                .unwrap()
+        };
+        assert!(min_area(Technique::Quantization) < 1.0);
+        assert!(min_area(Technique::Pruning) < 1.0);
+    }
+
+    #[test]
+    fn headline_summary_has_one_row_per_technique() {
+        let result = Figure1Experiment::new(UciDataset::Seeds, Effort::Quick, 5).run().unwrap();
+        let rows = headline_summary(&result, 0.05);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| (r.baseline_accuracy - result.baseline_accuracy).abs() < 1e-12));
+    }
+}

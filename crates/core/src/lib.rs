@@ -1,0 +1,57 @@
+//! # pmlp-core — hardware-aware automated neural minimization
+//!
+//! The paper's contribution: given a trained printed-MLP classifier, search
+//! the joint space of quantization bit-width, unstructured sparsity and
+//! per-input weight-cluster count for accuracy/area Pareto-optimal bespoke
+//! circuits, where the area of every candidate is measured by synthesizing it
+//! with the bespoke hardware model of [`pmlp_hw`].
+//!
+//! Main entry points:
+//!
+//! * [`baseline::BaselineDesign`] — trains and characterizes the un-minimized
+//!   bespoke MLP (Mubarik et al.) every figure is normalized against,
+//! * [`objective::evaluate_config`] — accuracy + area of a single
+//!   [`MinimizationConfig`](pmlp_minimize::MinimizationConfig),
+//! * [`sweep`] — the standalone technique sweeps of Fig. 1,
+//! * [`nsga2::Nsga2`] — the hardware-aware genetic algorithm of Fig. 2,
+//! * [`experiment`] — drivers that regenerate every figure/table of the paper,
+//! * [`pareto`] / [`report`] — Pareto-front utilities and result tables.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use pmlp_core::baseline::BaselineDesign;
+//! use pmlp_core::objective::{evaluate_config, EvaluationContext};
+//! use pmlp_data::UciDataset;
+//! use pmlp_minimize::MinimizationConfig;
+//!
+//! # fn main() -> Result<(), pmlp_core::CoreError> {
+//! let baseline = BaselineDesign::train(UciDataset::Seeds, 42)?;
+//! let ctx = EvaluationContext::new(&baseline);
+//! let point = evaluate_config(&ctx, &MinimizationConfig::default().with_weight_bits(4), 0)?;
+//! println!("area gain {:.2}x at {:.1}% accuracy", point.area_gain(), point.accuracy * 100.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod baseline;
+pub mod bridge;
+pub mod error;
+pub mod experiment;
+pub mod genome;
+pub mod nsga2;
+pub mod objective;
+pub mod pareto;
+pub mod report;
+pub mod sweep;
+
+pub use baseline::BaselineDesign;
+pub use error::CoreError;
+pub use genome::Genome;
+pub use nsga2::{Nsga2, Nsga2Config};
+pub use objective::{evaluate_config, DesignPoint, EvaluationContext};
+pub use pareto::{area_gain_at_accuracy_loss, pareto_front};
+pub use report::{FigureSeries, HeadlineRow};

@@ -1,0 +1,316 @@
+//! The hardware-aware genetic algorithm: an NSGA-II loop over
+//! [`Genome`](crate::genome::Genome)s whose fitness is the (accuracy, area)
+//! pair measured by retraining the candidate and synthesizing its bespoke
+//! circuit.
+
+use crate::error::CoreError;
+use crate::genome::{Genome, GenomeSpace};
+use crate::objective::{evaluate_config, DesignPoint, EvaluationContext};
+use crate::pareto::{crowding_distances, non_dominated_ranks, pareto_front};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Hyper-parameters of the NSGA-II search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Nsga2Config {
+    /// Population size (kept constant across generations).
+    pub population: usize,
+    /// Number of generations to evolve.
+    pub generations: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Tournament size for parent selection.
+    pub tournament_size: usize,
+    /// Base RNG seed of the search.
+    pub seed: u64,
+    /// Search space of the genomes.
+    pub space: GenomeSpace,
+}
+
+impl Default for Nsga2Config {
+    fn default() -> Self {
+        Nsga2Config {
+            population: 24,
+            generations: 12,
+            mutation_rate: 0.25,
+            tournament_size: 2,
+            seed: 0xDA7E,
+            space: GenomeSpace::default(),
+        }
+    }
+}
+
+impl Nsga2Config {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when any parameter is degenerate.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.population < 4 {
+            return Err(CoreError::InvalidConfig { context: "population must be >= 4".into() });
+        }
+        if self.generations == 0 {
+            return Err(CoreError::InvalidConfig { context: "generations must be >= 1".into() });
+        }
+        if !(0.0..=1.0).contains(&self.mutation_rate) {
+            return Err(CoreError::InvalidConfig {
+                context: format!("mutation_rate must be in [0,1], got {}", self.mutation_rate),
+            });
+        }
+        if self.tournament_size == 0 {
+            return Err(CoreError::InvalidConfig { context: "tournament_size must be >= 1".into() });
+        }
+        Ok(())
+    }
+}
+
+/// Progress of one generation, reported in [`SearchResult::history`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenerationStats {
+    /// Generation index (0-based).
+    pub generation: usize,
+    /// Size of the Pareto front within the population.
+    pub front_size: usize,
+    /// Best accuracy seen in this generation.
+    pub best_accuracy: f64,
+    /// Smallest normalized area seen in this generation.
+    pub best_normalized_area: f64,
+    /// Number of distinct configurations evaluated so far (cache size).
+    pub evaluations: usize,
+}
+
+/// Result of a hardware-aware GA run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchResult {
+    /// The final non-dominated set over every point evaluated during the run.
+    pub pareto_front: Vec<DesignPoint>,
+    /// Every evaluated design point (deduplicated by configuration).
+    pub all_points: Vec<DesignPoint>,
+    /// Per-generation statistics.
+    pub history: Vec<GenerationStats>,
+}
+
+/// The hardware-aware NSGA-II searcher.
+#[derive(Debug, Clone)]
+pub struct Nsga2 {
+    config: Nsga2Config,
+}
+
+impl Nsga2 {
+    /// Creates a searcher with the given configuration.
+    pub fn new(config: Nsga2Config) -> Self {
+        Nsga2 { config }
+    }
+
+    /// The configuration of this searcher.
+    pub fn config(&self) -> &Nsga2Config {
+        &self.config
+    }
+
+    /// Runs the search against the baseline wrapped in `ctx`.
+    ///
+    /// Candidate evaluations are cached by genome, and each generation's new
+    /// candidates are evaluated in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] when the configuration is invalid or an
+    /// evaluation fails.
+    pub fn run(&self, ctx: &EvaluationContext<'_>) -> Result<SearchResult, CoreError> {
+        self.config.validate()?;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let space = &self.config.space;
+
+        // Seed the population with the baseline plus random genomes so the
+        // front always contains the reference point.
+        let mut population: Vec<Genome> = vec![Genome::baseline()];
+        while population.len() < self.config.population {
+            population.push(Genome::random(space, &mut rng));
+        }
+
+        let cache: Mutex<HashMap<(u8, u32, usize), DesignPoint>> = Mutex::new(HashMap::new());
+        let mut history = Vec::with_capacity(self.config.generations);
+
+        let mut evaluated = self.evaluate_population(ctx, &population, &cache)?;
+
+        for generation in 0..self.config.generations {
+            // Selection + variation: build an offspring population.
+            let ranks = non_dominated_ranks(&evaluated);
+            let crowding = crowding_by_rank(&evaluated, &ranks);
+            let mut offspring = Vec::with_capacity(self.config.population);
+            while offspring.len() < self.config.population {
+                let a = self.tournament(&population, &ranks, &crowding, &mut rng);
+                let b = self.tournament(&population, &ranks, &crowding, &mut rng);
+                let child = population[a]
+                    .crossover(&population[b], &mut rng)
+                    .mutate(space, self.config.mutation_rate, &mut rng);
+                offspring.push(child);
+            }
+
+            // Evaluate offspring (cached + parallel) and merge with parents.
+            let offspring_points = self.evaluate_population(ctx, &offspring, &cache)?;
+            let mut combined_genomes = population.clone();
+            combined_genomes.extend_from_slice(&offspring);
+            let mut combined_points = evaluated.clone();
+            combined_points.extend_from_slice(&offspring_points);
+
+            // Environmental selection: keep the best `population` individuals
+            // by (rank, crowding distance).
+            let ranks = non_dominated_ranks(&combined_points);
+            let crowding = crowding_by_rank(&combined_points, &ranks);
+            let mut order: Vec<usize> = (0..combined_points.len()).collect();
+            order.sort_by(|&i, &j| {
+                ranks[i]
+                    .cmp(&ranks[j])
+                    .then_with(|| crowding[j].partial_cmp(&crowding[i]).expect("finite or inf"))
+            });
+            order.truncate(self.config.population);
+            population = order.iter().map(|&i| combined_genomes[i]).collect();
+            evaluated = order.iter().map(|&i| combined_points[i].clone()).collect();
+
+            let front = pareto_front(&evaluated);
+            history.push(GenerationStats {
+                generation,
+                front_size: front.len(),
+                best_accuracy: evaluated.iter().map(|p| p.accuracy).fold(0.0, f64::max),
+                best_normalized_area: evaluated
+                    .iter()
+                    .map(|p| p.normalized_area)
+                    .fold(f64::INFINITY, f64::min),
+                evaluations: cache.lock().len(),
+            });
+        }
+
+        let all_points: Vec<DesignPoint> = cache.into_inner().into_values().collect();
+        let front = pareto_front(&all_points);
+        Ok(SearchResult { pareto_front: front, all_points, history })
+    }
+
+    fn tournament<R: Rng + ?Sized>(
+        &self,
+        population: &[Genome],
+        ranks: &[usize],
+        crowding: &[f64],
+        rng: &mut R,
+    ) -> usize {
+        let mut best = rng.gen_range(0..population.len());
+        for _ in 1..self.config.tournament_size {
+            let challenger = rng.gen_range(0..population.len());
+            let better = ranks[challenger] < ranks[best]
+                || (ranks[challenger] == ranks[best] && crowding[challenger] > crowding[best]);
+            if better {
+                best = challenger;
+            }
+        }
+        best
+    }
+
+    fn evaluate_population(
+        &self,
+        ctx: &EvaluationContext<'_>,
+        genomes: &[Genome],
+        cache: &Mutex<HashMap<(u8, u32, usize), DesignPoint>>,
+    ) -> Result<Vec<DesignPoint>, CoreError> {
+        // Figure out which genomes still need evaluation.
+        let missing: Vec<Genome> = {
+            let cache = cache.lock();
+            let mut seen = std::collections::BTreeSet::new();
+            genomes
+                .iter()
+                .filter(|g| !cache.contains_key(&g.key()) && seen.insert(g.key()))
+                .copied()
+                .collect()
+        };
+        let fresh: Result<Vec<(Genome, DesignPoint)>, CoreError> = missing
+            .par_iter()
+            .map(|genome| {
+                let point = evaluate_config(ctx, &genome.to_config(), self.config.seed)?;
+                Ok((*genome, point))
+            })
+            .collect();
+        {
+            let mut cache = cache.lock();
+            for (genome, point) in fresh? {
+                cache.insert(genome.key(), point);
+            }
+        }
+        let cache = cache.lock();
+        Ok(genomes.iter().map(|g| cache[&g.key()].clone()).collect())
+    }
+}
+
+/// Crowding distances computed within each rank (NSGA-II semantics).
+fn crowding_by_rank(points: &[DesignPoint], ranks: &[usize]) -> Vec<f64> {
+    let mut crowding = vec![0.0_f64; points.len()];
+    let max_rank = ranks.iter().copied().max().unwrap_or(0);
+    for rank in 0..=max_rank {
+        let members: Vec<usize> = (0..points.len()).filter(|&i| ranks[i] == rank).collect();
+        let subset: Vec<DesignPoint> = members.iter().map(|&i| points[i].clone()).collect();
+        let distances = crowding_distances(&subset);
+        for (slot, &i) in members.iter().enumerate() {
+            crowding[i] = distances[slot];
+        }
+    }
+    crowding
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{BaselineConfig, BaselineDesign};
+    use pmlp_data::UciDataset;
+
+    #[test]
+    fn config_validation() {
+        assert!(Nsga2Config { population: 2, ..Nsga2Config::default() }.validate().is_err());
+        assert!(Nsga2Config { generations: 0, ..Nsga2Config::default() }.validate().is_err());
+        assert!(Nsga2Config { mutation_rate: 1.5, ..Nsga2Config::default() }.validate().is_err());
+        assert!(Nsga2Config { tournament_size: 0, ..Nsga2Config::default() }.validate().is_err());
+        assert!(Nsga2Config::default().validate().is_ok());
+    }
+
+    #[test]
+    fn tiny_search_on_seeds_improves_over_baseline() {
+        // A deliberately tiny search (small population, few generations, short
+        // fine-tuning) so the test stays fast; it still must find designs that
+        // dominate large parts of the area axis.
+        let baseline = BaselineDesign::train_with(
+            UciDataset::Seeds,
+            11,
+            &BaselineConfig { epochs: 10, ..BaselineConfig::default() },
+        )
+        .unwrap();
+        let ctx = EvaluationContext::new(&baseline).with_fine_tune_epochs(2);
+        let config = Nsga2Config {
+            population: 6,
+            generations: 2,
+            seed: 1,
+            space: GenomeSpace {
+                weight_bits: vec![3, 4],
+                sparsities: vec![0.3, 0.5],
+                cluster_counts: vec![3],
+                enable_probability: 0.8,
+            },
+            ..Nsga2Config::default()
+        };
+        let result = Nsga2::new(config).run(&ctx).unwrap();
+        assert!(!result.pareto_front.is_empty());
+        assert_eq!(result.history.len(), 2);
+        // The search must discover at least one design smaller than baseline.
+        assert!(result.pareto_front.iter().any(|p| p.normalized_area < 0.9));
+        // The front is non-dominated.
+        for a in &result.pareto_front {
+            for b in &result.pareto_front {
+                assert!(!crate::pareto::dominates(a, b) || a == b);
+            }
+        }
+        // History tracks a non-decreasing evaluation count.
+        assert!(result.history.windows(2).all(|w| w[1].evaluations >= w[0].evaluations));
+    }
+}

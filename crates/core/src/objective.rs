@@ -1,0 +1,223 @@
+//! Evaluation of one minimization configuration: software accuracy plus
+//! bespoke-circuit area/power via the hardware model.
+
+use crate::baseline::BaselineDesign;
+use crate::bridge::synthesize_area;
+use crate::error::CoreError;
+use pmlp_hw::SharingStrategy;
+use pmlp_minimize::{minimize, MinimizationConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Everything needed to evaluate candidate configurations against a baseline.
+#[derive(Debug, Clone)]
+pub struct EvaluationContext<'a> {
+    baseline: &'a BaselineDesign,
+    /// Fine-tuning epochs granted to every candidate (kept small inside the
+    /// GA loop, larger for the final sweeps).
+    pub fine_tune_epochs: usize,
+}
+
+impl<'a> EvaluationContext<'a> {
+    /// Creates a context with the default fine-tuning budget (8 epochs).
+    pub fn new(baseline: &'a BaselineDesign) -> Self {
+        EvaluationContext { baseline, fine_tune_epochs: 8 }
+    }
+
+    /// Overrides the fine-tuning budget.
+    #[must_use]
+    pub fn with_fine_tune_epochs(mut self, epochs: usize) -> Self {
+        self.fine_tune_epochs = epochs;
+        self
+    }
+
+    /// The baseline this context evaluates against.
+    pub fn baseline(&self) -> &BaselineDesign {
+        self.baseline
+    }
+}
+
+/// One evaluated design: a minimization configuration together with its
+/// absolute and baseline-normalized metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// The configuration that was evaluated.
+    pub config: MinimizationConfig,
+    /// Test accuracy of the minimized classifier, in `[0, 1]`.
+    pub accuracy: f64,
+    /// Bespoke-circuit area in mm².
+    pub area_mm2: f64,
+    /// Bespoke-circuit static power in µW.
+    pub power_uw: f64,
+    /// Accuracy normalized to the baseline (`1.0` = same as baseline).
+    pub normalized_accuracy: f64,
+    /// Area normalized to the baseline (`1.0` = same as baseline; smaller is
+    /// better).
+    pub normalized_area: f64,
+    /// Achieved weight sparsity.
+    pub sparsity: f64,
+    /// Gate count of the synthesized circuit.
+    pub gate_count: usize,
+}
+
+impl DesignPoint {
+    /// Absolute accuracy loss relative to the baseline (positive = worse than
+    /// baseline), in accuracy points (0.05 = five percentage points).
+    pub fn accuracy_loss(&self) -> f64 {
+        1.0 - self.normalized_accuracy_to_loss_ratio()
+    }
+
+    fn normalized_accuracy_to_loss_ratio(&self) -> f64 {
+        // The paper measures accuracy loss as (baseline - candidate) in
+        // absolute accuracy points; keep helpers consistent with that.
+        1.0 - (self.baseline_accuracy() - self.accuracy)
+    }
+
+    fn baseline_accuracy(&self) -> f64 {
+        if self.normalized_accuracy > 0.0 {
+            self.accuracy / self.normalized_accuracy
+        } else {
+            self.accuracy
+        }
+    }
+
+    /// Area reduction factor relative to the baseline (`2.0` = half the area).
+    pub fn area_gain(&self) -> f64 {
+        if self.normalized_area > 0.0 {
+            1.0 / self.normalized_area
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Evaluates `config` against the baseline in `ctx`.
+///
+/// The candidate is produced by running the full minimization pipeline
+/// (prune → cluster → QAT) on a copy of the baseline's float model, its
+/// accuracy is measured on the held-out test split, and its bespoke circuit is
+/// synthesized with multiplier sharing enabled exactly when the configuration
+/// clusters weights.
+///
+/// `salt` perturbs the fine-tuning RNG so repeated evaluations of the same
+/// configuration (e.g. in different GA generations) stay deterministic per
+/// `(config, salt)` pair.
+///
+/// # Errors
+///
+/// Propagates minimization and synthesis errors.
+pub fn evaluate_config(
+    ctx: &EvaluationContext<'_>,
+    config: &MinimizationConfig,
+    salt: u64,
+) -> Result<DesignPoint, CoreError> {
+    let baseline = ctx.baseline();
+    let mut config = *config;
+    config.input_bits = baseline.input_bits;
+    config.fine_tune_epochs = ctx.fine_tune_epochs;
+
+    let mut rng = StdRng::seed_from_u64(baseline.seed ^ salt ^ config_hash(&config));
+    let minimized = minimize(&baseline.model, &baseline.train, Some(&baseline.test), &config, &mut rng)?;
+    let accuracy = minimized.accuracy(&baseline.test);
+    let sharing = if config.clusters_per_input.is_some() {
+        SharingStrategy::SharedPerInput
+    } else {
+        SharingStrategy::None
+    };
+    let synthesis =
+        synthesize_area(&minimized.integer_layers, config.input_bits, &baseline.library, sharing)?;
+
+    Ok(DesignPoint {
+        config,
+        accuracy,
+        area_mm2: synthesis.area_mm2,
+        power_uw: synthesis.power_uw,
+        normalized_accuracy: if baseline.accuracy > 0.0 { accuracy / baseline.accuracy } else { 0.0 },
+        normalized_area: if baseline.synthesis.area_mm2 > 0.0 {
+            synthesis.area_mm2 / baseline.synthesis.area_mm2
+        } else {
+            0.0
+        },
+        sparsity: minimized.sparsity(),
+        gate_count: synthesis.gate_count,
+    })
+}
+
+/// Deterministic hash of a configuration, used to derive per-candidate seeds.
+fn config_hash(config: &MinimizationConfig) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    mix(config.weight_bits.map(u64::from).unwrap_or(99));
+    mix(config.sparsity.map(|s| (s * 1000.0) as u64).unwrap_or(9999));
+    mix(config.clusters_per_input.map(|c| c as u64).unwrap_or(77777));
+    mix(u64::from(config.input_bits));
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::BaselineConfig;
+    use pmlp_data::UciDataset;
+
+    fn baseline() -> BaselineDesign {
+        BaselineDesign::train_with(
+            UciDataset::Seeds,
+            5,
+            &BaselineConfig { epochs: 12, ..BaselineConfig::default() },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn baseline_config_evaluates_to_unity_normalization() {
+        let baseline = baseline();
+        let ctx = EvaluationContext::new(&baseline).with_fine_tune_epochs(2);
+        let point = evaluate_config(&ctx, &MinimizationConfig::baseline(), 0).unwrap();
+        // The baseline configuration reproduces the baseline circuit exactly.
+        assert!((point.normalized_area - 1.0).abs() < 1e-9, "area {}", point.normalized_area);
+        assert!((point.area_gain() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantization_reduces_area() {
+        let baseline = baseline();
+        let ctx = EvaluationContext::new(&baseline).with_fine_tune_epochs(3);
+        let q3 = evaluate_config(&ctx, &MinimizationConfig::default().with_weight_bits(3), 0).unwrap();
+        assert!(q3.normalized_area < 0.8, "3-bit area ratio {}", q3.normalized_area);
+        assert!(q3.area_gain() > 1.25);
+    }
+
+    #[test]
+    fn pruning_reduces_area_proportionally() {
+        let baseline = baseline();
+        let ctx = EvaluationContext::new(&baseline).with_fine_tune_epochs(3);
+        let p = evaluate_config(&ctx, &MinimizationConfig::default().with_sparsity(0.6), 0).unwrap();
+        assert!(p.sparsity >= 0.55);
+        assert!(p.normalized_area < 0.85, "pruned area ratio {}", p.normalized_area);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_per_salt() {
+        let baseline = baseline();
+        let ctx = EvaluationContext::new(&baseline).with_fine_tune_epochs(2);
+        let cfg = MinimizationConfig::default().with_weight_bits(4);
+        let a = evaluate_config(&ctx, &cfg, 9).unwrap();
+        let b = evaluate_config(&ctx, &cfg, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn config_hash_distinguishes_configs() {
+        let a = config_hash(&MinimizationConfig::default().with_weight_bits(3));
+        let b = config_hash(&MinimizationConfig::default().with_weight_bits(4));
+        let c = config_hash(&MinimizationConfig::default().with_sparsity(0.3));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+}

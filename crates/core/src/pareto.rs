@@ -1,0 +1,270 @@
+//! Pareto-front utilities over (accuracy ↑, area ↓) design points.
+
+use crate::objective::DesignPoint;
+
+/// `true` when `a` dominates `b`: at least as good in both objectives
+/// (higher accuracy, lower area) and strictly better in at least one.
+pub fn dominates(a: &DesignPoint, b: &DesignPoint) -> bool {
+    let at_least_as_good = a.accuracy >= b.accuracy && a.area_mm2 <= b.area_mm2;
+    let strictly_better = a.accuracy > b.accuracy || a.area_mm2 < b.area_mm2;
+    at_least_as_good && strictly_better
+}
+
+/// Extracts the Pareto front (non-dominated set) from a collection of design
+/// points, sorted by increasing area.
+pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let mut front: Vec<DesignPoint> = points
+        .iter()
+        .filter(|p| !points.iter().any(|q| dominates(q, p)))
+        .cloned()
+        .collect();
+    front.sort_by(|a, b| a.area_mm2.partial_cmp(&b.area_mm2).expect("finite areas"));
+    // Remove exact duplicates (same config evaluated twice).
+    front.dedup_by(|a, b| a.config == b.config && a.area_mm2 == b.area_mm2);
+    front
+}
+
+/// Non-dominated sorting: partitions `points` into Pareto ranks (rank 0 = the
+/// Pareto front, rank 1 = the front of the remainder, ...). Returns the rank
+/// of every input point. Used by NSGA-II.
+pub fn non_dominated_ranks(points: &[DesignPoint]) -> Vec<usize> {
+    let n = points.len();
+    let mut dominated_by_count = vec![0usize; n];
+    let mut dominates_list: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if dominates(&points[i], &points[j]) {
+                dominates_list[i].push(j);
+            } else if dominates(&points[j], &points[i]) {
+                dominated_by_count[i] += 1;
+            }
+        }
+    }
+    let mut ranks = vec![usize::MAX; n];
+    let mut current: Vec<usize> =
+        (0..n).filter(|&i| dominated_by_count[i] == 0).collect();
+    let mut rank = 0usize;
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            ranks[i] = rank;
+            for &j in &dominates_list[i] {
+                dominated_by_count[j] -= 1;
+                if dominated_by_count[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        current = next;
+        rank += 1;
+    }
+    // Any remaining (possible only with NaN metrics, which we do not produce)
+    // get the worst rank.
+    for r in &mut ranks {
+        if *r == usize::MAX {
+            *r = rank;
+        }
+    }
+    ranks
+}
+
+/// Crowding distance of every point within one Pareto rank (larger = more
+/// isolated = preferred by NSGA-II for diversity). Boundary points get
+/// `f64::INFINITY`.
+pub fn crowding_distances(points: &[DesignPoint]) -> Vec<f64> {
+    let n = points.len();
+    if n <= 2 {
+        return vec![f64::INFINITY; n];
+    }
+    let mut distance = vec![0.0_f64; n];
+    for objective in 0..2 {
+        let value = |p: &DesignPoint| if objective == 0 { p.accuracy } else { p.area_mm2 };
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| value(&points[a]).partial_cmp(&value(&points[b])).expect("finite"));
+        distance[order[0]] = f64::INFINITY;
+        distance[order[n - 1]] = f64::INFINITY;
+        let range = value(&points[order[n - 1]]) - value(&points[order[0]]);
+        if range <= 0.0 {
+            continue;
+        }
+        for w in 1..n - 1 {
+            let prev = value(&points[order[w - 1]]);
+            let next = value(&points[order[w + 1]]);
+            distance[order[w]] += (next - prev) / range;
+        }
+    }
+    distance
+}
+
+/// The largest area-reduction factor achievable while losing at most
+/// `max_accuracy_loss` (absolute accuracy points) relative to
+/// `baseline_accuracy` — the paper's headline "Nx area gain for up to 5 %
+/// accuracy loss" metric. Returns `None` when no point meets the constraint.
+pub fn area_gain_at_accuracy_loss(
+    points: &[DesignPoint],
+    baseline_accuracy: f64,
+    max_accuracy_loss: f64,
+) -> Option<f64> {
+    points
+        .iter()
+        .filter(|p| baseline_accuracy - p.accuracy <= max_accuracy_loss)
+        .map(|p| p.area_gain())
+        .fold(None, |best, gain| match best {
+            Some(b) if b >= gain => Some(b),
+            _ => Some(gain),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmlp_minimize::MinimizationConfig;
+
+    fn point(accuracy: f64, area: f64) -> DesignPoint {
+        DesignPoint {
+            config: MinimizationConfig::default(),
+            accuracy,
+            area_mm2: area,
+            power_uw: area * 10.0,
+            normalized_accuracy: accuracy,
+            normalized_area: area / 100.0,
+            sparsity: 0.0,
+            gate_count: (area * 10.0) as usize,
+        }
+    }
+
+    #[test]
+    fn dominance_relation() {
+        let better = point(0.9, 50.0);
+        let worse = point(0.8, 60.0);
+        let tradeoff = point(0.95, 70.0);
+        assert!(dominates(&better, &worse));
+        assert!(!dominates(&worse, &better));
+        assert!(!dominates(&better, &tradeoff));
+        assert!(!dominates(&tradeoff, &better));
+        // A point does not dominate itself.
+        assert!(!dominates(&better, &better));
+    }
+
+    #[test]
+    fn pareto_front_keeps_only_non_dominated() {
+        let points = vec![point(0.9, 50.0), point(0.8, 60.0), point(0.95, 70.0), point(0.7, 40.0)];
+        let front = pareto_front(&points);
+        assert_eq!(front.len(), 3);
+        assert!(front.iter().all(|p| p.accuracy != 0.8));
+        // Sorted by area.
+        assert!(front.windows(2).all(|w| w[0].area_mm2 <= w[1].area_mm2));
+    }
+
+    #[test]
+    fn ranks_are_consistent_with_dominance() {
+        let points = vec![point(0.9, 50.0), point(0.8, 60.0), point(0.95, 70.0), point(0.85, 55.0)];
+        let ranks = non_dominated_ranks(&points);
+        assert_eq!(ranks[0], 0);
+        assert_eq!(ranks[2], 0);
+        assert!(ranks[1] > 0);
+        // A dominated point never has a lower rank than its dominator.
+        for i in 0..points.len() {
+            for j in 0..points.len() {
+                if dominates(&points[i], &points[j]) {
+                    assert!(ranks[i] <= ranks[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crowding_prefers_isolated_points() {
+        let points = vec![
+            point(0.90, 50.0),
+            point(0.901, 50.5), // crowded next to the first
+            point(0.95, 80.0),  // isolated
+            point(0.80, 20.0),  // boundary
+        ];
+        let d = crowding_distances(&points);
+        assert!(d[3].is_infinite());
+        assert!(d[2] >= d[1]);
+    }
+
+    #[test]
+    fn crowding_small_sets_are_all_infinite() {
+        let points = vec![point(0.9, 10.0), point(0.8, 5.0)];
+        assert!(crowding_distances(&points).iter().all(|d| d.is_infinite()));
+    }
+
+    #[test]
+    fn area_gain_at_loss_respects_threshold() {
+        // Baseline accuracy 0.9, baseline area 100 (normalized_area = area/100).
+        let points = vec![
+            point(0.89, 40.0), // 1% loss, 2.5x gain
+            point(0.84, 20.0), // 6% loss, 5x gain (excluded at 5%)
+            point(0.86, 25.0), // 4% loss, 4x gain
+        ];
+        let gain = area_gain_at_accuracy_loss(&points, 0.9, 0.05).unwrap();
+        assert!((gain - 4.0).abs() < 1e-9);
+        let gain_strict = area_gain_at_accuracy_loss(&points, 0.9, 0.015).unwrap();
+        assert!((gain_strict - 2.5).abs() < 1e-9);
+        assert!(area_gain_at_accuracy_loss(&points, 0.99, 0.01).is_none());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_front() {
+        assert!(pareto_front(&[]).is_empty());
+        assert!(non_dominated_ranks(&[]).is_empty());
+        assert!(area_gain_at_accuracy_loss(&[], 0.9, 0.05).is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use pmlp_minimize::MinimizationConfig;
+    use proptest::prelude::*;
+
+    fn point(accuracy: f64, area: f64) -> DesignPoint {
+        DesignPoint {
+            config: MinimizationConfig::default(),
+            accuracy,
+            area_mm2: area,
+            power_uw: 0.0,
+            normalized_accuracy: accuracy,
+            normalized_area: area,
+            sparsity: 0.0,
+            gate_count: 0,
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn front_members_are_mutually_non_dominated(
+            raw in proptest::collection::vec((0.0f64..1.0, 1.0f64..100.0), 1..30)
+        ) {
+            let points: Vec<DesignPoint> = raw.iter().map(|&(a, ar)| point(a, ar)).collect();
+            let front = pareto_front(&points);
+            for a in &front {
+                for b in &front {
+                    prop_assert!(!dominates(a, b) || a.area_mm2 == b.area_mm2 && a.accuracy == b.accuracy);
+                }
+            }
+            // Every original point is dominated by or equal to some front member.
+            for p in &points {
+                prop_assert!(front.iter().any(|f| !dominates(p, f)));
+            }
+        }
+
+        #[test]
+        fn rank_zero_matches_pareto_front_size(
+            raw in proptest::collection::vec((0.0f64..1.0, 1.0f64..100.0), 1..25)
+        ) {
+            let points: Vec<DesignPoint> = raw.iter().map(|&(a, ar)| point(a, ar)).collect();
+            let front = pareto_front(&points);
+            let ranks = non_dominated_ranks(&points);
+            let rank0 = ranks.iter().filter(|&&r| r == 0).count();
+            // The front may deduplicate identical points, so it is never larger.
+            prop_assert!(front.len() <= rank0);
+        }
+    }
+}

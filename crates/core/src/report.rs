@@ -1,0 +1,153 @@
+//! Figure/table data structures and text rendering in the format the paper
+//! reports (normalized area vs normalized accuracy).
+
+use crate::objective::DesignPoint;
+use crate::sweep::Technique;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One plotted series of a figure: a technique and its (normalized accuracy,
+/// normalized area) points, sorted by area.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureSeries {
+    /// The technique this series belongs to.
+    pub technique: Technique,
+    /// Label of the series (e.g. "quantization").
+    pub label: String,
+    /// `(normalized accuracy, normalized area, config description)` tuples,
+    /// sorted by increasing normalized area.
+    pub points: Vec<(f64, f64, String)>,
+}
+
+impl FigureSeries {
+    /// Builds a series from raw design points (Pareto-filtered by the caller
+    /// if desired).
+    pub fn from_points(technique: Technique, points: &[DesignPoint]) -> Self {
+        let mut tuples: Vec<(f64, f64, String)> = points
+            .iter()
+            .map(|p| (p.normalized_accuracy, p.normalized_area, p.config.describe()))
+            .collect();
+        tuples.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite areas"));
+        FigureSeries { technique, label: technique.name().to_string(), points: tuples }
+    }
+}
+
+impl fmt::Display for FigureSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# series: {}", self.label)?;
+        writeln!(f, "{:<22} {:>18} {:>14}", "config", "norm. accuracy", "norm. area")?;
+        for (acc, area, config) in &self.points {
+            writeln!(f, "{config:<22} {acc:>18.4} {area:>14.4}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One row of the headline table: a dataset/technique pair and its area gain
+/// at the 5 % accuracy-loss threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeadlineRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Technique name.
+    pub technique: String,
+    /// Baseline accuracy (absolute).
+    pub baseline_accuracy: f64,
+    /// Best area-reduction factor achievable with at most
+    /// `max_accuracy_loss` absolute accuracy loss, `None` when the technique
+    /// never meets the threshold (as the paper observes for clustering on
+    /// Pendigits/Seeds).
+    pub area_gain: Option<f64>,
+    /// The accuracy-loss threshold used (the paper uses 0.05).
+    pub max_accuracy_loss: f64,
+}
+
+impl fmt::Display for HeadlineRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.area_gain {
+            Some(gain) => write!(
+                f,
+                "{:<12} {:<18} baseline {:>6.1}%  area gain {:>5.2}x @ <= {:.0}% loss",
+                self.dataset,
+                self.technique,
+                self.baseline_accuracy * 100.0,
+                gain,
+                self.max_accuracy_loss * 100.0
+            ),
+            None => write!(
+                f,
+                "{:<12} {:<18} baseline {:>6.1}%  no design meets the {:.0}% loss threshold",
+                self.dataset,
+                self.technique,
+                self.baseline_accuracy * 100.0,
+                self.max_accuracy_loss * 100.0
+            ),
+        }
+    }
+}
+
+/// Renders a whole headline table.
+pub fn render_headline_table(rows: &[HeadlineRow]) -> String {
+    let mut out = String::new();
+    out.push_str("=== area gain at <=5% accuracy loss (normalized to the bespoke baseline) ===\n");
+    for row in rows {
+        out.push_str(&row.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmlp_minimize::MinimizationConfig;
+
+    fn point(acc: f64, area: f64, bits: u8) -> DesignPoint {
+        DesignPoint {
+            config: MinimizationConfig::default().with_weight_bits(bits),
+            accuracy: acc,
+            area_mm2: area,
+            power_uw: 0.0,
+            normalized_accuracy: acc,
+            normalized_area: area,
+            sparsity: 0.0,
+            gate_count: 0,
+        }
+    }
+
+    #[test]
+    fn series_is_sorted_by_area() {
+        let series = FigureSeries::from_points(
+            Technique::Quantization,
+            &[point(0.9, 0.8, 7), point(0.85, 0.3, 3), point(0.88, 0.5, 5)],
+        );
+        assert_eq!(series.points.len(), 3);
+        assert!(series.points.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(series.label, "quantization");
+    }
+
+    #[test]
+    fn series_display_lists_every_point() {
+        let series =
+            FigureSeries::from_points(Technique::Pruning, &[point(0.9, 0.8, 4), point(0.8, 0.5, 4)]);
+        let text = series.to_string();
+        assert!(text.contains("pruning"));
+        assert_eq!(text.lines().count(), 2 + 2);
+    }
+
+    #[test]
+    fn headline_row_renders_both_cases() {
+        let with_gain = HeadlineRow {
+            dataset: "WhiteWine".into(),
+            technique: "quantization".into(),
+            baseline_accuracy: 0.52,
+            area_gain: Some(5.2),
+            max_accuracy_loss: 0.05,
+        };
+        assert!(with_gain.to_string().contains("5.20x"));
+        let without = HeadlineRow { area_gain: None, ..with_gain.clone() };
+        assert!(without.to_string().contains("no design"));
+        let table = render_headline_table(&[with_gain, without]);
+        assert!(table.lines().count() >= 3);
+    }
+}

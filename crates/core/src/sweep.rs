@@ -1,0 +1,213 @@
+//! Standalone technique sweeps — the experiments behind Fig. 1 of the paper.
+//!
+//! Each sweep evaluates one minimization technique in isolation over the same
+//! parameter ranges the paper reports: quantization at 2–7 bits, unstructured
+//! pruning at 20–60 % sparsity, and weight clustering over a range of cluster
+//! counts.
+
+use crate::error::CoreError;
+use crate::objective::{evaluate_config, DesignPoint, EvaluationContext};
+use pmlp_minimize::MinimizationConfig;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// The three standalone techniques of Fig. 1 (plus the combined GA of Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Technique {
+    /// Weight quantization with QAT.
+    Quantization,
+    /// Unstructured magnitude pruning with fine-tuning.
+    Pruning,
+    /// Per-input weight clustering with multiplier sharing.
+    Clustering,
+    /// All three combined under the hardware-aware GA.
+    Combined,
+}
+
+impl Technique {
+    /// Display name used in figures and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Technique::Quantization => "quantization",
+            Technique::Pruning => "pruning",
+            Technique::Clustering => "weight clustering",
+            Technique::Combined => "combined (GA)",
+        }
+    }
+}
+
+/// Parameter ranges of the standalone sweeps, defaulting to the paper's.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepRanges {
+    /// Quantization bit-widths (paper: 2–7).
+    pub weight_bits: Vec<u8>,
+    /// Pruning sparsity levels (paper: 0.2–0.6).
+    pub sparsities: Vec<f64>,
+    /// Clusters-per-input counts for weight clustering.
+    pub cluster_counts: Vec<usize>,
+}
+
+impl Default for SweepRanges {
+    fn default() -> Self {
+        SweepRanges {
+            weight_bits: (2..=7).collect(),
+            sparsities: vec![0.2, 0.3, 0.4, 0.5, 0.6],
+            cluster_counts: vec![2, 3, 4, 6, 8],
+        }
+    }
+}
+
+impl SweepRanges {
+    /// A reduced range used by fast tests and smoke benches.
+    pub fn quick() -> Self {
+        SweepRanges { weight_bits: vec![3, 5], sparsities: vec![0.3, 0.6], cluster_counts: vec![3] }
+    }
+}
+
+/// Result of one standalone sweep: the technique and its evaluated points
+/// (including the baseline point for reference).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Which technique was swept.
+    pub technique: Technique,
+    /// All evaluated points, in sweep order.
+    pub points: Vec<DesignPoint>,
+}
+
+/// Runs the standalone sweep of `technique` over `ranges`.
+///
+/// Candidates are evaluated in parallel.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn sweep_technique(
+    ctx: &EvaluationContext<'_>,
+    technique: Technique,
+    ranges: &SweepRanges,
+) -> Result<SweepResult, CoreError> {
+    let configs: Vec<MinimizationConfig> = match technique {
+        Technique::Quantization => ranges
+            .weight_bits
+            .iter()
+            .map(|&b| MinimizationConfig::default().with_weight_bits(b))
+            .collect(),
+        Technique::Pruning => ranges
+            .sparsities
+            .iter()
+            .map(|&s| MinimizationConfig::default().with_sparsity(s))
+            .collect(),
+        Technique::Clustering => ranges
+            .cluster_counts
+            .iter()
+            .map(|&k| MinimizationConfig::default().with_clusters(k))
+            .collect(),
+        Technique::Combined => {
+            return Err(CoreError::InvalidConfig {
+                context: "the combined technique is explored with Nsga2, not a sweep".into(),
+            })
+        }
+    };
+    let points: Result<Vec<DesignPoint>, CoreError> = configs
+        .par_iter()
+        .map(|config| evaluate_config(ctx, config, 0))
+        .collect();
+    Ok(SweepResult { technique, points: points? })
+}
+
+/// Runs all three standalone sweeps (the content of one Fig. 1 subplot).
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn sweep_all(
+    ctx: &EvaluationContext<'_>,
+    ranges: &SweepRanges,
+) -> Result<Vec<SweepResult>, CoreError> {
+    [Technique::Quantization, Technique::Pruning, Technique::Clustering]
+        .into_iter()
+        .map(|t| sweep_technique(ctx, t, ranges))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{BaselineConfig, BaselineDesign};
+    use pmlp_data::UciDataset;
+
+    fn quick_ctx(baseline: &BaselineDesign) -> EvaluationContext<'_> {
+        EvaluationContext::new(baseline).with_fine_tune_epochs(2)
+    }
+
+    #[test]
+    fn technique_names_are_stable() {
+        assert_eq!(Technique::Quantization.name(), "quantization");
+        assert_eq!(Technique::Combined.name(), "combined (GA)");
+    }
+
+    #[test]
+    fn combined_technique_cannot_be_swept() {
+        let baseline = BaselineDesign::train_with(
+            UciDataset::Seeds,
+            2,
+            &BaselineConfig { epochs: 8, ..BaselineConfig::default() },
+        )
+        .unwrap();
+        let ctx = quick_ctx(&baseline);
+        assert!(sweep_technique(&ctx, Technique::Combined, &SweepRanges::quick()).is_err());
+    }
+
+    #[test]
+    fn quantization_sweep_produces_monotone_area_trend() {
+        let baseline = BaselineDesign::train_with(
+            UciDataset::Seeds,
+            3,
+            &BaselineConfig { epochs: 10, ..BaselineConfig::default() },
+        )
+        .unwrap();
+        let ctx = quick_ctx(&baseline);
+        let ranges =
+            SweepRanges { weight_bits: vec![2, 4, 7], sparsities: vec![], cluster_counts: vec![] };
+        let result = sweep_technique(&ctx, Technique::Quantization, &ranges).unwrap();
+        assert_eq!(result.points.len(), 3);
+        // Fewer bits -> smaller circuits.
+        assert!(result.points[0].area_mm2 < result.points[1].area_mm2);
+        assert!(result.points[1].area_mm2 < result.points[2].area_mm2);
+        // Every quantized design is smaller than the baseline.
+        assert!(result.points.iter().all(|p| p.normalized_area < 1.0));
+    }
+
+    #[test]
+    fn pruning_sweep_area_decreases_with_sparsity() {
+        let baseline = BaselineDesign::train_with(
+            UciDataset::Seeds,
+            4,
+            &BaselineConfig { epochs: 10, ..BaselineConfig::default() },
+        )
+        .unwrap();
+        let ctx = quick_ctx(&baseline);
+        let ranges =
+            SweepRanges { weight_bits: vec![], sparsities: vec![0.2, 0.6], cluster_counts: vec![] };
+        let result = sweep_technique(&ctx, Technique::Pruning, &ranges).unwrap();
+        assert_eq!(result.points.len(), 2);
+        assert!(result.points[1].area_mm2 < result.points[0].area_mm2);
+    }
+
+    #[test]
+    fn sweep_all_covers_three_techniques() {
+        let baseline = BaselineDesign::train_with(
+            UciDataset::Seeds,
+            5,
+            &BaselineConfig { epochs: 8, ..BaselineConfig::default() },
+        )
+        .unwrap();
+        let ctx = quick_ctx(&baseline);
+        let results = sweep_all(&ctx, &SweepRanges::quick()).unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].technique, Technique::Quantization);
+        assert_eq!(results[1].technique, Technique::Pruning);
+        assert_eq!(results[2].technique, Technique::Clustering);
+        assert!(results.iter().all(|r| !r.points.is_empty()));
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for dataset loading and generation.
+
+use std::fmt;
+
+/// Error returned by dataset generation, parsing and preprocessing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// The generator or parser was configured inconsistently.
+    InvalidSpec {
+        /// Description of the inconsistency.
+        context: String,
+    },
+    /// A CSV record could not be parsed.
+    ParseCsv {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Description of the problem.
+        context: String,
+    },
+    /// An underlying dataset construction error from `pmlp-nn`.
+    Dataset {
+        /// Description forwarded from [`pmlp_nn::NnError`].
+        context: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidSpec { context } => write!(f, "invalid dataset specification: {context}"),
+            DataError::ParseCsv { line, context } => write!(f, "csv parse error at line {line}: {context}"),
+            DataError::Dataset { context } => write!(f, "dataset error: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<pmlp_nn::NnError> for DataError {
+    fn from(err: pmlp_nn::NnError) -> Self {
+        DataError::Dataset { context: err.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_line_number() {
+        let err = DataError::ParseCsv { line: 12, context: "bad float".into() };
+        assert!(err.to_string().contains("12"));
+        assert!(err.to_string().contains("bad float"));
+    }
+
+    #[test]
+    fn converts_nn_error() {
+        let nn = pmlp_nn::NnError::InvalidDataset { context: "empty".into() };
+        let err: DataError = nn.into();
+        assert!(matches!(err, DataError::Dataset { .. }));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<DataError>();
+    }
+}

@@ -1,0 +1,40 @@
+//! # pmlp-data — datasets for printed-MLP classification
+//!
+//! The DATE 2023 paper evaluates its minimization techniques on four UCI
+//! classification datasets: **WhiteWine**, **RedWine**, **Pendigits** and
+//! **Seeds**. This environment has no network access, so this crate ships
+//! deterministic *synthetic equivalents*: generators that reproduce each
+//! dataset's dimensionality, class count, class imbalance and approximate
+//! difficulty (via controlled class overlap), plus a CSV loader so the real
+//! UCI files can be dropped in without code changes.
+//!
+//! The substitution is documented in `DESIGN.md`; every generator is seeded so
+//! experiments are exactly reproducible.
+//!
+//! ## Example
+//!
+//! ```
+//! use pmlp_data::{UciDataset, load};
+//!
+//! # fn main() -> Result<(), pmlp_data::DataError> {
+//! let seeds = load(UciDataset::Seeds, 42)?;
+//! assert_eq!(seeds.feature_count(), 7);
+//! assert_eq!(seeds.class_count(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod csv;
+pub mod error;
+pub mod preprocess;
+pub mod synth;
+pub mod uci;
+
+pub use error::DataError;
+pub use pmlp_nn::Dataset;
+pub use preprocess::{quantize_features, zscore_normalize};
+pub use synth::{ClassSpec, GaussianMixtureSpec};
+pub use uci::{load, DatasetDescriptor, UciDataset};

@@ -1,0 +1,303 @@
+//! Descriptors and generators for the four UCI datasets used by the paper.
+//!
+//! Every descriptor records the real dataset's shape (features, classes,
+//! original sample count) together with the parameters of the synthetic
+//! Gaussian-mixture stand-in (scaled-down sample count and class overlap).
+//! The MLP topologies are those of the bespoke printed classifiers of
+//! Mubarik et al. (MICRO 2020), which the paper uses as baselines.
+
+use crate::error::DataError;
+use crate::synth::{grid_centers, ClassSpec, GaussianMixtureSpec};
+use pmlp_nn::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four classification tasks evaluated in the paper (Fig. 1a–d).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UciDataset {
+    /// White wine quality (11 physico-chemical features, quality grades).
+    WhiteWine,
+    /// Red wine quality (11 features, quality grades).
+    RedWine,
+    /// Pen-based handwritten digit recognition (16 features, 10 digits).
+    Pendigits,
+    /// Wheat-kernel geometry (7 features, 3 varieties).
+    Seeds,
+}
+
+impl UciDataset {
+    /// All four datasets in the order used by Fig. 1.
+    pub fn all() -> [UciDataset; 4] {
+        [UciDataset::WhiteWine, UciDataset::RedWine, UciDataset::Pendigits, UciDataset::Seeds]
+    }
+
+    /// Parses a dataset name (case-insensitive): `whitewine`, `redwine`,
+    /// `pendigits` or `seeds`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidSpec`] for unknown names.
+    pub fn parse(name: &str) -> Result<Self, DataError> {
+        match name.to_ascii_lowercase().as_str() {
+            "whitewine" | "white_wine" | "white-wine" => Ok(UciDataset::WhiteWine),
+            "redwine" | "red_wine" | "red-wine" => Ok(UciDataset::RedWine),
+            "pendigits" => Ok(UciDataset::Pendigits),
+            "seeds" => Ok(UciDataset::Seeds),
+            other => Err(DataError::InvalidSpec { context: format!("unknown dataset '{other}'") }),
+        }
+    }
+
+    /// The descriptor (shape, synthetic parameters, baseline MLP topology) of
+    /// this dataset.
+    pub fn descriptor(self) -> DatasetDescriptor {
+        match self {
+            UciDataset::WhiteWine => DatasetDescriptor {
+                dataset: self,
+                name: "WhiteWine",
+                feature_count: 11,
+                class_count: 5,
+                original_samples: 4898,
+                synthetic_samples: 1500,
+                class_weights: vec![0.03, 0.30, 0.45, 0.18, 0.04],
+                class_std: 0.36,
+                blobs_per_class: 2,
+                hidden_neurons: 25,
+                prototype_seed: SEED_WHITEWINE,
+            },
+            UciDataset::RedWine => DatasetDescriptor {
+                dataset: self,
+                name: "RedWine",
+                feature_count: 11,
+                class_count: 5,
+                original_samples: 1599,
+                synthetic_samples: 1200,
+                class_weights: vec![0.04, 0.33, 0.40, 0.17, 0.06],
+                class_std: 0.33,
+                blobs_per_class: 2,
+                hidden_neurons: 20,
+                prototype_seed: SEED_REDWINE,
+            },
+            UciDataset::Pendigits => DatasetDescriptor {
+                dataset: self,
+                name: "Pendigits",
+                feature_count: 16,
+                class_count: 10,
+                original_samples: 10992,
+                synthetic_samples: 2000,
+                class_weights: vec![0.1; 10],
+                class_std: 0.14,
+                blobs_per_class: 2,
+                hidden_neurons: 30,
+                prototype_seed: SEED_PENDIGITS,
+            },
+            UciDataset::Seeds => DatasetDescriptor {
+                dataset: self,
+                name: "Seeds",
+                feature_count: 7,
+                class_count: 3,
+                original_samples: 210,
+                synthetic_samples: 450,
+                class_weights: vec![1.0 / 3.0; 3],
+                class_std: 0.21,
+                blobs_per_class: 1,
+                hidden_neurons: 10,
+                prototype_seed: SEED_SEEDS,
+            },
+        }
+    }
+}
+
+/// Deterministic per-dataset prototype seed ("WhiteWine" as ASCII-ish value).
+const SEED_WHITEWINE: u64 = 0x57_68_69_74_65;
+/// Deterministic per-dataset prototype seed.
+const SEED_REDWINE: u64 = 0x52_65_64;
+/// Deterministic per-dataset prototype seed.
+const SEED_PENDIGITS: u64 = 0x50_65_6e;
+/// Deterministic per-dataset prototype seed.
+const SEED_SEEDS: u64 = 0x53_65_65_64;
+
+impl fmt::Display for UciDataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.descriptor().name)
+    }
+}
+
+/// Static description of one dataset: the real UCI shape plus the parameters
+/// of its synthetic stand-in and the baseline MLP topology used by the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetDescriptor {
+    /// Which dataset this describes.
+    pub dataset: UciDataset,
+    /// Human-readable name as used in the paper's figures.
+    pub name: &'static str,
+    /// Number of input features.
+    pub feature_count: usize,
+    /// Number of target classes.
+    pub class_count: usize,
+    /// Sample count of the real UCI dataset (for documentation).
+    pub original_samples: usize,
+    /// Sample count of the synthetic stand-in (scaled down for tractable GA
+    /// evaluation; see DESIGN.md).
+    pub synthetic_samples: usize,
+    /// Relative class frequencies of the synthetic stand-in (sums to ~1).
+    pub class_weights: Vec<f64>,
+    /// Standard deviation of each class blob (feature space is `[0, 1]`), the
+    /// knob controlling task difficulty.
+    pub class_std: f32,
+    /// Number of Gaussian blobs per class (multi-modal classes are harder).
+    pub blobs_per_class: usize,
+    /// Hidden-layer width of the baseline bespoke MLP (Mubarik et al. style).
+    pub hidden_neurons: usize,
+    /// Seed for the deterministic class-prototype layout.
+    pub prototype_seed: u64,
+}
+
+impl DatasetDescriptor {
+    /// Baseline MLP topology `[inputs, hidden, classes]` for this dataset.
+    pub fn topology(&self) -> Vec<usize> {
+        vec![self.feature_count, self.hidden_neurons, self.class_count]
+    }
+
+    /// Builds the Gaussian-mixture specification of the synthetic stand-in.
+    pub fn mixture_spec(&self) -> GaussianMixtureSpec {
+        let centers =
+            grid_centers(self.class_count * self.blobs_per_class, self.feature_count, 1.0, self.prototype_seed);
+        let classes = (0..self.class_count)
+            .map(|c| {
+                let samples =
+                    ((self.synthetic_samples as f64) * self.class_weights[c]).round().max(2.0) as usize;
+                let blob_centers: Vec<Vec<f32>> = (0..self.blobs_per_class)
+                    .map(|b| centers[c * self.blobs_per_class + b].clone())
+                    .collect();
+                ClassSpec { samples, centers: blob_centers, std_dev: self.class_std }
+            })
+            .collect();
+        GaussianMixtureSpec { feature_count: self.feature_count, classes }
+    }
+
+    /// Generates the synthetic dataset with the given seed and normalizes all
+    /// features to `[0, 1]` (the input format assumed by the bespoke-hardware
+    /// input quantizer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DataError`] from the generator (only possible if the
+    /// descriptor itself is inconsistent, which the tests guard against).
+    pub fn generate(&self, seed: u64) -> Result<Dataset, DataError> {
+        let mut rng = StdRng::seed_from_u64(seed ^ self.prototype_seed);
+        let mut data = self.mixture_spec().generate(&mut rng)?;
+        data.normalize_min_max();
+        Ok(data)
+    }
+}
+
+/// Convenience wrapper: generates the synthetic stand-in for `dataset` with
+/// the given seed, features normalized to `[0, 1]`.
+///
+/// # Errors
+///
+/// Propagates [`DataError`] from generation.
+///
+/// # Example
+///
+/// ```
+/// use pmlp_data::{load, UciDataset};
+/// # fn main() -> Result<(), pmlp_data::DataError> {
+/// let redwine = load(UciDataset::RedWine, 1)?;
+/// assert_eq!(redwine.feature_count(), 11);
+/// # Ok(())
+/// # }
+/// ```
+pub fn load(dataset: UciDataset, seed: u64) -> Result<Dataset, DataError> {
+    dataset.descriptor().generate(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptors_match_paper_shapes() {
+        let w = UciDataset::WhiteWine.descriptor();
+        assert_eq!((w.feature_count, w.class_count), (11, 5));
+        let r = UciDataset::RedWine.descriptor();
+        assert_eq!((r.feature_count, r.class_count), (11, 5));
+        let p = UciDataset::Pendigits.descriptor();
+        assert_eq!((p.feature_count, p.class_count), (16, 10));
+        let s = UciDataset::Seeds.descriptor();
+        assert_eq!((s.feature_count, s.class_count), (7, 3));
+    }
+
+    #[test]
+    fn class_weights_sum_to_one() {
+        for d in UciDataset::all() {
+            let sum: f64 = d.descriptor().class_weights.iter().sum();
+            assert!((sum - 1.0).abs() < 0.02, "{d}: class weights sum to {sum}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_all_names() {
+        assert_eq!(UciDataset::parse("WhiteWine").unwrap(), UciDataset::WhiteWine);
+        assert_eq!(UciDataset::parse("red-wine").unwrap(), UciDataset::RedWine);
+        assert_eq!(UciDataset::parse("PENDIGITS").unwrap(), UciDataset::Pendigits);
+        assert_eq!(UciDataset::parse("seeds").unwrap(), UciDataset::Seeds);
+        assert!(UciDataset::parse("iris").is_err());
+    }
+
+    #[test]
+    fn generated_datasets_have_descriptor_shape() {
+        for d in UciDataset::all() {
+            let desc = d.descriptor();
+            let data = desc.generate(7).unwrap();
+            assert_eq!(data.feature_count(), desc.feature_count, "{d}");
+            assert_eq!(data.class_count(), desc.class_count, "{d}");
+            let total: usize = data.class_histogram().iter().sum();
+            assert_eq!(total, data.len());
+            // Every class must be represented.
+            assert!(data.class_histogram().iter().all(|&c| c >= 2), "{d}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = load(UciDataset::Seeds, 3).unwrap();
+        let b = load(UciDataset::Seeds, 3).unwrap();
+        assert_eq!(a, b);
+        let c = load(UciDataset::Seeds, 4).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn features_are_normalized_to_unit_interval() {
+        let data = load(UciDataset::Pendigits, 5).unwrap();
+        assert!(data.features().as_slice().iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn topology_matches_descriptor() {
+        let d = UciDataset::WhiteWine.descriptor();
+        assert_eq!(d.topology(), vec![11, d.hidden_neurons, 5]);
+    }
+
+    #[test]
+    fn wine_datasets_are_imbalanced_pendigits_is_balanced() {
+        let w = load(UciDataset::WhiteWine, 1).unwrap();
+        let hist = w.class_histogram();
+        assert!(hist.iter().max().unwrap() > &(2 * hist.iter().min().unwrap()));
+
+        let p = load(UciDataset::Pendigits, 1).unwrap();
+        let hist = p.class_histogram();
+        let max = *hist.iter().max().unwrap() as f64;
+        let min = *hist.iter().min().unwrap() as f64;
+        assert!(max / min < 1.3);
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(UciDataset::WhiteWine.to_string(), "WhiteWine");
+        assert_eq!(UciDataset::Seeds.to_string(), "Seeds");
+    }
+}

@@ -1,0 +1,98 @@
+//! Area, power and timing report structures.
+
+use crate::cell::CellKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Cell-area breakdown of a netlist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct AreaReport {
+    /// Total cell area in mm².
+    pub total_mm2: f64,
+    /// Total number of gates.
+    pub gate_count: usize,
+    /// Per-cell-kind `(instance count, area mm²)`.
+    pub by_kind: BTreeMap<CellKind, (usize, f64)>,
+}
+
+/// Static-power breakdown of a netlist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PowerReport {
+    /// Total static power in µW.
+    pub total_uw: f64,
+    /// Per-cell-kind `(instance count, power µW)`.
+    pub by_kind: BTreeMap<CellKind, (usize, f64)>,
+}
+
+/// Critical-path timing of a netlist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingReport {
+    /// Longest combinational path in µs.
+    pub critical_path_us: f64,
+    /// Corresponding maximum operating frequency in Hz (infinite for an empty
+    /// netlist).
+    pub max_frequency_hz: f64,
+}
+
+impl Default for TimingReport {
+    fn default() -> Self {
+        TimingReport { critical_path_us: 0.0, max_frequency_hz: f64::INFINITY }
+    }
+}
+
+impl fmt::Display for AreaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "total area: {:.4} mm2 ({} gates)", self.total_mm2, self.gate_count)?;
+        for (kind, (count, area)) in &self.by_kind {
+            writeln!(f, "  {kind:<6} x{count:<6} {area:.4} mm2")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PowerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "total static power: {:.3} uW", self.total_uw)?;
+        for (kind, (count, power)) in &self.by_kind {
+            writeln!(f, "  {kind:<6} x{count:<6} {power:.3} uW")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TimingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "critical path: {:.1} us", self.critical_path_us)?;
+        if self.max_frequency_hz.is_finite() {
+            writeln!(f, "max frequency: {:.1} Hz", self.max_frequency_hz)
+        } else {
+            writeln!(f, "max frequency: unbounded (no combinational path)")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_reports_are_empty() {
+        assert_eq!(AreaReport::default().total_mm2, 0.0);
+        assert_eq!(PowerReport::default().total_uw, 0.0);
+        assert!(TimingReport::default().max_frequency_hz.is_infinite());
+    }
+
+    #[test]
+    fn display_contains_totals() {
+        let mut by_kind = BTreeMap::new();
+        by_kind.insert(CellKind::FullAdder, (3usize, 0.576));
+        let area = AreaReport { total_mm2: 0.576, gate_count: 3, by_kind };
+        let text = area.to_string();
+        assert!(text.contains("0.576"));
+        assert!(text.contains("FA"));
+
+        let timing = TimingReport { critical_path_us: 100.0, max_frequency_hz: 10_000.0 };
+        assert!(timing.to_string().contains("100.0"));
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for the hardware-model crate.
+
+use std::fmt;
+
+/// Error returned by synthesis and analysis operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HwError {
+    /// A bit-width is zero or larger than the supported maximum.
+    InvalidBitWidth {
+        /// Description of the offending parameter.
+        context: String,
+    },
+    /// A circuit specification is structurally inconsistent.
+    InvalidSpec {
+        /// Description of the inconsistency.
+        context: String,
+    },
+    /// A value does not fit in the requested fixed-point format.
+    Overflow {
+        /// The value that overflowed.
+        value: f64,
+        /// Description of the target format.
+        format: String,
+    },
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::InvalidBitWidth { context } => write!(f, "invalid bit width: {context}"),
+            HwError::InvalidSpec { context } => write!(f, "invalid circuit specification: {context}"),
+            HwError::Overflow { value, format } => {
+                write!(f, "value {value} does not fit in fixed-point format {format}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = HwError::InvalidBitWidth { context: "weight bits = 0".into() };
+        assert!(e.to_string().contains("weight bits"));
+        let e = HwError::Overflow { value: 3.5, format: "Q1.2".into() };
+        assert!(e.to_string().contains("3.5"));
+        assert!(e.to_string().contains("Q1.2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<HwError>();
+    }
+}

@@ -1,0 +1,237 @@
+//! Fixed-point formats for hard-wired weights and circuit inputs.
+
+use crate::error::HwError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A signed fixed-point format with `total_bits` bits, of which
+/// `fractional_bits` are to the right of the binary point.
+///
+/// Weights quantized to `b` bits in the paper correspond to
+/// `FixedPointFormat::new(b, b - 1)` with values in roughly `[-1, 1)`;
+/// the format is kept general so wider dynamic ranges can be represented.
+///
+/// # Example
+///
+/// ```
+/// use pmlp_hw::FixedPointFormat;
+///
+/// # fn main() -> Result<(), pmlp_hw::HwError> {
+/// let q4 = FixedPointFormat::new(4, 3)?;
+/// assert_eq!(q4.quantize(0.5)?, 4);        // 0.5 * 2^3
+/// assert_eq!(q4.dequantize(4), 0.5);
+/// assert_eq!(q4.quantize(-1.0)?, -8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FixedPointFormat {
+    total_bits: u8,
+    fractional_bits: u8,
+}
+
+impl FixedPointFormat {
+    /// Maximum supported total bit-width.
+    pub const MAX_BITS: u8 = 24;
+
+    /// Creates a signed fixed-point format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidBitWidth`] when `total_bits` is zero or
+    /// exceeds [`FixedPointFormat::MAX_BITS`], or when `fractional_bits >=
+    /// total_bits` would leave no sign/integer bit.
+    pub fn new(total_bits: u8, fractional_bits: u8) -> Result<Self, HwError> {
+        if total_bits == 0 || total_bits > Self::MAX_BITS {
+            return Err(HwError::InvalidBitWidth {
+                context: format!("total_bits must be in 1..={}, got {total_bits}", Self::MAX_BITS),
+            });
+        }
+        if fractional_bits >= total_bits {
+            return Err(HwError::InvalidBitWidth {
+                context: format!(
+                    "fractional_bits ({fractional_bits}) must be smaller than total_bits ({total_bits})"
+                ),
+            });
+        }
+        Ok(FixedPointFormat { total_bits, fractional_bits })
+    }
+
+    /// The format used by the paper's `b`-bit weight quantization: `b` bits
+    /// with `b - 1` fractional bits, representable range `[-1, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidBitWidth`] when `bits` is 0 or 1 larger than
+    /// [`FixedPointFormat::MAX_BITS`].
+    pub fn weight_format(bits: u8) -> Result<Self, HwError> {
+        if bits < 2 {
+            return Err(HwError::InvalidBitWidth {
+                context: format!("weight format needs at least 2 bits, got {bits}"),
+            });
+        }
+        FixedPointFormat::new(bits, bits - 1)
+    }
+
+    /// Total number of bits.
+    pub fn total_bits(&self) -> u8 {
+        self.total_bits
+    }
+
+    /// Number of fractional bits.
+    pub fn fractional_bits(&self) -> u8 {
+        self.fractional_bits
+    }
+
+    /// The quantization step `2^-fractional_bits`.
+    pub fn step(&self) -> f64 {
+        2.0_f64.powi(-(self.fractional_bits as i32))
+    }
+
+    /// Smallest representable value.
+    pub fn min_value(&self) -> f64 {
+        -(2.0_f64.powi(self.total_bits as i32 - 1)) * self.step()
+    }
+
+    /// Largest representable value.
+    pub fn max_value(&self) -> f64 {
+        (2.0_f64.powi(self.total_bits as i32 - 1) - 1.0) * self.step()
+    }
+
+    /// Smallest representable integer code.
+    pub fn min_code(&self) -> i64 {
+        -(1_i64 << (self.total_bits - 1))
+    }
+
+    /// Largest representable integer code.
+    pub fn max_code(&self) -> i64 {
+        (1_i64 << (self.total_bits - 1)) - 1
+    }
+
+    /// Quantizes `value` to the nearest representable code, erroring on
+    /// overflow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::Overflow`] when the rounded code does not fit.
+    pub fn quantize(&self, value: f64) -> Result<i64, HwError> {
+        let code = (value / self.step()).round() as i64;
+        if code < self.min_code() || code > self.max_code() {
+            return Err(HwError::Overflow { value, format: self.to_string() });
+        }
+        Ok(code)
+    }
+
+    /// Quantizes `value`, saturating at the representable range instead of
+    /// erroring (the behaviour of QAT-style fake quantization).
+    pub fn quantize_saturating(&self, value: f64) -> i64 {
+        let code = (value / self.step()).round() as i64;
+        code.clamp(self.min_code(), self.max_code())
+    }
+
+    /// Converts an integer code back to its real value.
+    pub fn dequantize(&self, code: i64) -> f64 {
+        code as f64 * self.step()
+    }
+
+    /// Fake-quantization: quantize (saturating) then dequantize, the round
+    /// trip applied to weights during quantization-aware training.
+    pub fn fake_quantize(&self, value: f64) -> f64 {
+        self.dequantize(self.quantize_saturating(value))
+    }
+}
+
+impl fmt::Display for FixedPointFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{}", self.total_bits - self.fractional_bits, self.fractional_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_widths() {
+        assert!(FixedPointFormat::new(0, 0).is_err());
+        assert!(FixedPointFormat::new(4, 4).is_err());
+        assert!(FixedPointFormat::new(25, 3).is_err());
+        assert!(FixedPointFormat::new(8, 7).is_ok());
+        assert!(FixedPointFormat::weight_format(1).is_err());
+    }
+
+    #[test]
+    fn weight_format_covers_minus_one_to_one() {
+        let f = FixedPointFormat::weight_format(4).unwrap();
+        assert_eq!(f.min_value(), -1.0);
+        assert!((f.max_value() - 0.875).abs() < 1e-12);
+        assert_eq!(f.min_code(), -8);
+        assert_eq!(f.max_code(), 7);
+    }
+
+    #[test]
+    fn quantize_round_trips_representable_values() {
+        let f = FixedPointFormat::new(6, 4).unwrap();
+        for code in f.min_code()..=f.max_code() {
+            let v = f.dequantize(code);
+            assert_eq!(f.quantize(v).unwrap(), code);
+        }
+    }
+
+    #[test]
+    fn quantize_errors_on_overflow_but_saturating_clamps() {
+        let f = FixedPointFormat::weight_format(3).unwrap();
+        assert!(f.quantize(5.0).is_err());
+        assert_eq!(f.quantize_saturating(5.0), f.max_code());
+        assert_eq!(f.quantize_saturating(-5.0), f.min_code());
+    }
+
+    #[test]
+    fn fake_quantize_error_is_bounded_by_half_step() {
+        let f = FixedPointFormat::weight_format(5).unwrap();
+        for i in -20..=20 {
+            let v = i as f64 * 0.047;
+            let q = f.fake_quantize(v);
+            if v >= f.min_value() && v <= f.max_value() {
+                assert!((v - q).abs() <= f.step() / 2.0 + 1e-12, "{v} -> {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_uses_q_notation() {
+        let f = FixedPointFormat::new(8, 6).unwrap();
+        assert_eq!(f.to_string(), "Q2.6");
+    }
+
+    #[test]
+    fn lower_precision_has_larger_step() {
+        let f2 = FixedPointFormat::weight_format(2).unwrap();
+        let f7 = FixedPointFormat::weight_format(7).unwrap();
+        assert!(f2.step() > f7.step());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn fake_quantize_is_idempotent(bits in 2u8..10, v in -0.999f64..0.999) {
+            let f = FixedPointFormat::weight_format(bits).unwrap();
+            let once = f.fake_quantize(v);
+            let twice = f.fake_quantize(once);
+            prop_assert!((once - twice).abs() < 1e-12);
+        }
+
+        #[test]
+        fn quantize_saturating_stays_in_code_range(bits in 2u8..12, v in -100.0f64..100.0) {
+            let f = FixedPointFormat::weight_format(bits).unwrap();
+            let code = f.quantize_saturating(v);
+            prop_assert!(code >= f.min_code());
+            prop_assert!(code <= f.max_code());
+        }
+    }
+}

@@ -1,0 +1,513 @@
+//! Gate-level netlist with area/power accumulation, critical-path analysis
+//! and functional (boolean) simulation.
+//!
+//! The netlist is deliberately simple: a flat list of [`Gate`]s connected by
+//! integer net identifiers. Builders in [`crate::constmul`], [`crate::adder`],
+//! [`crate::neuron`] and [`crate::circuit`] append gates; analysis walks the
+//! list. Net 0 is hard-wired to logic 0 and net 1 to logic 1.
+
+use crate::analysis::{AreaReport, PowerReport, TimingReport};
+use crate::cell::{CellKind, CellLibrary};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of a net (wire) in a [`Netlist`].
+pub type NetId = usize;
+
+/// One instantiated standard cell.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gate {
+    /// The cell kind.
+    pub kind: CellKind,
+    /// Input nets, in cell-specific order (e.g. `[a, b, cin]` for a full
+    /// adder, `[sel, d0, d1]` for a mux).
+    pub inputs: Vec<NetId>,
+    /// Output nets, in cell-specific order (e.g. `[sum, cout]` for adders).
+    pub outputs: Vec<NetId>,
+}
+
+/// A flat gate-level netlist.
+///
+/// # Example
+///
+/// ```
+/// use pmlp_hw::{Netlist, CellKind, CellLibrary};
+///
+/// let mut n = Netlist::new("demo");
+/// let a = n.add_input();
+/// let b = n.add_input();
+/// let y = n.add_net();
+/// n.add_gate(CellKind::And2, vec![a, b], vec![y]);
+/// n.mark_output(y);
+/// assert_eq!(n.gate_count(), 1);
+/// let area = n.area(&CellLibrary::egt());
+/// assert!(area.total_mm2 > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    name: String,
+    gates: Vec<Gate>,
+    net_count: usize,
+    primary_inputs: Vec<NetId>,
+    primary_outputs: Vec<NetId>,
+}
+
+/// Net id of the constant logic-0 net.
+pub const CONST_ZERO: NetId = 0;
+/// Net id of the constant logic-1 net.
+pub const CONST_ONE: NetId = 1;
+
+impl Netlist {
+    /// Creates an empty netlist. Nets [`CONST_ZERO`] and [`CONST_ONE`] are
+    /// pre-allocated.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            gates: Vec::new(),
+            net_count: 2,
+            primary_inputs: Vec::new(),
+            primary_outputs: Vec::new(),
+        }
+    }
+
+    /// The netlist's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Allocates a fresh internal net and returns its id.
+    pub fn add_net(&mut self) -> NetId {
+        let id = self.net_count;
+        self.net_count += 1;
+        id
+    }
+
+    /// Allocates a primary-input net.
+    pub fn add_input(&mut self) -> NetId {
+        let id = self.add_net();
+        self.primary_inputs.push(id);
+        id
+    }
+
+    /// Marks an existing net as a primary output.
+    pub fn mark_output(&mut self, net: NetId) {
+        self.primary_outputs.push(net);
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced net has not been allocated, which would
+    /// indicate a builder bug.
+    pub fn add_gate(&mut self, kind: CellKind, inputs: Vec<NetId>, outputs: Vec<NetId>) {
+        for &net in inputs.iter().chain(outputs.iter()) {
+            assert!(net < self.net_count, "gate references unallocated net {net}");
+        }
+        self.gates.push(Gate { kind, inputs, outputs });
+    }
+
+    /// Number of gates.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of nets (including the two constants).
+    pub fn net_count(&self) -> usize {
+        self.net_count
+    }
+
+    /// Primary inputs in allocation order.
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.primary_inputs
+    }
+
+    /// Primary outputs in marking order.
+    pub fn primary_outputs(&self) -> &[NetId] {
+        &self.primary_outputs
+    }
+
+    /// The gates, in insertion order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of gates of each kind.
+    pub fn count_by_kind(&self) -> BTreeMap<CellKind, usize> {
+        let mut map = BTreeMap::new();
+        for g in &self.gates {
+            *map.entry(g.kind).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Total cell area under the given library.
+    pub fn area(&self, library: &CellLibrary) -> AreaReport {
+        let mut by_kind = BTreeMap::new();
+        let mut total = 0.0;
+        for (kind, count) in self.count_by_kind() {
+            let a = library.params(kind).area_mm2 * count as f64;
+            by_kind.insert(kind, (count, a));
+            total += a;
+        }
+        AreaReport { total_mm2: total, gate_count: self.gate_count(), by_kind }
+    }
+
+    /// Total static power under the given library.
+    pub fn power(&self, library: &CellLibrary) -> PowerReport {
+        let mut by_kind = BTreeMap::new();
+        let mut total = 0.0;
+        for (kind, count) in self.count_by_kind() {
+            let p = library.params(kind).power_uw * count as f64;
+            by_kind.insert(kind, (count, p));
+            total += p;
+        }
+        PowerReport { total_uw: total, by_kind }
+    }
+
+    /// Critical-path delay (longest combinational path from any primary input
+    /// or constant to any net) under the given library.
+    pub fn timing(&self, library: &CellLibrary) -> TimingReport {
+        let arrival = self.arrival_times(library);
+        let critical = arrival.iter().cloned().fold(0.0_f64, f64::max);
+        TimingReport {
+            critical_path_us: critical,
+            max_frequency_hz: if critical > 0.0 { 1e6 / critical } else { f64::INFINITY },
+        }
+    }
+
+    /// Arrival time (µs) of every net, assuming all primary inputs and
+    /// constants arrive at t = 0 and gates are evaluated in dependency order.
+    fn arrival_times(&self, library: &CellLibrary) -> Vec<f64> {
+        let order = self.topological_gate_order();
+        let mut arrival = vec![0.0_f64; self.net_count];
+        for &gi in &order {
+            let gate = &self.gates[gi];
+            let input_arrival =
+                gate.inputs.iter().map(|&n| arrival[n]).fold(0.0_f64, f64::max);
+            let t = input_arrival + library.params(gate.kind).delay_us;
+            for &out in &gate.outputs {
+                if t > arrival[out] {
+                    arrival[out] = t;
+                }
+            }
+        }
+        arrival
+    }
+
+    /// Gate indices in topological order (producers before consumers).
+    ///
+    /// Builders create nets before driving them and drive them before use, so
+    /// insertion order is already topological for all netlists produced by
+    /// this crate; this method verifies and, if needed, re-sorts via Kahn's
+    /// algorithm. Combinational loops are broken arbitrarily (they cannot be
+    /// produced by the builders).
+    pub fn topological_gate_order(&self) -> Vec<usize> {
+        // Map net -> producing gate index.
+        let mut producer: Vec<Option<usize>> = vec![None; self.net_count];
+        for (gi, gate) in self.gates.iter().enumerate() {
+            for &out in &gate.outputs {
+                producer[out] = Some(gi);
+            }
+        }
+        // In-degree = number of inputs driven by other gates.
+        let mut indegree: Vec<usize> = self
+            .gates
+            .iter()
+            .map(|g| g.inputs.iter().filter(|&&n| producer[n].is_some()).count())
+            .collect();
+        // Consumers of each gate.
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); self.gates.len()];
+        for (gi, gate) in self.gates.iter().enumerate() {
+            for &input in &gate.inputs {
+                if let Some(p) = producer[input] {
+                    consumers[p].push(gi);
+                }
+            }
+        }
+        let mut queue: Vec<usize> =
+            (0..self.gates.len()).filter(|&gi| indegree[gi] == 0).collect();
+        let mut order = Vec::with_capacity(self.gates.len());
+        let mut head = 0;
+        while head < queue.len() {
+            let gi = queue[head];
+            head += 1;
+            order.push(gi);
+            for &c in &consumers[gi] {
+                indegree[c] -= 1;
+                if indegree[c] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        // Fall back to insertion order for any gates stuck in a loop.
+        if order.len() < self.gates.len() {
+            let mut seen = vec![false; self.gates.len()];
+            for &gi in &order {
+                seen[gi] = true;
+            }
+            for gi in 0..self.gates.len() {
+                if !seen[gi] {
+                    order.push(gi);
+                }
+            }
+        }
+        order
+    }
+
+    /// Functionally simulates the netlist.
+    ///
+    /// `inputs` maps every primary input to a boolean value; constants are
+    /// driven automatically. Returns the value of every net. Nets that are
+    /// never driven evaluate to `false`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.primary_inputs().len()`.
+    pub fn simulate(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            inputs.len(),
+            self.primary_inputs.len(),
+            "expected {} primary input values",
+            self.primary_inputs.len()
+        );
+        let mut values = vec![false; self.net_count];
+        values[CONST_ONE] = true;
+        for (&net, &v) in self.primary_inputs.iter().zip(inputs.iter()) {
+            values[net] = v;
+        }
+        for gi in self.topological_gate_order() {
+            let gate = &self.gates[gi];
+            let get = |i: usize| values[gate.inputs[i]];
+            match gate.kind {
+                CellKind::Inverter => {
+                    values[gate.outputs[0]] = !get(0);
+                }
+                CellKind::Buffer => {
+                    values[gate.outputs[0]] = get(0);
+                }
+                CellKind::Nand2 => {
+                    values[gate.outputs[0]] = !(get(0) && get(1));
+                }
+                CellKind::Nor2 => {
+                    values[gate.outputs[0]] = !(get(0) || get(1));
+                }
+                CellKind::And2 => {
+                    values[gate.outputs[0]] = get(0) && get(1);
+                }
+                CellKind::Or2 => {
+                    values[gate.outputs[0]] = get(0) || get(1);
+                }
+                CellKind::Xor2 => {
+                    values[gate.outputs[0]] = get(0) ^ get(1);
+                }
+                CellKind::Xnor2 => {
+                    values[gate.outputs[0]] = !(get(0) ^ get(1));
+                }
+                CellKind::Mux2 => {
+                    // inputs: [sel, d0, d1]
+                    values[gate.outputs[0]] = if get(0) { get(2) } else { get(1) };
+                }
+                CellKind::HalfAdder => {
+                    // inputs: [a, b], outputs: [sum, carry]
+                    let (a, b) = (get(0), get(1));
+                    values[gate.outputs[0]] = a ^ b;
+                    values[gate.outputs[1]] = a && b;
+                }
+                CellKind::FullAdder => {
+                    // inputs: [a, b, cin], outputs: [sum, carry]
+                    let (a, b, c) = (get(0), get(1), get(2));
+                    values[gate.outputs[0]] = a ^ b ^ c;
+                    values[gate.outputs[1]] = (a && b) || (c && (a ^ b));
+                }
+                CellKind::Dff => {
+                    // Combinational approximation: transparent latch.
+                    values[gate.outputs[0]] = get(0);
+                }
+            }
+        }
+        values
+    }
+
+    /// Simulates the netlist and returns only the primary-output values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.primary_inputs().len()`.
+    pub fn simulate_outputs(&self, inputs: &[bool]) -> Vec<bool> {
+        let values = self.simulate(inputs);
+        self.primary_outputs.iter().map(|&n| values[n]).collect()
+    }
+
+    /// Appends all gates and nets of `other` into `self`, remapping net ids.
+    /// `other`'s primary inputs/outputs become ordinary internal nets; the
+    /// mapping from `other` net ids to new ids is returned so callers can
+    /// stitch the circuits together.
+    pub fn absorb(&mut self, other: &Netlist) -> Vec<NetId> {
+        let mut mapping = vec![0usize; other.net_count];
+        mapping[CONST_ZERO] = CONST_ZERO;
+        mapping[CONST_ONE] = CONST_ONE;
+        for net in 2..other.net_count {
+            mapping[net] = self.add_net();
+        }
+        for gate in &other.gates {
+            let inputs = gate.inputs.iter().map(|&n| mapping[n]).collect();
+            let outputs = gate.outputs.iter().map(|&n| mapping[n]).collect();
+            self.add_gate(gate.kind, inputs, outputs);
+        }
+        mapping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn and_or_netlist() -> Netlist {
+        let mut n = Netlist::new("t");
+        let a = n.add_input();
+        let b = n.add_input();
+        let c = n.add_input();
+        let ab = n.add_net();
+        let y = n.add_net();
+        n.add_gate(CellKind::And2, vec![a, b], vec![ab]);
+        n.add_gate(CellKind::Or2, vec![ab, c], vec![y]);
+        n.mark_output(y);
+        n
+    }
+
+    #[test]
+    fn gate_and_net_counts() {
+        let n = and_or_netlist();
+        assert_eq!(n.gate_count(), 2);
+        assert_eq!(n.primary_inputs().len(), 3);
+        assert_eq!(n.primary_outputs().len(), 1);
+        assert_eq!(n.count_by_kind()[&CellKind::And2], 1);
+    }
+
+    #[test]
+    fn simulation_matches_boolean_function() {
+        let n = and_or_netlist();
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    let out = n.simulate_outputs(&[a, b, c]);
+                    assert_eq!(out[0], (a && b) || c, "a={a} b={b} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constants_are_driven() {
+        let mut n = Netlist::new("const");
+        let y = n.add_net();
+        n.add_gate(CellKind::Or2, vec![CONST_ZERO, CONST_ONE], vec![y]);
+        n.mark_output(y);
+        assert_eq!(n.simulate_outputs(&[]), vec![true]);
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let mut n = Netlist::new("fa");
+        let a = n.add_input();
+        let b = n.add_input();
+        let c = n.add_input();
+        let s = n.add_net();
+        let co = n.add_net();
+        n.add_gate(CellKind::FullAdder, vec![a, b, c], vec![s, co]);
+        n.mark_output(s);
+        n.mark_output(co);
+        for bits in 0..8u8 {
+            let a_v = bits & 1 != 0;
+            let b_v = bits & 2 != 0;
+            let c_v = bits & 4 != 0;
+            let out = n.simulate_outputs(&[a_v, b_v, c_v]);
+            let total = a_v as u8 + b_v as u8 + c_v as u8;
+            assert_eq!(out[0], total & 1 != 0);
+            assert_eq!(out[1], total >= 2);
+        }
+    }
+
+    #[test]
+    fn mux_selects_correct_input() {
+        let mut n = Netlist::new("mux");
+        let sel = n.add_input();
+        let d0 = n.add_input();
+        let d1 = n.add_input();
+        let y = n.add_net();
+        n.add_gate(CellKind::Mux2, vec![sel, d0, d1], vec![y]);
+        n.mark_output(y);
+        assert_eq!(n.simulate_outputs(&[false, true, false]), vec![true]);
+        assert_eq!(n.simulate_outputs(&[true, true, false]), vec![false]);
+    }
+
+    #[test]
+    fn area_and_power_scale_with_gate_count() {
+        let lib = CellLibrary::egt();
+        let single = and_or_netlist();
+        let mut double = and_or_netlist();
+        double.absorb(&and_or_netlist());
+        assert!(double.area(&lib).total_mm2 > single.area(&lib).total_mm2);
+        assert!((double.area(&lib).total_mm2 - 2.0 * single.area(&lib).total_mm2).abs() < 1e-9);
+        assert!((double.power(&lib).total_uw - 2.0 * single.power(&lib).total_uw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_path_is_sum_of_chain_delays() {
+        let lib = CellLibrary::egt();
+        let n = and_or_netlist();
+        let expected = lib.params(CellKind::And2).delay_us + lib.params(CellKind::Or2).delay_us;
+        let t = n.timing(&lib);
+        assert!((t.critical_path_us - expected).abs() < 1e-9);
+        assert!(t.max_frequency_hz.is_finite());
+    }
+
+    #[test]
+    fn empty_netlist_has_zero_area_and_infinite_frequency() {
+        let n = Netlist::new("empty");
+        let lib = CellLibrary::egt();
+        assert_eq!(n.area(&lib).total_mm2, 0.0);
+        assert_eq!(n.timing(&lib).critical_path_us, 0.0);
+        assert!(n.timing(&lib).max_frequency_hz.is_infinite());
+    }
+
+    #[test]
+    fn absorb_remaps_nets_correctly() {
+        let mut host = Netlist::new("host");
+        let inner = and_or_netlist();
+        let before_nets = host.net_count();
+        let mapping = host.absorb(&inner);
+        assert_eq!(host.gate_count(), inner.gate_count());
+        assert!(host.net_count() > before_nets);
+        assert_eq!(mapping[CONST_ZERO], CONST_ZERO);
+        assert_eq!(mapping[CONST_ONE], CONST_ONE);
+        // Every absorbed gate references valid nets (add_gate would have
+        // panicked otherwise); check that the mapped output exists.
+        let inner_out = inner.primary_outputs()[0];
+        assert!(mapping[inner_out] < host.net_count());
+    }
+
+    #[test]
+    fn topological_order_handles_out_of_order_insertion() {
+        // Insert the consumer gate before its producer.
+        let mut n = Netlist::new("ooo");
+        let a = n.add_input();
+        let b = n.add_input();
+        let mid = n.add_net();
+        let y = n.add_net();
+        n.add_gate(CellKind::Inverter, vec![mid], vec![y]); // consumer first
+        n.add_gate(CellKind::And2, vec![a, b], vec![mid]); // producer second
+        n.mark_output(y);
+        let order = n.topological_gate_order();
+        assert_eq!(order, vec![1, 0]);
+        assert_eq!(n.simulate_outputs(&[true, true]), vec![false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated net")]
+    fn add_gate_panics_on_unallocated_net() {
+        let mut n = Netlist::new("bad");
+        n.add_gate(CellKind::Inverter, vec![99], vec![CONST_ZERO]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Combined synthesis-style report for a bespoke circuit.
+
+use crate::analysis::{AreaReport, PowerReport, TimingReport};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Area + power + timing summary of a synthesized bespoke MLP, in the spirit
+/// of a Design Compiler `report_area` / `report_power` / `report_timing`
+/// triple.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SynthesisReport {
+    /// Name of the synthesized design.
+    pub design_name: String,
+    /// Cell library used.
+    pub library_name: String,
+    /// Area breakdown.
+    pub area: AreaReport,
+    /// Static-power breakdown.
+    pub power: PowerReport,
+    /// Critical-path timing.
+    pub timing: TimingReport,
+}
+
+impl fmt::Display for SynthesisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "==== synthesis report: {} (library {}) ====", self.design_name, self.library_name)?;
+        write!(f, "{}", self.area)?;
+        write!(f, "{}", self.power)?;
+        write!(f, "{}", self.timing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_design_and_library_names() {
+        let report = SynthesisReport {
+            design_name: "whitewine_mlp".into(),
+            library_name: "EGT".into(),
+            ..SynthesisReport::default()
+        };
+        let text = report.to_string();
+        assert!(text.contains("whitewine_mlp"));
+        assert!(text.contains("EGT"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        // Use finite timing values: JSON cannot represent the infinite
+        // max-frequency of an empty design.
+        let report = SynthesisReport {
+            design_name: "d".into(),
+            library_name: "l".into(),
+            timing: crate::analysis::TimingReport { critical_path_us: 10.0, max_frequency_hz: 1e5 },
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: SynthesisReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -1,0 +1,245 @@
+//! The combined minimization pipeline: prune → cluster → quantize (QAT), each
+//! with mask/cluster-preserving fine-tuning.
+
+use crate::cluster::{cluster_and_fine_tune, ClusterAssignment, ClusteringConfig};
+use crate::config::MinimizationConfig;
+use crate::error::MinimizeError;
+use crate::prune::{prune_and_fine_tune, PruningMask};
+use crate::qat::{quantization_aware_train, QatConfig};
+use crate::quantize::{quantize_mlp, IntegerLayer, QuantizationConfig};
+use pmlp_nn::{Dataset, Mlp, TrainConfig};
+use rand::Rng;
+
+/// The result of applying a [`MinimizationConfig`] to a trained MLP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinimizedModel {
+    /// The minimized model (pruned / clustered / fake-quantized weights), used
+    /// for software accuracy evaluation.
+    pub model: Mlp,
+    /// Integer weight codes and scales per layer, the hand-off format for the
+    /// bespoke hardware model.
+    pub integer_layers: Vec<IntegerLayer>,
+    /// The pruning mask that was applied, if any.
+    pub mask: Option<PruningMask>,
+    /// The cluster assignment that was applied, if any.
+    pub clusters: Option<ClusterAssignment>,
+    /// The configuration that produced this model.
+    pub config: MinimizationConfig,
+}
+
+impl MinimizedModel {
+    /// Achieved weight sparsity (fraction of exactly-zero weights).
+    pub fn sparsity(&self) -> f64 {
+        self.model.sparsity()
+    }
+
+    /// Classification accuracy of the minimized model on `data`.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        self.model.accuracy(data)
+    }
+}
+
+/// Applies the minimization pipeline described by `config` to (a copy of)
+/// `mlp`:
+///
+/// 1. unstructured magnitude pruning + fine-tuning (if `config.sparsity`),
+/// 2. per-input weight clustering + fine-tuning (if `config.clusters_per_input`),
+/// 3. quantization-aware training at `config.weight_bits` (or plain 8-bit
+///    post-training quantization for the baseline), with the pruning mask and
+///    cluster structure re-applied inside the QAT constraint so all three
+///    techniques compose.
+///
+/// # Errors
+///
+/// Returns [`MinimizeError`] when the configuration is invalid or an
+/// underlying training step fails.
+pub fn minimize<R: Rng + ?Sized>(
+    mlp: &Mlp,
+    train: &Dataset,
+    validation: Option<&Dataset>,
+    config: &MinimizationConfig,
+    rng: &mut R,
+) -> Result<MinimizedModel, MinimizeError> {
+    config.validate()?;
+    let fine_tune = TrainConfig {
+        epochs: config.fine_tune_epochs,
+        learning_rate: 0.005,
+        ..TrainConfig::default()
+    };
+
+    let mut model = mlp.clone();
+    let mut mask: Option<PruningMask> = None;
+    let mut clusters: Option<ClusterAssignment> = None;
+
+    // 1. Pruning.
+    if let Some(sparsity) = config.sparsity {
+        if sparsity > 0.0 {
+            let (m, _) = prune_and_fine_tune(&mut model, train, validation, sparsity, &fine_tune, rng)?;
+            mask = Some(m);
+        }
+    }
+
+    // 2. Weight clustering (pruned weights stay zero because the mask is
+    //    re-applied after clustering).
+    if let Some(k) = config.clusters_per_input {
+        let (assignment, _) = cluster_and_fine_tune(
+            &mut model,
+            train,
+            validation,
+            &ClusteringConfig::new(k),
+            &fine_tune,
+            rng,
+        )?;
+        clusters = Some(assignment);
+        if let Some(m) = &mask {
+            m.apply(&mut model)?;
+        }
+    }
+
+    // 3. Quantization. For the baseline (no explicit bit-width) the weights
+    //    are post-training quantized to 8 bits, mirroring the un-minimized
+    //    bespoke MLP of Mubarik et al.
+    let quantized = match config.weight_bits {
+        Some(bits) => {
+            let qat = QatConfig {
+                quantization: QuantizationConfig { weight_bits: bits, input_bits: config.input_bits },
+                training: fine_tune.clone(),
+            };
+            // Compose the structural constraints into the QAT run by wrapping
+            // the model: QAT itself snaps to the grid; afterwards the mask and
+            // clusters are re-imposed and the integer codes recomputed.
+            let (mut q, _) = quantization_aware_train(&model, train, validation, &qat, rng)?;
+            if let Some(m) = &mask {
+                m.apply(&mut q.model)?;
+            }
+            if let Some(c) = &mut clusters {
+                c.refit_and_apply(&mut q.model)?;
+                if let Some(m) = &mask {
+                    m.apply(&mut q.model)?;
+                }
+            }
+            // Recompute codes after the structural constraints were re-imposed.
+            quantize_mlp(
+                &q.model,
+                &QuantizationConfig { weight_bits: bits, input_bits: config.input_bits },
+            )?
+        }
+        None => quantize_mlp(
+            &model,
+            &QuantizationConfig { weight_bits: 8, input_bits: config.input_bits },
+        )?,
+    };
+
+    Ok(MinimizedModel {
+        model: quantized.model,
+        integer_layers: quantized.layers,
+        mask,
+        clusters,
+        config: *config,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmlp_data::{load, UciDataset};
+    use pmlp_nn::{Activation, MlpBuilder, Trainer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeSet;
+
+    fn trained_model(rng: &mut StdRng) -> (Mlp, Dataset, Dataset) {
+        let data = load(UciDataset::Seeds, 1).unwrap();
+        let (train, test) = data.stratified_split(0.8, rng).unwrap();
+        let mut mlp = MlpBuilder::new(train.feature_count())
+            .hidden(8, Activation::ReLU)
+            .output(train.class_count())
+            .build(rng)
+            .unwrap();
+        Trainer::new(TrainConfig { epochs: 25, ..TrainConfig::default() })
+            .fit(&mut mlp, &train, None, rng)
+            .unwrap();
+        (mlp, train, test)
+    }
+
+    #[test]
+    fn baseline_config_quantizes_to_8_bits_only() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (mlp, train, test) = trained_model(&mut rng);
+        let result = minimize(&mlp, &train, None, &MinimizationConfig::baseline(), &mut rng).unwrap();
+        assert!(result.mask.is_none());
+        assert!(result.clusters.is_none());
+        assert_eq!(result.integer_layers[0].weight_bits, 8);
+        // 8-bit quantization barely moves accuracy.
+        assert!(result.accuracy(&test) >= mlp.accuracy(&test) - 0.05);
+    }
+
+    #[test]
+    fn pruning_only_config_reaches_target_sparsity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (mlp, train, _) = trained_model(&mut rng);
+        let config = MinimizationConfig::default().with_sparsity(0.5).with_fine_tune_epochs(5);
+        let result = minimize(&mlp, &train, None, &config, &mut rng).unwrap();
+        assert!(result.sparsity() >= 0.45, "sparsity {}", result.sparsity());
+        assert!(result.mask.is_some());
+    }
+
+    #[test]
+    fn quantization_only_config_bounds_codes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (mlp, train, _) = trained_model(&mut rng);
+        let config = MinimizationConfig::default().with_weight_bits(3).with_fine_tune_epochs(5);
+        let result = minimize(&mlp, &train, None, &config, &mut rng).unwrap();
+        for layer in &result.integer_layers {
+            assert_eq!(layer.weight_bits, 3);
+            assert!(layer.codes.iter().flatten().all(|&c| c.abs() <= 3));
+        }
+    }
+
+    #[test]
+    fn clustering_only_config_limits_distinct_values() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (mlp, train, _) = trained_model(&mut rng);
+        let k = 3;
+        let config = MinimizationConfig::default().with_clusters(k).with_fine_tune_epochs(5);
+        let result = minimize(&mlp, &train, None, &config, &mut rng).unwrap();
+        assert!(result.clusters.is_some());
+        // After 8-bit quantization of the clustered model, every input row has
+        // at most k distinct codes.
+        for layer in &result.integer_layers {
+            let inputs = layer.codes[0].len();
+            for i in 0..inputs {
+                let distinct: BTreeSet<i64> = layer.codes.iter().map(|row| row[i]).collect();
+                assert!(distinct.len() <= k, "{} distinct codes for one input", distinct.len());
+            }
+        }
+    }
+
+    #[test]
+    fn combined_config_composes_all_constraints() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (mlp, train, test) = trained_model(&mut rng);
+        let config = MinimizationConfig::default()
+            .with_weight_bits(4)
+            .with_sparsity(0.4)
+            .with_clusters(3)
+            .with_fine_tune_epochs(5);
+        let result = minimize(&mlp, &train, None, &config, &mut rng).unwrap();
+        // Sparsity preserved through clustering and QAT.
+        assert!(result.sparsity() >= 0.35, "sparsity {}", result.sparsity());
+        // Codes fit 4 bits.
+        for layer in &result.integer_layers {
+            assert!(layer.codes.iter().flatten().all(|&c| c.abs() <= 7));
+        }
+        // The minimized model still classifies far better than chance (1/3).
+        assert!(result.accuracy(&test) > 0.5, "accuracy collapsed: {}", result.accuracy(&test));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (mlp, train, _) = trained_model(&mut rng);
+        let config = MinimizationConfig::default().with_sparsity(1.5);
+        assert!(minimize(&mlp, &train, None, &config, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Error type for the minimization crate.
+
+use std::fmt;
+
+/// Error returned by minimization passes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MinimizeError {
+    /// A configuration value is out of range.
+    InvalidConfig {
+        /// Description of the offending value.
+        context: String,
+    },
+    /// An underlying neural-network error (shape mismatch etc.).
+    Nn {
+        /// Description forwarded from [`pmlp_nn::NnError`].
+        context: String,
+    },
+}
+
+impl fmt::Display for MinimizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MinimizeError::InvalidConfig { context } => write!(f, "invalid minimization config: {context}"),
+            MinimizeError::Nn { context } => write!(f, "network error: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for MinimizeError {}
+
+impl From<pmlp_nn::NnError> for MinimizeError {
+    fn from(err: pmlp_nn::NnError) -> Self {
+        MinimizeError::Nn { context: err.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = MinimizeError::InvalidConfig { context: "sparsity 2.0".into() };
+        assert!(e.to_string().contains("sparsity"));
+        let nn = pmlp_nn::NnError::InvalidConfig { context: "x".into() };
+        assert!(matches!(MinimizeError::from(nn), MinimizeError::Nn { .. }));
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type shared by the whole crate.
+
+use std::fmt;
+
+/// Error returned by fallible operations in [`crate`].
+///
+/// The variants are deliberately coarse: the networks in play are tiny and the
+/// most common failure is a caller passing mismatched dimensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnError {
+    /// Two shapes that must agree do not (e.g. matrix multiply operands).
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        context: String,
+        /// Shape of the left/first operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right/second operand as `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// A dimension that must be non-zero was zero, or otherwise invalid.
+    InvalidDimension {
+        /// Description of the offending argument.
+        context: String,
+    },
+    /// A configuration value is out of its admissible range.
+    InvalidConfig {
+        /// Description of the offending configuration.
+        context: String,
+    },
+    /// A dataset is empty or internally inconsistent.
+    InvalidDataset {
+        /// Description of the inconsistency.
+        context: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { context, left, right } => write!(
+                f,
+                "shape mismatch in {context}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            NnError::InvalidDimension { context } => {
+                write!(f, "invalid dimension: {context}")
+            }
+            NnError::InvalidConfig { context } => write!(f, "invalid configuration: {context}"),
+            NnError::InvalidDataset { context } => write!(f, "invalid dataset: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch_mentions_both_shapes() {
+        let err = NnError::ShapeMismatch {
+            context: "matmul".to_string(),
+            left: (2, 3),
+            right: (4, 5),
+        };
+        let text = err.to_string();
+        assert!(text.contains("2x3"));
+        assert!(text.contains("4x5"));
+        assert!(text.contains("matmul"));
+    }
+
+    #[test]
+    fn display_invalid_dimension() {
+        let err = NnError::InvalidDimension { context: "zero rows".into() };
+        assert!(err.to_string().contains("zero rows"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

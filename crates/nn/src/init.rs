@@ -1,0 +1,136 @@
+//! Weight-initialization schemes.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Weight initialization scheme for dense layers.
+///
+/// # Example
+///
+/// ```
+/// use pmlp_nn::WeightInit;
+/// use rand::SeedableRng;
+/// use rand::rngs::StdRng;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let w = WeightInit::XavierUniform.matrix(4, 8, &mut rng);
+/// assert_eq!(w.shape(), (4, 8));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum WeightInit {
+    /// Glorot/Xavier uniform: `U(-sqrt(6/(fan_in+fan_out)), +sqrt(...))`.
+    #[default]
+    XavierUniform,
+    /// He/Kaiming uniform: `U(-sqrt(6/fan_in), +sqrt(6/fan_in))`, suited to ReLU.
+    HeUniform,
+    /// Uniform in a fixed `[-0.5, 0.5]` range (legacy bespoke-MLP baseline).
+    SmallUniform,
+    /// All zeros (useful for biases and for tests).
+    Zeros,
+}
+
+impl WeightInit {
+    /// Samples a single weight for a layer with the given fan-in/fan-out.
+    pub fn sample<R: Rng + ?Sized>(self, fan_in: usize, fan_out: usize, rng: &mut R) -> f32 {
+        match self {
+            WeightInit::XavierUniform => {
+                let limit = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                rng.gen_range(-limit..=limit)
+            }
+            WeightInit::HeUniform => {
+                let limit = (6.0 / fan_in.max(1) as f32).sqrt();
+                rng.gen_range(-limit..=limit)
+            }
+            WeightInit::SmallUniform => rng.gen_range(-0.5..=0.5),
+            WeightInit::Zeros => 0.0,
+        }
+    }
+
+    /// Builds a `fan_in x fan_out` weight matrix.
+    pub fn matrix<R: Rng + ?Sized>(self, fan_in: usize, fan_out: usize, rng: &mut R) -> Matrix {
+        let mut m = Matrix::zeros(fan_in, fan_out);
+        for r in 0..fan_in {
+            for c in 0..fan_out {
+                m.set(r, c, self.sample(fan_in, fan_out, rng));
+            }
+        }
+        m
+    }
+
+    /// Upper bound of the absolute value of a sampled weight for the given
+    /// fan-in/fan-out, used by tests and by the fixed-point range analysis.
+    pub fn bound(self, fan_in: usize, fan_out: usize) -> f32 {
+        match self {
+            WeightInit::XavierUniform => (6.0 / (fan_in + fan_out).max(1) as f32).sqrt(),
+            WeightInit::HeUniform => (6.0 / fan_in.max(1) as f32).sqrt(),
+            WeightInit::SmallUniform => 0.5,
+            WeightInit::Zeros => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for WeightInit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            WeightInit::XavierUniform => "xavier_uniform",
+            WeightInit::HeUniform => "he_uniform",
+            WeightInit::SmallUniform => "small_uniform",
+            WeightInit::Zeros => "zeros",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for init in [WeightInit::XavierUniform, WeightInit::HeUniform, WeightInit::SmallUniform] {
+            let bound = init.bound(10, 20);
+            for _ in 0..500 {
+                let w = init.sample(10, 20, &mut rng);
+                assert!(w.abs() <= bound + 1e-6, "{init}: {w} exceeds bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn zeros_init_is_all_zeros() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = WeightInit::Zeros.matrix(3, 5, &mut rng);
+        assert_eq!(m.count_zeros(), 15);
+    }
+
+    #[test]
+    fn matrix_has_requested_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = WeightInit::HeUniform.matrix(7, 3, &mut rng);
+        assert_eq!(m.shape(), (7, 3));
+    }
+
+    #[test]
+    fn same_seed_gives_same_matrix() {
+        let a = WeightInit::XavierUniform.matrix(4, 4, &mut StdRng::seed_from_u64(9));
+        let b = WeightInit::XavierUniform.matrix(4, 4, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_matrices() {
+        let a = WeightInit::XavierUniform.matrix(4, 4, &mut StdRng::seed_from_u64(1));
+        let b = WeightInit::XavierUniform.matrix(4, 4, &mut StdRng::seed_from_u64(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn he_bound_larger_than_xavier_for_same_fans() {
+        assert!(WeightInit::HeUniform.bound(16, 16) > WeightInit::XavierUniform.bound(16, 16));
+    }
+}

@@ -1,0 +1,355 @@
+//! Gradient-descent optimizers.
+//!
+//! An [`Optimizer`] turns raw parameter gradients (one [`LayerGradient`] per
+//! layer) into parameter *updates* that the [`crate::mlp::Mlp`] then subtracts
+//! from its parameters. Keeping the transformation separate from the
+//! application lets the quantization-aware and pruning-aware trainers in
+//! `pmlp-minimize` intercept updates (e.g. to re-apply sparsity masks).
+
+use crate::layer::LayerGradient;
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Strategy that converts gradients into parameter updates.
+///
+/// Implementations may carry per-layer state (momentum buffers, Adam moments);
+/// the state is indexed by the layer's position, so one optimizer instance must
+/// only ever be used with a single network.
+pub trait Optimizer {
+    /// Transforms the raw gradient of layer `layer_index` into the update that
+    /// will be subtracted from the parameters.
+    fn step(&mut self, layer_index: usize, gradient: &LayerGradient) -> LayerGradient;
+
+    /// Resets any internal state (momentum buffers etc.).
+    fn reset(&mut self);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (used by learning-rate schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent: `update = lr * grad`.
+///
+/// # Example
+///
+/// ```
+/// use pmlp_nn::{Sgd, Optimizer};
+/// let opt = Sgd::new(0.05);
+/// assert_eq!(opt.learning_rate(), 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// Creates a new SGD optimizer with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+}
+
+impl Default for Sgd {
+    fn default() -> Self {
+        Sgd::new(0.1)
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, _layer_index: usize, gradient: &LayerGradient) -> LayerGradient {
+        LayerGradient {
+            weights: gradient.weights.scale(self.lr),
+            biases: gradient.biases.iter().map(|g| g * self.lr).collect(),
+        }
+    }
+
+    fn reset(&mut self) {}
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// SGD with classical momentum: `v <- mu v + grad; update = lr * v`.
+#[derive(Debug, Clone, Default)]
+pub struct Momentum {
+    lr: f32,
+    mu: f32,
+    velocity: Vec<Option<LayerGradient>>,
+}
+
+impl Momentum {
+    /// Creates a momentum optimizer with learning rate `lr` and momentum `mu`.
+    pub fn new(lr: f32, mu: f32) -> Self {
+        Momentum { lr, mu, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Momentum {
+    fn step(&mut self, layer_index: usize, gradient: &LayerGradient) -> LayerGradient {
+        if self.velocity.len() <= layer_index {
+            self.velocity.resize(layer_index + 1, None);
+        }
+        let new_velocity = match &self.velocity[layer_index] {
+            Some(prev) => LayerGradient {
+                weights: prev
+                    .weights
+                    .scale(self.mu)
+                    .add_elem(&gradient.weights)
+                    .expect("momentum buffer shape drift"),
+                biases: prev
+                    .biases
+                    .iter()
+                    .zip(gradient.biases.iter())
+                    .map(|(v, g)| self.mu * v + g)
+                    .collect(),
+            },
+            None => gradient.clone(),
+        };
+        let update = LayerGradient {
+            weights: new_velocity.weights.scale(self.lr),
+            biases: new_velocity.biases.iter().map(|v| v * self.lr).collect(),
+        };
+        self.velocity[layer_index] = Some(new_velocity);
+        update
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    epsilon: f32,
+    t: u64,
+    first_moment: Vec<Option<LayerGradient>>,
+    second_moment: Vec<Option<LayerGradient>>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the given learning rate and the standard
+    /// default hyper-parameters (`beta1 = 0.9`, `beta2 = 0.999`, `eps = 1e-8`).
+    pub fn new(lr: f32) -> Self {
+        Adam::with_betas(lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Creates an Adam optimizer with fully explicit hyper-parameters.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32, epsilon: f32) -> Self {
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            epsilon,
+            t: 0,
+            first_moment: Vec::new(),
+            second_moment: Vec::new(),
+        }
+    }
+
+    fn ensure_len(&mut self, layer_index: usize) {
+        if self.first_moment.len() <= layer_index {
+            self.first_moment.resize(layer_index + 1, None);
+            self.second_moment.resize(layer_index + 1, None);
+        }
+    }
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Adam::new(0.01)
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, layer_index: usize, gradient: &LayerGradient) -> LayerGradient {
+        self.ensure_len(layer_index);
+        // Advance the timestep only once per epoch-step of layer 0 so that all
+        // layers in one backward pass share the same bias correction.
+        if layer_index == 0 {
+            self.t += 1;
+        }
+        let t = self.t.max(1) as f32;
+
+        let m_prev = self.first_moment[layer_index].take().unwrap_or_else(|| LayerGradient {
+            weights: Matrix::zeros(gradient.weights.rows(), gradient.weights.cols()),
+            biases: vec![0.0; gradient.biases.len()],
+        });
+        let v_prev = self.second_moment[layer_index].take().unwrap_or_else(|| LayerGradient {
+            weights: Matrix::zeros(gradient.weights.rows(), gradient.weights.cols()),
+            biases: vec![0.0; gradient.biases.len()],
+        });
+
+        let m = LayerGradient {
+            weights: m_prev
+                .weights
+                .scale(self.beta1)
+                .add_elem(&gradient.weights.scale(1.0 - self.beta1))
+                .expect("adam m shape drift"),
+            biases: m_prev
+                .biases
+                .iter()
+                .zip(gradient.biases.iter())
+                .map(|(m, g)| self.beta1 * m + (1.0 - self.beta1) * g)
+                .collect(),
+        };
+        let v = LayerGradient {
+            weights: v_prev
+                .weights
+                .scale(self.beta2)
+                .add_elem(&gradient.weights.map(|g| g * g).scale(1.0 - self.beta2))
+                .expect("adam v shape drift"),
+            biases: v_prev
+                .biases
+                .iter()
+                .zip(gradient.biases.iter())
+                .map(|(v, g)| self.beta2 * v + (1.0 - self.beta2) * g * g)
+                .collect(),
+        };
+
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        let lr = self.lr;
+        let eps = self.epsilon;
+
+        let mut update_weights = Matrix::zeros(gradient.weights.rows(), gradient.weights.cols());
+        for r in 0..update_weights.rows() {
+            for c in 0..update_weights.cols() {
+                let m_hat = m.weights.get(r, c) / bias1;
+                let v_hat = v.weights.get(r, c) / bias2;
+                update_weights.set(r, c, lr * m_hat / (v_hat.sqrt() + eps));
+            }
+        }
+        let update_biases: Vec<f32> = m
+            .biases
+            .iter()
+            .zip(v.biases.iter())
+            .map(|(m, v)| {
+                let m_hat = m / bias1;
+                let v_hat = v / bias2;
+                lr * m_hat / (v_hat.sqrt() + eps)
+            })
+            .collect();
+
+        self.first_moment[layer_index] = Some(m);
+        self.second_moment[layer_index] = Some(v);
+        LayerGradient { weights: update_weights, biases: update_biases }
+    }
+
+    fn reset(&mut self) {
+        self.t = 0;
+        self.first_moment.clear();
+        self.second_moment.clear();
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient(value: f32) -> LayerGradient {
+        LayerGradient { weights: Matrix::filled(2, 2, value), biases: vec![value; 2] }
+    }
+
+    #[test]
+    fn sgd_scales_gradient_by_learning_rate() {
+        let mut opt = Sgd::new(0.5);
+        let update = opt.step(0, &gradient(2.0));
+        assert_eq!(update.weights, Matrix::filled(2, 2, 1.0));
+        assert_eq!(update.biases, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut opt = Momentum::new(1.0, 0.5);
+        let u1 = opt.step(0, &gradient(1.0));
+        let u2 = opt.step(0, &gradient(1.0));
+        // v1 = 1, v2 = 0.5*1 + 1 = 1.5
+        assert_eq!(u1.weights.get(0, 0), 1.0);
+        assert_eq!(u2.weights.get(0, 0), 1.5);
+    }
+
+    #[test]
+    fn momentum_layers_do_not_interfere() {
+        let mut opt = Momentum::new(1.0, 0.9);
+        let _ = opt.step(0, &gradient(1.0));
+        let u_layer1 = opt.step(1, &gradient(1.0));
+        // Layer 1 has no prior velocity, so its first update equals the gradient.
+        assert_eq!(u_layer1.weights.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn momentum_reset_clears_velocity() {
+        let mut opt = Momentum::new(1.0, 0.5);
+        let _ = opt.step(0, &gradient(1.0));
+        opt.reset();
+        let u = opt.step(0, &gradient(1.0));
+        assert_eq!(u.weights.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn adam_first_step_is_close_to_learning_rate() {
+        // With bias correction, the very first Adam update has magnitude ~lr
+        // regardless of gradient scale.
+        let mut opt = Adam::new(0.01);
+        let update = opt.step(0, &gradient(5.0));
+        assert!((update.weights.get(0, 0) - 0.01).abs() < 1e-3);
+        let mut opt2 = Adam::new(0.01);
+        let update2 = opt2.step(0, &gradient(0.001));
+        assert!((update2.weights.get(0, 0) - 0.01).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_update_sign_follows_gradient_sign() {
+        let mut opt = Adam::new(0.01);
+        let grad = LayerGradient { weights: Matrix::filled(1, 1, -3.0), biases: vec![-3.0] };
+        let update = opt.step(0, &grad);
+        assert!(update.weights.get(0, 0) < 0.0);
+        assert!(update.biases[0] < 0.0);
+    }
+
+    #[test]
+    fn learning_rate_can_be_adjusted() {
+        let mut opt: Box<dyn Optimizer> = Box::new(Adam::new(0.01));
+        opt.set_learning_rate(0.001);
+        assert_eq!(opt.learning_rate(), 0.001);
+    }
+
+    #[test]
+    fn adam_reset_restores_initial_behaviour() {
+        let mut opt = Adam::new(0.01);
+        let first = opt.step(0, &gradient(1.0));
+        for _ in 0..5 {
+            let _ = opt.step(0, &gradient(1.0));
+        }
+        opt.reset();
+        let after_reset = opt.step(0, &gradient(1.0));
+        assert!((first.weights.get(0, 0) - after_reset.weights.get(0, 0)).abs() < 1e-6);
+    }
+}

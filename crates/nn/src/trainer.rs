@@ -1,0 +1,461 @@
+//! Mini-batch training loop with optional early stopping and weight
+//! constraints (used by the minimization passes for masked/clustered
+//! retraining).
+
+use crate::dataset::Dataset;
+use crate::error::NnError;
+use crate::loss::Loss;
+use crate::mlp::Mlp;
+use crate::optimizer::{Adam, Optimizer};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of a training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size (clamped to at least 1).
+    pub batch_size: usize,
+    /// Initial learning rate handed to the optimizer.
+    pub learning_rate: f32,
+    /// Loss function.
+    pub loss: Loss,
+    /// Multiplicative learning-rate decay applied after each epoch
+    /// (`1.0` disables decay).
+    pub lr_decay: f32,
+    /// Stop early when the validation accuracy has not improved for this many
+    /// epochs (`None` disables early stopping; requires a validation set).
+    pub patience: Option<usize>,
+    /// L2 weight-decay coefficient added to the gradients (`0.0` disables).
+    pub weight_decay: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 60,
+            batch_size: 32,
+            learning_rate: 0.01,
+            loss: Loss::SoftmaxCrossEntropy,
+            lr_decay: 1.0,
+            patience: None,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// A configuration tuned for the fast fine-tuning passes used inside the
+    /// genetic-algorithm loop (few epochs, slightly higher learning rate).
+    pub fn fine_tune(epochs: usize) -> Self {
+        TrainConfig { epochs, learning_rate: 0.02, ..TrainConfig::default() }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] when any hyper-parameter is outside
+    /// its admissible range.
+    pub fn validate(&self) -> Result<(), NnError> {
+        if self.epochs == 0 {
+            return Err(NnError::InvalidConfig { context: "epochs must be >= 1".into() });
+        }
+        if self.learning_rate <= 0.0 || !self.learning_rate.is_finite() {
+            return Err(NnError::InvalidConfig {
+                context: format!("learning_rate must be positive, got {}", self.learning_rate),
+            });
+        }
+        if self.lr_decay <= 0.0 || self.lr_decay > 1.0 {
+            return Err(NnError::InvalidConfig {
+                context: format!("lr_decay must be in (0,1], got {}", self.lr_decay),
+            });
+        }
+        if self.weight_decay < 0.0 {
+            return Err(NnError::InvalidConfig {
+                context: format!("weight_decay must be >= 0, got {}", self.weight_decay),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-epoch history and final metrics of a training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TrainReport {
+    /// Mean training loss per epoch.
+    pub train_loss: Vec<f32>,
+    /// Training accuracy per epoch.
+    pub train_accuracy: Vec<f64>,
+    /// Validation accuracy per epoch (empty when no validation set given).
+    pub val_accuracy: Vec<f64>,
+    /// Number of epochs actually run (may be less than configured when early
+    /// stopping triggers).
+    pub epochs_run: usize,
+    /// Best validation accuracy seen (or best training accuracy when no
+    /// validation set was supplied).
+    pub best_accuracy: f64,
+}
+
+/// A hook invoked after every parameter update, letting callers constrain the
+/// weights (re-apply pruning masks, snap to cluster centroids, fake-quantize).
+///
+/// The hook receives the network after the optimizer update has been applied.
+pub trait WeightConstraint {
+    /// Re-establishes the constraint on the model in place.
+    fn apply(&mut self, mlp: &mut Mlp);
+}
+
+/// A no-op constraint used by plain training.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoConstraint;
+
+impl WeightConstraint for NoConstraint {
+    fn apply(&mut self, _mlp: &mut Mlp) {}
+}
+
+impl<F: FnMut(&mut Mlp)> WeightConstraint for F {
+    fn apply(&mut self, mlp: &mut Mlp) {
+        self(mlp)
+    }
+}
+
+/// Mini-batch gradient-descent trainer.
+///
+/// # Example
+///
+/// ```
+/// use pmlp_nn::{Trainer, TrainConfig};
+/// let trainer = Trainer::new(TrainConfig { epochs: 5, ..TrainConfig::default() });
+/// assert_eq!(trainer.config().epochs, 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: TrainConfig) -> Self {
+        Trainer { config }
+    }
+
+    /// The trainer's configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Trains `mlp` on `train`, optionally tracking accuracy on `validation`.
+    ///
+    /// Uses Adam with the configured learning rate. Equivalent to
+    /// [`Trainer::fit_constrained`] with [`NoConstraint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the configuration is invalid or when dataset and
+    /// model shapes disagree.
+    pub fn fit<R: Rng + ?Sized>(
+        &self,
+        mlp: &mut Mlp,
+        train: &Dataset,
+        validation: Option<&Dataset>,
+        rng: &mut R,
+    ) -> Result<TrainReport, NnError> {
+        self.fit_constrained(mlp, train, validation, &mut NoConstraint, rng)
+    }
+
+    /// Trains `mlp` while re-applying `constraint` after every update.
+    ///
+    /// This is the entry point used by quantization-aware training (the
+    /// constraint fake-quantizes the weights), pruning fine-tuning (the
+    /// constraint re-applies the sparsity mask) and clustering fine-tuning
+    /// (the constraint snaps weights back onto their shared centroids).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the configuration is invalid or when dataset and
+    /// model shapes disagree.
+    pub fn fit_constrained<R, C>(
+        &self,
+        mlp: &mut Mlp,
+        train: &Dataset,
+        validation: Option<&Dataset>,
+        constraint: &mut C,
+        rng: &mut R,
+    ) -> Result<TrainReport, NnError>
+    where
+        R: Rng + ?Sized,
+        C: WeightConstraint + ?Sized,
+    {
+        self.config.validate()?;
+        if train.feature_count() != mlp.input_size() {
+            return Err(NnError::ShapeMismatch {
+                context: "training features vs model input".into(),
+                left: (train.len(), train.feature_count()),
+                right: (1, mlp.input_size()),
+            });
+        }
+        if train.class_count() > mlp.output_size() {
+            return Err(NnError::InvalidConfig {
+                context: format!(
+                    "dataset has {} classes but model only outputs {}",
+                    train.class_count(),
+                    mlp.output_size()
+                ),
+            });
+        }
+
+        let mut optimizer = Adam::new(self.config.learning_rate);
+        let mut report = TrainReport::default();
+        let mut best_accuracy = 0.0_f64;
+        let mut best_model = mlp.clone();
+        let mut epochs_since_best = 0usize;
+
+        // Ensure the model starts from a constraint-satisfying point.
+        constraint.apply(mlp);
+
+        for epoch in 0..self.config.epochs {
+            let mut epoch_loss = 0.0_f32;
+            let mut batches = 0usize;
+            for batch in train.batch_indices(self.config.batch_size, rng) {
+                let subset = train.subset(&batch);
+                let (logits, caches) = mlp.forward_with_caches(subset.features())?;
+                epoch_loss += self.config.loss.compute(&logits, subset.labels())?;
+                batches += 1;
+                let grad_logits = self.config.loss.gradient(&logits, subset.labels())?;
+                let mut grads = mlp.backward(&caches, &grad_logits)?;
+                if self.config.weight_decay > 0.0 {
+                    for (grad, layer) in grads.iter_mut().zip(mlp.layers()) {
+                        grad.weights = grad
+                            .weights
+                            .add_elem(&layer.weights().scale(self.config.weight_decay))?;
+                    }
+                }
+                let updates: Vec<_> =
+                    grads.iter().enumerate().map(|(i, g)| optimizer.step(i, g)).collect();
+                mlp.apply_updates(&updates)?;
+                constraint.apply(mlp);
+            }
+            let train_acc = mlp.accuracy(train);
+            report.train_loss.push(if batches > 0 { epoch_loss / batches as f32 } else { 0.0 });
+            report.train_accuracy.push(train_acc);
+            report.epochs_run = epoch + 1;
+
+            let tracked_acc = match validation {
+                Some(val) => {
+                    let acc = mlp.accuracy(val);
+                    report.val_accuracy.push(acc);
+                    acc
+                }
+                None => train_acc,
+            };
+
+            if tracked_acc > best_accuracy {
+                best_accuracy = tracked_acc;
+                best_model = mlp.clone();
+                epochs_since_best = 0;
+            } else {
+                epochs_since_best += 1;
+            }
+
+            if let Some(patience) = self.config.patience {
+                if validation.is_some() && epochs_since_best > patience {
+                    break;
+                }
+            }
+
+            if self.config.lr_decay < 1.0 {
+                let lr = optimizer.learning_rate() * self.config.lr_decay;
+                optimizer.set_learning_rate(lr);
+            }
+        }
+
+        // Keep the best model seen (matters when early stopping or when the
+        // last epochs overfit).
+        if best_accuracy > 0.0 {
+            *mlp = best_model;
+        }
+        report.best_accuracy = best_accuracy;
+        Ok(report)
+    }
+}
+
+impl Default for Trainer {
+    fn default() -> Self {
+        Trainer::new(TrainConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::mlp::MlpBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two well-separated Gaussian-ish blobs, linearly separable.
+    fn blobs(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            let center = if class == 0 { -1.0 } else { 1.0 };
+            xs.push(vec![
+                center + rng.gen_range(-0.3..0.3),
+                center + rng.gen_range(-0.3..0.3),
+            ]);
+            ys.push(class);
+        }
+        Dataset::from_rows(xs, ys, 2).unwrap()
+    }
+
+    fn xor_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let a = rng.gen_range(0.0..1.0_f32);
+            let b = rng.gen_range(0.0..1.0_f32);
+            let label = usize::from((a > 0.5) != (b > 0.5));
+            xs.push(vec![a, b]);
+            ys.push(label);
+        }
+        Dataset::from_rows(xs, ys, 2).unwrap()
+    }
+
+    #[test]
+    fn config_validation_catches_bad_values() {
+        assert!(TrainConfig { epochs: 0, ..TrainConfig::default() }.validate().is_err());
+        assert!(TrainConfig { learning_rate: -1.0, ..TrainConfig::default() }.validate().is_err());
+        assert!(TrainConfig { lr_decay: 1.5, ..TrainConfig::default() }.validate().is_err());
+        assert!(TrainConfig { weight_decay: -0.1, ..TrainConfig::default() }.validate().is_err());
+        assert!(TrainConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn trains_linearly_separable_blobs_to_high_accuracy() {
+        let mut rng = StdRng::seed_from_u64(100);
+        let data = blobs(200, 7);
+        let mut mlp = MlpBuilder::new(2).hidden(4, Activation::ReLU).output(2).build(&mut rng).unwrap();
+        let trainer = Trainer::new(TrainConfig { epochs: 30, ..TrainConfig::default() });
+        let report = trainer.fit(&mut mlp, &data, None, &mut rng).unwrap();
+        assert!(report.best_accuracy > 0.95, "accuracy {}", report.best_accuracy);
+        assert_eq!(report.train_loss.len(), report.epochs_run);
+    }
+
+    #[test]
+    fn trains_xor_with_hidden_layer() {
+        let mut rng = StdRng::seed_from_u64(200);
+        let data = xor_data(400, 9);
+        let mut mlp =
+            MlpBuilder::new(2).hidden(12, Activation::ReLU).output(2).build(&mut rng).unwrap();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 120,
+            learning_rate: 0.02,
+            batch_size: 32,
+            ..TrainConfig::default()
+        });
+        let report = trainer.fit(&mut mlp, &data, None, &mut rng).unwrap();
+        assert!(report.best_accuracy > 0.9, "xor accuracy {}", report.best_accuracy);
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let mut rng = StdRng::seed_from_u64(300);
+        let data = blobs(200, 11);
+        let mut mlp = MlpBuilder::new(2).hidden(6, Activation::ReLU).output(2).build(&mut rng).unwrap();
+        let trainer = Trainer::new(TrainConfig { epochs: 20, ..TrainConfig::default() });
+        let report = trainer.fit(&mut mlp, &data, None, &mut rng).unwrap();
+        let first = report.train_loss[0];
+        let last = *report.train_loss.last().unwrap();
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn early_stopping_limits_epochs() {
+        let mut rng = StdRng::seed_from_u64(400);
+        let data = blobs(200, 13);
+        let (train, val) = data.stratified_split(0.8, &mut rng).unwrap();
+        let mut mlp = MlpBuilder::new(2).hidden(4, Activation::ReLU).output(2).build(&mut rng).unwrap();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 200,
+            patience: Some(3),
+            ..TrainConfig::default()
+        });
+        let report = trainer.fit(&mut mlp, &train, Some(&val), &mut rng).unwrap();
+        assert!(report.epochs_run < 200, "early stopping never triggered");
+        assert_eq!(report.val_accuracy.len(), report.epochs_run);
+    }
+
+    #[test]
+    fn rejects_feature_width_mismatch() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = blobs(20, 1);
+        let mut mlp = MlpBuilder::new(5).hidden(4, Activation::ReLU).output(2).build(&mut rng).unwrap();
+        let trainer = Trainer::default();
+        assert!(trainer.fit(&mut mlp, &data, None, &mut rng).is_err());
+    }
+
+    #[test]
+    fn rejects_too_few_model_outputs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = blobs(20, 1); // two classes
+        let mut mlp = MlpBuilder::new(2).output(1).build(&mut rng).unwrap();
+        let trainer = Trainer::default();
+        assert!(trainer.fit(&mut mlp, &data, None, &mut rng).is_err());
+    }
+
+    #[test]
+    fn constraint_is_enforced_throughout_training() {
+        // Constraint: the (0,0) weight of layer 0 must stay exactly zero.
+        let mut rng = StdRng::seed_from_u64(17);
+        let data = blobs(100, 3);
+        let mut mlp = MlpBuilder::new(2).hidden(4, Activation::ReLU).output(2).build(&mut rng).unwrap();
+        let trainer = Trainer::new(TrainConfig { epochs: 10, ..TrainConfig::default() });
+        let mut constraint = |m: &mut Mlp| {
+            m.layers_mut()[0].weights_mut().set(0, 0, 0.0);
+        };
+        trainer
+            .fit_constrained(&mut mlp, &data, None, &mut constraint, &mut rng)
+            .unwrap();
+        assert_eq!(mlp.layers()[0].weights().get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weight_norm() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let data = blobs(100, 5);
+        let build = |rng: &mut StdRng| {
+            MlpBuilder::new(2).hidden(8, Activation::ReLU).output(2).build(rng).unwrap()
+        };
+        let mut rng_a = StdRng::seed_from_u64(21);
+        let mut mlp_plain = build(&mut rng_a);
+        let mut rng_b = StdRng::seed_from_u64(21);
+        let mut mlp_decay = build(&mut rng_b);
+
+        let plain = Trainer::new(TrainConfig { epochs: 30, ..TrainConfig::default() });
+        let decay = Trainer::new(TrainConfig { epochs: 30, weight_decay: 0.05, ..TrainConfig::default() });
+        plain.fit(&mut mlp_plain, &data, None, &mut rng).unwrap();
+        decay.fit(&mut mlp_decay, &data, None, &mut rng).unwrap();
+
+        let norm = |m: &Mlp| -> f32 { m.layers().iter().map(|l| l.weights().frobenius_norm()).sum() };
+        assert!(norm(&mlp_decay) < norm(&mlp_plain));
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        let data = blobs(100, 23);
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut mlp =
+                MlpBuilder::new(2).hidden(4, Activation::ReLU).output(2).build(&mut rng).unwrap();
+            let trainer = Trainer::new(TrainConfig { epochs: 5, ..TrainConfig::default() });
+            trainer.fit(&mut mlp, &data, None, &mut rng).unwrap();
+            mlp.flatten_weights()
+        };
+        assert_eq!(run(77), run(77));
+    }
+}

@@ -1,0 +1,70 @@
+//! Hardware-aware design-space exploration with the NSGA-II genetic algorithm
+//! (the experiment behind Fig. 2 of the paper), on the WhiteWine classifier.
+//!
+//! Run with `cargo run --release --example design_space_exploration`.
+//! Pass a dataset name (`whitewine`, `redwine`, `pendigits`, `seeds`) as the
+//! first argument to explore a different classifier.
+
+use printed_mlp::core::baseline::{BaselineConfig, BaselineDesign};
+use printed_mlp::core::objective::EvaluationContext;
+use printed_mlp::core::{Nsga2, Nsga2Config};
+use printed_mlp::data::UciDataset;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = std::env::args()
+        .nth(1)
+        .map(|name| UciDataset::parse(&name))
+        .transpose()?
+        .unwrap_or(UciDataset::WhiteWine);
+
+    println!("== hardware-aware GA exploration on {dataset} ==");
+    let baseline = BaselineDesign::train_with(
+        dataset,
+        13,
+        &BaselineConfig { epochs: 40, ..BaselineConfig::default() },
+    )?;
+    println!(
+        "baseline: accuracy {:.1}%, area {:.0} mm2",
+        baseline.accuracy() * 100.0,
+        baseline.area_mm2()
+    );
+
+    let ctx = EvaluationContext::new(&baseline).with_fine_tune_epochs(6);
+    let ga = Nsga2::new(Nsga2Config { population: 16, generations: 6, ..Nsga2Config::default() });
+    let result = ga.run(&ctx)?;
+
+    println!("\ngeneration progress:");
+    for stats in &result.history {
+        println!(
+            "  gen {:>2}: front size {:>2}, best accuracy {:.1}%, smallest area {:.2}x baseline, {} evaluations",
+            stats.generation,
+            stats.front_size,
+            stats.best_accuracy * 100.0,
+            stats.best_normalized_area,
+            stats.evaluations,
+        );
+    }
+
+    println!("\nfinal accuracy/area Pareto front (normalized to the baseline):");
+    println!("{:<24} {:>10} {:>12} {:>10}", "config", "accuracy", "norm. area", "area gain");
+    for point in &result.pareto_front {
+        println!(
+            "{:<24} {:>9.1}% {:>12.3} {:>9.2}x",
+            point.config.describe(),
+            point.accuracy * 100.0,
+            point.normalized_area,
+            point.area_gain(),
+        );
+    }
+
+    let headline = printed_mlp::core::pareto::area_gain_at_accuracy_loss(
+        &result.all_points,
+        baseline.accuracy(),
+        0.05,
+    );
+    match headline {
+        Some(gain) => println!("\narea gain at <=5% accuracy loss: {gain:.2}x"),
+        None => println!("\nno explored design stayed within 5% accuracy loss"),
+    }
+    Ok(())
+}

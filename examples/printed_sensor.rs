@@ -1,0 +1,78 @@
+//! A printed smart-sensor scenario: a disposable wine-quality tag.
+//!
+//! The motivating application of the paper is classification on low-cost
+//! consumer goods. This example builds a RedWine quality classifier, explores
+//! the three minimization techniques standalone, and prints the kind of
+//! area/power budget analysis a printed-electronics designer would run before
+//! committing a design to fabrication (printed batteries deliver on the order
+//! of a few mW; large-area circuits above a few hundred mm² do not fit on a
+//! bottle label).
+//!
+//! Run with `cargo run --release --example printed_sensor`.
+
+use printed_mlp::core::baseline::{BaselineConfig, BaselineDesign};
+use printed_mlp::core::objective::{evaluate_config, EvaluationContext};
+use printed_mlp::core::pareto::pareto_front;
+use printed_mlp::data::UciDataset;
+use printed_mlp::minimize::MinimizationConfig;
+
+/// Power budget of a typical printed battery driving the tag, in µW.
+const POWER_BUDGET_UW: f64 = 2_000.0;
+/// Area budget of the label, in mm².
+const AREA_BUDGET_MM2: f64 = 600.0;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== disposable wine-quality tag (RedWine classifier) ==");
+    let baseline = BaselineDesign::train_with(
+        UciDataset::RedWine,
+        7,
+        &BaselineConfig { epochs: 40, ..BaselineConfig::default() },
+    )?;
+    println!(
+        "un-minimized bespoke MLP: accuracy {:.1}%, area {:.0} mm2, power {:.0} uW",
+        baseline.accuracy() * 100.0,
+        baseline.area_mm2(),
+        baseline.synthesis.power_uw,
+    );
+    let fits = baseline.area_mm2() <= AREA_BUDGET_MM2 && baseline.synthesis.power_uw <= POWER_BUDGET_UW;
+    println!("fits the label budget ({AREA_BUDGET_MM2} mm2, {POWER_BUDGET_UW} uW)? {fits}");
+
+    // Candidate minimization configurations a designer would consider.
+    let candidates = vec![
+        MinimizationConfig::default().with_weight_bits(4),
+        MinimizationConfig::default().with_weight_bits(3),
+        MinimizationConfig::default().with_sparsity(0.5),
+        MinimizationConfig::default().with_clusters(3),
+        MinimizationConfig::default().with_weight_bits(4).with_sparsity(0.4),
+        MinimizationConfig::default().with_weight_bits(3).with_sparsity(0.5).with_clusters(3),
+    ];
+
+    let ctx = EvaluationContext::new(&baseline);
+    let mut points = Vec::new();
+    for config in &candidates {
+        let point = evaluate_config(&ctx, config, 0)?;
+        println!(
+            "  {:<22} accuracy {:>5.1}%  area {:>7.1} mm2 ({:>4.2}x)  power {:>7.1} uW",
+            point.config.describe(),
+            point.accuracy * 100.0,
+            point.area_mm2,
+            point.area_gain(),
+            point.power_uw,
+        );
+        points.push(point);
+    }
+
+    println!("\nPareto-optimal choices under the label budget:");
+    for point in pareto_front(&points) {
+        if point.area_mm2 <= AREA_BUDGET_MM2 && point.power_uw <= POWER_BUDGET_UW {
+            println!(
+                "  {:<22} accuracy {:>5.1}%  area {:>7.1} mm2  power {:>7.1} uW  -> viable tag",
+                point.config.describe(),
+                point.accuracy * 100.0,
+                point.area_mm2,
+                point.power_uw,
+            );
+        }
+    }
+    Ok(())
+}

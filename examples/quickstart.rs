@@ -1,0 +1,45 @@
+//! Quickstart: train a printed Seeds classifier, minimize it with 4-bit
+//! quantization + 40 % pruning, and compare the bespoke circuit against the
+//! un-minimized baseline.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use printed_mlp::core::baseline::BaselineDesign;
+use printed_mlp::core::objective::{evaluate_config, EvaluationContext};
+use printed_mlp::data::UciDataset;
+use printed_mlp::minimize::MinimizationConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== printed-mlp quickstart: Seeds classifier ==");
+
+    // 1. Train the float model and characterize the un-minimized bespoke
+    //    baseline (8-bit weights, one multiplier per connection).
+    let baseline = BaselineDesign::train(UciDataset::Seeds, 42)?;
+    println!(
+        "baseline: accuracy {:.1}%, area {:.1} mm2, power {:.1} uW, {} gates",
+        baseline.accuracy() * 100.0,
+        baseline.area_mm2(),
+        baseline.synthesis.power_uw,
+        baseline.synthesis.gate_count,
+    );
+
+    // 2. Minimize: 4-bit quantization-aware training plus 40 % unstructured
+    //    pruning, then re-synthesize the bespoke circuit.
+    let ctx = EvaluationContext::new(&baseline);
+    let config = MinimizationConfig::default().with_weight_bits(4).with_sparsity(0.4);
+    let point = evaluate_config(&ctx, &config, 0)?;
+
+    println!(
+        "minimized ({}): accuracy {:.1}%, area {:.1} mm2 ({:.2}x smaller), sparsity {:.0}%",
+        point.config.describe(),
+        point.accuracy * 100.0,
+        point.area_mm2,
+        point.area_gain(),
+        point.sparsity * 100.0,
+    );
+    println!(
+        "accuracy change vs baseline: {:+.1} points",
+        (point.accuracy - baseline.accuracy()) * 100.0
+    );
+    Ok(())
+}

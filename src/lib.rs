@@ -1,0 +1,70 @@
+//! # printed-mlp — hardware-aware automated neural minimization for printed MLPs
+//!
+//! Umbrella crate of the DATE 2023 reproduction: re-exports the full stack so
+//! applications can depend on a single crate.
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`nn`] | `pmlp-nn` | from-scratch MLP training (layers, losses, optimizers, trainer, metrics) |
+//! | [`data`] | `pmlp-data` | synthetic UCI-equivalent datasets + CSV loader |
+//! | [`hw`] | `pmlp-hw` | bespoke printed-electronics hardware model (EGT cells, CSD multipliers, netlists, area/power/delay) |
+//! | [`minimize`] | `pmlp-minimize` | quantization/QAT, pruning, weight clustering |
+//! | [`core`] | `pmlp-core` | hardware-aware NSGA-II search, sweeps, Pareto fronts, experiment drivers |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use printed_mlp::core::baseline::BaselineDesign;
+//! use printed_mlp::core::objective::{evaluate_config, EvaluationContext};
+//! use printed_mlp::data::UciDataset;
+//! use printed_mlp::minimize::MinimizationConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Train the bespoke baseline for the Seeds classifier ...
+//! let baseline = BaselineDesign::train(UciDataset::Seeds, 42)?;
+//! // ... and measure what 4-bit quantization buys in circuit area.
+//! let ctx = EvaluationContext::new(&baseline);
+//! let point = evaluate_config(&ctx, &MinimizationConfig::default().with_weight_bits(4), 0)?;
+//! println!("area gain: {:.2}x, accuracy: {:.1}%", point.area_gain(), point.accuracy * 100.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// Re-export of the search / experiment layer (`pmlp-core`).
+pub use pmlp_core as core;
+/// Re-export of the dataset substrate (`pmlp-data`).
+pub use pmlp_data as data;
+/// Re-export of the bespoke hardware model (`pmlp-hw`).
+pub use pmlp_hw as hw;
+/// Re-export of the minimization techniques (`pmlp-minimize`).
+pub use pmlp_minimize as minimize;
+/// Re-export of the neural-network substrate (`pmlp-nn`).
+pub use pmlp_nn as nn;
+
+/// Commonly used items, importable with `use printed_mlp::prelude::*`.
+pub mod prelude {
+    pub use pmlp_core::baseline::BaselineDesign;
+    pub use pmlp_core::experiment::{Effort, Figure1Experiment, Figure2Experiment};
+    pub use pmlp_core::objective::{evaluate_config, DesignPoint, EvaluationContext};
+    pub use pmlp_core::{Nsga2, Nsga2Config};
+    pub use pmlp_data::{load, UciDataset};
+    pub use pmlp_hw::{BespokeMlpCircuit, CellLibrary, CircuitSpec};
+    pub use pmlp_minimize::MinimizationConfig;
+    pub use pmlp_nn::{Activation, Dataset, Mlp, MlpBuilder, TrainConfig, Trainer};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_the_main_types() {
+        use crate::prelude::*;
+        // Compile-time check that the re-exports resolve.
+        let _config = MinimizationConfig::default();
+        let _lib = CellLibrary::egt();
+        let _train = TrainConfig::default();
+        let _dataset = UciDataset::Seeds;
+    }
+}
