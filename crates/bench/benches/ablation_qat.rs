@@ -21,11 +21,17 @@ fn bench_ablation_qat(c: &mut Criterion) {
             .expect("baseline");
 
     println!("=== ablation A2: QAT vs post-training quantization (Seeds) ===");
-    println!("float baseline accuracy: {:.1}%", baseline.model.accuracy(&baseline.test) * 100.0);
+    println!(
+        "float baseline accuracy: {:.1}%",
+        baseline.model.accuracy(&baseline.test) * 100.0
+    );
     for bits in [2u8, 3, 4, 5] {
         let ptq = post_training_quantize(
             &baseline.model,
-            &QuantizationConfig { weight_bits: bits, input_bits: 4 },
+            &QuantizationConfig {
+                weight_bits: bits,
+                input_bits: 4,
+            },
         )
         .expect("ptq");
         let mut rng = StdRng::seed_from_u64(7);
@@ -45,12 +51,18 @@ fn bench_ablation_qat(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("ablation_qat");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("post_training_quantize_3bit", |b| {
         b.iter(|| {
             post_training_quantize(
                 &baseline.model,
-                &QuantizationConfig { weight_bits: 3, input_bits: 4 },
+                &QuantizationConfig {
+                    weight_bits: 3,
+                    input_bits: 4,
+                },
             )
             .unwrap()
             .code_sparsity()

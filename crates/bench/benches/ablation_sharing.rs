@@ -28,7 +28,9 @@ fn bench_ablation_sharing(c: &mut Criterion) {
         &baseline.model,
         &baseline.train,
         None,
-        &MinimizationConfig::default().with_clusters(3).with_fine_tune_epochs(2),
+        &MinimizationConfig::default()
+            .with_clusters(3)
+            .with_fine_tune_epochs(2),
         &mut rng,
     )
     .expect("clustered model");
@@ -50,15 +52,26 @@ fn bench_ablation_sharing(c: &mut Criterion) {
     )
     .expect("shared synthesis");
     println!("=== ablation A1: multiplier sharing on a 3-cluster Seeds classifier ===");
-    println!("without sharing: {:.2} mm2 ({} gates)", unshared.area().total_mm2, unshared.area().gate_count);
-    println!("with sharing:    {:.2} mm2 ({} gates)", shared.area().total_mm2, shared.area().gate_count);
+    println!(
+        "without sharing: {:.2} mm2 ({} gates)",
+        unshared.area().total_mm2,
+        unshared.area().gate_count
+    );
+    println!(
+        "with sharing:    {:.2} mm2 ({} gates)",
+        shared.area().total_mm2,
+        shared.area().gate_count
+    );
     println!(
         "sharing saves {:.1}% of the clustered circuit's area",
         100.0 * (1.0 - shared.area().total_mm2 / unshared.area().total_mm2)
     );
 
     let mut group = c.benchmark_group("ablation_sharing");
-    group.sample_size(20).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("synthesize_without_sharing", |b| {
         b.iter(|| {
             BespokeMlpCircuit::synthesize_with(

@@ -36,7 +36,10 @@ fn bench_fig1_pendigits(c: &mut Criterion) {
     let library = CellLibrary::egt();
 
     let mut group = c.benchmark_group("fig1_pendigits");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("synthesize_baseline_circuit", |b| {
         b.iter(|| BespokeMlpCircuit::synthesize(&spec, &library).unwrap())
     });

@@ -1,33 +1,43 @@
 //! Figure 1(d) — Seeds: standalone technique Pareto fronts plus the cost of a
 //! clustering-candidate evaluation (the technique whose circuit uses
-//! multiplier sharing).
+//! multiplier sharing), measured through the shared evaluation engine both
+//! cold (full minimize-and-synthesize pipeline) and warm (memo-cache hit).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pmlp_bench::render_figure1;
-use pmlp_core::baseline::BaselineDesign;
+use pmlp_core::engine::Evaluator;
 use pmlp_core::experiment::{Effort, Figure1Experiment};
-use pmlp_core::objective::{evaluate_config, EvaluationContext};
 use pmlp_data::UciDataset;
 use pmlp_minimize::MinimizationConfig;
 use std::time::Duration;
 
 fn bench_fig1_seeds(c: &mut Criterion) {
-    let result = Figure1Experiment::new(UciDataset::Seeds, Effort::Quick, 42)
-        .run()
+    let experiment = Figure1Experiment::new(UciDataset::Seeds, Effort::Quick, 42);
+    let engine = experiment.build_engine().expect("baseline training");
+    let result = experiment
+        .run_with(&engine)
         .expect("figure 1 (Seeds) regeneration");
     println!("{}", render_figure1(&result));
 
-    let baseline =
-        BaselineDesign::train_with(UciDataset::Seeds, 42, &Effort::Quick.baseline_config())
-            .expect("baseline");
-    let ctx = EvaluationContext::new(&baseline).with_fine_tune_epochs(1);
+    let candidate = MinimizationConfig::default().with_clusters(3);
 
     let mut group = c.benchmark_group("fig1_seeds");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("evaluate_cluster3_candidate", |b| {
-        b.iter(|| evaluate_config(&ctx, &MinimizationConfig::default().with_clusters(3), 0).unwrap())
+        b.iter(|| {
+            engine.clear_cache();
+            engine.evaluate(&candidate).unwrap()
+        })
+    });
+    group.bench_function("evaluate_cluster3_cached", |b| {
+        engine.evaluate(&candidate).unwrap();
+        b.iter(|| engine.evaluate(&candidate).unwrap())
     });
     group.finish();
+    println!("engine stats after bench: {:?}", engine.stats());
 }
 
 criterion_group!(benches, bench_fig1_seeds);

@@ -3,36 +3,35 @@
 //!
 //! Running this bench first regenerates and prints the figure data (quick
 //! effort), then measures the cost of one hardware-aware candidate
-//! evaluation on the WhiteWine baseline.
+//! evaluation on the WhiteWine baseline through the shared evaluation engine.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pmlp_bench::render_figure1;
-use pmlp_core::baseline::BaselineDesign;
+use pmlp_core::engine::Evaluator;
 use pmlp_core::experiment::{Effort, Figure1Experiment};
-use pmlp_core::objective::{evaluate_config, EvaluationContext};
 use pmlp_data::UciDataset;
 use pmlp_minimize::MinimizationConfig;
 use std::time::Duration;
 
 fn bench_fig1_whitewine(c: &mut Criterion) {
-    let result = Figure1Experiment::new(UciDataset::WhiteWine, Effort::Quick, 42)
-        .run()
+    let experiment = Figure1Experiment::new(UciDataset::WhiteWine, Effort::Quick, 42);
+    let engine = experiment.build_engine().expect("baseline training");
+    let result = experiment
+        .run_with(&engine)
         .expect("figure 1 (WhiteWine) regeneration");
     println!("{}", render_figure1(&result));
 
-    let baseline = BaselineDesign::train_with(
-        UciDataset::WhiteWine,
-        42,
-        &Effort::Quick.baseline_config(),
-    )
-    .expect("baseline");
-    let ctx = EvaluationContext::new(&baseline).with_fine_tune_epochs(1);
+    let candidate = MinimizationConfig::default().with_weight_bits(4);
 
     let mut group = c.benchmark_group("fig1_whitewine");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("evaluate_quant4_candidate", |b| {
         b.iter(|| {
-            evaluate_config(&ctx, &MinimizationConfig::default().with_weight_bits(4), 0).unwrap()
+            engine.clear_cache();
+            engine.evaluate(&candidate).unwrap()
         })
     });
     group.finish();

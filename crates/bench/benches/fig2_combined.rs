@@ -1,14 +1,15 @@
 //! Figure 2 — WhiteWine: combined minimization via the hardware-aware GA
 //! compared against the standalone techniques. The bench regenerates the
 //! figure data (quick effort), then measures the cost of one GA generation on
-//! the Seeds baseline (the smallest dataset, to keep the measured unit tight).
+//! the Seeds baseline (the smallest dataset, to keep the measured unit
+//! tight), cold versus warm: the warm run is answered entirely from the
+//! engine's memo cache and quantifies what the shared evaluation engine buys.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pmlp_bench::render_figure2;
-use pmlp_core::baseline::BaselineDesign;
+use pmlp_core::engine::EvalEngine;
 use pmlp_core::experiment::{Effort, Figure2Experiment};
 use pmlp_core::genome::GenomeSpace;
-use pmlp_core::objective::EvaluationContext;
 use pmlp_core::{Nsga2, Nsga2Config};
 use pmlp_data::UciDataset;
 use std::time::Duration;
@@ -19,10 +20,9 @@ fn bench_fig2_combined(c: &mut Criterion) {
         .expect("figure 2 regeneration");
     println!("{}", render_figure2(&result));
 
-    let baseline =
-        BaselineDesign::train_with(UciDataset::Seeds, 42, &Effort::Quick.baseline_config())
-            .expect("baseline");
-    let ctx = EvaluationContext::new(&baseline).with_fine_tune_epochs(1);
+    let engine = EvalEngine::train_with(UciDataset::Seeds, 42, &Effort::Quick.baseline_config())
+        .expect("baseline")
+        .with_fine_tune_epochs(1);
     let config = Nsga2Config {
         population: 4,
         generations: 1,
@@ -36,11 +36,23 @@ fn bench_fig2_combined(c: &mut Criterion) {
     };
 
     let mut group = c.benchmark_group("fig2_combined");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("ga_single_generation_seeds", |b| {
-        b.iter(|| Nsga2::new(config.clone()).run(&ctx).unwrap())
+        b.iter(|| {
+            engine.clear_cache();
+            Nsga2::new(config.clone()).run(&engine).unwrap()
+        })
+    });
+    group.bench_function("ga_single_generation_seeds_warm_cache", |b| {
+        // Prime the cache once; every iteration is then pure search overhead.
+        Nsga2::new(config.clone()).run(&engine).unwrap();
+        b.iter(|| Nsga2::new(config.clone()).run(&engine).unwrap())
     });
     group.finish();
+    println!("engine stats after bench: {:?}", engine.stats());
 }
 
 criterion_group!(benches, bench_fig2_combined);

@@ -15,8 +15,12 @@ use std::time::Duration;
 /// deterministic pseudo-random 5-bit weights.
 fn whitewine_like_spec() -> CircuitSpec {
     let weight = |i: usize, j: usize| -> i64 { ((i * 31 + j * 17 + 7) % 31) as i64 - 15 };
-    let hidden: Vec<Vec<i64>> = (0..25).map(|n| (0..11).map(|i| weight(n, i)).collect()).collect();
-    let output: Vec<Vec<i64>> = (0..5).map(|n| (0..25).map(|i| weight(n + 100, i)).collect()).collect();
+    let hidden: Vec<Vec<i64>> = (0..25)
+        .map(|n| (0..11).map(|i| weight(n, i)).collect())
+        .collect();
+    let output: Vec<Vec<i64>> = (0..5)
+        .map(|n| (0..25).map(|i| weight(n + 100, i)).collect())
+        .collect();
     CircuitSpec::new(
         4,
         vec![
@@ -32,7 +36,10 @@ fn bench_hw_synthesis(c: &mut Criterion) {
     let spec = whitewine_like_spec();
 
     let mut group = c.benchmark_group("hw_synthesis");
-    group.sample_size(20).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
 
     group.bench_function("csd_recoding_8bit_range", |b| {
         b.iter(|| {
@@ -47,7 +54,12 @@ fn bench_hw_synthesis(c: &mut Criterion) {
             let mut netlist = Netlist::new("mul");
             let x = input_word(&mut netlist, 6);
             for constant in [3_i64, -7, 23, 55, -101] {
-                black_box(constant_multiplier(&mut netlist, &x, constant, RecodingStrategy::Csd));
+                black_box(constant_multiplier(
+                    &mut netlist,
+                    &x,
+                    constant,
+                    RecodingStrategy::Csd,
+                ));
             }
             netlist.gate_count()
         })
@@ -55,11 +67,21 @@ fn bench_hw_synthesis(c: &mut Criterion) {
 
     group.bench_function("neuron_with_11_inputs", |b| {
         let spec = NeuronSpec::new(vec![5, -3, 7, 0, 2, -6, 1, 4, 0, -2, 3], true);
-        b.iter(|| NeuronCircuit::synthesize(&spec, 5).unwrap().netlist().gate_count())
+        b.iter(|| {
+            NeuronCircuit::synthesize(&spec, 5)
+                .unwrap()
+                .netlist()
+                .gate_count()
+        })
     });
 
     group.bench_function("whitewine_circuit_synthesis", |b| {
-        b.iter(|| BespokeMlpCircuit::synthesize(&spec, &library).unwrap().area().total_mm2)
+        b.iter(|| {
+            BespokeMlpCircuit::synthesize(&spec, &library)
+                .unwrap()
+                .area()
+                .total_mm2
+        })
     });
 
     group.bench_function("whitewine_circuit_timing_analysis", |b| {

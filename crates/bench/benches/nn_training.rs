@@ -20,7 +20,10 @@ fn bench_nn_training(c: &mut Criterion) {
         .expect("mlp");
 
     let mut group = c.benchmark_group("nn_training");
-    group.sample_size(20).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
 
     group.bench_function("forward_pass_full_dataset", |b| {
         b.iter(|| black_box(mlp.forward(data.features()).unwrap()))
@@ -30,10 +33,13 @@ fn bench_nn_training(c: &mut Criterion) {
         b.iter(|| {
             let mut model = mlp.clone();
             let mut rng = StdRng::seed_from_u64(2);
-            Trainer::new(TrainConfig { epochs: 1, ..TrainConfig::default() })
-                .fit(&mut model, &data, None, &mut rng)
-                .unwrap()
-                .best_accuracy
+            Trainer::new(TrainConfig {
+                epochs: 1,
+                ..TrainConfig::default()
+            })
+            .fit(&mut model, &data, None, &mut rng)
+            .unwrap()
+            .best_accuracy
         })
     });
 

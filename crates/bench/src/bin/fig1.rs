@@ -3,17 +3,21 @@
 //! normalized to the un-minimized bespoke baseline.
 //!
 //! Usage:
-//!   cargo run --release -p pmlp-bench --bin fig1 -- [dataset|all] [full|quick] [seed]
+//!   cargo run --release -p pmlp-bench --bin fig1 -- [dataset|all] [full|quick] [seed] [--quick]
+//!
+//! `--quick` anywhere on the command line forces the reduced CI effort.
 
-use pmlp_bench::{parse_effort, persist_json, render_figure1, render_headline};
+use pmlp_bench::{parse_effort, persist_json, render_figure1, render_headline, split_cli_args};
 use pmlp_core::experiment::{headline_summary, Figure1Experiment};
 use pmlp_data::UciDataset;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().collect();
-    let which = args.get(1).map(String::as_str).unwrap_or("all");
-    let effort = parse_effort(args.get(2).map(String::as_str).unwrap_or("full"));
-    let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (positional, effort_flag) = split_cli_args(&args);
+    let which = positional.first().copied().unwrap_or("all");
+    let effort =
+        effort_flag.unwrap_or_else(|| parse_effort(positional.get(1).copied().unwrap_or("full")));
+    let seed: u64 = positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
 
     let datasets: Vec<UciDataset> = if which.eq_ignore_ascii_case("all") {
         UciDataset::all().to_vec()
@@ -28,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let rows = headline_summary(&result, 0.05);
         println!("{}", render_headline(&rows));
         println!("(elapsed: {:.1}s)\n", start.elapsed().as_secs_f64());
-        persist_json(&format!("fig1_{}", dataset.to_string().to_lowercase()), &result);
+        persist_json(
+            &format!("fig1_{}", dataset.to_string().to_lowercase()),
+            &result,
+        );
     }
     Ok(())
 }

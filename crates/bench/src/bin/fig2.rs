@@ -4,27 +4,34 @@
 //! standalone techniques.
 //!
 //! Usage:
-//!   cargo run --release -p pmlp-bench --bin fig2 -- [dataset] [full|quick] [seed]
+//!   cargo run --release -p pmlp-bench --bin fig2 -- [dataset] [full|quick] [seed] [--quick]
+//!
+//! `--quick` anywhere on the command line forces the reduced CI effort.
 
-use pmlp_bench::{parse_effort, persist_json, render_figure2, render_headline};
+use pmlp_bench::{parse_effort, persist_json, render_figure2, render_headline, split_cli_args};
 use pmlp_core::experiment::{headline_combined, Figure2Experiment};
 use pmlp_data::UciDataset;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().collect();
-    let dataset = args
-        .get(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (positional, effort_flag) = split_cli_args(&args);
+    let dataset = positional
+        .first()
         .map(|name| UciDataset::parse(name))
         .transpose()?
         .unwrap_or(UciDataset::WhiteWine);
-    let effort = parse_effort(args.get(2).map(String::as_str).unwrap_or("full"));
-    let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let effort =
+        effort_flag.unwrap_or_else(|| parse_effort(positional.get(1).copied().unwrap_or("full")));
+    let seed: u64 = positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
 
     let start = std::time::Instant::now();
     let result = Figure2Experiment::new(dataset, effort, seed).run()?;
     println!("{}", render_figure2(&result));
     println!("{}", render_headline(&[headline_combined(&result, 0.05)]));
     println!("(elapsed: {:.1}s)", start.elapsed().as_secs_f64());
-    persist_json(&format!("fig2_{}", dataset.to_string().to_lowercase()), &result);
+    persist_json(
+        &format!("fig2_{}", dataset.to_string().to_lowercase()),
+        &result,
+    );
     Ok(())
 }

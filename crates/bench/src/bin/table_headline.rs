@@ -4,9 +4,11 @@
 //! (≈5x quantization, ≈2.8x pruning, ≈3.5x clustering, up to ≈8x combined).
 //!
 //! Usage:
-//!   cargo run --release -p pmlp-bench --bin table_headline -- [full|quick] [seed]
+//!   cargo run --release -p pmlp-bench --bin table_headline -- [full|quick] [seed] [--quick]
+//!
+//! `--quick` anywhere on the command line forces the reduced CI effort.
 
-use pmlp_bench::{parse_effort, persist_json, render_headline};
+use pmlp_bench::{parse_effort, persist_json, render_headline, split_cli_args};
 use pmlp_core::experiment::{
     headline_combined, headline_summary, Figure1Experiment, Figure2Experiment,
 };
@@ -16,9 +18,11 @@ use pmlp_data::UciDataset;
 use std::collections::BTreeMap;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().collect();
-    let effort = parse_effort(args.get(1).map(String::as_str).unwrap_or("full"));
-    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (positional, effort_flag) = split_cli_args(&args);
+    let effort =
+        effort_flag.unwrap_or_else(|| parse_effort(positional.first().copied().unwrap_or("full")));
+    let seed: u64 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(42);
 
     let mut rows: Vec<HeadlineRow> = Vec::new();
     for dataset in UciDataset::all() {
@@ -36,21 +40,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut by_technique: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
     for row in &rows {
         if let Some(gain) = row.area_gain {
-            by_technique.entry(match row.technique.as_str() {
-                t if t == Technique::Quantization.name() => "quantization",
-                t if t == Technique::Pruning.name() => "pruning",
-                t if t == Technique::Clustering.name() => "weight clustering",
-                _ => "combined (GA)",
-            })
-            .or_default()
-            .push(gain);
+            by_technique
+                .entry(match row.technique.as_str() {
+                    t if t == Technique::Quantization.name() => "quantization",
+                    t if t == Technique::Pruning.name() => "pruning",
+                    t if t == Technique::Clustering.name() => "weight clustering",
+                    _ => "combined (GA)",
+                })
+                .or_default()
+                .push(gain);
         }
     }
     println!("=== cross-dataset average area gain at <=5% accuracy loss ===");
     for (technique, gains) in &by_technique {
         let avg = gains.iter().sum::<f64>() / gains.len() as f64;
         let max = gains.iter().cloned().fold(0.0_f64, f64::max);
-        println!("{technique:<18} avg {avg:.2}x   max {max:.2}x   ({} datasets)", gains.len());
+        println!(
+            "{technique:<18} avg {avg:.2}x   max {max:.2}x   ({} datasets)",
+            gains.len()
+        );
     }
     persist_json("table_headline", &rows);
     Ok(())

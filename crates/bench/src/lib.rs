@@ -17,6 +17,23 @@ pub fn parse_effort(name: &str) -> Effort {
     }
 }
 
+/// Splits raw CLI arguments (excluding the program name) into positional
+/// arguments and an effort override: `--quick` (or `-q`) anywhere on the
+/// command line forces [`Effort::Quick`], so CI can run the figure binaries
+/// without paper-scale budgets regardless of positional defaults.
+pub fn split_cli_args(args: &[String]) -> (Vec<&str>, Option<Effort>) {
+    let mut positional = Vec::new();
+    let mut effort = None;
+    for arg in args {
+        match arg.as_str() {
+            "--quick" | "-q" => effort = Some(Effort::Quick),
+            "--full" => effort = Some(Effort::Full),
+            other => positional.push(other),
+        }
+    }
+    (positional, effort)
+}
+
 /// Renders one Fig. 1 subplot as the text table the paper plots.
 pub fn render_figure1(result: &Figure1Result) -> String {
     let mut out = String::new();
@@ -48,7 +65,12 @@ pub fn render_figure2(result: &Figure2Result) -> String {
     out.push_str(&format!(
         "# GA: {} generations, {} evaluations\n",
         result.search.history.len(),
-        result.search.history.last().map(|h| h.evaluations).unwrap_or(0)
+        result
+            .search
+            .history
+            .last()
+            .map(|h| h.evaluations)
+            .unwrap_or(0)
     ));
     out
 }
@@ -90,5 +112,21 @@ mod tests {
         assert_eq!(parse_effort("SMOKE"), Effort::Quick);
         assert_eq!(parse_effort("full"), Effort::Full);
         assert_eq!(parse_effort("anything"), Effort::Full);
+    }
+
+    #[test]
+    fn quick_flag_overrides_positionals() {
+        let args: Vec<String> = ["seeds", "--quick", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (positional, effort) = split_cli_args(&args);
+        assert_eq!(positional, vec!["seeds", "7"]);
+        assert_eq!(effort, Some(Effort::Quick));
+
+        let args: Vec<String> = ["seeds", "full"].iter().map(|s| s.to_string()).collect();
+        let (positional, effort) = split_cli_args(&args);
+        assert_eq!(positional, vec!["seeds", "full"]);
+        assert_eq!(effort, None);
     }
 }

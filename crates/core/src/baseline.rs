@@ -144,14 +144,21 @@ mod tests {
     use super::*;
 
     fn quick_config() -> BaselineConfig {
-        BaselineConfig { epochs: 12, ..BaselineConfig::default() }
+        BaselineConfig {
+            epochs: 12,
+            ..BaselineConfig::default()
+        }
     }
 
     #[test]
     fn seeds_baseline_trains_to_useful_accuracy() {
         let baseline = BaselineDesign::train_with(UciDataset::Seeds, 7, &quick_config()).unwrap();
         // Chance level is 1/3; the baseline must be clearly better.
-        assert!(baseline.accuracy() > 0.6, "baseline accuracy {}", baseline.accuracy());
+        assert!(
+            baseline.accuracy() > 0.6,
+            "baseline accuracy {}",
+            baseline.accuracy()
+        );
         assert!(baseline.area_mm2() > 0.0);
         assert_eq!(baseline.descriptor.feature_count, 7);
         assert_eq!(baseline.model.topology(), vec![7, 10, 3]);

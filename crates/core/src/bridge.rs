@@ -23,19 +23,37 @@ pub fn circuit_spec_from_layers(
     input_bits: u8,
 ) -> Result<CircuitSpec, CoreError> {
     if layers.is_empty() {
-        return Err(CoreError::InvalidConfig { context: "no layers to synthesize".into() });
+        return Err(CoreError::InvalidConfig {
+            context: "no layers to synthesize".into(),
+        });
     }
     let last = layers.len() - 1;
     let mut hw_layers = Vec::with_capacity(layers.len());
     for (i, layer) in layers.iter().enumerate() {
-        let activation = if i == last { HwActivation::Argmax } else { HwActivation::ReLU };
+        let activation = if i == last {
+            HwActivation::Argmax
+        } else {
+            HwActivation::ReLU
+        };
         // The codes may exceed the nominal bit-width after clustering snaps
         // values between grid points; derive the width from the actual codes.
-        let max_code = layer.codes.iter().flatten().map(|c| c.abs()).max().unwrap_or(0);
-        let needed_bits = (64 - max_code.leading_zeros() as u8 + 1).max(layer.weight_bits).min(24);
-        let spec =
-            LayerSpec::with_biases(layer.codes.clone(), layer.bias_codes.clone(), needed_bits, activation)
-                .map_err(CoreError::from)?;
+        let max_code = layer
+            .codes
+            .iter()
+            .flatten()
+            .map(|c| c.abs())
+            .max()
+            .unwrap_or(0);
+        let needed_bits = (64 - max_code.leading_zeros() as u8 + 1)
+            .max(layer.weight_bits)
+            .min(24);
+        let spec = LayerSpec::with_biases(
+            layer.codes.clone(),
+            layer.bias_codes.clone(),
+            needed_bits,
+            activation,
+        )
+        .map_err(CoreError::from)?;
         hw_layers.push(spec);
     }
     CircuitSpec::new(input_bits, hw_layers).map_err(CoreError::from)
@@ -162,6 +180,9 @@ mod tests {
         let unshared = synthesize_area(&clustered, 4, &lib, SharingStrategy::None).unwrap();
         let shared = synthesize_area(&clustered, 4, &lib, SharingStrategy::SharedPerInput).unwrap();
         assert!(shared.area_mm2 <= unshared.area_mm2);
-        assert!(shared.area_mm2 < unshared.area_mm2 * 0.8, "sharing saved too little");
+        assert!(
+            shared.area_mm2 < unshared.area_mm2 * 0.8,
+            "sharing saved too little"
+        );
     }
 }

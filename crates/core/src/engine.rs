@@ -1,0 +1,570 @@
+//! The shared evaluation engine: one memoizing, parallel path through which
+//! every search, sweep and experiment scores candidate configurations.
+//!
+//! The inner loop of the paper — fine-tune a minimized candidate, synthesize
+//! its bespoke circuit, report the (accuracy, area) pair — dominates total
+//! runtime. [`EvalEngine`] makes that loop fast and shared:
+//!
+//! * it **owns** the trained [`BaselineDesign`] (dataset splits, float model,
+//!   baseline circuit) so drivers no longer juggle borrowed contexts,
+//! * a **sharded memo cache** keyed by the canonicalized
+//!   [`MinimizationConfig`] makes every configuration pay its evaluation cost
+//!   exactly once per engine, across sweeps, GA generations and experiments,
+//! * **in-flight deduplication** guarantees that concurrent workers asking
+//!   for the same configuration never evaluate it twice — later arrivals
+//!   block on the first evaluation and reuse its result,
+//! * [`EvalEngine::evaluate_batch`] fans a whole population out over the
+//!   worker threads,
+//! * a **progress hook** ([`EvalEngine::with_progress`]) reports every
+//!   completed evaluation, so long experiment runs can surface liveness.
+//!
+//! Anything that scores configurations should accept `&impl` [`Evaluator`]
+//! rather than a concrete engine, which keeps searches testable against
+//! closed-form mock evaluators.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use pmlp_core::engine::{EvalEngine, Evaluator};
+//! use pmlp_data::UciDataset;
+//! use pmlp_minimize::MinimizationConfig;
+//!
+//! # fn main() -> Result<(), pmlp_core::CoreError> {
+//! let engine = EvalEngine::train(UciDataset::Seeds, 42)?.with_fine_tune_epochs(4);
+//! let point = engine.evaluate(&MinimizationConfig::default().with_weight_bits(4))?;
+//! println!("area gain {:.2}x", point.area_gain());
+//! // A second request for the same configuration is a cache hit.
+//! let again = engine.evaluate(&MinimizationConfig::default().with_weight_bits(4))?;
+//! assert_eq!(point, again);
+//! assert_eq!(engine.stats().hits, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::baseline::{BaselineConfig, BaselineDesign};
+use crate::error::CoreError;
+use crate::objective::{evaluate_config, DesignPoint, EvaluationContext};
+use pmlp_data::UciDataset;
+use pmlp_minimize::MinimizationConfig;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Anything that can score a [`MinimizationConfig`] against a baseline.
+///
+/// [`EvalEngine`] is the production implementation; tests can substitute
+/// closed-form mocks to exercise search logic without training networks.
+pub trait Evaluator: Sync {
+    /// Evaluates a single configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] when minimization or synthesis fails.
+    fn evaluate(&self, config: &MinimizationConfig) -> Result<DesignPoint, CoreError>;
+
+    /// Evaluates a batch of configurations, by default sequentially; the
+    /// engine overrides this with a parallel implementation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CoreError`] encountered.
+    fn evaluate_batch(
+        &self,
+        configs: &[MinimizationConfig],
+    ) -> Result<Vec<DesignPoint>, CoreError> {
+        configs.iter().map(|c| self.evaluate(c)).collect()
+    }
+}
+
+/// Canonical cache identity of a configuration under a fixed engine setup.
+///
+/// Sparsity is snapped to a 1e-3 grid (matching the genome encoding) so that
+/// float noise cannot split logically identical configurations into distinct
+/// cache entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    weight_bits: u8,
+    sparsity_millis: u32,
+    clusters: usize,
+    input_bits: u8,
+    fine_tune_epochs: usize,
+    salt: u64,
+}
+
+impl CacheKey {
+    fn new(
+        config: &MinimizationConfig,
+        input_bits: u8,
+        fine_tune_epochs: usize,
+        salt: u64,
+    ) -> Self {
+        CacheKey {
+            weight_bits: config.weight_bits.unwrap_or(0),
+            sparsity_millis: config
+                .sparsity
+                .map(crate::genome::sparsity_millis)
+                .unwrap_or(u32::MAX),
+            clusters: config.clusters_per_input.unwrap_or(0),
+            input_bits,
+            fine_tune_epochs,
+            salt,
+        }
+    }
+
+    /// FNV-1a over the key fields; used only for shard selection.
+    fn shard_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        mix(u64::from(self.weight_bits));
+        mix(u64::from(self.sparsity_millis));
+        mix(self.clusters as u64);
+        mix(u64::from(self.input_bits));
+        mix(self.fine_tune_epochs as u64);
+        mix(self.salt);
+        h
+    }
+}
+
+/// A pending evaluation that concurrent requesters can wait on.
+struct InFlight {
+    result: Mutex<Option<Result<DesignPoint, CoreError>>>,
+    done: Condvar,
+}
+
+impl InFlight {
+    fn new() -> Arc<Self> {
+        Arc::new(InFlight {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, value: Result<DesignPoint, CoreError>) {
+        *self.result.lock().expect("in-flight lock") = Some(value);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<DesignPoint, CoreError> {
+        let mut guard = self.result.lock().expect("in-flight lock");
+        while guard.is_none() {
+            guard = self.done.wait(guard).expect("in-flight wait");
+        }
+        guard.as_ref().expect("filled").clone()
+    }
+}
+
+enum Slot {
+    Done(DesignPoint),
+    Pending(Arc<InFlight>),
+}
+
+/// Snapshot of the engine's cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Evaluations answered from the memo cache.
+    pub hits: usize,
+    /// Evaluations that ran the full minimize-and-synthesize pipeline.
+    pub misses: usize,
+    /// Evaluations that blocked on a concurrent in-flight computation of the
+    /// same configuration instead of recomputing it.
+    pub coalesced: usize,
+    /// Number of distinct configurations currently cached.
+    pub entries: usize,
+}
+
+impl EngineStats {
+    /// Fraction of requests served without running the pipeline, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.coalesced;
+        if total == 0 {
+            0.0
+        } else {
+            (self.hits + self.coalesced) as f64 / total as f64
+        }
+    }
+}
+
+/// Progress report handed to the [`EvalEngine::with_progress`] callback after
+/// every completed evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalProgress {
+    /// The configuration that just resolved.
+    pub config: MinimizationConfig,
+    /// Whether it was answered from the cache (or coalesced onto an in-flight
+    /// evaluation) rather than computed.
+    pub cached: bool,
+    /// Total requests resolved by this engine so far.
+    pub resolved: usize,
+}
+
+type ProgressFn = dyn Fn(EvalProgress) + Send + Sync;
+
+/// The shared, memoizing, parallel evaluation engine.
+///
+/// See the [module documentation](self) for the full picture.
+pub struct EvalEngine {
+    baseline: BaselineDesign,
+    fine_tune_epochs: usize,
+    salt: u64,
+    shards: Box<[Mutex<HashMap<CacheKey, Slot>>]>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    coalesced: AtomicUsize,
+    progress: Option<Box<ProgressFn>>,
+}
+
+impl std::fmt::Debug for EvalEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalEngine")
+            .field("dataset", &self.baseline.dataset)
+            .field("fine_tune_epochs", &self.fine_tune_epochs)
+            .field("salt", &self.salt)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Default fine-tuning budget per candidate, matching the historical
+/// `EvaluationContext::new` default.
+const DEFAULT_FINE_TUNE_EPOCHS: usize = 8;
+
+/// Default shard count: enough to keep lock contention negligible at the
+/// worker counts this workload sees.
+const DEFAULT_SHARDS: usize = 16;
+
+impl EvalEngine {
+    /// Wraps an already-trained baseline.
+    pub fn new(baseline: BaselineDesign) -> Self {
+        let shards = (0..DEFAULT_SHARDS)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect();
+        EvalEngine {
+            baseline,
+            fine_tune_epochs: DEFAULT_FINE_TUNE_EPOCHS,
+            salt: 0,
+            shards,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            coalesced: AtomicUsize::new(0),
+            progress: None,
+        }
+    }
+
+    /// Trains the baseline for `dataset` with the default budget and wraps it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset, training and synthesis errors.
+    pub fn train(dataset: UciDataset, seed: u64) -> Result<Self, CoreError> {
+        Ok(Self::new(BaselineDesign::train(dataset, seed)?))
+    }
+
+    /// Trains the baseline with an explicit budget and wraps it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset, training and synthesis errors.
+    pub fn train_with(
+        dataset: UciDataset,
+        seed: u64,
+        config: &BaselineConfig,
+    ) -> Result<Self, CoreError> {
+        Ok(Self::new(BaselineDesign::train_with(
+            dataset, seed, config,
+        )?))
+    }
+
+    /// Overrides the per-candidate fine-tuning budget.
+    ///
+    /// The budget is part of the cache key, so results obtained under a
+    /// different budget are never mixed up.
+    #[must_use]
+    pub fn with_fine_tune_epochs(mut self, epochs: usize) -> Self {
+        self.fine_tune_epochs = epochs;
+        self
+    }
+
+    /// Perturbs the fine-tuning RNG of every evaluation (part of the cache
+    /// key). Distinct salts give statistically independent re-measurements of
+    /// the same configurations.
+    #[must_use]
+    pub fn with_salt(mut self, salt: u64) -> Self {
+        self.salt = salt;
+        self
+    }
+
+    /// Installs a progress callback invoked after every resolved evaluation.
+    #[must_use]
+    pub fn with_progress(
+        mut self,
+        callback: impl Fn(EvalProgress) + Send + Sync + 'static,
+    ) -> Self {
+        self.progress = Some(Box::new(callback));
+        self
+    }
+
+    /// The baseline every evaluation is normalized against.
+    pub fn baseline(&self) -> &BaselineDesign {
+        &self.baseline
+    }
+
+    /// The per-candidate fine-tuning budget.
+    pub fn fine_tune_epochs(&self) -> usize {
+        self.fine_tune_epochs
+    }
+
+    /// Current cache counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("shard lock").len())
+                .sum(),
+        }
+    }
+
+    /// Drops every cached result (counters are kept).
+    pub fn clear_cache(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().expect("shard lock").clear();
+        }
+    }
+
+    fn shard_for(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, Slot>> {
+        &self.shards[(key.shard_hash() % self.shards.len() as u64) as usize]
+    }
+
+    fn report_progress(&self, config: &MinimizationConfig, cached: bool) {
+        if let Some(callback) = &self.progress {
+            let resolved = self.hits.load(Ordering::Relaxed)
+                + self.misses.load(Ordering::Relaxed)
+                + self.coalesced.load(Ordering::Relaxed);
+            callback(EvalProgress {
+                config: *config,
+                cached,
+                resolved,
+            });
+        }
+    }
+
+    /// Evaluates `config`, reporting whether the result came from the cache.
+    ///
+    /// This is the primitive behind [`Evaluator::evaluate`]; searches that
+    /// track their own evaluation counts (e.g. NSGA-II generation statistics)
+    /// use the `cached` flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] when minimization or synthesis fails. Errors are
+    /// not cached; a later retry re-runs the pipeline.
+    pub fn evaluate_with_status(
+        &self,
+        config: &MinimizationConfig,
+    ) -> Result<(DesignPoint, bool), CoreError> {
+        let key = CacheKey::new(
+            config,
+            self.baseline.input_bits,
+            self.fine_tune_epochs,
+            self.salt,
+        );
+        let shard = self.shard_for(&key);
+
+        enum Action {
+            Hit(DesignPoint),
+            Wait(Arc<InFlight>),
+            Compute(Arc<InFlight>),
+        }
+
+        let action = {
+            let mut guard = shard.lock().expect("shard lock");
+            match guard.get(&key) {
+                Some(Slot::Done(point)) => Action::Hit(point.clone()),
+                Some(Slot::Pending(pending)) => Action::Wait(Arc::clone(pending)),
+                None => {
+                    let pending = InFlight::new();
+                    guard.insert(key, Slot::Pending(Arc::clone(&pending)));
+                    Action::Compute(pending)
+                }
+            }
+        };
+
+        match action {
+            Action::Hit(point) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.report_progress(config, true);
+                Ok((point, true))
+            }
+            Action::Wait(pending) => {
+                // Another worker is computing this exact configuration: block
+                // until it finishes and reuse its result.
+                let outcome = pending.wait();
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                self.report_progress(config, true);
+                outcome.map(|p| (p, true))
+            }
+            Action::Compute(pending) => {
+                // Unwind guard: if the pipeline panics, the pending slot must
+                // not stay in the cache (it would wedge every later request
+                // for this key) and the waiters must be released rather than
+                // blocking on a condvar that will never be signalled.
+                struct ReleaseOnUnwind<'a> {
+                    shard: &'a Mutex<HashMap<CacheKey, Slot>>,
+                    key: CacheKey,
+                    pending: &'a InFlight,
+                    armed: bool,
+                }
+                impl Drop for ReleaseOnUnwind<'_> {
+                    fn drop(&mut self) {
+                        if self.armed {
+                            if let Ok(mut guard) = self.shard.lock() {
+                                guard.remove(&self.key);
+                            }
+                            self.pending.fill(Err(CoreError::InvalidConfig {
+                                context: "evaluation panicked; see stderr for the panic \
+                                          message"
+                                    .into(),
+                            }));
+                        }
+                    }
+                }
+                let mut unwind_guard = ReleaseOnUnwind {
+                    shard,
+                    key,
+                    pending: &pending,
+                    armed: true,
+                };
+
+                let ctx = EvaluationContext::new(&self.baseline)
+                    .with_fine_tune_epochs(self.fine_tune_epochs);
+                let outcome = evaluate_config(&ctx, config, self.salt);
+
+                unwind_guard.armed = false;
+                {
+                    let mut guard = shard.lock().expect("shard lock");
+                    match &outcome {
+                        Ok(point) => {
+                            guard.insert(key, Slot::Done(point.clone()));
+                        }
+                        Err(_) => {
+                            // Failures are not cached; a retry re-runs the
+                            // pipeline.
+                            guard.remove(&key);
+                        }
+                    }
+                }
+                pending.fill(outcome.clone());
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.report_progress(config, false);
+                outcome.map(|p| (p, false))
+            }
+        }
+    }
+}
+
+impl Evaluator for EvalEngine {
+    fn evaluate(&self, config: &MinimizationConfig) -> Result<DesignPoint, CoreError> {
+        self.evaluate_with_status(config).map(|(point, _)| point)
+    }
+
+    /// Evaluates the whole batch on the rayon worker pool. Duplicate
+    /// configurations within the batch (common in GA populations) are
+    /// deduplicated by the in-flight machinery, not recomputed.
+    fn evaluate_batch(
+        &self,
+        configs: &[MinimizationConfig],
+    ) -> Result<Vec<DesignPoint>, CoreError> {
+        configs
+            .par_iter()
+            .map(|config| self.evaluate(config))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pareto::pareto_front;
+
+    /// Closed-form fake evaluator: accuracy/area follow simple monotone laws
+    /// of the configuration, so search logic can be exercised instantly.
+    pub(crate) struct MockEvaluator;
+
+    impl Evaluator for MockEvaluator {
+        fn evaluate(&self, config: &MinimizationConfig) -> Result<DesignPoint, CoreError> {
+            let bits = f64::from(config.effective_weight_bits());
+            let sparsity = config.sparsity.unwrap_or(0.0);
+            let clusters = config.clusters_per_input.map(|c| c as f64).unwrap_or(8.0);
+            let area = (bits / 8.0) * (1.0 - sparsity) * (clusters / 8.0).min(1.0);
+            let accuracy = 0.9 - 0.02 * (8.0 - bits) - 0.05 * sparsity;
+            Ok(DesignPoint {
+                config: *config,
+                accuracy,
+                area_mm2: area * 100.0,
+                power_uw: area * 10.0,
+                normalized_accuracy: accuracy / 0.9,
+                normalized_area: area,
+                sparsity,
+                gate_count: (area * 1000.0) as usize,
+            })
+        }
+    }
+
+    #[test]
+    fn mock_evaluator_supports_batches_and_fronts() {
+        let configs = vec![
+            MinimizationConfig::baseline(),
+            MinimizationConfig::default().with_weight_bits(4),
+            MinimizationConfig::default()
+                .with_weight_bits(4)
+                .with_sparsity(0.5),
+        ];
+        let points = MockEvaluator.evaluate_batch(&configs).unwrap();
+        assert_eq!(points.len(), 3);
+        let front = pareto_front(&points);
+        assert!(!front.is_empty());
+    }
+
+    #[test]
+    fn cache_key_canonicalizes_float_noise() {
+        let a = CacheKey::new(&MinimizationConfig::default().with_sparsity(0.3), 4, 8, 0);
+        let b = CacheKey::new(
+            &MinimizationConfig::default().with_sparsity(0.30000000001),
+            4,
+            8,
+            0,
+        );
+        assert_eq!(a, b);
+        let c = CacheKey::new(&MinimizationConfig::default().with_sparsity(0.301), 4, 8, 0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cache_key_separates_budgets_and_salts() {
+        let config = MinimizationConfig::default().with_weight_bits(4);
+        let base = CacheKey::new(&config, 4, 8, 0);
+        assert_ne!(base, CacheKey::new(&config, 4, 2, 0));
+        assert_ne!(base, CacheKey::new(&config, 6, 8, 0));
+        assert_ne!(base, CacheKey::new(&config, 4, 8, 7));
+        assert_eq!(base, CacheKey::new(&config, 4, 8, 0));
+    }
+
+    #[test]
+    fn stats_hit_rate_is_fraction_of_cached_answers() {
+        let stats = EngineStats {
+            hits: 3,
+            misses: 1,
+            coalesced: 1,
+            entries: 1,
+        };
+        assert!((stats.hit_rate() - 0.8).abs() < 1e-12);
+        assert_eq!(EngineStats::default().hit_rate(), 0.0);
+    }
+}

@@ -48,25 +48,33 @@ impl std::error::Error for CoreError {}
 
 impl From<pmlp_nn::NnError> for CoreError {
     fn from(e: pmlp_nn::NnError) -> Self {
-        CoreError::Nn { context: e.to_string() }
+        CoreError::Nn {
+            context: e.to_string(),
+        }
     }
 }
 
 impl From<pmlp_data::DataError> for CoreError {
     fn from(e: pmlp_data::DataError) -> Self {
-        CoreError::Data { context: e.to_string() }
+        CoreError::Data {
+            context: e.to_string(),
+        }
     }
 }
 
 impl From<pmlp_minimize::MinimizeError> for CoreError {
     fn from(e: pmlp_minimize::MinimizeError) -> Self {
-        CoreError::Minimize { context: e.to_string() }
+        CoreError::Minimize {
+            context: e.to_string(),
+        }
     }
 }
 
 impl From<pmlp_hw::HwError> for CoreError {
     fn from(e: pmlp_hw::HwError) -> Self {
-        CoreError::Hw { context: e.to_string() }
+        CoreError::Hw {
+            context: e.to_string(),
+        }
     }
 }
 
@@ -76,14 +84,25 @@ mod tests {
 
     #[test]
     fn conversions_preserve_messages() {
-        let e: CoreError = pmlp_nn::NnError::InvalidConfig { context: "abc".into() }.into();
+        let e: CoreError = pmlp_nn::NnError::InvalidConfig {
+            context: "abc".into(),
+        }
+        .into();
         assert!(e.to_string().contains("abc"));
-        let e: CoreError = pmlp_hw::HwError::InvalidBitWidth { context: "xyz".into() }.into();
+        let e: CoreError = pmlp_hw::HwError::InvalidBitWidth {
+            context: "xyz".into(),
+        }
+        .into();
         assert!(e.to_string().contains("xyz"));
-        let e: CoreError = pmlp_data::DataError::InvalidSpec { context: "spec".into() }.into();
+        let e: CoreError = pmlp_data::DataError::InvalidSpec {
+            context: "spec".into(),
+        }
+        .into();
         assert!(e.to_string().contains("spec"));
-        let e: CoreError =
-            pmlp_minimize::MinimizeError::InvalidConfig { context: "cfg".into() }.into();
+        let e: CoreError = pmlp_minimize::MinimizeError::InvalidConfig {
+            context: "cfg".into(),
+        }
+        .into();
         assert!(e.to_string().contains("cfg"));
     }
 

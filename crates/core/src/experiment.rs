@@ -8,10 +8,11 @@
 //! * [`headline_summary`] — the Section III text claims (area gain at ≤5 %
 //!   accuracy loss per technique).
 
-use crate::baseline::{BaselineConfig, BaselineDesign};
+use crate::baseline::BaselineConfig;
+use crate::engine::EvalEngine;
 use crate::error::CoreError;
 use crate::nsga2::{Nsga2, Nsga2Config, SearchResult};
-use crate::objective::{DesignPoint, EvaluationContext};
+use crate::objective::DesignPoint;
 use crate::pareto::{area_gain_at_accuracy_loss, pareto_front};
 use crate::report::{FigureSeries, HeadlineRow};
 use crate::sweep::{sweep_all, SweepRanges, Technique};
@@ -34,7 +35,10 @@ impl Effort {
     pub fn baseline_config(self) -> BaselineConfig {
         match self {
             Effort::Full => BaselineConfig::default(),
-            Effort::Quick => BaselineConfig { epochs: 12, ..BaselineConfig::default() },
+            Effort::Quick => BaselineConfig {
+                epochs: 12,
+                ..BaselineConfig::default()
+            },
         }
     }
 
@@ -58,7 +62,11 @@ impl Effort {
     pub fn nsga2_config(self) -> Nsga2Config {
         match self {
             Effort::Full => Nsga2Config::default(),
-            Effort::Quick => Nsga2Config { population: 6, generations: 2, ..Nsga2Config::default() },
+            Effort::Quick => Nsga2Config {
+                population: 6,
+                generations: 2,
+                ..Nsga2Config::default()
+            },
         }
     }
 }
@@ -93,7 +101,24 @@ pub struct Figure1Experiment {
 impl Figure1Experiment {
     /// Creates the experiment for `dataset` at the given effort.
     pub fn new(dataset: UciDataset, effort: Effort, seed: u64) -> Self {
-        Figure1Experiment { dataset, effort, seed }
+        Figure1Experiment {
+            dataset,
+            effort,
+            seed,
+        }
+    }
+
+    /// Builds the evaluation engine this experiment would use: baseline
+    /// trained at this effort's budget, fine-tuning budget set accordingly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates baseline training and synthesis errors.
+    pub fn build_engine(&self) -> Result<EvalEngine, CoreError> {
+        Ok(
+            EvalEngine::train_with(self.dataset, self.seed, &self.effort.baseline_config())?
+                .with_fine_tune_epochs(self.effort.fine_tune_epochs()),
+        )
     }
 
     /// Runs the experiment: trains the baseline, runs the three standalone
@@ -103,11 +128,17 @@ impl Figure1Experiment {
     ///
     /// Propagates baseline, evaluation and synthesis errors.
     pub fn run(&self) -> Result<Figure1Result, CoreError> {
-        let baseline =
-            BaselineDesign::train_with(self.dataset, self.seed, &self.effort.baseline_config())?;
-        let ctx = EvaluationContext::new(&baseline)
-            .with_fine_tune_epochs(self.effort.fine_tune_epochs());
-        let sweeps = sweep_all(&ctx, &self.effort.sweep_ranges())?;
+        self.run_with(&self.build_engine()?)
+    }
+
+    /// Same as [`Figure1Experiment::run`] against a caller-provided engine,
+    /// so several experiments can share one warm evaluation cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation and synthesis errors.
+    pub fn run_with(&self, engine: &EvalEngine) -> Result<Figure1Result, CoreError> {
+        let sweeps = sweep_all(engine, &self.effort.sweep_ranges())?;
 
         let mut series = Vec::with_capacity(sweeps.len());
         let mut raw_points = Vec::with_capacity(sweeps.len());
@@ -118,8 +149,8 @@ impl Figure1Experiment {
         }
         Ok(Figure1Result {
             dataset: self.dataset.to_string(),
-            baseline_accuracy: baseline.accuracy(),
-            baseline_area_mm2: baseline.area_mm2(),
+            baseline_accuracy: engine.baseline().accuracy(),
+            baseline_area_mm2: engine.baseline().area_mm2(),
             series,
             raw_points,
         })
@@ -158,7 +189,23 @@ pub struct Figure2Experiment {
 impl Figure2Experiment {
     /// Creates the Fig. 2 experiment (defaults to WhiteWine in the binaries).
     pub fn new(dataset: UciDataset, effort: Effort, seed: u64) -> Self {
-        Figure2Experiment { dataset, effort, seed }
+        Figure2Experiment {
+            dataset,
+            effort,
+            seed,
+        }
+    }
+
+    /// Builds the evaluation engine this experiment would use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates baseline training and synthesis errors.
+    pub fn build_engine(&self) -> Result<EvalEngine, CoreError> {
+        Ok(
+            EvalEngine::train_with(self.dataset, self.seed, &self.effort.baseline_config())?
+                .with_fine_tune_epochs(self.effort.fine_tune_epochs()),
+        )
     }
 
     /// Runs the standalone sweeps and the combined GA and packages the
@@ -168,12 +215,20 @@ impl Figure2Experiment {
     ///
     /// Propagates baseline, evaluation, synthesis and search errors.
     pub fn run(&self) -> Result<Figure2Result, CoreError> {
-        let baseline =
-            BaselineDesign::train_with(self.dataset, self.seed, &self.effort.baseline_config())?;
-        let ctx = EvaluationContext::new(&baseline)
-            .with_fine_tune_epochs(self.effort.fine_tune_epochs());
+        self.run_with(&self.build_engine()?)
+    }
 
-        let sweeps = sweep_all(&ctx, &self.effort.sweep_ranges())?;
+    /// Same as [`Figure2Experiment::run`] against a caller-provided engine.
+    ///
+    /// The sweeps and the GA share the engine's memo cache, so any
+    /// configuration the GA re-discovers from the standalone ranges is
+    /// answered without retraining.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation, synthesis and search errors.
+    pub fn run_with(&self, engine: &EvalEngine) -> Result<Figure2Result, CoreError> {
+        let sweeps = sweep_all(engine, &self.effort.sweep_ranges())?;
         let standalone: Vec<FigureSeries> = sweeps
             .iter()
             .map(|s| FigureSeries::from_points(s.technique, &pareto_front(&s.points)))
@@ -181,13 +236,13 @@ impl Figure2Experiment {
 
         let mut ga_config = self.effort.nsga2_config();
         ga_config.seed ^= self.seed;
-        let search = Nsga2::new(ga_config).run(&ctx)?;
+        let search = Nsga2::new(ga_config).run(engine)?;
         let combined = FigureSeries::from_points(Technique::Combined, &search.pareto_front);
 
         Ok(Figure2Result {
             dataset: self.dataset.to_string(),
-            baseline_accuracy: baseline.accuracy(),
-            baseline_area_mm2: baseline.area_mm2(),
+            baseline_accuracy: engine.baseline().accuracy(),
+            baseline_area_mm2: engine.baseline().area_mm2(),
             standalone,
             combined,
             search,
@@ -205,7 +260,11 @@ pub fn headline_summary(result: &Figure1Result, max_accuracy_loss: f64) -> Vec<H
             dataset: result.dataset.clone(),
             technique: technique.name().to_string(),
             baseline_accuracy: result.baseline_accuracy,
-            area_gain: area_gain_at_accuracy_loss(points, result.baseline_accuracy, max_accuracy_loss),
+            area_gain: area_gain_at_accuracy_loss(
+                points,
+                result.baseline_accuracy,
+                max_accuracy_loss,
+            ),
             max_accuracy_loss,
         })
         .collect()
@@ -243,7 +302,9 @@ mod tests {
 
     #[test]
     fn quick_figure1_on_seeds_produces_three_series() {
-        let result = Figure1Experiment::new(UciDataset::Seeds, Effort::Quick, 3).run().unwrap();
+        let result = Figure1Experiment::new(UciDataset::Seeds, Effort::Quick, 3)
+            .run()
+            .unwrap();
         assert_eq!(result.series.len(), 3);
         assert!(result.baseline_area_mm2 > 0.0);
         assert!(result.baseline_accuracy > 0.5);
@@ -259,7 +320,11 @@ mod tests {
                 .raw_points
                 .iter()
                 .find(|(tech, _)| *tech == t)
-                .map(|(_, pts)| pts.iter().map(|p| p.normalized_area).fold(f64::INFINITY, f64::min))
+                .map(|(_, pts)| {
+                    pts.iter()
+                        .map(|p| p.normalized_area)
+                        .fold(f64::INFINITY, f64::min)
+                })
                 .unwrap()
         };
         assert!(min_area(Technique::Quantization) < 1.0);
@@ -268,9 +333,13 @@ mod tests {
 
     #[test]
     fn headline_summary_has_one_row_per_technique() {
-        let result = Figure1Experiment::new(UciDataset::Seeds, Effort::Quick, 5).run().unwrap();
+        let result = Figure1Experiment::new(UciDataset::Seeds, Effort::Quick, 5)
+            .run()
+            .unwrap();
         let rows = headline_summary(&result, 0.05);
         assert_eq!(rows.len(), 3);
-        assert!(rows.iter().all(|r| (r.baseline_accuracy - result.baseline_accuracy).abs() < 1e-12));
+        assert!(rows
+            .iter()
+            .all(|r| (r.baseline_accuracy - result.baseline_accuracy).abs() < 1e-12));
     }
 }

@@ -47,7 +47,11 @@ pub struct Genome {
 impl Genome {
     /// The baseline genome (no technique enabled).
     pub fn baseline() -> Self {
-        Genome { weight_bits: None, sparsity: None, clusters: None }
+        Genome {
+            weight_bits: None,
+            sparsity: None,
+            clusters: None,
+        }
     }
 
     /// Samples a random genome from `space`.
@@ -78,9 +82,21 @@ impl Genome {
     /// probability.
     pub fn crossover<R: Rng + ?Sized>(&self, other: &Genome, rng: &mut R) -> Genome {
         Genome {
-            weight_bits: if rng.gen_bool(0.5) { self.weight_bits } else { other.weight_bits },
-            sparsity: if rng.gen_bool(0.5) { self.sparsity } else { other.sparsity },
-            clusters: if rng.gen_bool(0.5) { self.clusters } else { other.clusters },
+            weight_bits: if rng.gen_bool(0.5) {
+                self.weight_bits
+            } else {
+                other.weight_bits
+            },
+            sparsity: if rng.gen_bool(0.5) {
+                self.sparsity
+            } else {
+                other.sparsity
+            },
+            clusters: if rng.gen_bool(0.5) {
+                self.clusters
+            } else {
+                other.clusters
+            },
         }
     }
 
@@ -89,25 +105,28 @@ impl Genome {
     pub fn mutate<R: Rng + ?Sized>(&self, space: &GenomeSpace, rate: f64, rng: &mut R) -> Genome {
         let mut out = *self;
         if rng.gen_bool(rate) {
-            out.weight_bits = if rng.gen_bool(space.enable_probability) && !space.weight_bits.is_empty() {
-                Some(space.weight_bits[rng.gen_range(0..space.weight_bits.len())])
-            } else {
-                None
-            };
+            out.weight_bits =
+                if rng.gen_bool(space.enable_probability) && !space.weight_bits.is_empty() {
+                    Some(space.weight_bits[rng.gen_range(0..space.weight_bits.len())])
+                } else {
+                    None
+                };
         }
         if rng.gen_bool(rate) {
-            out.sparsity = if rng.gen_bool(space.enable_probability) && !space.sparsities.is_empty() {
+            out.sparsity = if rng.gen_bool(space.enable_probability) && !space.sparsities.is_empty()
+            {
                 Some(space.sparsities[rng.gen_range(0..space.sparsities.len())])
             } else {
                 None
             };
         }
         if rng.gen_bool(rate) {
-            out.clusters = if rng.gen_bool(space.enable_probability) && !space.cluster_counts.is_empty() {
-                Some(space.cluster_counts[rng.gen_range(0..space.cluster_counts.len())])
-            } else {
-                None
-            };
+            out.clusters =
+                if rng.gen_bool(space.enable_probability) && !space.cluster_counts.is_empty() {
+                    Some(space.cluster_counts[rng.gen_range(0..space.cluster_counts.len())])
+                } else {
+                    None
+                };
         }
         out
     }
@@ -132,10 +151,17 @@ impl Genome {
     pub fn key(&self) -> (u8, u32, usize) {
         (
             self.weight_bits.unwrap_or(0),
-            self.sparsity.map(|s| (s * 1000.0) as u32).unwrap_or(u32::MAX),
+            self.sparsity.map(sparsity_millis).unwrap_or(u32::MAX),
             self.clusters.unwrap_or(0),
         )
     }
+}
+
+/// Canonical 1e-3-grid encoding of a sparsity value, shared by genome
+/// deduplication keys and the engine's cache key so the two layers always
+/// agree on which configurations are identical.
+pub fn sparsity_millis(sparsity: f64) -> u32 {
+    (sparsity * 1000.0).round() as u32
 }
 
 #[cfg(test)]
@@ -166,15 +192,28 @@ mod tests {
     fn random_genomes_are_diverse() {
         let space = GenomeSpace::default();
         let mut rng = StdRng::seed_from_u64(2);
-        let keys: std::collections::BTreeSet<_> =
-            (0..100).map(|_| Genome::random(&space, &mut rng).key()).collect();
-        assert!(keys.len() > 20, "only {} distinct genomes out of 100", keys.len());
+        let keys: std::collections::BTreeSet<_> = (0..100)
+            .map(|_| Genome::random(&space, &mut rng).key())
+            .collect();
+        assert!(
+            keys.len() > 20,
+            "only {} distinct genomes out of 100",
+            keys.len()
+        );
     }
 
     #[test]
     fn crossover_only_mixes_parent_genes() {
-        let a = Genome { weight_bits: Some(3), sparsity: Some(0.2), clusters: None };
-        let b = Genome { weight_bits: Some(6), sparsity: None, clusters: Some(4) };
+        let a = Genome {
+            weight_bits: Some(3),
+            sparsity: Some(0.2),
+            clusters: None,
+        };
+        let b = Genome {
+            weight_bits: Some(6),
+            sparsity: None,
+            clusters: Some(4),
+        };
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..50 {
             let child = a.crossover(&b, &mut rng);
@@ -196,14 +235,22 @@ mod tests {
     fn full_mutation_rate_changes_something_eventually() {
         let space = GenomeSpace::default();
         let mut rng = StdRng::seed_from_u64(5);
-        let g = Genome { weight_bits: Some(2), sparsity: Some(0.2), clusters: Some(2) };
+        let g = Genome {
+            weight_bits: Some(2),
+            sparsity: Some(0.2),
+            clusters: Some(2),
+        };
         let changed = (0..20).any(|_| g.mutate(&space, 1.0, &mut rng) != g);
         assert!(changed);
     }
 
     #[test]
     fn to_config_round_trips_gene_values() {
-        let g = Genome { weight_bits: Some(4), sparsity: Some(0.4), clusters: Some(3) };
+        let g = Genome {
+            weight_bits: Some(4),
+            sparsity: Some(0.4),
+            clusters: Some(3),
+        };
         let c = g.to_config();
         assert_eq!(c.weight_bits, Some(4));
         assert_eq!(c.sparsity, Some(0.4));
@@ -214,8 +261,16 @@ mod tests {
 
     #[test]
     fn keys_distinguish_distinct_genomes() {
-        let a = Genome { weight_bits: Some(4), sparsity: Some(0.4), clusters: Some(3) };
-        let b = Genome { weight_bits: Some(4), sparsity: Some(0.4), clusters: Some(4) };
+        let a = Genome {
+            weight_bits: Some(4),
+            sparsity: Some(0.4),
+            clusters: Some(3),
+        };
+        let b = Genome {
+            weight_bits: Some(4),
+            sparsity: Some(0.4),
+            clusters: Some(4),
+        };
         let c = Genome::baseline();
         assert_ne!(a.key(), b.key());
         assert_ne!(a.key(), c.key());

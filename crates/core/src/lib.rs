@@ -8,9 +8,12 @@
 //!
 //! Main entry points:
 //!
+//! * [`engine::EvalEngine`] — the shared, memoizing, parallel evaluation
+//!   engine every search, sweep and experiment scores candidates through,
 //! * [`baseline::BaselineDesign`] — trains and characterizes the un-minimized
 //!   bespoke MLP (Mubarik et al.) every figure is normalized against,
-//! * [`objective::evaluate_config`] — accuracy + area of a single
+//! * [`objective::evaluate_config`] — the raw (uncached) accuracy + area
+//!   measurement of a single
 //!   [`MinimizationConfig`](pmlp_minimize::MinimizationConfig),
 //! * [`sweep`] — the standalone technique sweeps of Fig. 1,
 //! * [`nsga2::Nsga2`] — the hardware-aware genetic algorithm of Fig. 2,
@@ -20,15 +23,13 @@
 //! ## Example
 //!
 //! ```no_run
-//! use pmlp_core::baseline::BaselineDesign;
-//! use pmlp_core::objective::{evaluate_config, EvaluationContext};
+//! use pmlp_core::engine::{EvalEngine, Evaluator};
 //! use pmlp_data::UciDataset;
 //! use pmlp_minimize::MinimizationConfig;
 //!
 //! # fn main() -> Result<(), pmlp_core::CoreError> {
-//! let baseline = BaselineDesign::train(UciDataset::Seeds, 42)?;
-//! let ctx = EvaluationContext::new(&baseline);
-//! let point = evaluate_config(&ctx, &MinimizationConfig::default().with_weight_bits(4), 0)?;
+//! let engine = EvalEngine::train(UciDataset::Seeds, 42)?;
+//! let point = engine.evaluate(&MinimizationConfig::default().with_weight_bits(4))?;
 //! println!("area gain {:.2}x at {:.1}% accuracy", point.area_gain(), point.accuracy * 100.0);
 //! # Ok(())
 //! # }
@@ -39,6 +40,7 @@
 
 pub mod baseline;
 pub mod bridge;
+pub mod engine;
 pub mod error;
 pub mod experiment;
 pub mod genome;
@@ -49,6 +51,7 @@ pub mod report;
 pub mod sweep;
 
 pub use baseline::BaselineDesign;
+pub use engine::{EngineStats, EvalEngine, EvalProgress, Evaluator};
 pub use error::CoreError;
 pub use genome::Genome;
 pub use nsga2::{Nsga2, Nsga2Config};

@@ -2,18 +2,22 @@
 //! [`Genome`](crate::genome::Genome)s whose fitness is the (accuracy, area)
 //! pair measured by retraining the candidate and synthesizing its bespoke
 //! circuit.
+//!
+//! All candidate scoring goes through the shared
+//! [`Evaluator`](crate::engine::Evaluator) — in production the memoizing
+//! [`EvalEngine`](crate::engine::EvalEngine) — so repeated genomes cost one
+//! evaluation per engine lifetime and populations are evaluated in parallel.
 
+use crate::engine::Evaluator;
 use crate::error::CoreError;
 use crate::genome::{Genome, GenomeSpace};
-use crate::objective::{evaluate_config, DesignPoint, EvaluationContext};
+use crate::objective::DesignPoint;
 use crate::pareto::{crowding_distances, non_dominated_ranks, pareto_front};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Hyper-parameters of the NSGA-II search.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,10 +57,14 @@ impl Nsga2Config {
     /// Returns [`CoreError::InvalidConfig`] when any parameter is degenerate.
     pub fn validate(&self) -> Result<(), CoreError> {
         if self.population < 4 {
-            return Err(CoreError::InvalidConfig { context: "population must be >= 4".into() });
+            return Err(CoreError::InvalidConfig {
+                context: "population must be >= 4".into(),
+            });
         }
         if self.generations == 0 {
-            return Err(CoreError::InvalidConfig { context: "generations must be >= 1".into() });
+            return Err(CoreError::InvalidConfig {
+                context: "generations must be >= 1".into(),
+            });
         }
         if !(0.0..=1.0).contains(&self.mutation_rate) {
             return Err(CoreError::InvalidConfig {
@@ -64,7 +72,9 @@ impl Nsga2Config {
             });
         }
         if self.tournament_size == 0 {
-            return Err(CoreError::InvalidConfig { context: "tournament_size must be >= 1".into() });
+            return Err(CoreError::InvalidConfig {
+                context: "tournament_size must be >= 1".into(),
+            });
         }
         Ok(())
     }
@@ -81,7 +91,7 @@ pub struct GenerationStats {
     pub best_accuracy: f64,
     /// Smallest normalized area seen in this generation.
     pub best_normalized_area: f64,
-    /// Number of distinct configurations evaluated so far (cache size).
+    /// Number of distinct configurations this search has evaluated so far.
     pub evaluations: usize,
 }
 
@@ -113,16 +123,18 @@ impl Nsga2 {
         &self.config
     }
 
-    /// Runs the search against the baseline wrapped in `ctx`.
+    /// Runs the search, scoring every candidate through `evaluator`.
     ///
-    /// Candidate evaluations are cached by genome, and each generation's new
-    /// candidates are evaluated in parallel.
+    /// Each generation's distinct new genomes are evaluated as one parallel
+    /// batch; genomes revisited across generations (or shared with earlier
+    /// searches on the same [`EvalEngine`](crate::engine::EvalEngine)) are
+    /// answered from the engine's memo cache.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError`] when the configuration is invalid or an
     /// evaluation fails.
-    pub fn run(&self, ctx: &EvaluationContext<'_>) -> Result<SearchResult, CoreError> {
+    pub fn run<E: Evaluator + ?Sized>(&self, evaluator: &E) -> Result<SearchResult, CoreError> {
         self.config.validate()?;
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let space = &self.config.space;
@@ -134,10 +146,11 @@ impl Nsga2 {
             population.push(Genome::random(space, &mut rng));
         }
 
-        let cache: Mutex<HashMap<(u8, u32, usize), DesignPoint>> = Mutex::new(HashMap::new());
+        // Every distinct genome this run has scored, in stable key order.
+        let mut seen: BTreeMap<(u8, u32, usize), DesignPoint> = BTreeMap::new();
         let mut history = Vec::with_capacity(self.config.generations);
 
-        let mut evaluated = self.evaluate_population(ctx, &population, &cache)?;
+        let mut evaluated = self.evaluate_population(evaluator, &population, &mut seen)?;
 
         for generation in 0..self.config.generations {
             // Selection + variation: build an offspring population.
@@ -147,14 +160,16 @@ impl Nsga2 {
             while offspring.len() < self.config.population {
                 let a = self.tournament(&population, &ranks, &crowding, &mut rng);
                 let b = self.tournament(&population, &ranks, &crowding, &mut rng);
-                let child = population[a]
-                    .crossover(&population[b], &mut rng)
-                    .mutate(space, self.config.mutation_rate, &mut rng);
+                let child = population[a].crossover(&population[b], &mut rng).mutate(
+                    space,
+                    self.config.mutation_rate,
+                    &mut rng,
+                );
                 offspring.push(child);
             }
 
             // Evaluate offspring (cached + parallel) and merge with parents.
-            let offspring_points = self.evaluate_population(ctx, &offspring, &cache)?;
+            let offspring_points = self.evaluate_population(evaluator, &offspring, &mut seen)?;
             let mut combined_genomes = population.clone();
             combined_genomes.extend_from_slice(&offspring);
             let mut combined_points = evaluated.clone();
@@ -166,9 +181,11 @@ impl Nsga2 {
             let crowding = crowding_by_rank(&combined_points, &ranks);
             let mut order: Vec<usize> = (0..combined_points.len()).collect();
             order.sort_by(|&i, &j| {
-                ranks[i]
-                    .cmp(&ranks[j])
-                    .then_with(|| crowding[j].partial_cmp(&crowding[i]).expect("finite or inf"))
+                ranks[i].cmp(&ranks[j]).then_with(|| {
+                    crowding[j]
+                        .partial_cmp(&crowding[i])
+                        .expect("finite or inf")
+                })
             });
             order.truncate(self.config.population);
             population = order.iter().map(|&i| combined_genomes[i]).collect();
@@ -183,13 +200,17 @@ impl Nsga2 {
                     .iter()
                     .map(|p| p.normalized_area)
                     .fold(f64::INFINITY, f64::min),
-                evaluations: cache.lock().len(),
+                evaluations: seen.len(),
             });
         }
 
-        let all_points: Vec<DesignPoint> = cache.into_inner().into_values().collect();
+        let all_points: Vec<DesignPoint> = seen.into_values().collect();
         let front = pareto_front(&all_points);
-        Ok(SearchResult { pareto_front: front, all_points, history })
+        Ok(SearchResult {
+            pareto_front: front,
+            all_points,
+            history,
+        })
     }
 
     fn tournament<R: Rng + ?Sized>(
@@ -211,37 +232,27 @@ impl Nsga2 {
         best
     }
 
-    fn evaluate_population(
+    /// Scores `genomes`, batching the distinct unseen ones through the
+    /// evaluator and answering the rest from `seen`.
+    fn evaluate_population<E: Evaluator + ?Sized>(
         &self,
-        ctx: &EvaluationContext<'_>,
+        evaluator: &E,
         genomes: &[Genome],
-        cache: &Mutex<HashMap<(u8, u32, usize), DesignPoint>>,
+        seen: &mut BTreeMap<(u8, u32, usize), DesignPoint>,
     ) -> Result<Vec<DesignPoint>, CoreError> {
-        // Figure out which genomes still need evaluation.
-        let missing: Vec<Genome> = {
-            let cache = cache.lock();
-            let mut seen = std::collections::BTreeSet::new();
-            genomes
-                .iter()
-                .filter(|g| !cache.contains_key(&g.key()) && seen.insert(g.key()))
-                .copied()
-                .collect()
-        };
-        let fresh: Result<Vec<(Genome, DesignPoint)>, CoreError> = missing
-            .par_iter()
-            .map(|genome| {
-                let point = evaluate_config(ctx, &genome.to_config(), self.config.seed)?;
-                Ok((*genome, point))
-            })
-            .collect();
-        {
-            let mut cache = cache.lock();
-            for (genome, point) in fresh? {
-                cache.insert(genome.key(), point);
+        let mut missing: Vec<Genome> = Vec::new();
+        let mut missing_keys = std::collections::BTreeSet::new();
+        for genome in genomes {
+            if !seen.contains_key(&genome.key()) && missing_keys.insert(genome.key()) {
+                missing.push(*genome);
             }
         }
-        let cache = cache.lock();
-        Ok(genomes.iter().map(|g| cache[&g.key()].clone()).collect())
+        let configs: Vec<_> = missing.iter().map(|g| g.to_config()).collect();
+        let fresh = evaluator.evaluate_batch(&configs)?;
+        for (genome, point) in missing.iter().zip(fresh) {
+            seen.insert(genome.key(), point);
+        }
+        Ok(genomes.iter().map(|g| seen[&g.key()].clone()).collect())
     }
 }
 
@@ -263,15 +274,35 @@ fn crowding_by_rank(points: &[DesignPoint], ranks: &[usize]) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::baseline::{BaselineConfig, BaselineDesign};
+    use crate::engine::EvalEngine;
     use pmlp_data::UciDataset;
 
     #[test]
     fn config_validation() {
-        assert!(Nsga2Config { population: 2, ..Nsga2Config::default() }.validate().is_err());
-        assert!(Nsga2Config { generations: 0, ..Nsga2Config::default() }.validate().is_err());
-        assert!(Nsga2Config { mutation_rate: 1.5, ..Nsga2Config::default() }.validate().is_err());
-        assert!(Nsga2Config { tournament_size: 0, ..Nsga2Config::default() }.validate().is_err());
+        assert!(Nsga2Config {
+            population: 2,
+            ..Nsga2Config::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Nsga2Config {
+            generations: 0,
+            ..Nsga2Config::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Nsga2Config {
+            mutation_rate: 1.5,
+            ..Nsga2Config::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Nsga2Config {
+            tournament_size: 0,
+            ..Nsga2Config::default()
+        }
+        .validate()
+        .is_err());
         assert!(Nsga2Config::default().validate().is_ok());
     }
 
@@ -280,13 +311,16 @@ mod tests {
         // A deliberately tiny search (small population, few generations, short
         // fine-tuning) so the test stays fast; it still must find designs that
         // dominate large parts of the area axis.
-        let baseline = BaselineDesign::train_with(
+        let engine = EvalEngine::train_with(
             UciDataset::Seeds,
             11,
-            &BaselineConfig { epochs: 10, ..BaselineConfig::default() },
+            &crate::baseline::BaselineConfig {
+                epochs: 10,
+                ..crate::baseline::BaselineConfig::default()
+            },
         )
-        .unwrap();
-        let ctx = EvaluationContext::new(&baseline).with_fine_tune_epochs(2);
+        .unwrap()
+        .with_fine_tune_epochs(2);
         let config = Nsga2Config {
             population: 6,
             generations: 2,
@@ -299,7 +333,7 @@ mod tests {
             },
             ..Nsga2Config::default()
         };
-        let result = Nsga2::new(config).run(&ctx).unwrap();
+        let result = Nsga2::new(config).run(&engine).unwrap();
         assert!(!result.pareto_front.is_empty());
         assert_eq!(result.history.len(), 2);
         // The search must discover at least one design smaller than baseline.
@@ -310,7 +344,36 @@ mod tests {
                 assert!(!crate::pareto::dominates(a, b) || a == b);
             }
         }
-        // History tracks a non-decreasing evaluation count.
-        assert!(result.history.windows(2).all(|w| w[1].evaluations >= w[0].evaluations));
+        // History tracks a non-decreasing evaluation count, and the engine
+        // cache matches the search's own distinct-genome count.
+        assert!(result
+            .history
+            .windows(2)
+            .all(|w| w[1].evaluations >= w[0].evaluations));
+        let final_evals = result.history.last().unwrap().evaluations;
+        assert_eq!(engine.stats().entries, final_evals);
+        // Re-running the same search on the warm engine is answered entirely
+        // from the cache and produces the identical result.
+        let misses_before = engine.stats().misses;
+        let rerun = Nsga2::new(Nsga2Config {
+            population: 6,
+            generations: 2,
+            seed: 1,
+            space: GenomeSpace {
+                weight_bits: vec![3, 4],
+                sparsities: vec![0.3, 0.5],
+                cluster_counts: vec![3],
+                enable_probability: 0.8,
+            },
+            ..Nsga2Config::default()
+        })
+        .run(&engine)
+        .unwrap();
+        assert_eq!(rerun.pareto_front, result.pareto_front);
+        assert_eq!(
+            engine.stats().misses,
+            misses_before,
+            "warm re-run must not recompute"
+        );
     }
 }

@@ -22,7 +22,10 @@ pub struct EvaluationContext<'a> {
 impl<'a> EvaluationContext<'a> {
     /// Creates a context with the default fine-tuning budget (8 epochs).
     pub fn new(baseline: &'a BaselineDesign) -> Self {
-        EvaluationContext { baseline, fine_tune_epochs: 8 }
+        EvaluationContext {
+            baseline,
+            fine_tune_epochs: 8,
+        }
     }
 
     /// Overrides the fine-tuning budget.
@@ -118,22 +121,36 @@ pub fn evaluate_config(
     config.fine_tune_epochs = ctx.fine_tune_epochs;
 
     let mut rng = StdRng::seed_from_u64(baseline.seed ^ salt ^ config_hash(&config));
-    let minimized = minimize(&baseline.model, &baseline.train, Some(&baseline.test), &config, &mut rng)?;
+    let minimized = minimize(
+        &baseline.model,
+        &baseline.train,
+        Some(&baseline.test),
+        &config,
+        &mut rng,
+    )?;
     let accuracy = minimized.accuracy(&baseline.test);
     let sharing = if config.clusters_per_input.is_some() {
         SharingStrategy::SharedPerInput
     } else {
         SharingStrategy::None
     };
-    let synthesis =
-        synthesize_area(&minimized.integer_layers, config.input_bits, &baseline.library, sharing)?;
+    let synthesis = synthesize_area(
+        &minimized.integer_layers,
+        config.input_bits,
+        &baseline.library,
+        sharing,
+    )?;
 
     Ok(DesignPoint {
         config,
         accuracy,
         area_mm2: synthesis.area_mm2,
         power_uw: synthesis.power_uw,
-        normalized_accuracy: if baseline.accuracy > 0.0 { accuracy / baseline.accuracy } else { 0.0 },
+        normalized_accuracy: if baseline.accuracy > 0.0 {
+            accuracy / baseline.accuracy
+        } else {
+            0.0
+        },
         normalized_area: if baseline.synthesis.area_mm2 > 0.0 {
             synthesis.area_mm2 / baseline.synthesis.area_mm2
         } else {
@@ -168,7 +185,10 @@ mod tests {
         BaselineDesign::train_with(
             UciDataset::Seeds,
             5,
-            &BaselineConfig { epochs: 12, ..BaselineConfig::default() },
+            &BaselineConfig {
+                epochs: 12,
+                ..BaselineConfig::default()
+            },
         )
         .unwrap()
     }
@@ -179,7 +199,11 @@ mod tests {
         let ctx = EvaluationContext::new(&baseline).with_fine_tune_epochs(2);
         let point = evaluate_config(&ctx, &MinimizationConfig::baseline(), 0).unwrap();
         // The baseline configuration reproduces the baseline circuit exactly.
-        assert!((point.normalized_area - 1.0).abs() < 1e-9, "area {}", point.normalized_area);
+        assert!(
+            (point.normalized_area - 1.0).abs() < 1e-9,
+            "area {}",
+            point.normalized_area
+        );
         assert!((point.area_gain() - 1.0).abs() < 1e-9);
     }
 
@@ -187,8 +211,13 @@ mod tests {
     fn quantization_reduces_area() {
         let baseline = baseline();
         let ctx = EvaluationContext::new(&baseline).with_fine_tune_epochs(3);
-        let q3 = evaluate_config(&ctx, &MinimizationConfig::default().with_weight_bits(3), 0).unwrap();
-        assert!(q3.normalized_area < 0.8, "3-bit area ratio {}", q3.normalized_area);
+        let q3 =
+            evaluate_config(&ctx, &MinimizationConfig::default().with_weight_bits(3), 0).unwrap();
+        assert!(
+            q3.normalized_area < 0.8,
+            "3-bit area ratio {}",
+            q3.normalized_area
+        );
         assert!(q3.area_gain() > 1.25);
     }
 
@@ -196,9 +225,14 @@ mod tests {
     fn pruning_reduces_area_proportionally() {
         let baseline = baseline();
         let ctx = EvaluationContext::new(&baseline).with_fine_tune_epochs(3);
-        let p = evaluate_config(&ctx, &MinimizationConfig::default().with_sparsity(0.6), 0).unwrap();
+        let p =
+            evaluate_config(&ctx, &MinimizationConfig::default().with_sparsity(0.6), 0).unwrap();
         assert!(p.sparsity >= 0.55);
-        assert!(p.normalized_area < 0.85, "pruned area ratio {}", p.normalized_area);
+        assert!(
+            p.normalized_area < 0.85,
+            "pruned area ratio {}",
+            p.normalized_area
+        );
     }
 
     #[test]

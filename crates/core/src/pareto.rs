@@ -44,8 +44,7 @@ pub fn non_dominated_ranks(points: &[DesignPoint]) -> Vec<usize> {
         }
     }
     let mut ranks = vec![usize::MAX; n];
-    let mut current: Vec<usize> =
-        (0..n).filter(|&i| dominated_by_count[i] == 0).collect();
+    let mut current: Vec<usize> = (0..n).filter(|&i| dominated_by_count[i] == 0).collect();
     let mut rank = 0usize;
     while !current.is_empty() {
         let mut next = Vec::new();
@@ -81,9 +80,19 @@ pub fn crowding_distances(points: &[DesignPoint]) -> Vec<f64> {
     }
     let mut distance = vec![0.0_f64; n];
     for objective in 0..2 {
-        let value = |p: &DesignPoint| if objective == 0 { p.accuracy } else { p.area_mm2 };
+        let value = |p: &DesignPoint| {
+            if objective == 0 {
+                p.accuracy
+            } else {
+                p.area_mm2
+            }
+        };
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| value(&points[a]).partial_cmp(&value(&points[b])).expect("finite"));
+        order.sort_by(|&a, &b| {
+            value(&points[a])
+                .partial_cmp(&value(&points[b]))
+                .expect("finite")
+        });
         distance[order[0]] = f64::INFINITY;
         distance[order[n - 1]] = f64::INFINITY;
         let range = value(&points[order[n - 1]]) - value(&points[order[0]]);
@@ -151,7 +160,12 @@ mod tests {
 
     #[test]
     fn pareto_front_keeps_only_non_dominated() {
-        let points = vec![point(0.9, 50.0), point(0.8, 60.0), point(0.95, 70.0), point(0.7, 40.0)];
+        let points = vec![
+            point(0.9, 50.0),
+            point(0.8, 60.0),
+            point(0.95, 70.0),
+            point(0.7, 40.0),
+        ];
         let front = pareto_front(&points);
         assert_eq!(front.len(), 3);
         assert!(front.iter().all(|p| p.accuracy != 0.8));
@@ -161,7 +175,12 @@ mod tests {
 
     #[test]
     fn ranks_are_consistent_with_dominance() {
-        let points = vec![point(0.9, 50.0), point(0.8, 60.0), point(0.95, 70.0), point(0.85, 55.0)];
+        let points = vec![
+            point(0.9, 50.0),
+            point(0.8, 60.0),
+            point(0.95, 70.0),
+            point(0.85, 55.0),
+        ];
         let ranks = non_dominated_ranks(&points);
         assert_eq!(ranks[0], 0);
         assert_eq!(ranks[2], 0);

@@ -25,17 +25,31 @@ impl FigureSeries {
     pub fn from_points(technique: Technique, points: &[DesignPoint]) -> Self {
         let mut tuples: Vec<(f64, f64, String)> = points
             .iter()
-            .map(|p| (p.normalized_accuracy, p.normalized_area, p.config.describe()))
+            .map(|p| {
+                (
+                    p.normalized_accuracy,
+                    p.normalized_area,
+                    p.config.describe(),
+                )
+            })
             .collect();
         tuples.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite areas"));
-        FigureSeries { technique, label: technique.name().to_string(), points: tuples }
+        FigureSeries {
+            technique,
+            label: technique.name().to_string(),
+            points: tuples,
+        }
     }
 }
 
 impl fmt::Display for FigureSeries {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "# series: {}", self.label)?;
-        writeln!(f, "{:<22} {:>18} {:>14}", "config", "norm. accuracy", "norm. area")?;
+        writeln!(
+            f,
+            "{:<22} {:>18} {:>14}",
+            "config", "norm. accuracy", "norm. area"
+        )?;
         for (acc, area, config) in &self.points {
             writeln!(f, "{config:<22} {acc:>18.4} {area:>14.4}")?;
         }
@@ -128,8 +142,10 @@ mod tests {
 
     #[test]
     fn series_display_lists_every_point() {
-        let series =
-            FigureSeries::from_points(Technique::Pruning, &[point(0.9, 0.8, 4), point(0.8, 0.5, 4)]);
+        let series = FigureSeries::from_points(
+            Technique::Pruning,
+            &[point(0.9, 0.8, 4), point(0.8, 0.5, 4)],
+        );
         let text = series.to_string();
         assert!(text.contains("pruning"));
         assert_eq!(text.lines().count(), 2 + 2);
@@ -145,7 +161,10 @@ mod tests {
             max_accuracy_loss: 0.05,
         };
         assert!(with_gain.to_string().contains("5.20x"));
-        let without = HeadlineRow { area_gain: None, ..with_gain.clone() };
+        let without = HeadlineRow {
+            area_gain: None,
+            ..with_gain.clone()
+        };
         assert!(without.to_string().contains("no design"));
         let table = render_headline_table(&[with_gain, without]);
         assert!(table.lines().count() >= 3);

@@ -5,10 +5,10 @@
 //! pruning at 20–60 % sparsity, and weight clustering over a range of cluster
 //! counts.
 
+use crate::engine::Evaluator;
 use crate::error::CoreError;
-use crate::objective::{evaluate_config, DesignPoint, EvaluationContext};
+use crate::objective::DesignPoint;
 use pmlp_minimize::MinimizationConfig;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// The three standalone techniques of Fig. 1 (plus the combined GA of Fig. 2).
@@ -60,7 +60,11 @@ impl Default for SweepRanges {
 impl SweepRanges {
     /// A reduced range used by fast tests and smoke benches.
     pub fn quick() -> Self {
-        SweepRanges { weight_bits: vec![3, 5], sparsities: vec![0.3, 0.6], cluster_counts: vec![3] }
+        SweepRanges {
+            weight_bits: vec![3, 5],
+            sparsities: vec![0.3, 0.6],
+            cluster_counts: vec![3],
+        }
     }
 }
 
@@ -76,13 +80,15 @@ pub struct SweepResult {
 
 /// Runs the standalone sweep of `technique` over `ranges`.
 ///
-/// Candidates are evaluated in parallel.
+/// Candidates are evaluated as one batch through `evaluator` — in parallel
+/// and memoized when the evaluator is an
+/// [`EvalEngine`](crate::engine::EvalEngine).
 ///
 /// # Errors
 ///
 /// Propagates evaluation errors.
-pub fn sweep_technique(
-    ctx: &EvaluationContext<'_>,
+pub fn sweep_technique<E: Evaluator + ?Sized>(
+    evaluator: &E,
     technique: Technique,
     ranges: &SweepRanges,
 ) -> Result<SweepResult, CoreError> {
@@ -108,11 +114,8 @@ pub fn sweep_technique(
             })
         }
     };
-    let points: Result<Vec<DesignPoint>, CoreError> = configs
-        .par_iter()
-        .map(|config| evaluate_config(ctx, config, 0))
-        .collect();
-    Ok(SweepResult { technique, points: points? })
+    let points = evaluator.evaluate_batch(&configs)?;
+    Ok(SweepResult { technique, points })
 }
 
 /// Runs all three standalone sweeps (the content of one Fig. 1 subplot).
@@ -120,24 +123,38 @@ pub fn sweep_technique(
 /// # Errors
 ///
 /// Propagates evaluation errors.
-pub fn sweep_all(
-    ctx: &EvaluationContext<'_>,
+pub fn sweep_all<E: Evaluator + ?Sized>(
+    evaluator: &E,
     ranges: &SweepRanges,
 ) -> Result<Vec<SweepResult>, CoreError> {
-    [Technique::Quantization, Technique::Pruning, Technique::Clustering]
-        .into_iter()
-        .map(|t| sweep_technique(ctx, t, ranges))
-        .collect()
+    [
+        Technique::Quantization,
+        Technique::Pruning,
+        Technique::Clustering,
+    ]
+    .into_iter()
+    .map(|t| sweep_technique(evaluator, t, ranges))
+    .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::baseline::{BaselineConfig, BaselineDesign};
+    use crate::baseline::BaselineConfig;
+    use crate::engine::EvalEngine;
     use pmlp_data::UciDataset;
 
-    fn quick_ctx(baseline: &BaselineDesign) -> EvaluationContext<'_> {
-        EvaluationContext::new(baseline).with_fine_tune_epochs(2)
+    fn quick_engine(seed: u64, epochs: usize) -> EvalEngine {
+        EvalEngine::train_with(
+            UciDataset::Seeds,
+            seed,
+            &BaselineConfig {
+                epochs,
+                ..BaselineConfig::default()
+            },
+        )
+        .unwrap()
+        .with_fine_tune_epochs(2)
     }
 
     #[test]
@@ -148,28 +165,19 @@ mod tests {
 
     #[test]
     fn combined_technique_cannot_be_swept() {
-        let baseline = BaselineDesign::train_with(
-            UciDataset::Seeds,
-            2,
-            &BaselineConfig { epochs: 8, ..BaselineConfig::default() },
-        )
-        .unwrap();
-        let ctx = quick_ctx(&baseline);
-        assert!(sweep_technique(&ctx, Technique::Combined, &SweepRanges::quick()).is_err());
+        let engine = quick_engine(2, 8);
+        assert!(sweep_technique(&engine, Technique::Combined, &SweepRanges::quick()).is_err());
     }
 
     #[test]
     fn quantization_sweep_produces_monotone_area_trend() {
-        let baseline = BaselineDesign::train_with(
-            UciDataset::Seeds,
-            3,
-            &BaselineConfig { epochs: 10, ..BaselineConfig::default() },
-        )
-        .unwrap();
-        let ctx = quick_ctx(&baseline);
-        let ranges =
-            SweepRanges { weight_bits: vec![2, 4, 7], sparsities: vec![], cluster_counts: vec![] };
-        let result = sweep_technique(&ctx, Technique::Quantization, &ranges).unwrap();
+        let engine = quick_engine(3, 10);
+        let ranges = SweepRanges {
+            weight_bits: vec![2, 4, 7],
+            sparsities: vec![],
+            cluster_counts: vec![],
+        };
+        let result = sweep_technique(&engine, Technique::Quantization, &ranges).unwrap();
         assert_eq!(result.points.len(), 3);
         // Fewer bits -> smaller circuits.
         assert!(result.points[0].area_mm2 < result.points[1].area_mm2);
@@ -180,34 +188,31 @@ mod tests {
 
     #[test]
     fn pruning_sweep_area_decreases_with_sparsity() {
-        let baseline = BaselineDesign::train_with(
-            UciDataset::Seeds,
-            4,
-            &BaselineConfig { epochs: 10, ..BaselineConfig::default() },
-        )
-        .unwrap();
-        let ctx = quick_ctx(&baseline);
-        let ranges =
-            SweepRanges { weight_bits: vec![], sparsities: vec![0.2, 0.6], cluster_counts: vec![] };
-        let result = sweep_technique(&ctx, Technique::Pruning, &ranges).unwrap();
+        let engine = quick_engine(4, 10);
+        let ranges = SweepRanges {
+            weight_bits: vec![],
+            sparsities: vec![0.2, 0.6],
+            cluster_counts: vec![],
+        };
+        let result = sweep_technique(&engine, Technique::Pruning, &ranges).unwrap();
         assert_eq!(result.points.len(), 2);
         assert!(result.points[1].area_mm2 < result.points[0].area_mm2);
     }
 
     #[test]
-    fn sweep_all_covers_three_techniques() {
-        let baseline = BaselineDesign::train_with(
-            UciDataset::Seeds,
-            5,
-            &BaselineConfig { epochs: 8, ..BaselineConfig::default() },
-        )
-        .unwrap();
-        let ctx = quick_ctx(&baseline);
-        let results = sweep_all(&ctx, &SweepRanges::quick()).unwrap();
+    fn sweep_all_covers_three_techniques_and_fills_the_cache() {
+        let engine = quick_engine(5, 8);
+        let results = sweep_all(&engine, &SweepRanges::quick()).unwrap();
         assert_eq!(results.len(), 3);
         assert_eq!(results[0].technique, Technique::Quantization);
         assert_eq!(results[1].technique, Technique::Pruning);
         assert_eq!(results[2].technique, Technique::Clustering);
         assert!(results.iter().all(|r| !r.points.is_empty()));
+        // A repeated sweep is answered entirely from the engine's cache.
+        let misses = engine.stats().misses;
+        let again = sweep_all(&engine, &SweepRanges::quick()).unwrap();
+        assert_eq!(again, results);
+        assert_eq!(engine.stats().misses, misses);
+        assert!(engine.stats().hits > 0);
     }
 }

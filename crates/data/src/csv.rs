@@ -21,7 +21,11 @@ pub struct CsvOptions {
 
 impl Default for CsvOptions {
     fn default() -> Self {
-        CsvOptions { separator: ',', has_header: false, label_column: None }
+        CsvOptions {
+            separator: ',',
+            has_header: false,
+            label_column: None,
+        }
     }
 }
 
@@ -106,7 +110,9 @@ pub fn parse_csv(text: &str, options: &CsvOptions) -> Result<Dataset, DataError>
     }
 
     if rows.is_empty() {
-        return Err(DataError::InvalidSpec { context: "csv contains no data rows".into() });
+        return Err(DataError::InvalidSpec {
+            context: "csv contains no data rows".into(),
+        });
     }
 
     // Stable label -> class-index mapping (lexicographic order).
@@ -121,8 +127,9 @@ pub fn parse_csv(text: &str, options: &CsvOptions) -> Result<Dataset, DataError>
     }
 
     let class_count = label_map.len();
-    let features: Vec<Vec<f32>> = rows.iter().map(|(f, _)| f.clone()).collect();
     let labels: Vec<usize> = rows.iter().map(|(_, l)| label_map[l]).collect();
+    // Move the parsed feature rows into the dataset instead of cloning them.
+    let features: Vec<Vec<f32>> = rows.into_iter().map(|(f, _)| f).collect();
     Ok(Dataset::from_rows(features, labels, class_count)?)
 }
 
@@ -146,7 +153,11 @@ mod tests {
     #[test]
     fn parses_semicolon_separated_wine_style_csv() {
         let text = "fixed;volatile;quality\n7.0;0.27;6\n6.3;0.30;6\n8.1;0.28;5\n";
-        let opts = CsvOptions { separator: ';', has_header: true, label_column: None };
+        let opts = CsvOptions {
+            separator: ';',
+            has_header: true,
+            label_column: None,
+        };
         let data = parse_csv(text, &opts).unwrap();
         assert_eq!(data.len(), 3);
         assert_eq!(data.feature_count(), 2);
@@ -156,7 +167,11 @@ mod tests {
     #[test]
     fn parses_whitespace_separated_seeds_style_data() {
         let text = "15.26 14.84 0.871 1\n14.88 14.57 0.881 1\n13.84 13.94 0.895 2\n";
-        let opts = CsvOptions { separator: ' ', has_header: false, label_column: None };
+        let opts = CsvOptions {
+            separator: ' ',
+            has_header: false,
+            label_column: None,
+        };
         let data = parse_csv(text, &opts).unwrap();
         assert_eq!(data.len(), 3);
         assert_eq!(data.feature_count(), 3);
@@ -166,7 +181,11 @@ mod tests {
     #[test]
     fn label_column_override_works() {
         let text = "a,1.0,2.0\nb,3.0,4.0\n";
-        let opts = CsvOptions { separator: ',', has_header: false, label_column: Some(0) };
+        let opts = CsvOptions {
+            separator: ',',
+            has_header: false,
+            label_column: Some(0),
+        };
         let data = parse_csv(text, &opts).unwrap();
         assert_eq!(data.feature_count(), 2);
         assert_eq!(data.labels(), &[0, 1]);
@@ -185,7 +204,10 @@ mod tests {
     #[test]
     fn rejects_inconsistent_field_counts() {
         let text = "1.0,2.0,0\n1.0,1\n";
-        assert!(matches!(parse_csv(text, &CsvOptions::default()), Err(DataError::ParseCsv { .. })));
+        assert!(matches!(
+            parse_csv(text, &CsvOptions::default()),
+            Err(DataError::ParseCsv { .. })
+        ));
     }
 
     #[test]
@@ -210,7 +232,12 @@ mod tests {
         let reparsed = parse_csv(&serialized, &CsvOptions::default()).unwrap();
         assert_eq!(reparsed.len(), data.len());
         assert_eq!(reparsed.labels(), data.labels());
-        for (a, b) in reparsed.features().as_slice().iter().zip(data.features().as_slice()) {
+        for (a, b) in reparsed
+            .features()
+            .as_slice()
+            .iter()
+            .zip(data.features().as_slice())
+        {
             assert!((a - b).abs() < 1e-6);
         }
     }

@@ -27,8 +27,12 @@ pub enum DataError {
 impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DataError::InvalidSpec { context } => write!(f, "invalid dataset specification: {context}"),
-            DataError::ParseCsv { line, context } => write!(f, "csv parse error at line {line}: {context}"),
+            DataError::InvalidSpec { context } => {
+                write!(f, "invalid dataset specification: {context}")
+            }
+            DataError::ParseCsv { line, context } => {
+                write!(f, "csv parse error at line {line}: {context}")
+            }
             DataError::Dataset { context } => write!(f, "dataset error: {context}"),
         }
     }
@@ -38,7 +42,9 @@ impl std::error::Error for DataError {}
 
 impl From<pmlp_nn::NnError> for DataError {
     fn from(err: pmlp_nn::NnError) -> Self {
-        DataError::Dataset { context: err.to_string() }
+        DataError::Dataset {
+            context: err.to_string(),
+        }
     }
 }
 
@@ -48,14 +54,19 @@ mod tests {
 
     #[test]
     fn display_mentions_line_number() {
-        let err = DataError::ParseCsv { line: 12, context: "bad float".into() };
+        let err = DataError::ParseCsv {
+            line: 12,
+            context: "bad float".into(),
+        };
         assert!(err.to_string().contains("12"));
         assert!(err.to_string().contains("bad float"));
     }
 
     #[test]
     fn converts_nn_error() {
-        let nn = pmlp_nn::NnError::InvalidDataset { context: "empty".into() };
+        let nn = pmlp_nn::NnError::InvalidDataset {
+            context: "empty".into(),
+        };
         let err: DataError = nn.into();
         assert!(matches!(err, DataError::Dataset { .. }));
     }

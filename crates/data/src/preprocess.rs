@@ -39,7 +39,11 @@ pub fn apply_zscore(data: &mut Dataset, stats: &[(f32, f32)]) {
         let mut row = data.features().row(r).to_vec();
         for (c, value) in row.iter_mut().enumerate().take(cols) {
             let (mean, std) = stats[c];
-            *value = if std > f32::EPSILON { (*value - mean) / std } else { 0.0 };
+            *value = if std > f32::EPSILON {
+                (*value - mean) / std
+            } else {
+                0.0
+            };
         }
         new_rows.push(row);
     }
@@ -59,9 +63,16 @@ pub fn apply_zscore(data: &mut Dataset, stats: &[(f32, f32)]) {
 /// first).
 pub fn quantize_features(data: &mut Dataset, bits: u8) -> Result<(), DataError> {
     if bits == 0 || bits > 16 {
-        return Err(DataError::InvalidSpec { context: format!("input bits must be in 1..=16, got {bits}") });
+        return Err(DataError::InvalidSpec {
+            context: format!("input bits must be in 1..=16, got {bits}"),
+        });
     }
-    if data.features().as_slice().iter().any(|&x| !(0.0..=1.0).contains(&x)) {
+    if data
+        .features()
+        .as_slice()
+        .iter()
+        .any(|&x| !(0.0..=1.0).contains(&x))
+    {
         return Err(DataError::InvalidSpec {
             context: "features must be min-max normalized to [0,1] before quantization".into(),
         });
@@ -70,8 +81,12 @@ pub fn quantize_features(data: &mut Dataset, bits: u8) -> Result<(), DataError> 
     let rows = data.len();
     let mut new_rows: Vec<Vec<f32>> = Vec::with_capacity(rows);
     for r in 0..rows {
-        let row: Vec<f32> =
-            data.features().row(r).iter().map(|&x| (x * levels).round() / levels).collect();
+        let row: Vec<f32> = data
+            .features()
+            .row(r)
+            .iter()
+            .map(|&x| (x * levels).round() / levels)
+            .collect();
         new_rows.push(row);
     }
     let labels = data.labels().to_vec();
@@ -144,7 +159,10 @@ mod tests {
         let levels = 15.0_f32;
         for &x in d.features().as_slice() {
             let scaled = x * levels;
-            assert!((scaled - scaled.round()).abs() < 1e-4, "{x} is not on the 4-bit grid");
+            assert!(
+                (scaled - scaled.round()).abs() < 1e-4,
+                "{x} is not on the 4-bit grid"
+            );
         }
     }
 
@@ -152,7 +170,11 @@ mod tests {
     fn one_bit_quantization_produces_binary_features() {
         let mut d = load(UciDataset::RedWine, 2).unwrap();
         quantize_features(&mut d, 1).unwrap();
-        assert!(d.features().as_slice().iter().all(|&x| x == 0.0 || x == 1.0));
+        assert!(d
+            .features()
+            .as_slice()
+            .iter()
+            .all(|&x| x == 0.0 || x == 1.0));
     }
 
     #[test]
@@ -161,7 +183,12 @@ mod tests {
         let mut quantized = original.clone();
         quantize_features(&mut quantized, 6).unwrap();
         let step = 1.0 / 63.0_f32;
-        for (a, b) in original.features().as_slice().iter().zip(quantized.features().as_slice()) {
+        for (a, b) in original
+            .features()
+            .as_slice()
+            .iter()
+            .zip(quantized.features().as_slice())
+        {
             assert!((a - b).abs() <= step / 2.0 + 1e-6);
         }
     }

@@ -43,17 +43,25 @@ impl GaussianMixtureSpec {
     /// a standard deviation is not positive and finite.
     pub fn validate(&self) -> Result<(), DataError> {
         if self.feature_count == 0 {
-            return Err(DataError::InvalidSpec { context: "feature_count must be > 0".into() });
+            return Err(DataError::InvalidSpec {
+                context: "feature_count must be > 0".into(),
+            });
         }
         if self.classes.is_empty() {
-            return Err(DataError::InvalidSpec { context: "at least one class is required".into() });
+            return Err(DataError::InvalidSpec {
+                context: "at least one class is required".into(),
+            });
         }
         for (ci, class) in self.classes.iter().enumerate() {
             if class.samples == 0 {
-                return Err(DataError::InvalidSpec { context: format!("class {ci} has zero samples") });
+                return Err(DataError::InvalidSpec {
+                    context: format!("class {ci} has zero samples"),
+                });
             }
             if class.centers.is_empty() {
-                return Err(DataError::InvalidSpec { context: format!("class {ci} has no centers") });
+                return Err(DataError::InvalidSpec {
+                    context: format!("class {ci} has no centers"),
+                });
             }
             if !(class.std_dev > 0.0 && class.std_dev.is_finite()) {
                 return Err(DataError::InvalidSpec {
@@ -130,12 +138,21 @@ mod rand_distr_normal {
 /// Places `class_count` well-separated class centres on a hyper-grid in
 /// `[0, scale]^feature_count`, used by the UCI-equivalent descriptors to lay
 /// out class prototypes deterministically.
-pub fn grid_centers(class_count: usize, feature_count: usize, scale: f32, seed: u64) -> Vec<Vec<f32>> {
+pub fn grid_centers(
+    class_count: usize,
+    feature_count: usize,
+    scale: f32,
+    seed: u64,
+) -> Vec<Vec<f32>> {
     // A small deterministic LCG keeps this function independent of the caller's
     // RNG so descriptors always produce identical prototypes.
-    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     let mut next = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as f32 / (u32::MAX >> 1) as f32).fract()
     };
     (0..class_count)
@@ -162,8 +179,16 @@ mod tests {
         GaussianMixtureSpec {
             feature_count: 2,
             classes: vec![
-                ClassSpec { samples: 50, centers: vec![vec![0.0, 0.0]], std_dev: 0.1 },
-                ClassSpec { samples: 70, centers: vec![vec![5.0, 5.0]], std_dev: 0.1 },
+                ClassSpec {
+                    samples: 50,
+                    centers: vec![vec![0.0, 0.0]],
+                    std_dev: 0.1,
+                },
+                ClassSpec {
+                    samples: 70,
+                    centers: vec![vec![5.0, 5.0]],
+                    std_dev: 0.1,
+                },
             ],
         }
     }
@@ -212,8 +237,16 @@ mod tests {
         let spec = GaussianMixtureSpec {
             feature_count: 2,
             classes: vec![
-                ClassSpec { samples: 200, centers: vec![vec![0.0, 0.0]], std_dev: 2.0 },
-                ClassSpec { samples: 200, centers: vec![vec![1.0, 1.0]], std_dev: 2.0 },
+                ClassSpec {
+                    samples: 200,
+                    centers: vec![vec![0.0, 0.0]],
+                    std_dev: 2.0,
+                },
+                ClassSpec {
+                    samples: 200,
+                    centers: vec![vec![1.0, 1.0]],
+                    std_dev: 2.0,
+                },
             ],
         };
         let data = spec.generate(&mut StdRng::seed_from_u64(3)).unwrap();
@@ -224,7 +257,10 @@ mod tests {
             })
             .count();
         let acc = correct as f64 / data.len() as f64;
-        assert!(acc < 0.95, "overlapping blobs were separable with accuracy {acc}");
+        assert!(
+            acc < 0.95,
+            "overlapping blobs were separable with accuracy {acc}"
+        );
     }
 
     #[test]
@@ -241,7 +277,10 @@ mod tests {
         spec.classes[0].centers[0] = vec![0.0];
         assert!(spec.validate().is_err());
 
-        let spec = GaussianMixtureSpec { feature_count: 0, classes: vec![] };
+        let spec = GaussianMixtureSpec {
+            feature_count: 0,
+            classes: vec![],
+        };
         assert!(spec.validate().is_err());
     }
 
@@ -256,7 +295,9 @@ mod tests {
             }],
         };
         let data = spec.generate(&mut StdRng::seed_from_u64(7)).unwrap();
-        let negatives = (0..data.len()).filter(|&i| data.features().get(i, 0) < 0.0).count();
+        let negatives = (0..data.len())
+            .filter(|&i| data.features().get(i, 0) < 0.0)
+            .count();
         assert_eq!(negatives, 50);
     }
 
@@ -274,8 +315,9 @@ mod tests {
     fn standard_normal_has_roughly_zero_mean_unit_variance() {
         let mut rng = StdRng::seed_from_u64(123);
         let n = 20_000;
-        let samples: Vec<f32> =
-            (0..n).map(|_| super::rand_distr_normal::sample_standard_normal(&mut rng)).collect();
+        let samples: Vec<f32> = (0..n)
+            .map(|_| super::rand_distr_normal::sample_standard_normal(&mut rng))
+            .collect();
         let mean: f32 = samples.iter().sum::<f32>() / n as f32;
         let var: f32 = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");

@@ -30,7 +30,12 @@ pub enum UciDataset {
 impl UciDataset {
     /// All four datasets in the order used by Fig. 1.
     pub fn all() -> [UciDataset; 4] {
-        [UciDataset::WhiteWine, UciDataset::RedWine, UciDataset::Pendigits, UciDataset::Seeds]
+        [
+            UciDataset::WhiteWine,
+            UciDataset::RedWine,
+            UciDataset::Pendigits,
+            UciDataset::Seeds,
+        ]
     }
 
     /// Parses a dataset name (case-insensitive): `whitewine`, `redwine`,
@@ -45,7 +50,9 @@ impl UciDataset {
             "redwine" | "red_wine" | "red-wine" => Ok(UciDataset::RedWine),
             "pendigits" => Ok(UciDataset::Pendigits),
             "seeds" => Ok(UciDataset::Seeds),
-            other => Err(DataError::InvalidSpec { context: format!("unknown dataset '{other}'") }),
+            other => Err(DataError::InvalidSpec {
+                context: format!("unknown dataset '{other}'"),
+            }),
         }
     }
 
@@ -112,11 +119,11 @@ impl UciDataset {
 /// Deterministic per-dataset prototype seed ("WhiteWine" as ASCII-ish value).
 const SEED_WHITEWINE: u64 = 0x57_68_69_74_65;
 /// Deterministic per-dataset prototype seed.
-const SEED_REDWINE: u64 = 0x52_65_64;
+const SEED_REDWINE: u64 = 0x526564;
 /// Deterministic per-dataset prototype seed.
 const SEED_PENDIGITS: u64 = 0x50_65_6e;
 /// Deterministic per-dataset prototype seed.
-const SEED_SEEDS: u64 = 0x53_65_65_64;
+const SEED_SEEDS: u64 = 0x53656564;
 
 impl fmt::Display for UciDataset {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -126,7 +133,7 @@ impl fmt::Display for UciDataset {
 
 /// Static description of one dataset: the real UCI shape plus the parameters
 /// of its synthetic stand-in and the baseline MLP topology used by the paper.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct DatasetDescriptor {
     /// Which dataset this describes.
     pub dataset: UciDataset,
@@ -154,6 +161,16 @@ pub struct DatasetDescriptor {
     pub prototype_seed: u64,
 }
 
+impl serde::Deserialize for DatasetDescriptor {
+    /// A descriptor is a pure function of its `dataset` field, so
+    /// deserialization rebuilds it through [`UciDataset::descriptor`] (which
+    /// also restores the `&'static str` name).
+    fn deserialize_value(value: &serde::json::Value) -> Result<Self, serde::json::Error> {
+        let dataset = UciDataset::deserialize_value(value.field("dataset")?)?;
+        Ok(dataset.descriptor())
+    }
+}
+
 impl DatasetDescriptor {
     /// Baseline MLP topology `[inputs, hidden, classes]` for this dataset.
     pub fn topology(&self) -> Vec<usize> {
@@ -162,19 +179,31 @@ impl DatasetDescriptor {
 
     /// Builds the Gaussian-mixture specification of the synthetic stand-in.
     pub fn mixture_spec(&self) -> GaussianMixtureSpec {
-        let centers =
-            grid_centers(self.class_count * self.blobs_per_class, self.feature_count, 1.0, self.prototype_seed);
+        let centers = grid_centers(
+            self.class_count * self.blobs_per_class,
+            self.feature_count,
+            1.0,
+            self.prototype_seed,
+        );
         let classes = (0..self.class_count)
             .map(|c| {
-                let samples =
-                    ((self.synthetic_samples as f64) * self.class_weights[c]).round().max(2.0) as usize;
+                let samples = ((self.synthetic_samples as f64) * self.class_weights[c])
+                    .round()
+                    .max(2.0) as usize;
                 let blob_centers: Vec<Vec<f32>> = (0..self.blobs_per_class)
                     .map(|b| centers[c * self.blobs_per_class + b].clone())
                     .collect();
-                ClassSpec { samples, centers: blob_centers, std_dev: self.class_std }
+                ClassSpec {
+                    samples,
+                    centers: blob_centers,
+                    std_dev: self.class_std,
+                }
             })
             .collect();
-        GaussianMixtureSpec { feature_count: self.feature_count, classes }
+        GaussianMixtureSpec {
+            feature_count: self.feature_count,
+            classes,
+        }
     }
 
     /// Generates the synthetic dataset with the given seed and normalizes all
@@ -240,9 +269,15 @@ mod tests {
 
     #[test]
     fn parse_accepts_all_names() {
-        assert_eq!(UciDataset::parse("WhiteWine").unwrap(), UciDataset::WhiteWine);
+        assert_eq!(
+            UciDataset::parse("WhiteWine").unwrap(),
+            UciDataset::WhiteWine
+        );
         assert_eq!(UciDataset::parse("red-wine").unwrap(), UciDataset::RedWine);
-        assert_eq!(UciDataset::parse("PENDIGITS").unwrap(), UciDataset::Pendigits);
+        assert_eq!(
+            UciDataset::parse("PENDIGITS").unwrap(),
+            UciDataset::Pendigits
+        );
         assert_eq!(UciDataset::parse("seeds").unwrap(), UciDataset::Seeds);
         assert!(UciDataset::parse("iris").is_err());
     }
@@ -273,7 +308,11 @@ mod tests {
     #[test]
     fn features_are_normalized_to_unit_interval() {
         let data = load(UciDataset::Pendigits, 5).unwrap();
-        assert!(data.features().as_slice().iter().all(|&x| (0.0..=1.0).contains(&x)));
+        assert!(data
+            .features()
+            .as_slice()
+            .iter()
+            .all(|&x| (0.0..=1.0).contains(&x)));
     }
 
     #[test]

@@ -28,7 +28,13 @@ pub fn constant_word(value: i64, width: usize) -> Word {
         "constant {value} does not fit in {width} signed bits"
     );
     (0..width)
-        .map(|i| if (value >> i) & 1 == 1 { CONST_ONE } else { CONST_ZERO })
+        .map(|i| {
+            if (value >> i) & 1 == 1 {
+                CONST_ONE
+            } else {
+                CONST_ZERO
+            }
+        })
         .collect()
 }
 
@@ -45,7 +51,9 @@ pub fn input_word(netlist: &mut Netlist, width: usize) -> Word {
 pub fn resize(word: &[NetId], width: usize) -> Word {
     assert!(!word.is_empty(), "cannot resize an empty word");
     let sign = *word.last().expect("non-empty word");
-    (0..width).map(|i| if i < word.len() { word[i] } else { sign }).collect()
+    (0..width)
+        .map(|i| if i < word.len() { word[i] } else { sign })
+        .collect()
 }
 
 /// Shifts `word` left by `k` bits (multiplication by `2^k`), widening the
@@ -79,7 +87,10 @@ fn add_with_carry(
     carry_in: NetId,
     invert_b: bool,
 ) -> Word {
-    assert!(!a.is_empty() && !b.is_empty(), "adder operands must be non-empty");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "adder operands must be non-empty"
+    );
     let width = a.len().max(b.len()) + 1;
     let a_ext = resize(a, width);
     let b_ext = resize(b, width);
@@ -100,7 +111,11 @@ fn add_with_carry(
         if carry == CONST_ZERO {
             netlist.add_gate(CellKind::HalfAdder, vec![a_ext[i], b_bit], vec![s, c]);
         } else {
-            netlist.add_gate(CellKind::FullAdder, vec![a_ext[i], b_bit, carry], vec![s, c]);
+            netlist.add_gate(
+                CellKind::FullAdder,
+                vec![a_ext[i], b_bit, carry],
+                vec![s, c],
+            );
         }
         sum.push(s);
         carry = c;
@@ -306,7 +321,7 @@ mod tests {
         let mut netlist = Netlist::new("tree0");
         assert_eq!(adder_tree(&mut netlist, &[]), constant_word(0, 1));
         let w = input_word(&mut netlist, 3);
-        assert_eq!(adder_tree(&mut netlist, &[w.clone()]), w);
+        assert_eq!(adder_tree(&mut netlist, std::slice::from_ref(&w)), w);
     }
 
     #[test]

@@ -37,13 +37,20 @@ pub struct TimingReport {
 
 impl Default for TimingReport {
     fn default() -> Self {
-        TimingReport { critical_path_us: 0.0, max_frequency_hz: f64::INFINITY }
+        TimingReport {
+            critical_path_us: 0.0,
+            max_frequency_hz: f64::INFINITY,
+        }
     }
 }
 
 impl fmt::Display for AreaReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "total area: {:.4} mm2 ({} gates)", self.total_mm2, self.gate_count)?;
+        writeln!(
+            f,
+            "total area: {:.4} mm2 ({} gates)",
+            self.total_mm2, self.gate_count
+        )?;
         for (kind, (count, area)) in &self.by_kind {
             writeln!(f, "  {kind:<6} x{count:<6} {area:.4} mm2")?;
         }
@@ -87,12 +94,19 @@ mod tests {
     fn display_contains_totals() {
         let mut by_kind = BTreeMap::new();
         by_kind.insert(CellKind::FullAdder, (3usize, 0.576));
-        let area = AreaReport { total_mm2: 0.576, gate_count: 3, by_kind };
+        let area = AreaReport {
+            total_mm2: 0.576,
+            gate_count: 3,
+            by_kind,
+        };
         let text = area.to_string();
         assert!(text.contains("0.576"));
         assert!(text.contains("FA"));
 
-        let timing = TimingReport { critical_path_us: 100.0, max_frequency_hz: 10_000.0 };
+        let timing = TimingReport {
+            critical_path_us: 100.0,
+            max_frequency_hz: 10_000.0,
+        };
         assert!(timing.to_string().contains("100.0"));
     }
 }

@@ -116,8 +116,16 @@ impl CellLibrary {
     ///
     /// Missing cells fall back to the NAND2 parameters scaled by a
     /// NAND-equivalent factor, so partially specified libraries stay usable.
-    pub fn new(name: impl Into<String>, supply_voltage: f64, cells: BTreeMap<CellKind, CellParams>) -> Self {
-        CellLibrary { name: name.into(), supply_voltage, cells }
+    pub fn new(
+        name: impl Into<String>,
+        supply_voltage: f64,
+        cells: BTreeMap<CellKind, CellParams>,
+    ) -> Self {
+        CellLibrary {
+            name: name.into(),
+            supply_voltage,
+            cells,
+        }
     }
 
     /// The open EGT library abstraction (inkjet-printed, ~1 V supply).
@@ -167,11 +175,15 @@ impl CellLibrary {
             return p;
         }
         // Fallback: scale the NAND2 cell by a typical NAND-equivalent factor.
-        let base = self.cells.get(&CellKind::Nand2).copied().unwrap_or(CellParams {
-            area_mm2: 0.04,
-            power_uw: 1.3,
-            delay_us: 25.0,
-        });
+        let base = self
+            .cells
+            .get(&CellKind::Nand2)
+            .copied()
+            .unwrap_or(CellParams {
+                area_mm2: 0.04,
+                power_uw: 1.3,
+                delay_us: 25.0,
+            });
         let ge = match kind {
             CellKind::Inverter => 0.6,
             CellKind::Buffer => 0.8,
@@ -183,7 +195,11 @@ impl CellLibrary {
             CellKind::FullAdder => 4.8,
             CellKind::Dff => 6.0,
         };
-        CellParams { area_mm2: base.area_mm2 * ge, power_uw: base.power_uw * ge, delay_us: base.delay_us * ge }
+        CellParams {
+            area_mm2: base.area_mm2 * ge,
+            power_uw: base.power_uw * ge,
+            delay_us: base.delay_us * ge,
+        }
     }
 
     /// Iterates over all explicitly defined cells.
@@ -230,7 +246,14 @@ mod tests {
     #[test]
     fn fallback_params_are_used_for_missing_cells() {
         let mut cells = BTreeMap::new();
-        cells.insert(CellKind::Nand2, CellParams { area_mm2: 0.1, power_uw: 2.0, delay_us: 10.0 });
+        cells.insert(
+            CellKind::Nand2,
+            CellParams {
+                area_mm2: 0.1,
+                power_uw: 2.0,
+                delay_us: 10.0,
+            },
+        );
         let lib = CellLibrary::new("partial", 1.0, cells);
         let fa = lib.params(CellKind::FullAdder);
         assert!((fa.area_mm2 - 0.48).abs() < 1e-9);

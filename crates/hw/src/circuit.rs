@@ -59,7 +59,11 @@ impl LayerSpec {
     ///
     /// Returns [`HwError::InvalidSpec`] when the weight matrix is empty or
     /// ragged, or when a weight does not fit in `weight_bits` signed bits.
-    pub fn new(weights: Vec<Vec<i64>>, weight_bits: u8, activation: HwActivation) -> Result<Self, HwError> {
+    pub fn new(
+        weights: Vec<Vec<i64>>,
+        weight_bits: u8,
+        activation: HwActivation,
+    ) -> Result<Self, HwError> {
         let neurons = weights.len();
         let biases = vec![0; neurons];
         LayerSpec::with_biases(weights, biases, weight_bits, activation)
@@ -77,14 +81,20 @@ impl LayerSpec {
         activation: HwActivation,
     ) -> Result<Self, HwError> {
         if weights.is_empty() {
-            return Err(HwError::InvalidSpec { context: "layer has no neurons".into() });
+            return Err(HwError::InvalidSpec {
+                context: "layer has no neurons".into(),
+            });
         }
         let inputs = weights[0].len();
         if inputs == 0 {
-            return Err(HwError::InvalidSpec { context: "layer neurons have no inputs".into() });
+            return Err(HwError::InvalidSpec {
+                context: "layer neurons have no inputs".into(),
+            });
         }
         if weights.iter().any(|row| row.len() != inputs) {
-            return Err(HwError::InvalidSpec { context: "ragged weight matrix".into() });
+            return Err(HwError::InvalidSpec {
+                context: "ragged weight matrix".into(),
+            });
         }
         if biases.len() != weights.len() {
             return Err(HwError::InvalidSpec {
@@ -103,7 +113,12 @@ impl LayerSpec {
                 context: format!("weight {w} does not fit in {weight_bits} signed bits"),
             });
         }
-        Ok(LayerSpec { weights, biases, weight_bits, activation })
+        Ok(LayerSpec {
+            weights,
+            biases,
+            weight_bits,
+            activation,
+        })
     }
 
     /// Number of neurons in this layer.
@@ -161,7 +176,9 @@ impl CircuitSpec {
             });
         }
         if layers.is_empty() {
-            return Err(HwError::InvalidSpec { context: "circuit has no layers".into() });
+            return Err(HwError::InvalidSpec {
+                context: "circuit has no layers".into(),
+            });
         }
         for (i, pair) in layers.windows(2).enumerate() {
             if pair[1].input_count() != pair[0].neuron_count() {
@@ -185,7 +202,10 @@ impl CircuitSpec {
 
     /// Number of outputs (neurons of the last layer).
     pub fn output_count(&self) -> usize {
-        self.layers.last().expect("at least one layer").neuron_count()
+        self.layers
+            .last()
+            .expect("at least one layer")
+            .neuron_count()
     }
 }
 
@@ -330,7 +350,10 @@ impl BespokeMlpCircuit {
     /// Panics if `inputs.len()` differs from the number of circuit inputs.
     pub fn evaluate(&self, inputs: &[u64]) -> Vec<i64> {
         let values = self.simulate(inputs);
-        self.outputs.iter().map(|w| adder::word_value(&values, w)).collect()
+        self.outputs
+            .iter()
+            .map(|w| adder::word_value(&values, w))
+            .collect()
     }
 
     /// Evaluates the circuit and returns the argmax class index (either from
@@ -345,8 +368,11 @@ impl BespokeMlpCircuit {
         match &self.argmax_index {
             Some(index) => adder::word_value(&values, index) as usize,
             None => {
-                let outs: Vec<i64> =
-                    self.outputs.iter().map(|w| adder::word_value(&values, w)).collect();
+                let outs: Vec<i64> = self
+                    .outputs
+                    .iter()
+                    .map(|w| adder::word_value(&values, w))
+                    .collect();
                 outs.iter()
                     .enumerate()
                     .max_by_key(|&(i, &v)| (v, std::cmp::Reverse(i)))
@@ -357,7 +383,12 @@ impl BespokeMlpCircuit {
     }
 
     fn simulate(&self, inputs: &[u64]) -> Vec<bool> {
-        assert_eq!(inputs.len(), self.input_count, "expected {} inputs", self.input_count);
+        assert_eq!(
+            inputs.len(),
+            self.input_count,
+            "expected {} inputs",
+            self.input_count
+        );
         let bits_per_input = self.input_bits as usize;
         let mut bits = Vec::with_capacity(inputs.len() * bits_per_input);
         for &v in inputs {
@@ -398,7 +429,8 @@ mod tests {
         CircuitSpec::new(
             4,
             vec![
-                LayerSpec::new(vec![vec![2, -1, 3], vec![-2, 4, 1]], 4, HwActivation::ReLU).unwrap(),
+                LayerSpec::new(vec![vec![2, -1, 3], vec![-2, 4, 1]], 4, HwActivation::ReLU)
+                    .unwrap(),
                 LayerSpec::new(vec![vec![1, -2], vec![-3, 2]], 4, HwActivation::Argmax).unwrap(),
             ],
         )
@@ -455,7 +487,13 @@ mod tests {
     fn circuit_matches_reference_forward_pass() {
         let spec = simple_spec();
         let circuit = BespokeMlpCircuit::synthesize(&spec, &CellLibrary::egt()).unwrap();
-        for inputs in [[0_u64, 0, 0], [1, 2, 3], [15, 15, 15], [7, 0, 9], [3, 14, 5]] {
+        for inputs in [
+            [0_u64, 0, 0],
+            [1, 2, 3],
+            [15, 15, 15],
+            [7, 0, 9],
+            [3, 14, 5],
+        ] {
             let signed: Vec<i64> = inputs.iter().map(|&v| v as i64).collect();
             let expected = reference_forward(&spec, &signed);
             assert_eq!(circuit.evaluate(&inputs), expected, "inputs {inputs:?}");
@@ -465,7 +503,11 @@ mod tests {
                 .max_by_key(|&(i, &v)| (v, std::cmp::Reverse(i)))
                 .map(|(i, _)| i)
                 .unwrap();
-            assert_eq!(circuit.classify(&inputs), expected_class, "inputs {inputs:?}");
+            assert_eq!(
+                circuit.classify(&inputs),
+                expected_class,
+                "inputs {inputs:?}"
+            );
         }
     }
 
@@ -522,13 +564,21 @@ mod tests {
             let scale = (1_i64 << (bits - 1)) as f64;
             let ints: Vec<i64> = real_weights
                 .iter()
-                .map(|w| ((w * scale).round() as i64).clamp(-(1 << (bits - 1)), (1 << (bits - 1)) - 1))
+                .map(|w| {
+                    ((w * scale).round() as i64).clamp(-(1 << (bits - 1)), (1 << (bits - 1)) - 1)
+                })
                 .collect();
-            let layer =
-                LayerSpec::new(vec![ints[0..3].to_vec(), ints[3..6].to_vec()], bits, HwActivation::ReLU)
-                    .unwrap();
+            let layer = LayerSpec::new(
+                vec![ints[0..3].to_vec(), ints[3..6].to_vec()],
+                bits,
+                HwActivation::ReLU,
+            )
+            .unwrap();
             let spec = CircuitSpec::new(4, vec![layer]).unwrap();
-            BespokeMlpCircuit::synthesize(&spec, &lib).unwrap().area().total_mm2
+            BespokeMlpCircuit::synthesize(&spec, &lib)
+                .unwrap()
+                .area()
+                .total_mm2
         };
         let a3 = build(3);
         let a5 = build(5);
@@ -540,24 +590,28 @@ mod tests {
     #[test]
     fn pruned_spec_is_smaller() {
         let lib = CellLibrary::egt();
-        let dense = LayerSpec::new(vec![vec![3, 5, -7, 6], vec![2, -3, 4, -5]], 4, HwActivation::ReLU)
-            .unwrap();
-        let pruned =
-            LayerSpec::new(vec![vec![3, 0, -7, 0], vec![0, -3, 0, -5]], 4, HwActivation::ReLU).unwrap();
-        let dense_area = BespokeMlpCircuit::synthesize(
-            &CircuitSpec::new(4, vec![dense]).unwrap(),
-            &lib,
+        let dense = LayerSpec::new(
+            vec![vec![3, 5, -7, 6], vec![2, -3, 4, -5]],
+            4,
+            HwActivation::ReLU,
         )
-        .unwrap()
-        .area()
-        .total_mm2;
-        let pruned_area = BespokeMlpCircuit::synthesize(
-            &CircuitSpec::new(4, vec![pruned]).unwrap(),
-            &lib,
+        .unwrap();
+        let pruned = LayerSpec::new(
+            vec![vec![3, 0, -7, 0], vec![0, -3, 0, -5]],
+            4,
+            HwActivation::ReLU,
         )
-        .unwrap()
-        .area()
-        .total_mm2;
+        .unwrap();
+        let dense_area =
+            BespokeMlpCircuit::synthesize(&CircuitSpec::new(4, vec![dense]).unwrap(), &lib)
+                .unwrap()
+                .area()
+                .total_mm2;
+        let pruned_area =
+            BespokeMlpCircuit::synthesize(&CircuitSpec::new(4, vec![pruned]).unwrap(), &lib)
+                .unwrap()
+                .area()
+                .total_mm2;
         assert!(pruned_area < dense_area);
     }
 
@@ -575,8 +629,12 @@ mod tests {
 
     #[test]
     fn distinct_products_counts_clustered_weights() {
-        let layer = LayerSpec::new(vec![vec![5, 3], vec![5, 3], vec![5, -3]], 4, HwActivation::ReLU)
-            .unwrap();
+        let layer = LayerSpec::new(
+            vec![vec![5, 3], vec![5, 3], vec![5, -3]],
+            4,
+            HwActivation::ReLU,
+        )
+        .unwrap();
         assert_eq!(layer.nonzero_weights(), 6);
         assert_eq!(layer.distinct_products(), 3); // (0,5), (1,3), (1,-3)
     }

@@ -38,7 +38,10 @@ pub fn constant_multiplier(
     constant: i64,
     strategy: RecodingStrategy,
 ) -> Word {
-    assert!(!input.is_empty(), "constant multiplier needs a non-empty input word");
+    assert!(
+        !input.is_empty(),
+        "constant multiplier needs a non-empty input word"
+    );
     if constant == 0 {
         return adder::constant_word(0, 1);
     }
@@ -143,7 +146,11 @@ mod tests {
             let mut netlist = Netlist::new("pow2");
             let x = input_word(&mut netlist, 4);
             let _ = constant_multiplier(&mut netlist, &x, c, RecodingStrategy::Csd);
-            assert_eq!(netlist.gate_count(), 0, "constant {c} should be pure wiring");
+            assert_eq!(
+                netlist.gate_count(),
+                0,
+                "constant {c} should be pure wiring"
+            );
         }
     }
 

@@ -33,7 +33,10 @@ impl CsdDigits {
     /// Recodes `value` into canonical signed-digit form.
     pub fn from_value(value: i64) -> Self {
         if value == 0 {
-            return CsdDigits { digits: Vec::new(), value: 0 };
+            return CsdDigits {
+                digits: Vec::new(),
+                value: 0,
+            };
         }
         // Work on the magnitude, then negate the digits for negative values.
         let negative = value < 0;
@@ -235,7 +238,10 @@ mod tests {
         let csd = CsdDigits::from_value(7); // 8 - 1
         let terms = csd.terms();
         assert_eq!(terms.len(), 2);
-        let total: i64 = terms.iter().map(|&(shift, sign)| sign as i64 * (1_i64 << shift)).sum();
+        let total: i64 = terms
+            .iter()
+            .map(|&(shift, sign)| sign as i64 * (1_i64 << shift))
+            .sum();
         assert_eq!(total, 7);
     }
 

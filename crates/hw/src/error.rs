@@ -28,9 +28,14 @@ impl fmt::Display for HwError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HwError::InvalidBitWidth { context } => write!(f, "invalid bit width: {context}"),
-            HwError::InvalidSpec { context } => write!(f, "invalid circuit specification: {context}"),
+            HwError::InvalidSpec { context } => {
+                write!(f, "invalid circuit specification: {context}")
+            }
             HwError::Overflow { value, format } => {
-                write!(f, "value {value} does not fit in fixed-point format {format}")
+                write!(
+                    f,
+                    "value {value} does not fit in fixed-point format {format}"
+                )
             }
         }
     }
@@ -44,9 +49,14 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = HwError::InvalidBitWidth { context: "weight bits = 0".into() };
+        let e = HwError::InvalidBitWidth {
+            context: "weight bits = 0".into(),
+        };
         assert!(e.to_string().contains("weight bits"));
-        let e = HwError::Overflow { value: 3.5, format: "Q1.2".into() };
+        let e = HwError::Overflow {
+            value: 3.5,
+            format: "Q1.2".into(),
+        };
         assert!(e.to_string().contains("3.5"));
         assert!(e.to_string().contains("Q1.2"));
     }

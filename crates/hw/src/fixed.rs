@@ -44,7 +44,10 @@ impl FixedPointFormat {
     pub fn new(total_bits: u8, fractional_bits: u8) -> Result<Self, HwError> {
         if total_bits == 0 || total_bits > Self::MAX_BITS {
             return Err(HwError::InvalidBitWidth {
-                context: format!("total_bits must be in 1..={}, got {total_bits}", Self::MAX_BITS),
+                context: format!(
+                    "total_bits must be in 1..={}, got {total_bits}",
+                    Self::MAX_BITS
+                ),
             });
         }
         if fractional_bits >= total_bits {
@@ -54,7 +57,10 @@ impl FixedPointFormat {
                 ),
             });
         }
-        Ok(FixedPointFormat { total_bits, fractional_bits })
+        Ok(FixedPointFormat {
+            total_bits,
+            fractional_bits,
+        })
     }
 
     /// The format used by the paper's `b`-bit weight quantization: `b` bits
@@ -117,7 +123,10 @@ impl FixedPointFormat {
     pub fn quantize(&self, value: f64) -> Result<i64, HwError> {
         let code = (value / self.step()).round() as i64;
         if code < self.min_code() || code > self.max_code() {
-            return Err(HwError::Overflow { value, format: self.to_string() });
+            return Err(HwError::Overflow {
+                value,
+                format: self.to_string(),
+            });
         }
         Ok(code)
     }
@@ -143,7 +152,12 @@ impl FixedPointFormat {
 
 impl fmt::Display for FixedPointFormat {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Q{}.{}", self.total_bits - self.fractional_bits, self.fractional_bits)
+        write!(
+            f,
+            "Q{}.{}",
+            self.total_bits - self.fractional_bits,
+            self.fractional_bits
+        )
     }
 }
 

@@ -102,9 +102,16 @@ impl Netlist {
     /// indicate a builder bug.
     pub fn add_gate(&mut self, kind: CellKind, inputs: Vec<NetId>, outputs: Vec<NetId>) {
         for &net in inputs.iter().chain(outputs.iter()) {
-            assert!(net < self.net_count, "gate references unallocated net {net}");
+            assert!(
+                net < self.net_count,
+                "gate references unallocated net {net}"
+            );
         }
-        self.gates.push(Gate { kind, inputs, outputs });
+        self.gates.push(Gate {
+            kind,
+            inputs,
+            outputs,
+        });
     }
 
     /// Number of gates.
@@ -150,7 +157,11 @@ impl Netlist {
             by_kind.insert(kind, (count, a));
             total += a;
         }
-        AreaReport { total_mm2: total, gate_count: self.gate_count(), by_kind }
+        AreaReport {
+            total_mm2: total,
+            gate_count: self.gate_count(),
+            by_kind,
+        }
     }
 
     /// Total static power under the given library.
@@ -162,7 +173,10 @@ impl Netlist {
             by_kind.insert(kind, (count, p));
             total += p;
         }
-        PowerReport { total_uw: total, by_kind }
+        PowerReport {
+            total_uw: total,
+            by_kind,
+        }
     }
 
     /// Critical-path delay (longest combinational path from any primary input
@@ -172,7 +186,11 @@ impl Netlist {
         let critical = arrival.iter().cloned().fold(0.0_f64, f64::max);
         TimingReport {
             critical_path_us: critical,
-            max_frequency_hz: if critical > 0.0 { 1e6 / critical } else { f64::INFINITY },
+            max_frequency_hz: if critical > 0.0 {
+                1e6 / critical
+            } else {
+                f64::INFINITY
+            },
         }
     }
 
@@ -183,8 +201,11 @@ impl Netlist {
         let mut arrival = vec![0.0_f64; self.net_count];
         for &gi in &order {
             let gate = &self.gates[gi];
-            let input_arrival =
-                gate.inputs.iter().map(|&n| arrival[n]).fold(0.0_f64, f64::max);
+            let input_arrival = gate
+                .inputs
+                .iter()
+                .map(|&n| arrival[n])
+                .fold(0.0_f64, f64::max);
             let t = input_arrival + library.params(gate.kind).delay_us;
             for &out in &gate.outputs {
                 if t > arrival[out] {
@@ -225,8 +246,9 @@ impl Netlist {
                 }
             }
         }
-        let mut queue: Vec<usize> =
-            (0..self.gates.len()).filter(|&gi| indegree[gi] == 0).collect();
+        let mut queue: Vec<usize> = (0..self.gates.len())
+            .filter(|&gi| indegree[gi] == 0)
+            .collect();
         let mut order = Vec::with_capacity(self.gates.len());
         let mut head = 0;
         while head < queue.len() {
@@ -246,8 +268,8 @@ impl Netlist {
             for &gi in &order {
                 seen[gi] = true;
             }
-            for gi in 0..self.gates.len() {
-                if !seen[gi] {
+            for (gi, &was_seen) in seen.iter().enumerate() {
+                if !was_seen {
                     order.push(gi);
                 }
             }
@@ -347,8 +369,8 @@ impl Netlist {
         let mut mapping = vec![0usize; other.net_count];
         mapping[CONST_ZERO] = CONST_ZERO;
         mapping[CONST_ONE] = CONST_ONE;
-        for net in 2..other.net_count {
-            mapping[net] = self.add_net();
+        for slot in mapping.iter_mut().skip(2) {
+            *slot = self.add_net();
         }
         for gate in &other.gates {
             let inputs = gate.inputs.iter().map(|&n| mapping[n]).collect();

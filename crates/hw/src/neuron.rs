@@ -39,7 +39,11 @@ pub struct NeuronSpec {
 impl NeuronSpec {
     /// Creates a neuron spec without bias.
     pub fn new(weights: Vec<i64>, relu: bool) -> Self {
-        NeuronSpec { weights, bias: 0, relu }
+        NeuronSpec {
+            weights,
+            bias: 0,
+            relu,
+        }
     }
 
     /// Number of non-zero weights (i.e. multipliers before sharing).
@@ -106,7 +110,11 @@ pub fn build_neuron(
     }
 
     let sum = adder::adder_tree(netlist, &operands);
-    let out = if spec.relu { adder::relu(netlist, &sum) } else { sum };
+    let out = if spec.relu {
+        adder::relu(netlist, &sum)
+    } else {
+        sum
+    };
     Ok(out)
 }
 
@@ -130,19 +138,28 @@ impl NeuronCircuit {
     /// [`HwError::InvalidBitWidth`] when `input_bits` is zero.
     pub fn synthesize(spec: &NeuronSpec, input_bits: usize) -> Result<Self, HwError> {
         if input_bits == 0 {
-            return Err(HwError::InvalidBitWidth { context: "input_bits must be > 0".into() });
+            return Err(HwError::InvalidBitWidth {
+                context: "input_bits must be > 0".into(),
+            });
         }
         if spec.weights.is_empty() {
-            return Err(HwError::InvalidSpec { context: "neuron has no inputs".into() });
+            return Err(HwError::InvalidSpec {
+                context: "neuron has no inputs".into(),
+            });
         }
         let mut netlist = Netlist::new("neuron");
-        let inputs: Vec<Word> =
-            (0..spec.weights.len()).map(|_| adder::input_word(&mut netlist, input_bits)).collect();
+        let inputs: Vec<Word> = (0..spec.weights.len())
+            .map(|_| adder::input_word(&mut netlist, input_bits))
+            .collect();
         let output = build_neuron(&mut netlist, &inputs, spec, None, RecodingStrategy::Csd)?;
         for &net in &output {
             netlist.mark_output(net);
         }
-        Ok(NeuronCircuit { netlist, output, input_bits })
+        Ok(NeuronCircuit {
+            netlist,
+            output,
+            input_bits,
+        })
     }
 
     /// The underlying netlist.
@@ -189,17 +206,35 @@ mod tests {
 
     #[test]
     fn neuron_computes_weighted_sum() {
-        let spec = NeuronSpec { weights: vec![3, -2, 0, 5], bias: 0, relu: false };
+        let spec = NeuronSpec {
+            weights: vec![3, -2, 0, 5],
+            bias: 0,
+            relu: false,
+        };
         let neuron = NeuronCircuit::synthesize(&spec, 5).unwrap();
-        for inputs in [[1_i64, 2, 3, 4], [0, 0, 0, 0], [-5, 7, 1, -3], [15, -16, 8, 2]] {
-            let expected: i64 = spec.weights.iter().zip(inputs.iter()).map(|(w, x)| w * x).sum();
+        for inputs in [
+            [1_i64, 2, 3, 4],
+            [0, 0, 0, 0],
+            [-5, 7, 1, -3],
+            [15, -16, 8, 2],
+        ] {
+            let expected: i64 = spec
+                .weights
+                .iter()
+                .zip(inputs.iter())
+                .map(|(w, x)| w * x)
+                .sum();
             assert_eq!(neuron.evaluate(&inputs), expected, "inputs {inputs:?}");
         }
     }
 
     #[test]
     fn neuron_with_bias_and_relu() {
-        let spec = NeuronSpec { weights: vec![1, -1], bias: -4, relu: true };
+        let spec = NeuronSpec {
+            weights: vec![1, -1],
+            bias: -4,
+            relu: true,
+        };
         let neuron = NeuronCircuit::synthesize(&spec, 4).unwrap();
         // 2 - 7 - 4 = -9 -> relu -> 0
         assert_eq!(neuron.evaluate(&[2, 7]), 0);
@@ -210,17 +245,37 @@ mod tests {
     #[test]
     fn pruned_weights_reduce_area() {
         let lib = CellLibrary::egt();
-        let dense = NeuronSpec { weights: vec![3, 5, -7, 6], bias: 0, relu: false };
-        let pruned = NeuronSpec { weights: vec![3, 0, 0, 6], bias: 0, relu: false };
-        let dense_area = NeuronCircuit::synthesize(&dense, 4).unwrap().netlist().area(&lib).total_mm2;
-        let pruned_area = NeuronCircuit::synthesize(&pruned, 4).unwrap().netlist().area(&lib).total_mm2;
+        let dense = NeuronSpec {
+            weights: vec![3, 5, -7, 6],
+            bias: 0,
+            relu: false,
+        };
+        let pruned = NeuronSpec {
+            weights: vec![3, 0, 0, 6],
+            bias: 0,
+            relu: false,
+        };
+        let dense_area = NeuronCircuit::synthesize(&dense, 4)
+            .unwrap()
+            .netlist()
+            .area(&lib)
+            .total_mm2;
+        let pruned_area = NeuronCircuit::synthesize(&pruned, 4)
+            .unwrap()
+            .netlist()
+            .area(&lib)
+            .total_mm2;
         assert!(pruned_area < dense_area);
         assert_eq!(pruned.active_inputs(), 2);
     }
 
     #[test]
     fn all_zero_neuron_has_no_gates() {
-        let spec = NeuronSpec { weights: vec![0, 0, 0], bias: 0, relu: false };
+        let spec = NeuronSpec {
+            weights: vec![0, 0, 0],
+            bias: 0,
+            relu: false,
+        };
         let neuron = NeuronCircuit::synthesize(&spec, 4).unwrap();
         assert_eq!(neuron.netlist().gate_count(), 0);
         assert_eq!(neuron.evaluate(&[5, -3, 7]), 0);
@@ -233,15 +288,33 @@ mod tests {
         let mut netlist = Netlist::new("shared");
         let inputs: Vec<Word> = (0..2).map(|_| adder::input_word(&mut netlist, 4)).collect();
         let mut cache = ProductCache::new();
-        let spec_a = NeuronSpec { weights: vec![5, 3], bias: 0, relu: false };
-        let spec_b = NeuronSpec { weights: vec![5, -3], bias: 0, relu: false };
-        let _ =
-            build_neuron(&mut netlist, &inputs, &spec_a, Some(&mut cache), RecodingStrategy::Csd)
-                .unwrap();
+        let spec_a = NeuronSpec {
+            weights: vec![5, 3],
+            bias: 0,
+            relu: false,
+        };
+        let spec_b = NeuronSpec {
+            weights: vec![5, -3],
+            bias: 0,
+            relu: false,
+        };
+        let _ = build_neuron(
+            &mut netlist,
+            &inputs,
+            &spec_a,
+            Some(&mut cache),
+            RecodingStrategy::Csd,
+        )
+        .unwrap();
         let gates_after_a = netlist.gate_count();
-        let _ =
-            build_neuron(&mut netlist, &inputs, &spec_b, Some(&mut cache), RecodingStrategy::Csd)
-                .unwrap();
+        let _ = build_neuron(
+            &mut netlist,
+            &inputs,
+            &spec_b,
+            Some(&mut cache),
+            RecodingStrategy::Csd,
+        )
+        .unwrap();
         let gates_after_b = netlist.gate_count();
         // Neuron B reuses the (input 0, weight 5) product, so it must add
         // fewer gates than neuron A did.
@@ -253,7 +326,11 @@ mod tests {
     fn weight_count_mismatch_is_rejected() {
         let mut netlist = Netlist::new("bad");
         let inputs: Vec<Word> = (0..3).map(|_| adder::input_word(&mut netlist, 4)).collect();
-        let spec = NeuronSpec { weights: vec![1, 2], bias: 0, relu: false };
+        let spec = NeuronSpec {
+            weights: vec![1, 2],
+            bias: 0,
+            relu: false,
+        };
         assert!(build_neuron(&mut netlist, &inputs, &spec, None, RecodingStrategy::Csd).is_err());
     }
 

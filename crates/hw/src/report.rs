@@ -23,7 +23,11 @@ pub struct SynthesisReport {
 
 impl fmt::Display for SynthesisReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "==== synthesis report: {} (library {}) ====", self.design_name, self.library_name)?;
+        writeln!(
+            f,
+            "==== synthesis report: {} (library {}) ====",
+            self.design_name, self.library_name
+        )?;
         write!(f, "{}", self.area)?;
         write!(f, "{}", self.power)?;
         write!(f, "{}", self.timing)
@@ -53,7 +57,10 @@ mod tests {
         let report = SynthesisReport {
             design_name: "d".into(),
             library_name: "l".into(),
-            timing: crate::analysis::TimingReport { critical_path_us: 10.0, max_frequency_hz: 1e5 },
+            timing: crate::analysis::TimingReport {
+                critical_path_us: 10.0,
+                max_frequency_hz: 1e5,
+            },
             ..Default::default()
         };
         let json = serde_json::to_string(&report).unwrap();

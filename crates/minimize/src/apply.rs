@@ -74,7 +74,8 @@ pub fn minimize<R: Rng + ?Sized>(
     // 1. Pruning.
     if let Some(sparsity) = config.sparsity {
         if sparsity > 0.0 {
-            let (m, _) = prune_and_fine_tune(&mut model, train, validation, sparsity, &fine_tune, rng)?;
+            let (m, _) =
+                prune_and_fine_tune(&mut model, train, validation, sparsity, &fine_tune, rng)?;
             mask = Some(m);
         }
     }
@@ -102,7 +103,10 @@ pub fn minimize<R: Rng + ?Sized>(
     let quantized = match config.weight_bits {
         Some(bits) => {
             let qat = QatConfig {
-                quantization: QuantizationConfig { weight_bits: bits, input_bits: config.input_bits },
+                quantization: QuantizationConfig {
+                    weight_bits: bits,
+                    input_bits: config.input_bits,
+                },
                 training: fine_tune.clone(),
             };
             // Compose the structural constraints into the QAT run by wrapping
@@ -121,12 +125,18 @@ pub fn minimize<R: Rng + ?Sized>(
             // Recompute codes after the structural constraints were re-imposed.
             quantize_mlp(
                 &q.model,
-                &QuantizationConfig { weight_bits: bits, input_bits: config.input_bits },
+                &QuantizationConfig {
+                    weight_bits: bits,
+                    input_bits: config.input_bits,
+                },
             )?
         }
         None => quantize_mlp(
             &model,
-            &QuantizationConfig { weight_bits: 8, input_bits: config.input_bits },
+            &QuantizationConfig {
+                weight_bits: 8,
+                input_bits: config.input_bits,
+            },
         )?,
     };
 
@@ -156,9 +166,12 @@ mod tests {
             .output(train.class_count())
             .build(rng)
             .unwrap();
-        Trainer::new(TrainConfig { epochs: 25, ..TrainConfig::default() })
-            .fit(&mut mlp, &train, None, rng)
-            .unwrap();
+        Trainer::new(TrainConfig {
+            epochs: 25,
+            ..TrainConfig::default()
+        })
+        .fit(&mut mlp, &train, None, rng)
+        .unwrap();
         (mlp, train, test)
     }
 
@@ -166,7 +179,14 @@ mod tests {
     fn baseline_config_quantizes_to_8_bits_only() {
         let mut rng = StdRng::seed_from_u64(2);
         let (mlp, train, test) = trained_model(&mut rng);
-        let result = minimize(&mlp, &train, None, &MinimizationConfig::baseline(), &mut rng).unwrap();
+        let result = minimize(
+            &mlp,
+            &train,
+            None,
+            &MinimizationConfig::baseline(),
+            &mut rng,
+        )
+        .unwrap();
         assert!(result.mask.is_none());
         assert!(result.clusters.is_none());
         assert_eq!(result.integer_layers[0].weight_bits, 8);
@@ -178,7 +198,9 @@ mod tests {
     fn pruning_only_config_reaches_target_sparsity() {
         let mut rng = StdRng::seed_from_u64(3);
         let (mlp, train, _) = trained_model(&mut rng);
-        let config = MinimizationConfig::default().with_sparsity(0.5).with_fine_tune_epochs(5);
+        let config = MinimizationConfig::default()
+            .with_sparsity(0.5)
+            .with_fine_tune_epochs(5);
         let result = minimize(&mlp, &train, None, &config, &mut rng).unwrap();
         assert!(result.sparsity() >= 0.45, "sparsity {}", result.sparsity());
         assert!(result.mask.is_some());
@@ -188,7 +210,9 @@ mod tests {
     fn quantization_only_config_bounds_codes() {
         let mut rng = StdRng::seed_from_u64(4);
         let (mlp, train, _) = trained_model(&mut rng);
-        let config = MinimizationConfig::default().with_weight_bits(3).with_fine_tune_epochs(5);
+        let config = MinimizationConfig::default()
+            .with_weight_bits(3)
+            .with_fine_tune_epochs(5);
         let result = minimize(&mlp, &train, None, &config, &mut rng).unwrap();
         for layer in &result.integer_layers {
             assert_eq!(layer.weight_bits, 3);
@@ -201,7 +225,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let (mlp, train, _) = trained_model(&mut rng);
         let k = 3;
-        let config = MinimizationConfig::default().with_clusters(k).with_fine_tune_epochs(5);
+        let config = MinimizationConfig::default()
+            .with_clusters(k)
+            .with_fine_tune_epochs(5);
         let result = minimize(&mlp, &train, None, &config, &mut rng).unwrap();
         assert!(result.clusters.is_some());
         // After 8-bit quantization of the clustered model, every input row has
@@ -210,7 +236,11 @@ mod tests {
             let inputs = layer.codes[0].len();
             for i in 0..inputs {
                 let distinct: BTreeSet<i64> = layer.codes.iter().map(|row| row[i]).collect();
-                assert!(distinct.len() <= k, "{} distinct codes for one input", distinct.len());
+                assert!(
+                    distinct.len() <= k,
+                    "{} distinct codes for one input",
+                    distinct.len()
+                );
             }
         }
     }
@@ -232,7 +262,11 @@ mod tests {
             assert!(layer.codes.iter().flatten().all(|&c| c.abs() <= 7));
         }
         // The minimized model still classifies far better than chance (1/3).
-        assert!(result.accuracy(&test) > 0.5, "accuracy collapsed: {}", result.accuracy(&test));
+        assert!(
+            result.accuracy(&test) > 0.5,
+            "accuracy collapsed: {}",
+            result.accuracy(&test)
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ pub struct ClusteringConfig {
 
 impl Default for ClusteringConfig {
     fn default() -> Self {
-        ClusteringConfig { clusters_per_input: 4, max_iterations: 50 }
+        ClusteringConfig {
+            clusters_per_input: 4,
+            max_iterations: 50,
+        }
     }
 }
 
@@ -32,7 +35,10 @@ impl ClusteringConfig {
     /// Creates a configuration with `clusters_per_input` clusters and the
     /// default iteration budget.
     pub fn new(clusters_per_input: usize) -> Self {
-        ClusteringConfig { clusters_per_input, ..ClusteringConfig::default() }
+        ClusteringConfig {
+            clusters_per_input,
+            ..ClusteringConfig::default()
+        }
     }
 
     /// Validates the configuration.
@@ -48,7 +54,9 @@ impl ClusteringConfig {
             });
         }
         if self.max_iterations == 0 {
-            return Err(MinimizeError::InvalidConfig { context: "max_iterations must be >= 1".into() });
+            return Err(MinimizeError::InvalidConfig {
+                context: "max_iterations must be >= 1".into(),
+            });
         }
         Ok(())
     }
@@ -177,7 +185,9 @@ fn kmeans_1d(values: &[f32], k: usize, max_iterations: usize) -> (Vec<f32>, Vec<
     let mut centroids: Vec<f32> = if k == 1 {
         vec![values.iter().sum::<f32>() / values.len() as f32]
     } else {
-        (0..k).map(|i| min + (max - min) * i as f32 / (k - 1) as f32).collect()
+        (0..k)
+            .map(|i| min + (max - min) * i as f32 / (k - 1) as f32)
+            .collect()
     };
     let mut assignment = vec![0usize; values.len()];
 
@@ -221,7 +231,10 @@ fn kmeans_1d(values: &[f32], k: usize, max_iterations: usize) -> (Vec<f32>, Vec<
 /// # Errors
 ///
 /// Returns [`MinimizeError::InvalidConfig`] when `config` is invalid.
-pub fn cluster_weights(mlp: &mut Mlp, config: &ClusteringConfig) -> Result<ClusterAssignment, MinimizeError> {
+pub fn cluster_weights(
+    mlp: &mut Mlp,
+    config: &ClusteringConfig,
+) -> Result<ClusterAssignment, MinimizeError> {
     config.validate()?;
     let mut assignments = Vec::with_capacity(mlp.layers().len());
     let mut centroids = Vec::with_capacity(mlp.layers().len());
@@ -238,7 +251,10 @@ pub fn cluster_weights(mlp: &mut Mlp, config: &ClusteringConfig) -> Result<Clust
         assignments.push(layer_assign);
         centroids.push(layer_centroids);
     }
-    let assignment = ClusterAssignment { assignments, centroids };
+    let assignment = ClusterAssignment {
+        assignments,
+        centroids,
+    };
     assignment.apply(mlp)?;
     Ok(assignment)
 }
@@ -282,7 +298,11 @@ mod tests {
 
     fn mlp(seed: u64) -> Mlp {
         let mut rng = StdRng::seed_from_u64(seed);
-        MlpBuilder::new(5).hidden(12, Activation::ReLU).output(3).build(&mut rng).unwrap()
+        MlpBuilder::new(5)
+            .hidden(12, Activation::ReLU)
+            .output(3)
+            .build(&mut rng)
+            .unwrap()
     }
 
     fn distinct_values_per_row(m: &Mlp, layer: usize) -> Vec<usize> {
@@ -328,7 +348,10 @@ mod tests {
         cluster_weights(&mut m, &ClusteringConfig::new(k)).unwrap();
         for layer in 0..m.layers().len() {
             for count in distinct_values_per_row(&m, layer) {
-                assert!(count <= k, "row has {count} distinct values, expected <= {k}");
+                assert!(
+                    count <= k,
+                    "row has {count} distinct values, expected <= {k}"
+                );
             }
         }
     }
@@ -363,7 +386,11 @@ mod tests {
         let outputs = m.layers()[0].outputs().max(m.layers()[1].outputs());
         cluster_weights(&mut m, &ClusteringConfig::new(2 * outputs)).unwrap();
         let max_abs = original.max_abs_weight();
-        for (a, b) in original.flatten_weights().iter().zip(m.flatten_weights().iter()) {
+        for (a, b) in original
+            .flatten_weights()
+            .iter()
+            .zip(m.flatten_weights().iter())
+        {
             assert!((a - b).abs() < 0.15 * max_abs.max(1.0), "{a} vs {b}");
         }
     }
@@ -374,7 +401,10 @@ mod tests {
         assert!(cluster_weights(&mut m, &ClusteringConfig::new(0)).is_err());
         assert!(cluster_weights(
             &mut m,
-            &ClusteringConfig { clusters_per_input: 2, max_iterations: 0 }
+            &ClusteringConfig {
+                clusters_per_input: 2,
+                max_iterations: 0
+            }
         )
         .is_err());
     }
@@ -385,7 +415,11 @@ mod tests {
         let assignment = cluster_weights(&mut m, &ClusteringConfig::new(2)).unwrap();
         let mut other = {
             let mut rng = StdRng::seed_from_u64(7);
-            MlpBuilder::new(3).hidden(4, Activation::ReLU).output(2).build(&mut rng).unwrap()
+            MlpBuilder::new(3)
+                .hidden(4, Activation::ReLU)
+                .output(2)
+                .build(&mut rng)
+                .unwrap()
         };
         assert!(assignment.apply(&mut other).is_err());
     }
@@ -400,9 +434,12 @@ mod tests {
             .output(train.class_count())
             .build(&mut rng)
             .unwrap();
-        Trainer::new(TrainConfig { epochs: 15, ..TrainConfig::default() })
-            .fit(&mut model, &train, None, &mut rng)
-            .unwrap();
+        Trainer::new(TrainConfig {
+            epochs: 15,
+            ..TrainConfig::default()
+        })
+        .fit(&mut model, &train, None, &mut rng)
+        .unwrap();
 
         let k = 3;
         let (_, _) = cluster_and_fine_tune(
@@ -410,7 +447,10 @@ mod tests {
             &train,
             None,
             &ClusteringConfig::new(k),
-            &TrainConfig { epochs: 10, ..TrainConfig::default() },
+            &TrainConfig {
+                epochs: 10,
+                ..TrainConfig::default()
+            },
             &mut rng,
         )
         .unwrap();

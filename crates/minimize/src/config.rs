@@ -202,13 +202,34 @@ mod tests {
 
     #[test]
     fn validation_catches_out_of_range_values() {
-        assert!(MinimizationConfig::default().with_weight_bits(1).validate().is_err());
-        assert!(MinimizationConfig::default().with_weight_bits(20).validate().is_err());
-        assert!(MinimizationConfig::default().with_sparsity(1.0).validate().is_err());
-        assert!(MinimizationConfig::default().with_sparsity(-0.2).validate().is_err());
-        assert!(MinimizationConfig::default().with_clusters(0).validate().is_err());
-        assert!(MinimizationConfig::default().with_input_bits(0).validate().is_err());
-        assert!(MinimizationConfig::default().with_fine_tune_epochs(0).validate().is_err());
+        assert!(MinimizationConfig::default()
+            .with_weight_bits(1)
+            .validate()
+            .is_err());
+        assert!(MinimizationConfig::default()
+            .with_weight_bits(20)
+            .validate()
+            .is_err());
+        assert!(MinimizationConfig::default()
+            .with_sparsity(1.0)
+            .validate()
+            .is_err());
+        assert!(MinimizationConfig::default()
+            .with_sparsity(-0.2)
+            .validate()
+            .is_err());
+        assert!(MinimizationConfig::default()
+            .with_clusters(0)
+            .validate()
+            .is_err());
+        assert!(MinimizationConfig::default()
+            .with_input_bits(0)
+            .validate()
+            .is_err());
+        assert!(MinimizationConfig::default()
+            .with_fine_tune_epochs(0)
+            .validate()
+            .is_err());
         assert!(MinimizationConfig::default()
             .with_weight_bits(4)
             .with_sparsity(0.3)
@@ -219,14 +240,19 @@ mod tests {
 
     #[test]
     fn describe_is_stable_and_parsable_by_eye() {
-        let c = MinimizationConfig::default().with_weight_bits(4).with_sparsity(0.4).with_clusters(3);
+        let c = MinimizationConfig::default()
+            .with_weight_bits(4)
+            .with_sparsity(0.4)
+            .with_clusters(3);
         assert_eq!(c.describe(), "q4/p0.40/c3/in4");
         assert_eq!(c.to_string(), c.describe());
     }
 
     #[test]
     fn serde_round_trip() {
-        let c = MinimizationConfig::default().with_weight_bits(5).with_sparsity(0.25);
+        let c = MinimizationConfig::default()
+            .with_weight_bits(5)
+            .with_sparsity(0.25);
         let json = serde_json::to_string(&c).unwrap();
         let back: MinimizationConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);

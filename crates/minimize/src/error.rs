@@ -20,7 +20,9 @@ pub enum MinimizeError {
 impl fmt::Display for MinimizeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MinimizeError::InvalidConfig { context } => write!(f, "invalid minimization config: {context}"),
+            MinimizeError::InvalidConfig { context } => {
+                write!(f, "invalid minimization config: {context}")
+            }
             MinimizeError::Nn { context } => write!(f, "network error: {context}"),
         }
     }
@@ -30,7 +32,9 @@ impl std::error::Error for MinimizeError {}
 
 impl From<pmlp_nn::NnError> for MinimizeError {
     fn from(err: pmlp_nn::NnError) -> Self {
-        MinimizeError::Nn { context: err.to_string() }
+        MinimizeError::Nn {
+            context: err.to_string(),
+        }
     }
 }
 
@@ -40,9 +44,13 @@ mod tests {
 
     #[test]
     fn display_and_conversion() {
-        let e = MinimizeError::InvalidConfig { context: "sparsity 2.0".into() };
+        let e = MinimizeError::InvalidConfig {
+            context: "sparsity 2.0".into(),
+        };
         assert!(e.to_string().contains("sparsity"));
-        let nn = pmlp_nn::NnError::InvalidConfig { context: "x".into() };
+        let nn = pmlp_nn::NnError::InvalidConfig {
+            context: "x".into(),
+        };
         assert!(matches!(MinimizeError::from(nn), MinimizeError::Nn { .. }));
     }
 }

@@ -24,7 +24,11 @@ pub struct PruningMask {
 impl PruningMask {
     /// Builds a mask that keeps every weight of `mlp`.
     pub fn keep_all(mlp: &Mlp) -> Self {
-        let layers = mlp.layers().iter().map(|l| vec![true; l.weight_count()]).collect();
+        let layers = mlp
+            .layers()
+            .iter()
+            .map(|l| vec![true; l.weight_count()])
+            .collect();
         let shapes = mlp.layers().iter().map(|l| l.weights().shape()).collect();
         PruningMask { layers, shapes }
     }
@@ -45,7 +49,11 @@ impl PruningMask {
         let mut all: Vec<f32> = mlp.flatten_weights().iter().map(|w| w.abs()).collect();
         all.sort_by(|a, b| a.partial_cmp(b).expect("weights are finite"));
         let cut_index = ((all.len() as f64) * sparsity).floor() as usize;
-        let threshold = if cut_index == 0 { -1.0 } else { all[cut_index - 1] };
+        let threshold = if cut_index == 0 {
+            -1.0
+        } else {
+            all[cut_index - 1]
+        };
 
         let mut layers = Vec::with_capacity(mlp.layers().len());
         let mut shapes = Vec::with_capacity(mlp.layers().len());
@@ -92,7 +100,10 @@ impl PruningMask {
             let weights = layer.weights().as_slice();
             let mut order: Vec<usize> = (0..weights.len()).collect();
             order.sort_by(|&a, &b| {
-                weights[a].abs().partial_cmp(&weights[b].abs()).expect("weights are finite")
+                weights[a]
+                    .abs()
+                    .partial_cmp(&weights[b].abs())
+                    .expect("weights are finite")
             });
             let prune_count = ((weights.len() as f64) * sparsity).floor() as usize;
             let mut mask = vec![true; weights.len()];
@@ -113,7 +124,11 @@ impl PruningMask {
     /// Fraction of weights removed by the mask.
     pub fn sparsity(&self) -> f64 {
         let total: usize = self.layers.iter().map(Vec::len).sum();
-        let pruned: usize = self.layers.iter().map(|m| m.iter().filter(|&&k| !k).count()).sum();
+        let pruned: usize = self
+            .layers
+            .iter()
+            .map(|m| m.iter().filter(|&&k| !k).count())
+            .sum();
         if total == 0 {
             0.0
         } else {
@@ -147,8 +162,10 @@ impl PruningMask {
                 ),
             });
         }
-        for (layer, (mask, &shape)) in
-            mlp.layers_mut().iter_mut().zip(self.layers.iter().zip(self.shapes.iter()))
+        for (layer, (mask, &shape)) in mlp
+            .layers_mut()
+            .iter_mut()
+            .zip(self.layers.iter().zip(self.shapes.iter()))
         {
             if layer.weights().shape() != shape {
                 return Err(MinimizeError::InvalidConfig {
@@ -210,7 +227,11 @@ mod tests {
 
     fn mlp(seed: u64) -> Mlp {
         let mut rng = StdRng::seed_from_u64(seed);
-        MlpBuilder::new(7).hidden(10, Activation::ReLU).output(3).build(&mut rng).unwrap()
+        MlpBuilder::new(7)
+            .hidden(10, Activation::ReLU)
+            .output(3)
+            .build(&mut rng)
+            .unwrap()
     }
 
     #[test]
@@ -267,7 +288,11 @@ mod tests {
         // pruned weight was.
         let mut pruned_magnitudes = Vec::new();
         let mut kept_magnitudes = Vec::new();
-        for (orig, new) in m.flatten_weights().iter().zip(pruned.flatten_weights().iter()) {
+        for (orig, new) in m
+            .flatten_weights()
+            .iter()
+            .zip(pruned.flatten_weights().iter())
+        {
             if *new == 0.0 && *orig != 0.0 {
                 pruned_magnitudes.push(orig.abs());
             } else if *new != 0.0 {
@@ -275,7 +300,10 @@ mod tests {
             }
         }
         let max_pruned = pruned_magnitudes.iter().cloned().fold(0.0_f32, f32::max);
-        let min_kept = kept_magnitudes.iter().cloned().fold(f32::INFINITY, f32::min);
+        let min_kept = kept_magnitudes
+            .iter()
+            .cloned()
+            .fold(f32::INFINITY, f32::min);
         assert!(max_pruned <= min_kept + 1e-6);
     }
 
@@ -284,7 +312,11 @@ mod tests {
         let mask = PruningMask::magnitude_global(&mlp(6), 0.2).unwrap();
         let mut other = {
             let mut rng = StdRng::seed_from_u64(9);
-            MlpBuilder::new(5).hidden(4, Activation::ReLU).output(2).build(&mut rng).unwrap()
+            MlpBuilder::new(5)
+                .hidden(4, Activation::ReLU)
+                .output(2)
+                .build(&mut rng)
+                .unwrap()
         };
         assert!(mask.apply(&mut other).is_err());
     }
@@ -308,9 +340,12 @@ mod tests {
             .output(train.class_count())
             .build(&mut rng)
             .unwrap();
-        Trainer::new(TrainConfig { epochs: 25, ..TrainConfig::default() })
-            .fit(&mut model, &train, None, &mut rng)
-            .unwrap();
+        Trainer::new(TrainConfig {
+            epochs: 25,
+            ..TrainConfig::default()
+        })
+        .fit(&mut model, &train, None, &mut rng)
+        .unwrap();
         let dense_acc = model.accuracy(&test);
 
         let mut pruned_model = model.clone();
@@ -319,7 +354,10 @@ mod tests {
             &train,
             None,
             0.5,
-            &TrainConfig { epochs: 15, ..TrainConfig::default() },
+            &TrainConfig {
+                epochs: 15,
+                ..TrainConfig::default()
+            },
             &mut rng,
         )
         .unwrap();

@@ -26,7 +26,11 @@ impl Default for QatConfig {
     fn default() -> Self {
         QatConfig {
             quantization: QuantizationConfig::default(),
-            training: TrainConfig { epochs: 20, learning_rate: 0.005, ..TrainConfig::default() },
+            training: TrainConfig {
+                epochs: 20,
+                learning_rate: 0.005,
+                ..TrainConfig::default()
+            },
         }
     }
 }
@@ -36,8 +40,15 @@ impl QatConfig {
     /// fine-tuning epochs.
     pub fn new(weight_bits: u8, epochs: usize) -> Self {
         QatConfig {
-            quantization: QuantizationConfig { weight_bits, ..QuantizationConfig::default() },
-            training: TrainConfig { epochs, learning_rate: 0.005, ..TrainConfig::default() },
+            quantization: QuantizationConfig {
+                weight_bits,
+                ..QuantizationConfig::default()
+            },
+            training: TrainConfig {
+                epochs,
+                learning_rate: 0.005,
+                ..TrainConfig::default()
+            },
         }
     }
 }
@@ -117,9 +128,12 @@ mod tests {
             .output(train.class_count())
             .build(rng)
             .unwrap();
-        Trainer::new(TrainConfig { epochs: 25, ..TrainConfig::default() })
-            .fit(&mut mlp, &train, None, rng)
-            .unwrap();
+        Trainer::new(TrainConfig {
+            epochs: 25,
+            ..TrainConfig::default()
+        })
+        .fit(&mut mlp, &train, None, rng)
+        .unwrap();
         (mlp, train, test)
     }
 
@@ -143,8 +157,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let (mlp, train, test) = trained_seeds_mlp(&mut rng);
         let bits = 3;
-        let ptq = post_training_quantize(&mlp, &QuantizationConfig { weight_bits: bits, input_bits: 4 })
-            .unwrap();
+        let ptq = post_training_quantize(
+            &mlp,
+            &QuantizationConfig {
+                weight_bits: bits,
+                input_bits: 4,
+            },
+        )
+        .unwrap();
         let config = QatConfig::new(bits, 15);
         let (qat, _) = quantization_aware_train(&mlp, &train, None, &config, &mut rng).unwrap();
         let ptq_acc = ptq.model.accuracy(&test);

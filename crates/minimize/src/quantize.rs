@@ -23,7 +23,10 @@ pub struct QuantizationConfig {
 
 impl Default for QuantizationConfig {
     fn default() -> Self {
-        QuantizationConfig { weight_bits: 8, input_bits: 4 }
+        QuantizationConfig {
+            weight_bits: 8,
+            input_bits: 4,
+        }
     }
 }
 
@@ -129,6 +132,7 @@ pub fn quantize_mlp(mlp: &Mlp, config: &QuantizationConfig) -> Result<QuantizedM
         let scale = layer_scale(layer.weights(), max_code);
         let (inputs, outputs) = layer.weights().shape();
         let mut codes = vec![vec![0_i64; inputs]; outputs];
+        #[allow(clippy::needless_range_loop)] // transposed (i, o) indexing reads best explicit
         for i in 0..inputs {
             for o in 0..outputs {
                 let code = quantize_code(layer.weights().get(i, o), scale, max_code);
@@ -142,18 +146,33 @@ pub fn quantize_mlp(mlp: &Mlp, config: &QuantizationConfig) -> Result<QuantizedM
         let bias_codes: Vec<i64> = layer
             .biases()
             .iter()
-            .map(|&b| if product_lsb > 0.0 { (b / product_lsb).round() as i64 } else { 0 })
+            .map(|&b| {
+                if product_lsb > 0.0 {
+                    (b / product_lsb).round() as i64
+                } else {
+                    0
+                }
+            })
             .collect();
         // Snap the float biases onto the same grid so software accuracy
         // matches what the hardware computes.
         for (b, &code) in layer.biases_mut().iter_mut().zip(bias_codes.iter()) {
             *b = code as f32 * product_lsb;
         }
-        layers.push(IntegerLayer { codes, bias_codes, scale, weight_bits: config.weight_bits });
+        layers.push(IntegerLayer {
+            codes,
+            bias_codes,
+            scale,
+            weight_bits: config.weight_bits,
+        });
         input_step = product_lsb;
     }
 
-    Ok(QuantizedMlp { model, layers, config: *config })
+    Ok(QuantizedMlp {
+        model,
+        layers,
+        config: *config,
+    })
 }
 
 impl QuantizedMlp {
@@ -165,7 +184,11 @@ impl QuantizedMlp {
     /// Fraction of integer codes equal to zero (pruned + quantized-to-zero
     /// connections).
     pub fn code_sparsity(&self) -> f64 {
-        let total: usize = self.layers.iter().map(|l| l.codes.iter().map(Vec::len).sum::<usize>()).sum();
+        let total: usize = self
+            .layers
+            .iter()
+            .map(|l| l.codes.iter().map(Vec::len).sum::<usize>())
+            .sum();
         let zeros: usize = self
             .layers
             .iter()
@@ -188,21 +211,54 @@ mod tests {
 
     fn mlp() -> Mlp {
         let mut rng = StdRng::seed_from_u64(3);
-        MlpBuilder::new(4).hidden(6, Activation::ReLU).output(3).build(&mut rng).unwrap()
+        MlpBuilder::new(4)
+            .hidden(6, Activation::ReLU)
+            .output(3)
+            .build(&mut rng)
+            .unwrap()
     }
 
     #[test]
     fn config_validation() {
-        assert!(QuantizationConfig { weight_bits: 1, input_bits: 4 }.validate().is_err());
-        assert!(QuantizationConfig { weight_bits: 17, input_bits: 4 }.validate().is_err());
-        assert!(QuantizationConfig { weight_bits: 4, input_bits: 0 }.validate().is_err());
+        assert!(QuantizationConfig {
+            weight_bits: 1,
+            input_bits: 4
+        }
+        .validate()
+        .is_err());
+        assert!(QuantizationConfig {
+            weight_bits: 17,
+            input_bits: 4
+        }
+        .validate()
+        .is_err());
+        assert!(QuantizationConfig {
+            weight_bits: 4,
+            input_bits: 0
+        }
+        .validate()
+        .is_err());
         assert!(QuantizationConfig::default().validate().is_ok());
-        assert_eq!(QuantizationConfig { weight_bits: 4, input_bits: 4 }.max_code(), 7);
+        assert_eq!(
+            QuantizationConfig {
+                weight_bits: 4,
+                input_bits: 4
+            }
+            .max_code(),
+            7
+        );
     }
 
     #[test]
     fn codes_fit_in_requested_bits() {
-        let q = quantize_mlp(&mlp(), &QuantizationConfig { weight_bits: 3, input_bits: 4 }).unwrap();
+        let q = quantize_mlp(
+            &mlp(),
+            &QuantizationConfig {
+                weight_bits: 3,
+                input_bits: 4,
+            },
+        )
+        .unwrap();
         for layer in q.integer_layers() {
             for &code in layer.codes.iter().flatten() {
                 assert!(code.abs() <= 3, "code {code} exceeds 3-bit symmetric range");
@@ -213,7 +269,14 @@ mod tests {
     #[test]
     fn fake_quantized_weights_match_codes_times_scale() {
         let original = mlp();
-        let q = quantize_mlp(&original, &QuantizationConfig { weight_bits: 5, input_bits: 4 }).unwrap();
+        let q = quantize_mlp(
+            &original,
+            &QuantizationConfig {
+                weight_bits: 5,
+                input_bits: 4,
+            },
+        )
+        .unwrap();
         for (layer, int_layer) in q.model.layers().iter().zip(q.integer_layers()) {
             let (inputs, outputs) = layer.weights().shape();
             for i in 0..inputs {
@@ -228,7 +291,14 @@ mod tests {
     #[test]
     fn quantization_error_is_bounded_by_half_scale() {
         let original = mlp();
-        let q = quantize_mlp(&original, &QuantizationConfig { weight_bits: 6, input_bits: 4 }).unwrap();
+        let q = quantize_mlp(
+            &original,
+            &QuantizationConfig {
+                weight_bits: 6,
+                input_bits: 4,
+            },
+        )
+        .unwrap();
         for (orig_layer, (quant_layer, int_layer)) in original
             .layers()
             .iter()
@@ -237,7 +307,8 @@ mod tests {
             let (inputs, outputs) = orig_layer.weights().shape();
             for i in 0..inputs {
                 for o in 0..outputs {
-                    let err = (orig_layer.weights().get(i, o) - quant_layer.weights().get(i, o)).abs();
+                    let err =
+                        (orig_layer.weights().get(i, o) - quant_layer.weights().get(i, o)).abs();
                     assert!(err <= int_layer.scale / 2.0 + 1e-6);
                 }
             }
@@ -248,9 +319,20 @@ mod tests {
     fn fewer_bits_means_coarser_weights() {
         let original = mlp();
         let distinct = |bits: u8| {
-            let q = quantize_mlp(&original, &QuantizationConfig { weight_bits: bits, input_bits: 4 })
-                .unwrap();
-            let mut values: Vec<i64> = q.integer_layers()[0].codes.iter().flatten().copied().collect();
+            let q = quantize_mlp(
+                &original,
+                &QuantizationConfig {
+                    weight_bits: bits,
+                    input_bits: 4,
+                },
+            )
+            .unwrap();
+            let mut values: Vec<i64> = q.integer_layers()[0]
+                .codes
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
             values.sort_unstable();
             values.dedup();
             values.len()
@@ -264,7 +346,11 @@ mod tests {
         let mut m = mlp();
         m.layers_mut()[0].weights_mut().map_inplace(|_| 0.0);
         let q = quantize_mlp(&m, &QuantizationConfig::default()).unwrap();
-        assert!(q.integer_layers()[0].codes.iter().flatten().all(|&c| c == 0));
+        assert!(q.integer_layers()[0]
+            .codes
+            .iter()
+            .flatten()
+            .all(|&c| c == 0));
         assert!(q.code_sparsity() > 0.0);
     }
 
@@ -282,7 +368,14 @@ mod tests {
         // At 16 bits the quantization error is negligible, so predictions on a
         // random input batch must be identical.
         let original = mlp();
-        let q = quantize_mlp(&original, &QuantizationConfig { weight_bits: 16, input_bits: 8 }).unwrap();
+        let q = quantize_mlp(
+            &original,
+            &QuantizationConfig {
+                weight_bits: 16,
+                input_bits: 8,
+            },
+        )
+        .unwrap();
         let x = Matrix::from_rows(&[
             vec![0.1, 0.9, 0.4, 0.3],
             vec![0.7, 0.2, 0.8, 0.5],

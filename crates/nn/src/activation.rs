@@ -100,6 +100,15 @@ impl Activation {
         m.map(|x| self.apply(x))
     }
 
+    /// Applies the activation to every element in place (allocation-free
+    /// variant used by the batched inference path).
+    pub fn apply_matrix_inplace(self, m: &mut Matrix) {
+        if self == Activation::Identity {
+            return;
+        }
+        m.map_inplace(|x| self.apply(x));
+    }
+
     /// Element-wise derivative over a matrix of pre-activations.
     pub fn derivative_matrix(self, m: &Matrix) -> Matrix {
         m.map(|x| self.derivative(x))
@@ -111,7 +120,10 @@ impl Activation {
     pub fn is_hardware_friendly(self) -> bool {
         matches!(
             self,
-            Activation::ReLU | Activation::HardSigmoid | Activation::HardTanh | Activation::Identity
+            Activation::ReLU
+                | Activation::HardSigmoid
+                | Activation::HardTanh
+                | Activation::Identity
         )
     }
 

@@ -44,8 +44,9 @@ impl Dataset {
         labels: Vec<usize>,
         class_count: usize,
     ) -> Result<Self, NnError> {
-        let features = Matrix::from_rows(&features)
-            .map_err(|e| NnError::InvalidDataset { context: format!("features: {e}") })?;
+        let features = Matrix::from_rows(&features).map_err(|e| NnError::InvalidDataset {
+            context: format!("features: {e}"),
+        })?;
         Dataset::new(features, labels, class_count)
     }
 
@@ -56,7 +57,9 @@ impl Dataset {
     /// Same conditions as [`Dataset::from_rows`].
     pub fn new(features: Matrix, labels: Vec<usize>, class_count: usize) -> Result<Self, NnError> {
         if features.rows() == 0 {
-            return Err(NnError::InvalidDataset { context: "dataset has no samples".into() });
+            return Err(NnError::InvalidDataset {
+                context: "dataset has no samples".into(),
+            });
         }
         if labels.len() != features.rows() {
             return Err(NnError::InvalidDataset {
@@ -64,14 +67,20 @@ impl Dataset {
             });
         }
         if class_count == 0 {
-            return Err(NnError::InvalidDataset { context: "class_count must be non-zero".into() });
+            return Err(NnError::InvalidDataset {
+                context: "class_count must be non-zero".into(),
+            });
         }
         if let Some(&bad) = labels.iter().find(|&&l| l >= class_count) {
             return Err(NnError::InvalidDataset {
                 context: format!("label {bad} out of range for {class_count} classes"),
             });
         }
-        Ok(Dataset { features, labels, class_count })
+        Ok(Dataset {
+            features,
+            labels,
+            class_count,
+        })
     }
 
     /// Number of samples.
@@ -155,8 +164,9 @@ impl Dataset {
         let mut train_idx = Vec::new();
         let mut test_idx = Vec::new();
         for class in 0..self.class_count {
-            let mut members: Vec<usize> =
-                (0..self.len()).filter(|&i| self.labels[i] == class).collect();
+            let mut members: Vec<usize> = (0..self.len())
+                .filter(|&i| self.labels[i] == class)
+                .collect();
             members.shuffle(rng);
             let n_train = ((members.len() as f64) * train_fraction).round() as usize;
             let n_train = n_train.min(members.len());
@@ -176,11 +186,46 @@ impl Dataset {
     }
 
     /// Returns shuffled mini-batch index chunks covering the whole dataset.
-    pub fn batch_indices<R: Rng + ?Sized>(&self, batch_size: usize, rng: &mut R) -> Vec<Vec<usize>> {
+    ///
+    /// Allocates one `Vec` per batch; the training hot path uses
+    /// [`Dataset::shuffle_indices_into`] + [`Dataset::gather_batch`] instead,
+    /// which reuse caller-owned buffers across batches and epochs.
+    pub fn batch_indices<R: Rng + ?Sized>(
+        &self,
+        batch_size: usize,
+        rng: &mut R,
+    ) -> Vec<Vec<usize>> {
         let batch_size = batch_size.max(1);
         let mut indices: Vec<usize> = (0..self.len()).collect();
         indices.shuffle(rng);
         indices.chunks(batch_size).map(|c| c.to_vec()).collect()
+    }
+
+    /// Fills `indices` with a fresh shuffled permutation of `0..len`, reusing
+    /// the buffer's allocation. Chunking the result yields one epoch's
+    /// mini-batches without any further allocation.
+    pub fn shuffle_indices_into<R: Rng + ?Sized>(&self, indices: &mut Vec<usize>, rng: &mut R) {
+        indices.clear();
+        indices.extend(0..self.len());
+        indices.shuffle(rng);
+    }
+
+    /// Gathers the samples at `indices` into caller-owned buffers: `features`
+    /// is resized only when the batch geometry changes (the final short batch
+    /// of an epoch), `labels` is cleared and refilled. This is the
+    /// allocation-free batch path used by the trainer; it borrows the feature
+    /// matrix instead of copying `Vec<Vec<f32>>` rows around.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any index is out of bounds.
+    pub fn gather_batch(&self, indices: &[usize], features: &mut Matrix, labels: &mut Vec<usize>) {
+        if features.shape() != (indices.len(), self.feature_count()) {
+            *features = Matrix::zeros(indices.len(), self.feature_count());
+        }
+        features.copy_rows_from(&self.features, indices);
+        labels.clear();
+        labels.extend(indices.iter().map(|&i| self.labels[i]));
     }
 
     /// Applies min-max normalization per feature, mapping every feature to
@@ -210,11 +255,14 @@ impl Dataset {
     pub fn apply_min_max(&mut self, ranges: &[(f32, f32)]) {
         assert_eq!(ranges.len(), self.feature_count(), "range count mismatch");
         for r in 0..self.features.rows() {
-            for c in 0..self.features.cols() {
-                let (min, max) = ranges[c];
+            for (c, &(min, max)) in ranges.iter().enumerate() {
                 let denom = max - min;
                 let v = self.features.get(r, c);
-                let scaled = if denom.abs() < f32::EPSILON { 0.0 } else { (v - min) / denom };
+                let scaled = if denom.abs() < f32::EPSILON {
+                    0.0
+                } else {
+                    (v - min) / denom
+                };
                 self.features.set(r, c, scaled.clamp(0.0, 1.0));
             }
         }
@@ -295,6 +343,34 @@ mod tests {
     }
 
     #[test]
+    fn gather_batch_matches_subset() {
+        let d = toy(5, 2);
+        let mut features = Matrix::zeros(0, d.feature_count());
+        let mut labels = Vec::new();
+        d.gather_batch(&[7, 1, 4], &mut features, &mut labels);
+        let subset = d.subset(&[7, 1, 4]);
+        assert_eq!(&features, subset.features());
+        assert_eq!(labels, subset.labels());
+        // A second gather with the same geometry reuses the buffer.
+        let capacity_ptr = features.as_slice().as_ptr();
+        d.gather_batch(&[0, 2, 3], &mut features, &mut labels);
+        assert_eq!(features.as_slice().as_ptr(), capacity_ptr);
+        assert_eq!(&features, d.subset(&[0, 2, 3]).features());
+    }
+
+    #[test]
+    fn shuffle_indices_into_matches_batch_indices_stream() {
+        let d = toy(10, 2);
+        let mut a_rng = StdRng::seed_from_u64(3);
+        let batches = d.batch_indices(7, &mut a_rng);
+        let flat_a: Vec<usize> = batches.into_iter().flatten().collect();
+        let mut b_rng = StdRng::seed_from_u64(3);
+        let mut flat_b = Vec::new();
+        d.shuffle_indices_into(&mut flat_b, &mut b_rng);
+        assert_eq!(flat_a, flat_b);
+    }
+
+    #[test]
     fn min_max_normalization_maps_to_unit_interval() {
         let mut d = toy(10, 2);
         let ranges = d.normalize_min_max();
@@ -317,8 +393,12 @@ mod tests {
     #[test]
     fn same_seed_gives_same_split() {
         let d = toy(20, 2);
-        let (a_train, _) = d.stratified_split(0.7, &mut StdRng::seed_from_u64(5)).unwrap();
-        let (b_train, _) = d.stratified_split(0.7, &mut StdRng::seed_from_u64(5)).unwrap();
+        let (a_train, _) = d
+            .stratified_split(0.7, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        let (b_train, _) = d
+            .stratified_split(0.7, &mut StdRng::seed_from_u64(5))
+            .unwrap();
         assert_eq!(a_train, b_train);
     }
 }

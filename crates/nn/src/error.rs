@@ -37,7 +37,11 @@ pub enum NnError {
 impl fmt::Display for NnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NnError::ShapeMismatch { context, left, right } => write!(
+            NnError::ShapeMismatch {
+                context,
+                left,
+                right,
+            } => write!(
                 f,
                 "shape mismatch in {context}: left is {}x{}, right is {}x{}",
                 left.0, left.1, right.0, right.1
@@ -72,7 +76,9 @@ mod tests {
 
     #[test]
     fn display_invalid_dimension() {
-        let err = NnError::InvalidDimension { context: "zero rows".into() };
+        let err = NnError::InvalidDimension {
+            context: "zero rows".into(),
+        };
         assert!(err.to_string().contains("zero rows"));
     }
 

@@ -92,7 +92,11 @@ mod tests {
     #[test]
     fn samples_respect_bounds() {
         let mut rng = StdRng::seed_from_u64(42);
-        for init in [WeightInit::XavierUniform, WeightInit::HeUniform, WeightInit::SmallUniform] {
+        for init in [
+            WeightInit::XavierUniform,
+            WeightInit::HeUniform,
+            WeightInit::SmallUniform,
+        ] {
             let bound = init.bound(10, 20);
             for _ in 0..500 {
                 let w = init.sample(10, 20, &mut rng);

@@ -98,7 +98,11 @@ impl DenseLayer {
                 right: (1, biases.len()),
             });
         }
-        Ok(DenseLayer { weights, biases, activation })
+        Ok(DenseLayer {
+            weights,
+            biases,
+            activation,
+        })
     }
 
     /// Number of inputs (fan-in).
@@ -154,12 +158,17 @@ impl DenseLayer {
 
     /// Forward pass for a batch: `act(x W + b)`.
     ///
+    /// Pure inference path: one matrix product, bias and activation applied
+    /// in place — no cache bookkeeping and no intermediate copies.
+    ///
     /// # Errors
     ///
     /// Returns [`NnError::ShapeMismatch`] when `x.cols() != self.inputs()`.
     pub fn forward(&self, x: &Matrix) -> Result<Matrix, NnError> {
-        let (_, pre) = self.forward_cached(x)?;
-        Ok(self.activation.apply_matrix(&pre))
+        let mut pre = x.matmul(&self.weights)?;
+        pre.add_row_broadcast_inplace(&self.biases)?;
+        self.activation.apply_matrix_inplace(&mut pre);
+        Ok(pre)
     }
 
     /// Forward pass that also returns the cache needed for backprop.
@@ -168,14 +177,14 @@ impl DenseLayer {
     ///
     /// Returns [`NnError::ShapeMismatch`] when `x.cols() != self.inputs()`.
     pub fn forward_with_cache(&self, x: &Matrix) -> Result<(Matrix, LayerCache), NnError> {
-        let (cache, pre) = self.forward_cached(x)?;
-        let out = self.activation.apply_matrix(&pre);
+        let mut out = x.matmul(&self.weights)?;
+        out.add_row_broadcast_inplace(&self.biases)?;
+        let cache = LayerCache {
+            input: x.clone(),
+            pre_activation: out.clone(),
+        };
+        self.activation.apply_matrix_inplace(&mut out);
         Ok((out, cache))
-    }
-
-    fn forward_cached(&self, x: &Matrix) -> Result<(LayerCache, Matrix), NnError> {
-        let pre = x.matmul(&self.weights)?.add_row_broadcast(&self.biases)?;
-        Ok((LayerCache { input: x.clone(), pre_activation: pre.clone() }, pre))
     }
 
     /// Backward pass.
@@ -201,12 +210,19 @@ impl DenseLayer {
             });
         }
         // dL/dpre = dL/dout * act'(pre)
-        let dpre = grad_output.hadamard(&self.activation.derivative_matrix(&cache.pre_activation))?;
+        let dpre =
+            grad_output.hadamard(&self.activation.derivative_matrix(&cache.pre_activation))?;
         // dL/dW = x^T dpre ; dL/db = column sums of dpre ; dL/dx = dpre W^T
         let grad_weights = cache.input.transpose().matmul(&dpre)?;
         let grad_biases = dpre.sum_rows();
         let grad_input = dpre.matmul(&self.weights.transpose())?;
-        Ok((grad_input, LayerGradient { weights: grad_weights, biases: grad_biases }))
+        Ok((
+            grad_input,
+            LayerGradient {
+                weights: grad_weights,
+                biases: grad_biases,
+            },
+        ))
     }
 
     /// Applies a parameter update `p <- p - lr * g` (plain SGD step, used by
@@ -301,8 +317,14 @@ mod tests {
         // Single sample, identity activation, check dL/dW numerically with
         // L = sum(y).
         let mut rng = StdRng::seed_from_u64(5);
-        let mut l =
-            DenseLayer::new(3, 2, Activation::Identity, WeightInit::XavierUniform, &mut rng).unwrap();
+        let mut l = DenseLayer::new(
+            3,
+            2,
+            Activation::Identity,
+            WeightInit::XavierUniform,
+            &mut rng,
+        )
+        .unwrap();
         let x = Matrix::from_rows(&[vec![0.3, -0.7, 0.2]]).unwrap();
         let (_, cache) = l.forward_with_cache(&x).unwrap();
         let grad_out = Matrix::filled(1, 2, 1.0);
@@ -330,7 +352,8 @@ mod tests {
     #[test]
     fn backward_input_gradient_matches_finite_difference() {
         let mut rng = StdRng::seed_from_u64(6);
-        let l = DenseLayer::new(3, 2, Activation::Tanh, WeightInit::XavierUniform, &mut rng).unwrap();
+        let l =
+            DenseLayer::new(3, 2, Activation::Tanh, WeightInit::XavierUniform, &mut rng).unwrap();
         let x = Matrix::from_rows(&[vec![0.5, -0.1, 0.9]]).unwrap();
         let (_, cache) = l.forward_with_cache(&x).unwrap();
         let grad_out = Matrix::filled(1, 2, 1.0);
@@ -342,7 +365,8 @@ mod tests {
             xp.set(0, c, x.get(0, c) + eps);
             let mut xm = x.clone();
             xm.set(0, c, x.get(0, c) - eps);
-            let numeric = (l.forward(&xp).unwrap().sum() - l.forward(&xm).unwrap().sum()) / (2.0 * eps);
+            let numeric =
+                (l.forward(&xp).unwrap().sum() - l.forward(&xm).unwrap().sum()) / (2.0 * eps);
             assert!((numeric - grad_in.get(0, c)).abs() < 1e-2);
         }
     }
@@ -351,7 +375,10 @@ mod tests {
     fn apply_update_moves_parameters_in_negative_gradient_direction() {
         let w = Matrix::filled(1, 1, 1.0);
         let mut l = DenseLayer::from_parameters(w, vec![1.0], Activation::Identity).unwrap();
-        let update = LayerGradient { weights: Matrix::filled(1, 1, 0.25), biases: vec![0.5] };
+        let update = LayerGradient {
+            weights: Matrix::filled(1, 1, 0.25),
+            biases: vec![0.5],
+        };
         l.apply_update(&update).unwrap();
         assert_eq!(l.weights().get(0, 0), 0.75);
         assert_eq!(l.biases()[0], 0.5);
@@ -360,7 +387,10 @@ mod tests {
     #[test]
     fn apply_update_rejects_mismatched_shapes() {
         let mut l = layer(2, 2, Activation::ReLU);
-        let bad = LayerGradient { weights: Matrix::zeros(3, 2), biases: vec![0.0; 2] };
+        let bad = LayerGradient {
+            weights: Matrix::zeros(3, 2),
+            biases: vec![0.0; 2],
+        };
         assert!(l.apply_update(&bad).is_err());
     }
 

@@ -98,7 +98,10 @@ impl Loss {
         }
         if let Some(&bad) = targets.iter().find(|&&t| t >= logits.cols()) {
             return Err(NnError::InvalidDataset {
-                context: format!("target class {bad} out of range for {} classes", logits.cols()),
+                context: format!(
+                    "target class {bad} out of range for {} classes",
+                    logits.cols()
+                ),
             });
         }
         Ok(())
@@ -143,7 +146,9 @@ mod tests {
     #[test]
     fn gradient_shapes_match_logits() {
         let logits = Matrix::zeros(3, 5);
-        let grad = Loss::SoftmaxCrossEntropy.gradient(&logits, &[0, 1, 2]).unwrap();
+        let grad = Loss::SoftmaxCrossEntropy
+            .gradient(&logits, &[0, 1, 2])
+            .unwrap();
         assert_eq!(grad.shape(), (3, 5));
     }
 
@@ -151,7 +156,9 @@ mod tests {
     fn cross_entropy_gradient_matches_finite_difference() {
         let logits = Matrix::from_rows(&[vec![0.2, -0.4, 0.7]]).unwrap();
         let targets = [2usize];
-        let grad = Loss::SoftmaxCrossEntropy.gradient(&logits, &targets).unwrap();
+        let grad = Loss::SoftmaxCrossEntropy
+            .gradient(&logits, &targets)
+            .unwrap();
         let eps = 1e-3_f32;
         for c in 0..3 {
             let mut lp = logits.clone();

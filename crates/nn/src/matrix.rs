@@ -38,12 +38,20 @@ impl Matrix {
     ///
     /// Panics if `rows * cols` overflows `usize`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows.checked_mul(cols).expect("matrix size overflow")] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows.checked_mul(cols).expect("matrix size overflow")],
+        }
     }
 
     /// Creates a matrix of `rows x cols` filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates an identity matrix of size `n x n`.
@@ -63,22 +71,33 @@ impl Matrix {
     /// not all have the same length.
     pub fn from_rows(rows: &[Vec<f32>]) -> Result<Self, NnError> {
         if rows.is_empty() {
-            return Err(NnError::InvalidDimension { context: "from_rows: no rows".into() });
+            return Err(NnError::InvalidDimension {
+                context: "from_rows: no rows".into(),
+            });
         }
         let cols = rows[0].len();
         if cols == 0 {
-            return Err(NnError::InvalidDimension { context: "from_rows: zero columns".into() });
+            return Err(NnError::InvalidDimension {
+                context: "from_rows: zero columns".into(),
+            });
         }
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, row) in rows.iter().enumerate() {
             if row.len() != cols {
                 return Err(NnError::InvalidDimension {
-                    context: format!("from_rows: row {i} has {} columns, expected {cols}", row.len()),
+                    context: format!(
+                        "from_rows: row {i} has {} columns, expected {cols}",
+                        row.len()
+                    ),
                 });
             }
             data.extend_from_slice(row);
         }
-        Ok(Matrix { rows: rows.len(), cols, data })
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Builds a matrix from a flat row-major vector.
@@ -89,7 +108,11 @@ impl Matrix {
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, NnError> {
         if data.len() != rows * cols {
             return Err(NnError::InvalidDimension {
-                context: format!("from_vec: expected {} elements, got {}", rows * cols, data.len()),
+                context: format!(
+                    "from_vec: expected {} elements, got {}",
+                    rows * cols,
+                    data.len()
+                ),
             });
         }
         Ok(Matrix { rows, cols, data })
@@ -137,7 +160,12 @@ impl Matrix {
     /// Panics if `r >= rows` or `c >= cols`.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c]
     }
 
@@ -148,7 +176,12 @@ impl Matrix {
     /// Panics if `r >= rows` or `c >= cols`.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, value: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c] = value;
     }
 
@@ -158,7 +191,11 @@ impl Matrix {
     ///
     /// Panics if `r >= rows`.
     pub fn row(&self, r: usize) -> &[f32] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -168,7 +205,11 @@ impl Matrix {
     ///
     /// Panics if `r >= rows`.
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -178,7 +219,11 @@ impl Matrix {
     ///
     /// Panics if `c >= cols`.
     pub fn column(&self, c: usize) -> Vec<f32> {
-        assert!(c < self.cols, "column {c} out of bounds for {} columns", self.cols);
+        assert!(
+            c < self.cols,
+            "column {c} out of bounds for {} columns",
+            self.cols
+        );
         (0..self.rows).map(|r| self.get(r, c)).collect()
     }
 
@@ -268,13 +313,26 @@ impl Matrix {
                 right: other.shape(),
             });
         }
-        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
-        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Returns a new matrix with `f` applied to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Applies `f` to every element in place.
@@ -303,20 +361,59 @@ impl Matrix {
             });
         }
         let mut out = self.clone();
-        for r in 0..out.rows {
-            for c in 0..out.cols {
-                out.data[r * out.cols + c] += bias[c];
+        out.add_row_broadcast_inplace(bias)?;
+        Ok(out)
+    }
+
+    /// Adds a row vector to every row in place (allocation-free counterpart
+    /// of [`Matrix::add_row_broadcast`], used in the batched inference path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when `bias.len() != self.cols()`.
+    pub fn add_row_broadcast_inplace(&mut self, bias: &[f32]) -> Result<(), NnError> {
+        if bias.len() != self.cols {
+            return Err(NnError::ShapeMismatch {
+                context: "add_row_broadcast_inplace".into(),
+                left: self.shape(),
+                right: (1, bias.len()),
+            });
+        }
+        for row in self.data.chunks_mut(self.cols) {
+            for (v, b) in row.iter_mut().zip(bias.iter()) {
+                *v += b;
             }
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Overwrites this matrix with the selected rows of `src`, reusing the
+    /// existing allocation (the allocation-free counterpart of
+    /// [`Matrix::select_rows`], used by the mini-batch gather path).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the column counts differ, `indices.len() != self.rows()`,
+    /// or any index is out of bounds for `src`.
+    pub fn copy_rows_from(&mut self, src: &Matrix, indices: &[usize]) {
+        assert_eq!(self.cols, src.cols, "copy_rows_from: column mismatch");
+        assert_eq!(
+            self.rows,
+            indices.len(),
+            "copy_rows_from: row-count mismatch"
+        );
+        for (dst, &src_row) in indices.iter().enumerate() {
+            let start = dst * self.cols;
+            self.data[start..start + self.cols].copy_from_slice(src.row(src_row));
+        }
     }
 
     /// Sums over rows, producing a vector of length `cols`.
     pub fn sum_rows(&self) -> Vec<f32> {
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out[c] += self.get(r, c);
+        for row in self.iter_rows() {
+            for (acc, &v) in out.iter_mut().zip(row.iter()) {
+                *acc += v;
             }
         }
         out
@@ -361,7 +458,11 @@ impl Matrix {
         for &i in indices {
             data.extend_from_slice(self.row(i));
         }
-        Matrix { rows: indices.len(), cols: self.cols, data }
+        Matrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Index of the maximum value in each row (argmax), ties resolved to the
@@ -413,7 +514,8 @@ impl Sub for &Matrix {
     ///
     /// Panics if shapes differ; use [`Matrix::sub_elem`] for a fallible version.
     fn sub(self, rhs: &Matrix) -> Matrix {
-        self.sub_elem(rhs).expect("matrix subtraction shape mismatch")
+        self.sub_elem(rhs)
+            .expect("matrix subtraction shape mismatch")
     }
 }
 
@@ -449,7 +551,10 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]).unwrap()
+        );
     }
 
     #[test]
@@ -504,6 +609,31 @@ mod tests {
     fn count_zeros_counts_exact_zeros() {
         let a = Matrix::from_rows(&[vec![0.0, 2.0], vec![0.0, 0.0]]).unwrap();
         assert_eq!(a.count_zeros(), 3);
+    }
+
+    #[test]
+    fn add_row_broadcast_inplace_matches_allocating_version() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0]]).unwrap();
+        let mut b = a.clone();
+        b.add_row_broadcast_inplace(&[10.0, 20.0]).unwrap();
+        assert_eq!(b, a.add_row_broadcast(&[10.0, 20.0]).unwrap());
+        assert!(b.add_row_broadcast_inplace(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn copy_rows_from_matches_select_rows() {
+        let src = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let mut dst = Matrix::zeros(2, 2);
+        dst.copy_rows_from(&src, &[2, 0]);
+        assert_eq!(dst, src.select_rows(&[2, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "row-count mismatch")]
+    fn copy_rows_from_rejects_wrong_row_count() {
+        let src = Matrix::zeros(3, 2);
+        let mut dst = Matrix::zeros(1, 2);
+        dst.copy_rows_from(&src, &[0, 1]);
     }
 
     #[test]

@@ -17,14 +17,22 @@ pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
     if predictions.is_empty() || predictions.len() != labels.len() {
         return 0.0;
     }
-    let correct = predictions.iter().zip(labels.iter()).filter(|(p, l)| p == l).count();
+    let correct = predictions
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
     correct as f64 / labels.len() as f64
 }
 
 /// Confusion matrix: `matrix[true_class][predicted_class]` counts.
 ///
 /// Entries with labels or predictions `>= class_count` are ignored.
-pub fn confusion_matrix(predictions: &[usize], labels: &[usize], class_count: usize) -> Vec<Vec<usize>> {
+pub fn confusion_matrix(
+    predictions: &[usize],
+    labels: &[usize],
+    class_count: usize,
+) -> Vec<Vec<usize>> {
     let mut m = vec![vec![0usize; class_count]; class_count];
     for (&p, &l) in predictions.iter().zip(labels.iter()) {
         if p < class_count && l < class_count {
@@ -38,6 +46,7 @@ pub fn confusion_matrix(predictions: &[usize], labels: &[usize], class_count: us
 ///
 /// Classes that never appear in either labels or predictions contribute an F1
 /// of zero, matching the usual scikit-learn `zero_division=0` convention.
+#[allow(clippy::needless_range_loop)] // cm[c][c] diagonal access reads best indexed
 pub fn macro_f1(predictions: &[usize], labels: &[usize], class_count: usize) -> f64 {
     if class_count == 0 || predictions.len() != labels.len() || predictions.is_empty() {
         return 0.0;
@@ -46,11 +55,21 @@ pub fn macro_f1(predictions: &[usize], labels: &[usize], class_count: usize) -> 
     let mut f1_sum = 0.0;
     for c in 0..class_count {
         let tp = cm[c][c] as f64;
-        let fp: f64 = (0..class_count).filter(|&r| r != c).map(|r| cm[r][c] as f64).sum();
-        let fn_: f64 = (0..class_count).filter(|&p| p != c).map(|p| cm[c][p] as f64).sum();
+        let fp: f64 = (0..class_count)
+            .filter(|&r| r != c)
+            .map(|r| cm[r][c] as f64)
+            .sum();
+        let fn_: f64 = (0..class_count)
+            .filter(|&p| p != c)
+            .map(|p| cm[c][p] as f64)
+            .sum();
         let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
         let recall = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
-        let f1 = if precision + recall > 0.0 { 2.0 * precision * recall / (precision + recall) } else { 0.0 };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
         f1_sum += f1;
     }
     f1_sum / class_count as f64
@@ -84,13 +103,20 @@ pub struct ClassMetrics {
 
 impl ClassificationReport {
     /// Computes the full report from predictions and reference labels.
+    #[allow(clippy::needless_range_loop)] // cm[c][c] diagonal access reads best indexed
     pub fn new(predictions: &[usize], labels: &[usize], class_count: usize) -> Self {
         let cm = confusion_matrix(predictions, labels, class_count);
         let mut per_class = Vec::with_capacity(class_count);
         for c in 0..class_count {
             let tp = cm[c][c] as f64;
-            let fp: f64 = (0..class_count).filter(|&r| r != c).map(|r| cm[r][c] as f64).sum();
-            let fn_: f64 = (0..class_count).filter(|&p| p != c).map(|p| cm[c][p] as f64).sum();
+            let fp: f64 = (0..class_count)
+                .filter(|&r| r != c)
+                .map(|r| cm[r][c] as f64)
+                .sum();
+            let fn_: f64 = (0..class_count)
+                .filter(|&p| p != c)
+                .map(|p| cm[c][p] as f64)
+                .sum();
             let support: usize = cm[c].iter().sum();
             let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
             let recall = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
@@ -99,7 +125,13 @@ impl ClassificationReport {
             } else {
                 0.0
             };
-            per_class.push(ClassMetrics { class: c, precision, recall, f1, support });
+            per_class.push(ClassMetrics {
+                class: c,
+                precision,
+                recall,
+                f1,
+                support,
+            });
         }
         ClassificationReport {
             accuracy: accuracy(predictions, labels),
@@ -111,8 +143,16 @@ impl ClassificationReport {
 
 impl fmt::Display for ClassificationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "accuracy: {:.4}  macro-F1: {:.4}", self.accuracy, self.macro_f1)?;
-        writeln!(f, "{:>6} {:>10} {:>10} {:>10} {:>8}", "class", "precision", "recall", "f1", "support")?;
+        writeln!(
+            f,
+            "accuracy: {:.4}  macro-F1: {:.4}",
+            self.accuracy, self.macro_f1
+        )?;
+        writeln!(
+            f,
+            "{:>6} {:>10} {:>10} {:>10} {:>8}",
+            "class", "precision", "recall", "f1", "support"
+        )?;
         for m in &self.per_class {
             writeln!(
                 f,

@@ -50,7 +50,9 @@ impl Mlp {
     /// layer sizes do not chain (`layer[i].outputs() != layer[i+1].inputs()`).
     pub fn from_layers(layers: Vec<DenseLayer>) -> Result<Self, NnError> {
         if layers.is_empty() {
-            return Err(NnError::InvalidConfig { context: "mlp needs at least one layer".into() });
+            return Err(NnError::InvalidConfig {
+                context: "mlp needs at least one layer".into(),
+            });
         }
         for (i, pair) in layers.windows(2).enumerate() {
             if pair[0].outputs() != pair[1].inputs() {
@@ -74,7 +76,10 @@ impl Mlp {
 
     /// Number of output classes (logits).
     pub fn output_size(&self) -> usize {
-        self.layers.last().expect("mlp has at least one layer").outputs()
+        self.layers
+            .last()
+            .expect("mlp has at least one layer")
+            .outputs()
     }
 
     /// The layers of the network, input to output.
@@ -120,8 +125,12 @@ impl Mlp {
     ///
     /// Returns [`NnError::ShapeMismatch`] when `x.cols() != self.input_size()`.
     pub fn forward(&self, x: &Matrix) -> Result<Matrix, NnError> {
-        let mut out = x.clone();
-        for layer in &self.layers {
+        let (first, rest) = self
+            .layers
+            .split_first()
+            .expect("mlp has at least one layer");
+        let mut out = first.forward(x)?;
+        for layer in rest {
             out = layer.forward(&out)?;
         }
         Ok(out)
@@ -134,8 +143,13 @@ impl Mlp {
     /// Returns [`NnError::ShapeMismatch`] when the input width is wrong.
     pub fn forward_with_caches(&self, x: &Matrix) -> Result<(Matrix, Vec<LayerCache>), NnError> {
         let mut caches = Vec::with_capacity(self.layers.len());
-        let mut out = x.clone();
-        for layer in &self.layers {
+        let (first, rest) = self
+            .layers
+            .split_first()
+            .expect("mlp has at least one layer");
+        let (mut out, cache) = first.forward_with_cache(x)?;
+        caches.push(cache);
+        for layer in rest {
             let (next, cache) = layer.forward_with_cache(&out)?;
             caches.push(cache);
             out = next;
@@ -168,7 +182,10 @@ impl Mlp {
             grads[i] = Some(layer_grad);
             grad = grad_input;
         }
-        Ok(grads.into_iter().map(|g| g.expect("all layer gradients filled")).collect())
+        Ok(grads
+            .into_iter()
+            .map(|g| g.expect("all layer gradients filled"))
+            .collect())
     }
 
     /// Applies one update per layer (already scaled by the optimizer).
@@ -223,7 +240,10 @@ impl Mlp {
     /// Largest absolute weight in the network (used to size fixed-point
     /// formats).
     pub fn max_abs_weight(&self) -> f32 {
-        self.layers.iter().map(|l| l.weights().max_abs()).fold(0.0, f32::max)
+        self.layers
+            .iter()
+            .map(|l| l.weights().max_abs())
+            .fold(0.0, f32::max)
     }
 }
 
@@ -311,15 +331,29 @@ impl MlpBuilder {
             context: "MlpBuilder: output size not set".into(),
         })?;
         if self.input_size == 0 {
-            return Err(NnError::InvalidDimension { context: "input size is zero".into() });
+            return Err(NnError::InvalidDimension {
+                context: "input size is zero".into(),
+            });
         }
         let mut layers = Vec::with_capacity(self.hidden.len() + 1);
         let mut prev = self.input_size;
         for &(size, activation) in &self.hidden {
-            layers.push(DenseLayer::new(prev, size, activation, self.weight_init, rng)?);
+            layers.push(DenseLayer::new(
+                prev,
+                size,
+                activation,
+                self.weight_init,
+                rng,
+            )?);
             prev = size;
         }
-        layers.push(DenseLayer::new(prev, output_size, self.output_activation, self.weight_init, rng)?);
+        layers.push(DenseLayer::new(
+            prev,
+            output_size,
+            self.output_activation,
+            self.weight_init,
+            rng,
+        )?);
         Mlp::from_layers(layers)
     }
 }
@@ -342,7 +376,10 @@ mod tests {
     #[test]
     fn builder_requires_output() {
         let mut rng = StdRng::seed_from_u64(0);
-        assert!(MlpBuilder::new(3).hidden(4, Activation::ReLU).build(&mut rng).is_err());
+        assert!(MlpBuilder::new(3)
+            .hidden(4, Activation::ReLU)
+            .build(&mut rng)
+            .is_err());
     }
 
     #[test]
@@ -361,8 +398,16 @@ mod tests {
     #[test]
     fn from_layers_rejects_size_mismatch() {
         let mut rng = StdRng::seed_from_u64(1);
-        let l1 = DenseLayer::new(3, 4, Activation::ReLU, WeightInit::XavierUniform, &mut rng).unwrap();
-        let l2 = DenseLayer::new(5, 2, Activation::Identity, WeightInit::XavierUniform, &mut rng).unwrap();
+        let l1 =
+            DenseLayer::new(3, 4, Activation::ReLU, WeightInit::XavierUniform, &mut rng).unwrap();
+        let l2 = DenseLayer::new(
+            5,
+            2,
+            Activation::Identity,
+            WeightInit::XavierUniform,
+            &mut rng,
+        )
+        .unwrap();
         assert!(Mlp::from_layers(vec![l1, l2]).is_err());
     }
 
@@ -440,13 +485,16 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn end_to_end_gradient_matches_finite_difference() {
         use crate::loss::Loss;
         let mut mlp = tiny_mlp();
         let x = Matrix::from_rows(&[vec![0.4, -0.2, 0.8]]).unwrap();
         let targets = [1usize];
         let (logits, caches) = mlp.forward_with_caches(&x).unwrap();
-        let grad_logits = Loss::SoftmaxCrossEntropy.gradient(&logits, &targets).unwrap();
+        let grad_logits = Loss::SoftmaxCrossEntropy
+            .gradient(&logits, &targets)
+            .unwrap();
         let grads = mlp.backward(&caches, &grad_logits).unwrap();
 
         let eps = 1e-2_f32;

@@ -87,7 +87,11 @@ pub struct Momentum {
 impl Momentum {
     /// Creates a momentum optimizer with learning rate `lr` and momentum `mu`.
     pub fn new(lr: f32, mu: f32) -> Self {
-        Momentum { lr, mu, velocity: Vec::new() }
+        Momentum {
+            lr,
+            mu,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -189,14 +193,18 @@ impl Optimizer for Adam {
         }
         let t = self.t.max(1) as f32;
 
-        let m_prev = self.first_moment[layer_index].take().unwrap_or_else(|| LayerGradient {
-            weights: Matrix::zeros(gradient.weights.rows(), gradient.weights.cols()),
-            biases: vec![0.0; gradient.biases.len()],
-        });
-        let v_prev = self.second_moment[layer_index].take().unwrap_or_else(|| LayerGradient {
-            weights: Matrix::zeros(gradient.weights.rows(), gradient.weights.cols()),
-            biases: vec![0.0; gradient.biases.len()],
-        });
+        let m_prev = self.first_moment[layer_index]
+            .take()
+            .unwrap_or_else(|| LayerGradient {
+                weights: Matrix::zeros(gradient.weights.rows(), gradient.weights.cols()),
+                biases: vec![0.0; gradient.biases.len()],
+            });
+        let v_prev = self.second_moment[layer_index]
+            .take()
+            .unwrap_or_else(|| LayerGradient {
+                weights: Matrix::zeros(gradient.weights.rows(), gradient.weights.cols()),
+                biases: vec![0.0; gradient.biases.len()],
+            });
 
         let m = LayerGradient {
             weights: m_prev
@@ -251,7 +259,10 @@ impl Optimizer for Adam {
 
         self.first_moment[layer_index] = Some(m);
         self.second_moment[layer_index] = Some(v);
-        LayerGradient { weights: update_weights, biases: update_biases }
+        LayerGradient {
+            weights: update_weights,
+            biases: update_biases,
+        }
     }
 
     fn reset(&mut self) {
@@ -274,7 +285,10 @@ mod tests {
     use super::*;
 
     fn gradient(value: f32) -> LayerGradient {
-        LayerGradient { weights: Matrix::filled(2, 2, value), biases: vec![value; 2] }
+        LayerGradient {
+            weights: Matrix::filled(2, 2, value),
+            biases: vec![value; 2],
+        }
     }
 
     #[test]
@@ -328,7 +342,10 @@ mod tests {
     #[test]
     fn adam_update_sign_follows_gradient_sign() {
         let mut opt = Adam::new(0.01);
-        let grad = LayerGradient { weights: Matrix::filled(1, 1, -3.0), biases: vec![-3.0] };
+        let grad = LayerGradient {
+            weights: Matrix::filled(1, 1, -3.0),
+            biases: vec![-3.0],
+        };
         let update = opt.step(0, &grad);
         assert!(update.weights.get(0, 0) < 0.0);
         assert!(update.biases[0] < 0.0);

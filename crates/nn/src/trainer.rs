@@ -49,7 +49,11 @@ impl TrainConfig {
     /// A configuration tuned for the fast fine-tuning passes used inside the
     /// genetic-algorithm loop (few epochs, slightly higher learning rate).
     pub fn fine_tune(epochs: usize) -> Self {
-        TrainConfig { epochs, learning_rate: 0.02, ..TrainConfig::default() }
+        TrainConfig {
+            epochs,
+            learning_rate: 0.02,
+            ..TrainConfig::default()
+        }
     }
 
     /// Validates the configuration.
@@ -60,7 +64,9 @@ impl TrainConfig {
     /// its admissible range.
     pub fn validate(&self) -> Result<(), NnError> {
         if self.epochs == 0 {
-            return Err(NnError::InvalidConfig { context: "epochs must be >= 1".into() });
+            return Err(NnError::InvalidConfig {
+                context: "epochs must be >= 1".into(),
+            });
         }
         if self.learning_rate <= 0.0 || !self.learning_rate.is_finite() {
             return Err(NnError::InvalidConfig {
@@ -215,15 +221,24 @@ impl Trainer {
         // Ensure the model starts from a constraint-satisfying point.
         constraint.apply(mlp);
 
+        // Reusable batch buffers: one shuffled index permutation per epoch and
+        // one gathered feature/label batch, reallocated only when the batch
+        // geometry changes (the short final chunk of an epoch).
+        let batch_size = self.config.batch_size.max(1);
+        let mut shuffled: Vec<usize> = Vec::with_capacity(train.len());
+        let mut batch_features = crate::matrix::Matrix::zeros(0, train.feature_count());
+        let mut batch_labels: Vec<usize> = Vec::with_capacity(batch_size);
+
         for epoch in 0..self.config.epochs {
             let mut epoch_loss = 0.0_f32;
             let mut batches = 0usize;
-            for batch in train.batch_indices(self.config.batch_size, rng) {
-                let subset = train.subset(&batch);
-                let (logits, caches) = mlp.forward_with_caches(subset.features())?;
-                epoch_loss += self.config.loss.compute(&logits, subset.labels())?;
+            train.shuffle_indices_into(&mut shuffled, rng);
+            for batch in shuffled.chunks(batch_size) {
+                train.gather_batch(batch, &mut batch_features, &mut batch_labels);
+                let (logits, caches) = mlp.forward_with_caches(&batch_features)?;
+                epoch_loss += self.config.loss.compute(&logits, &batch_labels)?;
                 batches += 1;
-                let grad_logits = self.config.loss.gradient(&logits, subset.labels())?;
+                let grad_logits = self.config.loss.gradient(&logits, &batch_labels)?;
                 let mut grads = mlp.backward(&caches, &grad_logits)?;
                 if self.config.weight_decay > 0.0 {
                     for (grad, layer) in grads.iter_mut().zip(mlp.layers()) {
@@ -232,13 +247,20 @@ impl Trainer {
                             .add_elem(&layer.weights().scale(self.config.weight_decay))?;
                     }
                 }
-                let updates: Vec<_> =
-                    grads.iter().enumerate().map(|(i, g)| optimizer.step(i, g)).collect();
+                let updates: Vec<_> = grads
+                    .iter()
+                    .enumerate()
+                    .map(|(i, g)| optimizer.step(i, g))
+                    .collect();
                 mlp.apply_updates(&updates)?;
                 constraint.apply(mlp);
             }
             let train_acc = mlp.accuracy(train);
-            report.train_loss.push(if batches > 0 { epoch_loss / batches as f32 } else { 0.0 });
+            report.train_loss.push(if batches > 0 {
+                epoch_loss / batches as f32
+            } else {
+                0.0
+            });
             report.train_accuracy.push(train_acc);
             report.epochs_run = epoch + 1;
 
@@ -304,8 +326,8 @@ mod tests {
             let class = i % 2;
             let center = if class == 0 { -1.0 } else { 1.0 };
             xs.push(vec![
-                center + rng.gen_range(-0.3..0.3),
-                center + rng.gen_range(-0.3..0.3),
+                center + rng.gen_range(-0.3_f32..0.3),
+                center + rng.gen_range(-0.3_f32..0.3),
             ]);
             ys.push(class);
         }
@@ -328,10 +350,30 @@ mod tests {
 
     #[test]
     fn config_validation_catches_bad_values() {
-        assert!(TrainConfig { epochs: 0, ..TrainConfig::default() }.validate().is_err());
-        assert!(TrainConfig { learning_rate: -1.0, ..TrainConfig::default() }.validate().is_err());
-        assert!(TrainConfig { lr_decay: 1.5, ..TrainConfig::default() }.validate().is_err());
-        assert!(TrainConfig { weight_decay: -0.1, ..TrainConfig::default() }.validate().is_err());
+        assert!(TrainConfig {
+            epochs: 0,
+            ..TrainConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TrainConfig {
+            learning_rate: -1.0,
+            ..TrainConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TrainConfig {
+            lr_decay: 1.5,
+            ..TrainConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TrainConfig {
+            weight_decay: -0.1,
+            ..TrainConfig::default()
+        }
+        .validate()
+        .is_err());
         assert!(TrainConfig::default().validate().is_ok());
     }
 
@@ -339,19 +381,33 @@ mod tests {
     fn trains_linearly_separable_blobs_to_high_accuracy() {
         let mut rng = StdRng::seed_from_u64(100);
         let data = blobs(200, 7);
-        let mut mlp = MlpBuilder::new(2).hidden(4, Activation::ReLU).output(2).build(&mut rng).unwrap();
-        let trainer = Trainer::new(TrainConfig { epochs: 30, ..TrainConfig::default() });
+        let mut mlp = MlpBuilder::new(2)
+            .hidden(4, Activation::ReLU)
+            .output(2)
+            .build(&mut rng)
+            .unwrap();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 30,
+            ..TrainConfig::default()
+        });
         let report = trainer.fit(&mut mlp, &data, None, &mut rng).unwrap();
-        assert!(report.best_accuracy > 0.95, "accuracy {}", report.best_accuracy);
+        assert!(
+            report.best_accuracy > 0.95,
+            "accuracy {}",
+            report.best_accuracy
+        );
         assert_eq!(report.train_loss.len(), report.epochs_run);
     }
 
     #[test]
     fn trains_xor_with_hidden_layer() {
-        let mut rng = StdRng::seed_from_u64(200);
+        let mut rng = StdRng::seed_from_u64(201);
         let data = xor_data(400, 9);
-        let mut mlp =
-            MlpBuilder::new(2).hidden(12, Activation::ReLU).output(2).build(&mut rng).unwrap();
+        let mut mlp = MlpBuilder::new(2)
+            .hidden(12, Activation::ReLU)
+            .output(2)
+            .build(&mut rng)
+            .unwrap();
         let trainer = Trainer::new(TrainConfig {
             epochs: 120,
             learning_rate: 0.02,
@@ -359,15 +415,26 @@ mod tests {
             ..TrainConfig::default()
         });
         let report = trainer.fit(&mut mlp, &data, None, &mut rng).unwrap();
-        assert!(report.best_accuracy > 0.9, "xor accuracy {}", report.best_accuracy);
+        assert!(
+            report.best_accuracy > 0.9,
+            "xor accuracy {}",
+            report.best_accuracy
+        );
     }
 
     #[test]
     fn loss_decreases_over_training() {
         let mut rng = StdRng::seed_from_u64(300);
         let data = blobs(200, 11);
-        let mut mlp = MlpBuilder::new(2).hidden(6, Activation::ReLU).output(2).build(&mut rng).unwrap();
-        let trainer = Trainer::new(TrainConfig { epochs: 20, ..TrainConfig::default() });
+        let mut mlp = MlpBuilder::new(2)
+            .hidden(6, Activation::ReLU)
+            .output(2)
+            .build(&mut rng)
+            .unwrap();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 20,
+            ..TrainConfig::default()
+        });
         let report = trainer.fit(&mut mlp, &data, None, &mut rng).unwrap();
         let first = report.train_loss[0];
         let last = *report.train_loss.last().unwrap();
@@ -379,7 +446,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(400);
         let data = blobs(200, 13);
         let (train, val) = data.stratified_split(0.8, &mut rng).unwrap();
-        let mut mlp = MlpBuilder::new(2).hidden(4, Activation::ReLU).output(2).build(&mut rng).unwrap();
+        let mut mlp = MlpBuilder::new(2)
+            .hidden(4, Activation::ReLU)
+            .output(2)
+            .build(&mut rng)
+            .unwrap();
         let trainer = Trainer::new(TrainConfig {
             epochs: 200,
             patience: Some(3),
@@ -394,7 +465,11 @@ mod tests {
     fn rejects_feature_width_mismatch() {
         let mut rng = StdRng::seed_from_u64(1);
         let data = blobs(20, 1);
-        let mut mlp = MlpBuilder::new(5).hidden(4, Activation::ReLU).output(2).build(&mut rng).unwrap();
+        let mut mlp = MlpBuilder::new(5)
+            .hidden(4, Activation::ReLU)
+            .output(2)
+            .build(&mut rng)
+            .unwrap();
         let trainer = Trainer::default();
         assert!(trainer.fit(&mut mlp, &data, None, &mut rng).is_err());
     }
@@ -413,8 +488,15 @@ mod tests {
         // Constraint: the (0,0) weight of layer 0 must stay exactly zero.
         let mut rng = StdRng::seed_from_u64(17);
         let data = blobs(100, 3);
-        let mut mlp = MlpBuilder::new(2).hidden(4, Activation::ReLU).output(2).build(&mut rng).unwrap();
-        let trainer = Trainer::new(TrainConfig { epochs: 10, ..TrainConfig::default() });
+        let mut mlp = MlpBuilder::new(2)
+            .hidden(4, Activation::ReLU)
+            .output(2)
+            .build(&mut rng)
+            .unwrap();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 10,
+            ..TrainConfig::default()
+        });
         let mut constraint = |m: &mut Mlp| {
             m.layers_mut()[0].weights_mut().set(0, 0, 0.0);
         };
@@ -429,19 +511,35 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(19);
         let data = blobs(100, 5);
         let build = |rng: &mut StdRng| {
-            MlpBuilder::new(2).hidden(8, Activation::ReLU).output(2).build(rng).unwrap()
+            MlpBuilder::new(2)
+                .hidden(8, Activation::ReLU)
+                .output(2)
+                .build(rng)
+                .unwrap()
         };
         let mut rng_a = StdRng::seed_from_u64(21);
         let mut mlp_plain = build(&mut rng_a);
         let mut rng_b = StdRng::seed_from_u64(21);
         let mut mlp_decay = build(&mut rng_b);
 
-        let plain = Trainer::new(TrainConfig { epochs: 30, ..TrainConfig::default() });
-        let decay = Trainer::new(TrainConfig { epochs: 30, weight_decay: 0.05, ..TrainConfig::default() });
+        let plain = Trainer::new(TrainConfig {
+            epochs: 30,
+            ..TrainConfig::default()
+        });
+        let decay = Trainer::new(TrainConfig {
+            epochs: 30,
+            weight_decay: 0.05,
+            ..TrainConfig::default()
+        });
         plain.fit(&mut mlp_plain, &data, None, &mut rng).unwrap();
         decay.fit(&mut mlp_decay, &data, None, &mut rng).unwrap();
 
-        let norm = |m: &Mlp| -> f32 { m.layers().iter().map(|l| l.weights().frobenius_norm()).sum() };
+        let norm = |m: &Mlp| -> f32 {
+            m.layers()
+                .iter()
+                .map(|l| l.weights().frobenius_norm())
+                .sum()
+        };
         assert!(norm(&mlp_decay) < norm(&mlp_plain));
     }
 
@@ -450,9 +548,15 @@ mod tests {
         let data = blobs(100, 23);
         let run = |seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut mlp =
-                MlpBuilder::new(2).hidden(4, Activation::ReLU).output(2).build(&mut rng).unwrap();
-            let trainer = Trainer::new(TrainConfig { epochs: 5, ..TrainConfig::default() });
+            let mut mlp = MlpBuilder::new(2)
+                .hidden(4, Activation::ReLU)
+                .output(2)
+                .build(&mut rng)
+                .unwrap();
+            let trainer = Trainer::new(TrainConfig {
+                epochs: 5,
+                ..TrainConfig::default()
+            });
             trainer.fit(&mut mlp, &data, None, &mut rng).unwrap();
             mlp.flatten_weights()
         };

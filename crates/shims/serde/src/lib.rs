@@ -1,0 +1,328 @@
+//! Offline stand-in for `serde` (+`serde_derive`).
+//!
+//! The build environment cannot reach crates.io, so this crate provides the
+//! subset of serde this workspace relies on: `#[derive(Serialize, Deserialize)]`
+//! on named-field structs and fieldless enums, routed through a small JSON
+//! value model ([`json::Value`]) instead of serde's full data model. The
+//! companion `serde_json` shim renders and parses that value model.
+//!
+//! Deliberate simplifications:
+//!
+//! * serialization always targets JSON (the only format used here),
+//! * `Deserialize` has no lifetime parameter (no zero-copy deserialization),
+//! * non-finite floats serialize as `null` and deserialize as `NaN`, matching
+//!   `serde_json`'s lossy behaviour closely enough for experiment persistence.
+
+#![warn(rust_2018_idioms)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+use json::{Error, Value};
+use std::collections::{BTreeMap, HashMap};
+
+/// Types convertible into a [`json::Value`].
+pub trait Serialize {
+    /// Converts `self` into a JSON value.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`json::Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`json::Error`] when the value has the wrong shape.
+    fn deserialize_value(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let v = *self as f64;
+                if v.is_finite() { Value::Number(v) } else { Value::Null }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(n) => Ok(*n as $t),
+                    other => Err(Error::custom(format!(
+                        "expected number, got {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let v = *self as f64;
+                if v.is_finite() { Value::Number(v) } else { Value::Null }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(n) => Ok(*n as $t),
+                    // Non-finite floats were serialized as null.
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(Error::custom(format!(
+                        "expected number, got {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(Error::custom(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match value {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($name::deserialize_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::custom(format!(
+                        "expected {}-element array, got {}", LEN, other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+}
+
+fn map_to_value<'a, K, V, I>(entries: I) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let fields = entries
+        .map(|(k, v)| {
+            let key = match k.serialize_value() {
+                Value::String(s) => s,
+                other => other.render_compact(),
+            };
+            (key, v.serialize_value())
+        })
+        .collect();
+    Value::Object(fields)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+/// Rebuilds a map key from the string form produced by [`map_to_value`].
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
+    K::deserialize_value(&Value::String(key.to_string()))
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::deserialize_value(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!(
+                "expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::deserialize_value(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!(
+                "expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::Value;
+    use super::{Deserialize, Serialize};
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u8::deserialize_value(&42u8.serialize_value()).unwrap(), 42);
+        assert_eq!(
+            f32::deserialize_value(&1.25f32.serialize_value()).unwrap(),
+            1.25
+        );
+        assert!(bool::deserialize_value(&true.serialize_value()).unwrap());
+        let s = String::from("hi");
+        assert_eq!(
+            String::deserialize_value(&s.serialize_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn options_use_null() {
+        assert_eq!(Option::<u8>::deserialize_value(&Value::Null).unwrap(), None);
+        let some: Option<u8> = Some(3);
+        assert_eq!(
+            Option::<u8>::deserialize_value(&some.serialize_value()).unwrap(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn vecs_and_tuples_round_trip() {
+        let v = vec![(1usize, 2.5f64), (3, 4.5)];
+        let back: Vec<(usize, f64)> = Deserialize::deserialize_value(&v.serialize_value()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null_then_nan() {
+        let v = f64::INFINITY.serialize_value();
+        assert_eq!(v, Value::Null);
+        assert!(f64::deserialize_value(&v).unwrap().is_nan());
+    }
+}

@@ -1,0 +1,242 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the two
+//! shapes this workspace uses, without `syn`/`quote`:
+//!
+//! * structs with named fields → JSON objects (field order preserved),
+//! * enums whose variants all carry no data → JSON strings (variant name).
+//!
+//! Anything else (tuple structs, generic types, data-carrying enums,
+//! `#[serde(...)]` attributes) panics at expansion time with a clear message,
+//! so unsupported shapes fail the build loudly instead of serializing wrongly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim `serde::Serialize` implementation.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((\"{f}\".to_string(), \
+                         ::serde::Serialize::serialize_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut fields: Vec<(String, ::serde::json::Value)> = \
+                 Vec::with_capacity({});\n{pushes}::serde::json::Value::Object(fields)",
+                fields.len()
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::json::Value::String(\"{v}\".to_string()),\n",
+                        name = item.name
+                    )
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+         fn serialize_value(&self) -> ::serde::json::Value {{\n{body}\n}}\n}}",
+        item.name
+    )
+    .parse()
+    .expect("serde_derive shim: generated Serialize impl must parse")
+}
+
+/// Derives the shim `serde::Deserialize` implementation.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize_value(value.field(\"{f}\")?)?,\n"
+                    )
+                })
+                .collect();
+            format!("Ok({name} {{\n{inits}}})", name = item.name)
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),\n", name = item.name))
+                .collect();
+            format!(
+                "match value.as_str() {{\n\
+                 Some(s) => match s {{\n{arms}\
+                 other => Err(::serde::json::Error::custom(format!(\
+                 \"unknown {name} variant `{{other}}`\"))),\n}},\n\
+                 None => Err(::serde::json::Error::custom(\
+                 \"expected string for enum {name}\")),\n}}",
+                name = item.name
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {} {{\n\
+         fn deserialize_value(value: &::serde::json::Value) \
+         -> Result<Self, ::serde::json::Error> {{\n{body}\n}}\n}}",
+        item.name
+    )
+    .parse()
+    .expect("serde_derive shim: generated Deserialize impl must parse")
+}
+
+enum Shape {
+    /// Named field identifiers, in declaration order.
+    Struct(Vec<String>),
+    /// Unit variant identifiers, in declaration order.
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes_and_visibility(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported (type `{name}`)");
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde_derive shim: only brace-bodied items are supported \
+             (type `{name}`), got {other:?}"
+        ),
+    };
+
+    let shape = match keyword.as_str() {
+        "struct" => Shape::Struct(parse_struct_fields(body, &name)),
+        "enum" => Shape::Enum(parse_enum_variants(body, &name)),
+        other => panic!("serde_derive shim: unsupported item kind `{other}`"),
+    };
+    Item { name, shape }
+}
+
+/// Advances `i` past any `#[...]` attributes and a `pub` / `pub(...)` prefix.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]`.
+                *i += 2;
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_struct_fields(body: TokenStream, type_name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        let field = match tokens.get(i) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            other => {
+                panic!("serde_derive shim: `{type_name}` must have named fields, got {other:?}")
+            }
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!(
+                "serde_derive shim: expected `:` after field `{field}` of \
+                 `{type_name}`, got {other:?}"
+            ),
+        }
+        // Consume the type: everything up to a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while let Some(token) = tokens.get(i) {
+            if let TokenTree::Punct(p) = token {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        // Skip the comma itself, if present.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+fn parse_enum_variants(body: TokenStream, type_name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        let variant = match tokens.get(i) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: unexpected token in enum `{type_name}`: {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(_)) => panic!(
+                "serde_derive shim: enum `{type_name}` variant `{variant}` carries \
+                 data, which is not supported"
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => panic!(
+                "serde_derive shim: unexpected token after variant `{variant}` of \
+                 `{type_name}`: {other:?}"
+            ),
+        }
+        variants.push(variant);
+    }
+    variants
+}

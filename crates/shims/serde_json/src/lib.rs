@@ -1,0 +1,56 @@
+//! Offline stand-in for `serde_json`, backed by the `serde` shim's
+//! [`Value`](serde::json::Value) model.
+
+#![warn(rust_2018_idioms)]
+
+pub use serde::json::{parse, Error, Value};
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Infallible in this shim (the signature matches `serde_json` for
+/// drop-in compatibility).
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.serialize_value().render_compact())
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Infallible in this shim.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.serialize_value().render_pretty())
+}
+
+/// Parses a value of type `T` from a JSON document.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(input: &str) -> Result<T, Error> {
+    T::deserialize_value(&parse(input)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_of_tuples_round_trips() {
+        let v: Vec<(u8, f64)> = vec![(1, 0.5), (2, -1.25)];
+        let json = to_string(&v).unwrap();
+        let back: Vec<(u8, f64)> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_output_is_parseable() {
+        let v = vec![vec![1.0f32, 2.0], vec![3.5, 4.25]];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Vec<Vec<f32>> = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+}

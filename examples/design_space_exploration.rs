@@ -5,8 +5,8 @@
 //! Pass a dataset name (`whitewine`, `redwine`, `pendigits`, `seeds`) as the
 //! first argument to explore a different classifier.
 
-use printed_mlp::core::baseline::{BaselineConfig, BaselineDesign};
-use printed_mlp::core::objective::EvaluationContext;
+use printed_mlp::core::baseline::BaselineConfig;
+use printed_mlp::core::engine::EvalEngine;
 use printed_mlp::core::{Nsga2, Nsga2Config};
 use printed_mlp::data::UciDataset;
 
@@ -18,20 +18,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or(UciDataset::WhiteWine);
 
     println!("== hardware-aware GA exploration on {dataset} ==");
-    let baseline = BaselineDesign::train_with(
+    let engine = EvalEngine::train_with(
         dataset,
         13,
-        &BaselineConfig { epochs: 40, ..BaselineConfig::default() },
-    )?;
+        &BaselineConfig {
+            epochs: 40,
+            ..BaselineConfig::default()
+        },
+    )?
+    .with_fine_tune_epochs(6);
     println!(
         "baseline: accuracy {:.1}%, area {:.0} mm2",
-        baseline.accuracy() * 100.0,
-        baseline.area_mm2()
+        engine.baseline().accuracy() * 100.0,
+        engine.baseline().area_mm2()
     );
 
-    let ctx = EvaluationContext::new(&baseline).with_fine_tune_epochs(6);
-    let ga = Nsga2::new(Nsga2Config { population: 16, generations: 6, ..Nsga2Config::default() });
-    let result = ga.run(&ctx)?;
+    let ga = Nsga2::new(Nsga2Config {
+        population: 16,
+        generations: 6,
+        ..Nsga2Config::default()
+    });
+    let result = ga.run(&engine)?;
 
     println!("\ngeneration progress:");
     for stats in &result.history {
@@ -46,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nfinal accuracy/area Pareto front (normalized to the baseline):");
-    println!("{:<24} {:>10} {:>12} {:>10}", "config", "accuracy", "norm. area", "area gain");
+    println!(
+        "{:<24} {:>10} {:>12} {:>10}",
+        "config", "accuracy", "norm. area", "area gain"
+    );
     for point in &result.pareto_front {
         println!(
             "{:<24} {:>9.1}% {:>12.3} {:>9.2}x",
@@ -59,12 +69,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let headline = printed_mlp::core::pareto::area_gain_at_accuracy_loss(
         &result.all_points,
-        baseline.accuracy(),
+        engine.baseline().accuracy(),
         0.05,
     );
     match headline {
         Some(gain) => println!("\narea gain at <=5% accuracy loss: {gain:.2}x"),
         None => println!("\nno explored design stayed within 5% accuracy loss"),
     }
+    let stats = engine.stats();
+    println!(
+        "engine: {} evaluations computed, {} cache hits ({:.0}% hit rate)",
+        stats.misses,
+        stats.hits + stats.coalesced,
+        stats.hit_rate() * 100.0
+    );
     Ok(())
 }

@@ -10,8 +10,8 @@
 //!
 //! Run with `cargo run --release --example printed_sensor`.
 
-use printed_mlp::core::baseline::{BaselineConfig, BaselineDesign};
-use printed_mlp::core::objective::{evaluate_config, EvaluationContext};
+use printed_mlp::core::baseline::BaselineConfig;
+use printed_mlp::core::engine::{EvalEngine, Evaluator};
 use printed_mlp::core::pareto::pareto_front;
 use printed_mlp::data::UciDataset;
 use printed_mlp::minimize::MinimizationConfig;
@@ -23,18 +23,23 @@ const AREA_BUDGET_MM2: f64 = 600.0;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== disposable wine-quality tag (RedWine classifier) ==");
-    let baseline = BaselineDesign::train_with(
+    let engine = EvalEngine::train_with(
         UciDataset::RedWine,
         7,
-        &BaselineConfig { epochs: 40, ..BaselineConfig::default() },
+        &BaselineConfig {
+            epochs: 40,
+            ..BaselineConfig::default()
+        },
     )?;
+    let baseline = engine.baseline();
     println!(
         "un-minimized bespoke MLP: accuracy {:.1}%, area {:.0} mm2, power {:.0} uW",
         baseline.accuracy() * 100.0,
         baseline.area_mm2(),
         baseline.synthesis.power_uw,
     );
-    let fits = baseline.area_mm2() <= AREA_BUDGET_MM2 && baseline.synthesis.power_uw <= POWER_BUDGET_UW;
+    let fits =
+        baseline.area_mm2() <= AREA_BUDGET_MM2 && baseline.synthesis.power_uw <= POWER_BUDGET_UW;
     println!("fits the label budget ({AREA_BUDGET_MM2} mm2, {POWER_BUDGET_UW} uW)? {fits}");
 
     // Candidate minimization configurations a designer would consider.
@@ -43,14 +48,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         MinimizationConfig::default().with_weight_bits(3),
         MinimizationConfig::default().with_sparsity(0.5),
         MinimizationConfig::default().with_clusters(3),
-        MinimizationConfig::default().with_weight_bits(4).with_sparsity(0.4),
-        MinimizationConfig::default().with_weight_bits(3).with_sparsity(0.5).with_clusters(3),
+        MinimizationConfig::default()
+            .with_weight_bits(4)
+            .with_sparsity(0.4),
+        MinimizationConfig::default()
+            .with_weight_bits(3)
+            .with_sparsity(0.5)
+            .with_clusters(3),
     ];
 
-    let ctx = EvaluationContext::new(&baseline);
-    let mut points = Vec::new();
-    for config in &candidates {
-        let point = evaluate_config(&ctx, config, 0)?;
+    // One parallel, memoized batch through the shared evaluation engine.
+    let points = engine.evaluate_batch(&candidates)?;
+    for point in &points {
         println!(
             "  {:<22} accuracy {:>5.1}%  area {:>7.1} mm2 ({:>4.2}x)  power {:>7.1} uW",
             point.config.describe(),
@@ -59,7 +68,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             point.area_gain(),
             point.power_uw,
         );
-        points.push(point);
     }
 
     println!("\nPareto-optimal choices under the label budget:");

@@ -4,8 +4,7 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use printed_mlp::core::baseline::BaselineDesign;
-use printed_mlp::core::objective::{evaluate_config, EvaluationContext};
+use printed_mlp::core::engine::{EvalEngine, Evaluator};
 use printed_mlp::data::UciDataset;
 use printed_mlp::minimize::MinimizationConfig;
 
@@ -14,7 +13,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Train the float model and characterize the un-minimized bespoke
     //    baseline (8-bit weights, one multiplier per connection).
-    let baseline = BaselineDesign::train(UciDataset::Seeds, 42)?;
+    let engine = EvalEngine::train(UciDataset::Seeds, 42)?;
+    let baseline = engine.baseline();
     println!(
         "baseline: accuracy {:.1}%, area {:.1} mm2, power {:.1} uW, {} gates",
         baseline.accuracy() * 100.0,
@@ -25,9 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Minimize: 4-bit quantization-aware training plus 40 % unstructured
     //    pruning, then re-synthesize the bespoke circuit.
-    let ctx = EvaluationContext::new(&baseline);
-    let config = MinimizationConfig::default().with_weight_bits(4).with_sparsity(0.4);
-    let point = evaluate_config(&ctx, &config, 0)?;
+    let config = MinimizationConfig::default()
+        .with_weight_bits(4)
+        .with_sparsity(0.4);
+    let point = engine.evaluate(&config)?;
 
     println!(
         "minimized ({}): accuracy {:.1}%, area {:.1} mm2 ({:.2}x smaller), sparsity {:.0}%",
@@ -41,5 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "accuracy change vs baseline: {:+.1} points",
         (point.accuracy - baseline.accuracy()) * 100.0
     );
+
+    // 3. Re-evaluating the same configuration is free: the engine memoizes.
+    let again = engine.evaluate(&config)?;
+    assert_eq!(again, point);
+    println!("second evaluation of {} was a cache hit", config.describe());
     Ok(())
 }

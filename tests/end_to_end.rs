@@ -11,7 +11,10 @@ fn quick_baseline(dataset: UciDataset, seed: u64) -> BaselineDesign {
     BaselineDesign::train_with(
         dataset,
         seed,
-        &BaselineConfig { epochs: 15, ..BaselineConfig::default() },
+        &BaselineConfig {
+            epochs: 15,
+            ..BaselineConfig::default()
+        },
     )
     .expect("baseline training succeeds")
 }
@@ -19,7 +22,11 @@ fn quick_baseline(dataset: UciDataset, seed: u64) -> BaselineDesign {
 #[test]
 fn baseline_seeds_classifier_beats_chance_and_synthesizes() {
     let baseline = quick_baseline(UciDataset::Seeds, 1);
-    assert!(baseline.accuracy() > 0.6, "accuracy {}", baseline.accuracy());
+    assert!(
+        baseline.accuracy() > 0.6,
+        "accuracy {}",
+        baseline.accuracy()
+    );
     assert!(baseline.area_mm2() > 1.0);
     assert!(baseline.synthesis.gate_count > 100);
     assert!(baseline.synthesis.power_uw > 0.0);
@@ -32,7 +39,11 @@ fn quantization_shrinks_the_circuit_with_bounded_accuracy_loss() {
     let ctx = EvaluationContext::new(&baseline).with_fine_tune_epochs(4);
     let point =
         evaluate_config(&ctx, &MinimizationConfig::default().with_weight_bits(4), 0).unwrap();
-    assert!(point.normalized_area < 0.75, "4-bit area ratio {}", point.normalized_area);
+    assert!(
+        point.normalized_area < 0.75,
+        "4-bit area ratio {}",
+        point.normalized_area
+    );
     assert!(
         baseline.accuracy() - point.accuracy < 0.25,
         "4-bit QAT lost too much accuracy: {} -> {}",
@@ -46,16 +57,26 @@ fn combining_techniques_is_smaller_than_each_standalone() {
     let baseline = quick_baseline(UciDataset::Seeds, 3);
     let ctx = EvaluationContext::new(&baseline).with_fine_tune_epochs(3);
 
-    let quant = evaluate_config(&ctx, &MinimizationConfig::default().with_weight_bits(4), 0).unwrap();
-    let prune = evaluate_config(&ctx, &MinimizationConfig::default().with_sparsity(0.4), 0).unwrap();
+    let quant =
+        evaluate_config(&ctx, &MinimizationConfig::default().with_weight_bits(4), 0).unwrap();
+    let prune =
+        evaluate_config(&ctx, &MinimizationConfig::default().with_sparsity(0.4), 0).unwrap();
     let combined = evaluate_config(
         &ctx,
-        &MinimizationConfig::default().with_weight_bits(4).with_sparsity(0.4),
+        &MinimizationConfig::default()
+            .with_weight_bits(4)
+            .with_sparsity(0.4),
         0,
     )
     .unwrap();
-    assert!(combined.area_mm2 < quant.area_mm2, "combined not smaller than quantization alone");
-    assert!(combined.area_mm2 < prune.area_mm2, "combined not smaller than pruning alone");
+    assert!(
+        combined.area_mm2 < quant.area_mm2,
+        "combined not smaller than quantization alone"
+    );
+    assert!(
+        combined.area_mm2 < prune.area_mm2,
+        "combined not smaller than pruning alone"
+    );
 }
 
 #[test]
@@ -75,15 +96,19 @@ fn clustering_with_sharing_reduces_area_versus_baseline() {
 fn pareto_front_of_mixed_configs_is_consistent() {
     let baseline = quick_baseline(UciDataset::Seeds, 5);
     let ctx = EvaluationContext::new(&baseline).with_fine_tune_epochs(2);
-    let configs = vec![
+    let configs = [
         MinimizationConfig::baseline(),
         MinimizationConfig::default().with_weight_bits(3),
         MinimizationConfig::default().with_weight_bits(6),
         MinimizationConfig::default().with_sparsity(0.5),
-        MinimizationConfig::default().with_weight_bits(3).with_sparsity(0.5),
+        MinimizationConfig::default()
+            .with_weight_bits(3)
+            .with_sparsity(0.5),
     ];
-    let points: Vec<_> =
-        configs.iter().map(|c| evaluate_config(&ctx, c, 0).unwrap()).collect();
+    let points: Vec<_> = configs
+        .iter()
+        .map(|c| evaluate_config(&ctx, c, 0).unwrap())
+        .collect();
     let front = pareto_front(&points);
     assert!(!front.is_empty());
     assert!(front.len() <= points.len());
@@ -99,11 +124,21 @@ fn pareto_front_of_mixed_configs_is_consistent() {
 fn evaluations_are_reproducible_across_runs() {
     let baseline_a = quick_baseline(UciDataset::Seeds, 6);
     let baseline_b = quick_baseline(UciDataset::Seeds, 6);
-    let config = MinimizationConfig::default().with_weight_bits(4).with_sparsity(0.3);
-    let a = evaluate_config(&EvaluationContext::new(&baseline_a).with_fine_tune_epochs(2), &config, 1)
-        .unwrap();
-    let b = evaluate_config(&EvaluationContext::new(&baseline_b).with_fine_tune_epochs(2), &config, 1)
-        .unwrap();
+    let config = MinimizationConfig::default()
+        .with_weight_bits(4)
+        .with_sparsity(0.3);
+    let a = evaluate_config(
+        &EvaluationContext::new(&baseline_a).with_fine_tune_epochs(2),
+        &config,
+        1,
+    )
+    .unwrap();
+    let b = evaluate_config(
+        &EvaluationContext::new(&baseline_b).with_fine_tune_epochs(2),
+        &config,
+        1,
+    )
+    .unwrap();
     assert_eq!(a.accuracy, b.accuracy);
     assert_eq!(a.area_mm2, b.area_mm2);
     assert_eq!(a.gate_count, b.gate_count);

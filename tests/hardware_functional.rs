@@ -16,7 +16,10 @@ use rand::SeedableRng;
 /// `input_bits` bits (the format the printed circuit's inputs arrive in).
 fn quantize_inputs(row: &[f32], input_bits: u8) -> (Vec<u64>, Vec<f32>) {
     let levels = ((1_u32 << input_bits) - 1) as f32;
-    let codes: Vec<u64> = row.iter().map(|&x| (x.clamp(0.0, 1.0) * levels).round() as u64).collect();
+    let codes: Vec<u64> = row
+        .iter()
+        .map(|&x| (x.clamp(0.0, 1.0) * levels).round() as u64)
+        .collect();
     let dequantized: Vec<f32> = codes.iter().map(|&c| c as f32 / levels).collect();
     (codes, dequantized)
 }
@@ -27,7 +30,11 @@ fn circuit_classification_matches_quantized_software_model() {
     let baseline = BaselineDesign::train_with(
         UciDataset::Seeds,
         21,
-        &BaselineConfig { epochs: 15, input_bits, ..BaselineConfig::default() },
+        &BaselineConfig {
+            epochs: 15,
+            input_bits,
+            ..BaselineConfig::default()
+        },
     )
     .unwrap();
 
@@ -79,7 +86,11 @@ fn shared_and_unshared_circuits_agree_on_clustered_models() {
     let baseline = BaselineDesign::train_with(
         UciDataset::Seeds,
         22,
-        &BaselineConfig { epochs: 12, input_bits, ..BaselineConfig::default() },
+        &BaselineConfig {
+            epochs: 12,
+            input_bits,
+            ..BaselineConfig::default()
+        },
     )
     .unwrap();
     let config = MinimizationConfig::default()
@@ -91,9 +102,13 @@ fn shared_and_unshared_circuits_agree_on_clustered_models() {
     let spec = circuit_spec_from_layers(&minimized.integer_layers, input_bits).unwrap();
 
     let lib = CellLibrary::egt();
-    let unshared =
-        BespokeMlpCircuit::synthesize_with(&spec, &lib, SharingStrategy::None, RecodingStrategy::Csd)
-            .unwrap();
+    let unshared = BespokeMlpCircuit::synthesize_with(
+        &spec,
+        &lib,
+        SharingStrategy::None,
+        RecodingStrategy::Csd,
+    )
+    .unwrap();
     let shared = BespokeMlpCircuit::synthesize_with(
         &spec,
         &lib,
@@ -106,7 +121,11 @@ fn shared_and_unshared_circuits_agree_on_clustered_models() {
     assert!(shared.area().total_mm2 <= unshared.area().total_mm2);
     for s in 0..baseline.test.len().min(30) {
         let (codes, _) = quantize_inputs(baseline.test.features().row(s), input_bits);
-        assert_eq!(unshared.classify(&codes), shared.classify(&codes), "sample {s}");
+        assert_eq!(
+            unshared.classify(&codes),
+            shared.classify(&codes),
+            "sample {s}"
+        );
     }
 }
 
@@ -116,18 +135,28 @@ fn csd_and_binary_recoding_produce_identical_functions() {
     let baseline = BaselineDesign::train_with(
         UciDataset::Seeds,
         23,
-        &BaselineConfig { epochs: 10, input_bits, ..BaselineConfig::default() },
+        &BaselineConfig {
+            epochs: 10,
+            input_bits,
+            ..BaselineConfig::default()
+        },
     )
     .unwrap();
-    let config = MinimizationConfig::default().with_weight_bits(4).with_fine_tune_epochs(2);
+    let config = MinimizationConfig::default()
+        .with_weight_bits(4)
+        .with_fine_tune_epochs(2);
     let mut rng = StdRng::seed_from_u64(7);
     let minimized = minimize(&baseline.model, &baseline.train, None, &config, &mut rng).unwrap();
     let spec = circuit_spec_from_layers(&minimized.integer_layers, input_bits).unwrap();
 
     let lib = CellLibrary::egt();
-    let csd =
-        BespokeMlpCircuit::synthesize_with(&spec, &lib, SharingStrategy::None, RecodingStrategy::Csd)
-            .unwrap();
+    let csd = BespokeMlpCircuit::synthesize_with(
+        &spec,
+        &lib,
+        SharingStrategy::None,
+        RecodingStrategy::Csd,
+    )
+    .unwrap();
     let binary = BespokeMlpCircuit::synthesize_with(
         &spec,
         &lib,

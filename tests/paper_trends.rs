@@ -10,13 +10,21 @@ use printed_mlp::data::UciDataset;
 
 #[test]
 fn figure1_quick_seeds_reproduces_qualitative_trends() {
-    let result = Figure1Experiment::new(UciDataset::Seeds, Effort::Quick, 17).run().unwrap();
+    let result = Figure1Experiment::new(UciDataset::Seeds, Effort::Quick, 17)
+        .run()
+        .unwrap();
 
     // All three techniques produce at least one design smaller than the
     // baseline (normalized area < 1).
     for (technique, points) in &result.raw_points {
-        let min_area = points.iter().map(|p| p.normalized_area).fold(f64::INFINITY, f64::min);
-        assert!(min_area < 1.0, "{technique:?} never shrank the circuit (min ratio {min_area})");
+        let min_area = points
+            .iter()
+            .map(|p| p.normalized_area)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            min_area < 1.0,
+            "{technique:?} never shrank the circuit (min ratio {min_area})"
+        );
     }
 
     // Quantization reaches deeper area reductions than pruning at the sparsity
@@ -26,7 +34,11 @@ fn figure1_quick_seeds_reproduces_qualitative_trends() {
             .raw_points
             .iter()
             .find(|(tech, _)| *tech == t)
-            .map(|(_, pts)| pts.iter().map(|p| p.normalized_area).fold(f64::INFINITY, f64::min))
+            .map(|(_, pts)| {
+                pts.iter()
+                    .map(|p| p.normalized_area)
+                    .fold(f64::INFINITY, f64::min)
+            })
             .unwrap()
     };
     assert!(
@@ -42,7 +54,11 @@ fn figure1_quick_seeds_reproduces_qualitative_trends() {
     assert_eq!(rows.len(), 3);
     for row in &rows {
         if let Some(gain) = row.area_gain {
-            assert!(gain >= 1.0, "{} reported an area gain below 1x", row.technique);
+            assert!(
+                gain >= 1.0,
+                "{} reported an area gain below 1x",
+                row.technique
+            );
         }
     }
 }
@@ -51,7 +67,9 @@ fn figure1_quick_seeds_reproduces_qualitative_trends() {
 fn quantization_dominates_at_the_five_percent_threshold_on_redwine() {
     // RedWine is one of the two datasets where the paper reports every
     // technique (including clustering) meeting the 5% threshold.
-    let result = Figure1Experiment::new(UciDataset::RedWine, Effort::Quick, 29).run().unwrap();
+    let result = Figure1Experiment::new(UciDataset::RedWine, Effort::Quick, 29)
+        .run()
+        .unwrap();
     let gain = |t: Technique| {
         result
             .raw_points
@@ -60,6 +78,13 @@ fn quantization_dominates_at_the_five_percent_threshold_on_redwine() {
             .and_then(|(_, pts)| area_gain_at_accuracy_loss(pts, result.baseline_accuracy, 0.05))
     };
     let quant = gain(Technique::Quantization);
-    assert!(quant.is_some(), "quantization produced no design within 5% accuracy loss");
-    assert!(quant.unwrap() > 1.2, "quantization area gain {:?} too small", quant);
+    assert!(
+        quant.is_some(),
+        "quantization produced no design within 5% accuracy loss"
+    );
+    assert!(
+        quant.unwrap() > 1.2,
+        "quantization area gain {:?} too small",
+        quant
+    );
 }
