@@ -1,0 +1,72 @@
+//! Runs the cross-dataset reproduction campaign: every dataset in the
+//! registry (or a comma-separated subset) is trained, swept with the three
+//! standalone minimization techniques and summarized in one aggregate
+//! paper-style table, with machine-readable JSON artifacts per run.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p pmlp-bench --bin campaign -- [datasets|all] [full|quick] [seed] [--quick]
+//! ```
+//!
+//! `datasets` is `all` (default) or a comma-separated list of registry names
+//! (e.g. `seeds,balance,vertebral`). `--quick` anywhere on the command line
+//! forces the reduced CI effort. Artifacts land under
+//! `target/experiment-results/campaign/`.
+
+use pmlp_bench::{parse_effort, split_cli_args};
+use pmlp_core::campaign::{Campaign, CampaignConfig};
+use pmlp_core::report::render_campaign_table;
+use pmlp_data::UciDataset;
+use std::path::Path;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (positional, effort_flag) = split_cli_args(&args);
+    let which = positional.first().copied().unwrap_or("all");
+    let effort =
+        effort_flag.unwrap_or_else(|| parse_effort(positional.get(1).copied().unwrap_or("full")));
+    let seed: u64 = positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    let datasets: Vec<UciDataset> = if which.eq_ignore_ascii_case("all") {
+        UciDataset::all().to_vec()
+    } else {
+        which
+            .split(',')
+            .map(UciDataset::parse)
+            .collect::<Result<_, _>>()?
+    };
+    let total = datasets.len();
+
+    let start = std::time::Instant::now();
+    let campaign = Campaign::new(CampaignConfig {
+        datasets,
+        effort,
+        seed,
+        max_accuracy_loss: 0.05,
+    })
+    .with_progress(move |report| {
+        eprintln!(
+            "[campaign] {:<14} done in {:>6.1}s  ({} evaluations, baseline {:.1}%)",
+            report.name,
+            report.elapsed_secs,
+            report.evaluations,
+            report.baseline_accuracy * 100.0,
+        );
+    });
+
+    let result = campaign.run()?;
+    println!("{}", render_campaign_table(&result));
+    println!(
+        "campaign over {} datasets finished in {:.1}s",
+        total,
+        start.elapsed().as_secs_f64()
+    );
+
+    let dir = Path::new("target")
+        .join("experiment-results")
+        .join("campaign");
+    let paths = result.write_artifacts(&dir)?;
+    println!("wrote {} artifacts under {}", paths.len(), dir.display());
+    Ok(())
+}

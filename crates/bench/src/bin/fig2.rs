@@ -4,7 +4,10 @@
 //! standalone techniques.
 //!
 //! Usage:
-//!   cargo run --release -p pmlp-bench --bin fig2 -- [dataset] [full|quick] [seed] [--quick]
+//!
+//! ```text
+//! cargo run --release -p pmlp-bench --bin fig2 -- [dataset] [full|quick] [seed] [--quick]
+//! ```
 //!
 //! `--quick` anywhere on the command line forces the reduced CI effort.
 

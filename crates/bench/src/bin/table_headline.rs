@@ -3,19 +3,24 @@
 //! dataset, plus the cross-dataset averages quoted in the text
 //! (≈5x quantization, ≈2.8x pruning, ≈3.5x clustering, up to ≈8x combined).
 //!
+//! The standalone-technique rows come from a full cross-dataset `Campaign`
+//! (every registry dataset, fanned out over the worker pool); the combined
+//! claim is the WhiteWine hardware-aware GA of Fig. 2.
+//!
 //! Usage:
-//!   cargo run --release -p pmlp-bench --bin table_headline -- [full|quick] [seed] [--quick]
+//!
+//! ```text
+//! cargo run --release -p pmlp-bench --bin table_headline -- [full|quick] [seed] [--quick]
+//! ```
 //!
 //! `--quick` anywhere on the command line forces the reduced CI effort.
 
 use pmlp_bench::{parse_effort, persist_json, render_headline, split_cli_args};
-use pmlp_core::experiment::{
-    headline_combined, headline_summary, Figure1Experiment, Figure2Experiment,
-};
-use pmlp_core::report::HeadlineRow;
+use pmlp_core::campaign::{Campaign, CampaignConfig};
+use pmlp_core::experiment::{headline_combined, Figure2Experiment};
+use pmlp_core::report::{HeadlineRow, TechniqueSummary};
 use pmlp_core::sweep::Technique;
 use pmlp_data::UciDataset;
-use std::collections::BTreeMap;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,42 +29,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         effort_flag.unwrap_or_else(|| parse_effort(positional.first().copied().unwrap_or("full")));
     let seed: u64 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(42);
 
-    let mut rows: Vec<HeadlineRow> = Vec::new();
-    for dataset in UciDataset::all() {
-        let result = Figure1Experiment::new(dataset, effort, seed).run()?;
-        rows.extend(headline_summary(&result, 0.05));
-    }
+    let campaign = Campaign::new(CampaignConfig {
+        datasets: UciDataset::all().to_vec(),
+        effort,
+        seed,
+        max_accuracy_loss: 0.05,
+    });
+    let result = campaign.run()?;
+    let mut rows: Vec<HeadlineRow> = result
+        .reports
+        .iter()
+        .flat_map(|report| report.headline.clone())
+        .collect();
+
     // The combined (GA) claim is made for WhiteWine in the paper's Fig. 2.
     let combined = Figure2Experiment::new(UciDataset::WhiteWine, effort, seed).run()?;
-    rows.push(headline_combined(&combined, 0.05));
+    let combined_row = headline_combined(&combined, 0.05);
+    rows.push(combined_row.clone());
 
     println!("{}", render_headline(&rows));
 
     // Cross-dataset averages per technique (counting only datasets where the
     // technique met the threshold, as the paper does).
-    let mut by_technique: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
-    for row in &rows {
-        if let Some(gain) = row.area_gain {
-            by_technique
-                .entry(match row.technique.as_str() {
-                    t if t == Technique::Quantization.name() => "quantization",
-                    t if t == Technique::Pruning.name() => "pruning",
-                    t if t == Technique::Clustering.name() => "weight clustering",
-                    _ => "combined (GA)",
-                })
-                .or_default()
-                .push(gain);
-        }
-    }
     println!("=== cross-dataset average area gain at <=5% accuracy loss ===");
-    for (technique, gains) in &by_technique {
-        let avg = gains.iter().sum::<f64>() / gains.len() as f64;
-        let max = gains.iter().cloned().fold(0.0_f64, f64::max);
-        println!(
-            "{technique:<18} avg {avg:.2}x   max {max:.2}x   ({} datasets)",
-            gains.len()
-        );
+    for summary in result.technique_summaries() {
+        println!("{summary}");
     }
+    let combined_summary = TechniqueSummary {
+        technique: Technique::Combined.name().to_string(),
+        mean_gain: combined_row.area_gain,
+        max_gain: combined_row.area_gain,
+        datasets_met: usize::from(combined_row.area_gain.is_some()),
+        datasets_total: 1,
+    };
+    println!("{combined_summary}");
+
     persist_json("table_headline", &rows);
     Ok(())
 }

@@ -1,0 +1,447 @@
+//! Cross-dataset reproduction campaigns.
+//!
+//! The paper reports its minimization results across a whole battery of
+//! small UCI classification tasks, not just the four Fig. 1 subplots. A
+//! [`Campaign`] reproduces that battery in one run: for every dataset in its
+//! [`CampaignConfig`] it trains the bespoke baseline, builds a dedicated
+//! [`EvalEngine`], runs the three standalone technique sweeps, and collects
+//! the normalized Pareto fronts plus the headline area-gain rows into one
+//! [`CampaignResult`].
+//!
+//! Datasets fan out across rayon workers — engines already parallelize
+//! *within* a dataset, so a campaign saturates the machine at both levels —
+//! and each dataset's report records its own engine statistics and wall-clock
+//! time. Results render as a paper-style aggregate table
+//! ([`crate::report::render_campaign_table`]) and persist as machine-readable
+//! JSON artifacts ([`CampaignResult::write_artifacts`]).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use pmlp_core::campaign::{Campaign, CampaignConfig};
+//! use pmlp_core::experiment::Effort;
+//! use pmlp_core::report::render_campaign_table;
+//! use pmlp_data::UciDataset;
+//!
+//! # fn main() -> Result<(), pmlp_core::CoreError> {
+//! let config = CampaignConfig {
+//!     datasets: vec![UciDataset::Seeds, UciDataset::Balance],
+//!     effort: Effort::Quick,
+//!     ..CampaignConfig::default()
+//! };
+//! let result = Campaign::new(config).run()?;
+//! println!("{}", render_campaign_table(&result));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::engine::EvalEngine;
+use crate::error::CoreError;
+use crate::experiment::{headline_summary, Effort, Figure1Experiment};
+use crate::report::{FigureSeries, HeadlineRow, TechniqueSummary};
+use crate::sweep::Technique;
+use pmlp_data::UciDataset;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// What a [`Campaign`] runs: which datasets, at which effort, under which
+/// seed and accuracy-loss threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Datasets to evaluate, in report order (defaults to the full registry).
+    pub datasets: Vec<UciDataset>,
+    /// Effort level applied to every dataset (baseline budget, sweep ranges,
+    /// fine-tuning epochs).
+    pub effort: Effort,
+    /// Base RNG seed (data generation + training), shared by all datasets.
+    pub seed: u64,
+    /// Accuracy-loss threshold of the headline rows (the paper uses 0.05).
+    pub max_accuracy_loss: f64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            datasets: UciDataset::all().to_vec(),
+            effort: Effort::Full,
+            seed: 42,
+            max_accuracy_loss: 0.05,
+        }
+    }
+}
+
+/// Everything the campaign measured for one dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetReport {
+    /// Which dataset this report covers.
+    pub dataset: UciDataset,
+    /// Display name (as used in the paper's figures).
+    pub name: String,
+    /// Number of input features of the classifier.
+    pub feature_count: usize,
+    /// Number of target classes.
+    pub class_count: usize,
+    /// Hidden-layer width of the bespoke baseline MLP.
+    pub hidden_neurons: usize,
+    /// Absolute test accuracy of the un-minimized bespoke baseline.
+    pub baseline_accuracy: f64,
+    /// Circuit area of the bespoke baseline in mm².
+    pub baseline_area_mm2: f64,
+    /// Static power of the bespoke baseline in µW.
+    pub baseline_power_uw: f64,
+    /// Pareto-filtered (normalized accuracy, normalized area) series, one per
+    /// standalone technique.
+    pub series: Vec<FigureSeries>,
+    /// Headline rows: best area gain within the accuracy-loss threshold, one
+    /// per technique.
+    pub headline: Vec<HeadlineRow>,
+    /// Full pipeline evaluations the engine ran for this dataset (cache
+    /// misses).
+    pub evaluations: usize,
+    /// Fraction of evaluation requests answered from the engine's cache.
+    pub cache_hit_rate: f64,
+    /// Wall-clock seconds spent on this dataset (training + sweeps).
+    pub elapsed_secs: f64,
+}
+
+impl DatasetReport {
+    /// The headline area gain of `technique`, `None` when no design met the
+    /// accuracy-loss threshold (or the technique was not swept).
+    pub fn gain_for(&self, technique: Technique) -> Option<f64> {
+        self.headline
+            .iter()
+            .find(|row| row.technique == technique.name())
+            .and_then(|row| row.area_gain)
+    }
+}
+
+/// The aggregate outcome of a campaign run: one [`DatasetReport`] per dataset
+/// plus the configuration that produced them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Effort level the campaign ran at.
+    pub effort: Effort,
+    /// Base RNG seed of the run.
+    pub seed: u64,
+    /// Accuracy-loss threshold of the headline rows.
+    pub max_accuracy_loss: f64,
+    /// Per-dataset reports, in configuration order.
+    pub reports: Vec<DatasetReport>,
+}
+
+impl CampaignResult {
+    /// Aggregates the headline rows per technique across all datasets, the
+    /// way the paper quotes cross-dataset averages (counting only datasets
+    /// where the technique met the threshold).
+    pub fn technique_summaries(&self) -> Vec<TechniqueSummary> {
+        [
+            Technique::Quantization,
+            Technique::Pruning,
+            Technique::Clustering,
+        ]
+        .into_iter()
+        .map(|technique| {
+            let gains: Vec<f64> = self
+                .reports
+                .iter()
+                .filter_map(|report| report.gain_for(technique))
+                .collect();
+            TechniqueSummary {
+                technique: technique.name().to_string(),
+                mean_gain: (!gains.is_empty())
+                    .then(|| gains.iter().sum::<f64>() / gains.len() as f64),
+                max_gain: gains.iter().copied().reduce(f64::max),
+                datasets_met: gains.len(),
+                datasets_total: self.reports.len(),
+            }
+        })
+        .collect()
+    }
+
+    /// Writes the machine-readable artifacts of this run into `dir`: one
+    /// `campaign.json` with the full result plus one `campaign_<dataset>.json`
+    /// per dataset. Returns the written paths, aggregate first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`std::io::Error`] when the directory cannot be
+    /// created or a file cannot be written.
+    pub fn write_artifacts(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let to_io_error =
+            |err: serde_json::Error| std::io::Error::new(std::io::ErrorKind::InvalidData, err);
+
+        let mut paths = Vec::with_capacity(self.reports.len() + 1);
+        let aggregate = dir.join("campaign.json");
+        std::fs::write(
+            &aggregate,
+            serde_json::to_string_pretty(self).map_err(to_io_error)?,
+        )?;
+        paths.push(aggregate);
+
+        for report in &self.reports {
+            let path = dir.join(format!("campaign_{}.json", report.name.to_lowercase()));
+            std::fs::write(
+                &path,
+                serde_json::to_string_pretty(report).map_err(to_io_error)?,
+            )?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+}
+
+type CampaignProgressFn = dyn Fn(&DatasetReport) + Send + Sync;
+
+/// The cross-dataset campaign driver.
+///
+/// See the [module documentation](self) for the full picture.
+pub struct Campaign {
+    config: CampaignConfig,
+    progress: Option<Box<CampaignProgressFn>>,
+}
+
+impl std::fmt::Debug for Campaign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Campaign")
+            .field("config", &self.config)
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+impl Campaign {
+    /// Creates a campaign for `config`.
+    pub fn new(config: CampaignConfig) -> Self {
+        Campaign {
+            config,
+            progress: None,
+        }
+    }
+
+    /// Installs a callback invoked as each dataset completes (from worker
+    /// threads, in completion order).
+    #[must_use]
+    pub fn with_progress(
+        mut self,
+        callback: impl Fn(&DatasetReport) + Send + Sync + 'static,
+    ) -> Self {
+        self.progress = Some(Box::new(callback));
+        self
+    }
+
+    /// The configuration this campaign runs.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Builds the evaluation engine the campaign uses for `dataset`: baseline
+    /// trained at the configured effort's budget, fine-tuning budget set
+    /// accordingly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates baseline training and synthesis errors.
+    pub fn build_engine(&self, dataset: UciDataset) -> Result<EvalEngine, CoreError> {
+        Figure1Experiment::new(dataset, self.config.effort, self.config.seed).build_engine()
+    }
+
+    /// Runs the campaign: every dataset is trained, swept and summarized on
+    /// the rayon worker pool; reports come back in configuration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an empty dataset list and
+    /// propagates the first per-dataset error otherwise.
+    pub fn run(&self) -> Result<CampaignResult, CoreError> {
+        if self.config.datasets.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                context: "campaign needs at least one dataset".into(),
+            });
+        }
+        let reports: Result<Vec<DatasetReport>, CoreError> = self
+            .config
+            .datasets
+            .par_iter()
+            .map(|&dataset| {
+                let report = self.run_dataset(dataset)?;
+                if let Some(callback) = &self.progress {
+                    callback(&report);
+                }
+                Ok(report)
+            })
+            .collect();
+        Ok(CampaignResult {
+            effort: self.config.effort,
+            seed: self.config.seed,
+            max_accuracy_loss: self.config.max_accuracy_loss,
+            reports: reports?,
+        })
+    }
+
+    /// Runs one dataset of the campaign: trains its baseline, sweeps the
+    /// three standalone techniques through a fresh engine and packages the
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates baseline, evaluation and synthesis errors.
+    pub fn run_dataset(&self, dataset: UciDataset) -> Result<DatasetReport, CoreError> {
+        let start = Instant::now();
+        let engine = self.build_engine(dataset)?;
+        let result = Figure1Experiment::new(dataset, self.config.effort, self.config.seed)
+            .run_with(&engine)?;
+        let headline = headline_summary(&result, self.config.max_accuracy_loss);
+        let stats = engine.stats();
+        let descriptor = dataset.descriptor();
+        Ok(DatasetReport {
+            dataset,
+            name: result.dataset,
+            feature_count: descriptor.feature_count,
+            class_count: descriptor.class_count,
+            hidden_neurons: descriptor.hidden_neurons,
+            baseline_accuracy: result.baseline_accuracy,
+            baseline_area_mm2: result.baseline_area_mm2,
+            baseline_power_uw: engine.baseline().synthesis.power_uw,
+            series: result.series,
+            headline,
+            evaluations: stats.misses,
+            cache_hit_rate: stats.hit_rate(),
+            elapsed_secs: start.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report(name: &str, gains: [Option<f64>; 3]) -> DatasetReport {
+        let techniques = [
+            Technique::Quantization,
+            Technique::Pruning,
+            Technique::Clustering,
+        ];
+        DatasetReport {
+            dataset: UciDataset::Seeds,
+            name: name.to_string(),
+            feature_count: 7,
+            class_count: 3,
+            hidden_neurons: 10,
+            baseline_accuracy: 0.9,
+            baseline_area_mm2: 10.0,
+            baseline_power_uw: 100.0,
+            series: Vec::new(),
+            headline: techniques
+                .iter()
+                .zip(gains)
+                .map(|(technique, area_gain)| HeadlineRow {
+                    dataset: name.to_string(),
+                    technique: technique.name().to_string(),
+                    baseline_accuracy: 0.9,
+                    area_gain,
+                    max_accuracy_loss: 0.05,
+                })
+                .collect(),
+            evaluations: 5,
+            cache_hit_rate: 0.0,
+            elapsed_secs: 1.0,
+        }
+    }
+
+    #[test]
+    fn empty_campaign_is_rejected() {
+        let campaign = Campaign::new(CampaignConfig {
+            datasets: Vec::new(),
+            ..CampaignConfig::default()
+        });
+        assert!(matches!(
+            campaign.run(),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn default_config_covers_the_full_registry() {
+        let config = CampaignConfig::default();
+        assert_eq!(config.datasets.len(), UciDataset::all().len());
+        assert!(config.datasets.len() >= 10);
+        assert!((config.max_accuracy_loss - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn technique_summaries_average_only_datasets_that_met_the_threshold() {
+        let result = CampaignResult {
+            effort: Effort::Quick,
+            seed: 1,
+            max_accuracy_loss: 0.05,
+            reports: vec![
+                tiny_report("A", [Some(4.0), Some(2.0), None]),
+                tiny_report("B", [Some(6.0), None, None]),
+            ],
+        };
+        let summaries = result.technique_summaries();
+        assert_eq!(summaries.len(), 3);
+        let quant = &summaries[0];
+        assert_eq!(quant.datasets_met, 2);
+        assert_eq!(quant.datasets_total, 2);
+        assert!((quant.mean_gain.unwrap() - 5.0).abs() < 1e-12);
+        assert!((quant.max_gain.unwrap() - 6.0).abs() < 1e-12);
+        let cluster = &summaries[2];
+        assert_eq!(cluster.datasets_met, 0);
+        assert!(cluster.mean_gain.is_none());
+        assert!(cluster.max_gain.is_none());
+    }
+
+    #[test]
+    fn gain_for_reads_the_headline_rows() {
+        let report = tiny_report("A", [Some(4.0), None, Some(1.5)]);
+        assert_eq!(report.gain_for(Technique::Quantization), Some(4.0));
+        assert_eq!(report.gain_for(Technique::Pruning), None);
+        assert_eq!(report.gain_for(Technique::Clustering), Some(1.5));
+        assert_eq!(report.gain_for(Technique::Combined), None);
+    }
+
+    #[test]
+    fn campaign_result_round_trips_through_json() {
+        let result = CampaignResult {
+            effort: Effort::Quick,
+            seed: 7,
+            max_accuracy_loss: 0.05,
+            reports: vec![tiny_report("Seeds", [Some(3.0), Some(2.0), None])],
+        };
+        let json = serde_json::to_string_pretty(&result).unwrap();
+        let back: CampaignResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, result);
+    }
+
+    #[test]
+    fn write_artifacts_emits_aggregate_and_per_dataset_files() {
+        let result = CampaignResult {
+            effort: Effort::Quick,
+            seed: 7,
+            max_accuracy_loss: 0.05,
+            reports: vec![
+                tiny_report("Seeds", [Some(3.0), None, None]),
+                tiny_report("Balance", [Some(2.0), None, None]),
+            ],
+        };
+        let dir = std::env::temp_dir().join(format!(
+            "pmlp-campaign-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let paths = result.write_artifacts(&dir).unwrap();
+        assert_eq!(paths.len(), 3);
+        assert!(paths[0].ends_with("campaign.json"));
+        let text = std::fs::read_to_string(&paths[0]).unwrap();
+        let back: CampaignResult = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, result);
+        let per_dataset = std::fs::read_to_string(&paths[2]).unwrap();
+        let report: DatasetReport = serde_json::from_str(&per_dataset).unwrap();
+        assert_eq!(report, result.reports[1]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

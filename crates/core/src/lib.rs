@@ -18,6 +18,8 @@
 //! * [`sweep`] — the standalone technique sweeps of Fig. 1,
 //! * [`nsga2::Nsga2`] — the hardware-aware genetic algorithm of Fig. 2,
 //! * [`experiment`] — drivers that regenerate every figure/table of the paper,
+//! * [`campaign::Campaign`] — the cross-dataset reproduction campaign that
+//!   fans the whole dataset registry out over the worker pool,
 //! * [`pareto`] / [`report`] — Pareto-front utilities and result tables.
 //!
 //! ## Example
@@ -35,11 +37,12 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod baseline;
 pub mod bridge;
+pub mod campaign;
 pub mod engine;
 pub mod error;
 pub mod experiment;
@@ -51,10 +54,11 @@ pub mod report;
 pub mod sweep;
 
 pub use baseline::BaselineDesign;
+pub use campaign::{Campaign, CampaignConfig, CampaignResult, DatasetReport};
 pub use engine::{EngineStats, EvalEngine, EvalProgress, Evaluator};
 pub use error::CoreError;
 pub use genome::Genome;
 pub use nsga2::{Nsga2, Nsga2Config};
 pub use objective::{evaluate_config, DesignPoint, EvaluationContext};
 pub use pareto::{area_gain_at_accuracy_loss, pareto_front};
-pub use report::{FigureSeries, HeadlineRow};
+pub use report::{render_campaign_table, FigureSeries, HeadlineRow, TechniqueSummary};

@@ -1,10 +1,10 @@
 //! The hardware-aware genetic algorithm: an NSGA-II loop over
-//! [`Genome`](crate::genome::Genome)s whose fitness is the (accuracy, area)
+//! [`Genome`]s whose fitness is the (accuracy, area)
 //! pair measured by retraining the candidate and synthesizing its bespoke
 //! circuit.
 //!
 //! All candidate scoring goes through the shared
-//! [`Evaluator`](crate::engine::Evaluator) — in production the memoizing
+//! [`Evaluator`] — in production the memoizing
 //! [`EvalEngine`](crate::engine::EvalEngine) — so repeated genomes cost one
 //! evaluation per engine lifetime and populations are evaluated in parallel.
 

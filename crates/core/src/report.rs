@@ -1,6 +1,8 @@
 //! Figure/table data structures and text rendering in the format the paper
-//! reports (normalized area vs normalized accuracy).
+//! reports (normalized area vs normalized accuracy), including the
+//! cross-dataset campaign table.
 
+use crate::campaign::CampaignResult;
 use crate::objective::DesignPoint;
 use crate::sweep::Technique;
 use serde::{Deserialize, Serialize};
@@ -111,6 +113,86 @@ pub fn render_headline_table(rows: &[HeadlineRow]) -> String {
     out
 }
 
+/// Cross-dataset aggregate of one technique's headline gains, the way the
+/// paper quotes per-technique averages in Section III.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TechniqueSummary {
+    /// Technique name.
+    pub technique: String,
+    /// Mean area gain over the datasets where the technique met the
+    /// accuracy-loss threshold, `None` when it met it nowhere.
+    pub mean_gain: Option<f64>,
+    /// Best area gain over those datasets.
+    pub max_gain: Option<f64>,
+    /// Number of datasets where the technique met the threshold.
+    pub datasets_met: usize,
+    /// Number of datasets in the campaign.
+    pub datasets_total: usize,
+}
+
+impl fmt::Display for TechniqueSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.mean_gain, self.max_gain) {
+            (Some(mean), Some(max)) => write!(
+                f,
+                "{:<18} avg {:>5.2}x   max {:>5.2}x   ({}/{} datasets)",
+                self.technique, mean, max, self.datasets_met, self.datasets_total
+            ),
+            _ => write!(
+                f,
+                "{:<18} met the loss threshold on 0/{} datasets",
+                self.technique, self.datasets_total
+            ),
+        }
+    }
+}
+
+/// Formats an optional area gain for the campaign table (`-` when the
+/// technique never met the threshold on that dataset).
+fn format_gain(gain: Option<f64>) -> String {
+    gain.map_or_else(|| "-".to_string(), |g| format!("{g:.2}x"))
+}
+
+/// Renders the aggregate paper-style campaign table: one row per dataset with
+/// its topology, baseline accuracy/area and per-technique headline gains,
+/// followed by the cross-dataset technique averages.
+pub fn render_campaign_table(result: &CampaignResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "=== cross-dataset campaign ({:?} effort, seed {}, area gain at <={:.0}% accuracy loss) ===\n",
+        result.effort,
+        result.seed,
+        result.max_accuracy_loss * 100.0
+    ));
+    out.push_str(&format!(
+        "{:<14} {:>10} {:>9} {:>10} {:>10} {:>8} {:>11} {:>8}\n",
+        "dataset", "topology", "base acc", "area mm2", "power uW", "quant", "prune", "cluster"
+    ));
+    for report in &result.reports {
+        let topology = format!(
+            "{}-{}-{}",
+            report.feature_count, report.hidden_neurons, report.class_count
+        );
+        out.push_str(&format!(
+            "{:<14} {:>10} {:>8.1}% {:>10.1} {:>10.1} {:>8} {:>11} {:>8}\n",
+            report.name,
+            topology,
+            report.baseline_accuracy * 100.0,
+            report.baseline_area_mm2,
+            report.baseline_power_uw,
+            format_gain(report.gain_for(Technique::Quantization)),
+            format_gain(report.gain_for(Technique::Pruning)),
+            format_gain(report.gain_for(Technique::Clustering)),
+        ));
+    }
+    out.push_str("=== cross-dataset average area gain per technique ===\n");
+    for summary in result.technique_summaries() {
+        out.push_str(&summary.to_string());
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +231,71 @@ mod tests {
         let text = series.to_string();
         assert!(text.contains("pruning"));
         assert_eq!(text.lines().count(), 2 + 2);
+    }
+
+    #[test]
+    fn campaign_table_lists_every_dataset_and_every_technique_summary() {
+        use crate::campaign::{CampaignResult, DatasetReport};
+        use crate::experiment::Effort;
+        use pmlp_data::UciDataset;
+
+        let report = DatasetReport {
+            dataset: UciDataset::Seeds,
+            name: "Seeds".into(),
+            feature_count: 7,
+            class_count: 3,
+            hidden_neurons: 10,
+            baseline_accuracy: 0.91,
+            baseline_area_mm2: 12.5,
+            baseline_power_uw: 80.0,
+            series: Vec::new(),
+            headline: vec![HeadlineRow {
+                dataset: "Seeds".into(),
+                technique: Technique::Quantization.name().into(),
+                baseline_accuracy: 0.91,
+                area_gain: Some(4.5),
+                max_accuracy_loss: 0.05,
+            }],
+            evaluations: 5,
+            cache_hit_rate: 0.2,
+            elapsed_secs: 1.0,
+        };
+        let result = CampaignResult {
+            effort: Effort::Quick,
+            seed: 42,
+            max_accuracy_loss: 0.05,
+            reports: vec![report],
+        };
+        let table = render_campaign_table(&result);
+        assert!(table.contains("Seeds"));
+        assert!(table.contains("7-10-3"));
+        assert!(table.contains("4.50x"));
+        // Pruning/clustering have no headline row -> rendered as "-".
+        assert!(table.contains('-'));
+        for technique in ["quantization", "pruning", "weight clustering"] {
+            assert!(table.contains(technique), "missing {technique}");
+        }
+    }
+
+    #[test]
+    fn technique_summary_renders_both_cases() {
+        let met = TechniqueSummary {
+            technique: "quantization".into(),
+            mean_gain: Some(5.0),
+            max_gain: Some(6.25),
+            datasets_met: 11,
+            datasets_total: 12,
+        };
+        let text = met.to_string();
+        assert!(text.contains("5.00x") && text.contains("6.25x") && text.contains("11/12"));
+        let unmet = TechniqueSummary {
+            technique: "weight clustering".into(),
+            mean_gain: None,
+            max_gain: None,
+            datasets_met: 0,
+            datasets_total: 12,
+        };
+        assert!(unmet.to_string().contains("0/12"));
     }
 
     #[test]

@@ -1,12 +1,16 @@
 //! # pmlp-data — datasets for printed-MLP classification
 //!
-//! The DATE 2023 paper evaluates its minimization techniques on four UCI
-//! classification datasets: **WhiteWine**, **RedWine**, **Pendigits** and
-//! **Seeds**. This environment has no network access, so this crate ships
-//! deterministic *synthetic equivalents*: generators that reproduce each
-//! dataset's dimensionality, class count, class imbalance and approximate
-//! difficulty (via controlled class overlap), plus a CSV loader so the real
-//! UCI files can be dropped in without code changes.
+//! The DATE 2023 paper evaluates its minimization techniques on a battery of
+//! small UCI classification tasks. This crate registers the full battery —
+//! **WhiteWine**, **RedWine**, **Pendigits** and **Seeds** (the Fig. 1
+//! subplots) plus **Arrhythmia**, **Balance**, **BreastCancer**, **Cardio**,
+//! **GasId**, **Vertebral**, **Mammographic** and **Har** — as
+//! [`UciDataset`] registry entries. This environment has no network access,
+//! so every entry ships a deterministic *synthetic equivalent*: a seeded
+//! Gaussian-mixture generator that reproduces the dataset's dimensionality,
+//! class count, class imbalance and approximate difficulty (via controlled
+//! class overlap), plus a CSV loader so the real UCI files can be dropped in
+//! without code changes.
 //!
 //! The substitution is documented in `DESIGN.md`; every generator is seeded so
 //! experiments are exactly reproducible.
@@ -24,7 +28,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod csv;

@@ -146,7 +146,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Admissible element counts for [`vec`]: a fixed count or a range.
+    /// Admissible element counts for [`vec()`]: a fixed count or a range.
     pub struct SizeRange(Range<usize>);
 
     impl From<usize> for SizeRange {
@@ -169,7 +169,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: Range<usize>,

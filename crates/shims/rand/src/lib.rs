@@ -70,7 +70,7 @@ pub trait Rng: RngCore {
         unit_f64(self.next_u64()) < p
     }
 
-    /// Samples a value of a [`Standard`]-distributed type (`f32`/`f64` in
+    /// Samples a value of a `Standard`-distributed type (`f32`/`f64` in
     /// `[0, 1)`, any integer width, `bool`).
     fn gen<T: StandardDist>(&mut self) -> T {
         T::sample_standard(self)

@@ -1,5 +1,5 @@
 //! Offline stand-in for `serde_json`, backed by the `serde` shim's
-//! [`Value`](serde::json::Value) model.
+//! [`Value`] model.
 
 #![warn(rust_2018_idioms)]
 

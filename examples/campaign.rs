@@ -1,0 +1,50 @@
+//! Cross-dataset campaign walkthrough: sweep three small datasets at quick
+//! effort, print the aggregate paper-style table and the per-technique
+//! cross-dataset averages.
+//!
+//! Run with `cargo run --release --example campaign`. The full-registry,
+//! paper-budget version is the `campaign` binary:
+//! `cargo run --release -p pmlp-bench --bin campaign -- all`.
+
+use printed_mlp::core::campaign::{Campaign, CampaignConfig};
+use printed_mlp::core::experiment::Effort;
+use printed_mlp::core::report::render_campaign_table;
+use printed_mlp::data::UciDataset;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== printed-mlp campaign: Seeds + Balance + Vertebral ==");
+
+    let config = CampaignConfig {
+        datasets: vec![
+            UciDataset::Seeds,
+            UciDataset::Balance,
+            UciDataset::Vertebral,
+        ],
+        effort: Effort::Quick,
+        seed: 42,
+        max_accuracy_loss: 0.05,
+    };
+    let campaign = Campaign::new(config).with_progress(|report| {
+        println!(
+            "  {} finished: baseline {:.1}%, {} evaluations in {:.1}s",
+            report.name,
+            report.baseline_accuracy * 100.0,
+            report.evaluations,
+            report.elapsed_secs
+        );
+    });
+
+    let result = campaign.run()?;
+    println!("\n{}", render_campaign_table(&result));
+
+    // Every report carries its Pareto fronts, so downstream tooling can dig
+    // into any dataset the table summarizes.
+    for report in &result.reports {
+        let front_sizes: Vec<usize> = report.series.iter().map(|s| s.points.len()).collect();
+        println!(
+            "{}: Pareto front sizes per technique {:?}",
+            report.name, front_sizes
+        );
+    }
+    Ok(())
+}

@@ -9,23 +9,31 @@
 //! | [`data`] | `pmlp-data` | synthetic UCI-equivalent datasets + CSV loader |
 //! | [`hw`] | `pmlp-hw` | bespoke printed-electronics hardware model (EGT cells, CSD multipliers, netlists, area/power/delay) |
 //! | [`minimize`] | `pmlp-minimize` | quantization/QAT, pruning, weight clustering |
-//! | [`core`] | `pmlp-core` | hardware-aware NSGA-II search, sweeps, Pareto fronts, experiment drivers |
+//! | [`core`] | `pmlp-core` | hardware-aware NSGA-II search, sweeps, Pareto fronts, experiment drivers, cross-dataset campaigns |
 //!
 //! ## Quickstart
 //!
-//! ```no_run
-//! use printed_mlp::core::baseline::BaselineDesign;
-//! use printed_mlp::core::objective::{evaluate_config, EvaluationContext};
-//! use printed_mlp::data::UciDataset;
-//! use printed_mlp::minimize::MinimizationConfig;
+//! This is the `examples/quickstart.rs` flow as a runnable doc-test (reduced
+//! training budget so `cargo test` stays fast; the example uses the paper
+//! budget):
+//!
+//! ```
+//! use printed_mlp::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // Train the bespoke baseline for the Seeds classifier ...
-//! let baseline = BaselineDesign::train(UciDataset::Seeds, 42)?;
-//! // ... and measure what 4-bit quantization buys in circuit area.
-//! let ctx = EvaluationContext::new(&baseline);
-//! let point = evaluate_config(&ctx, &MinimizationConfig::default().with_weight_bits(4), 0)?;
-//! println!("area gain: {:.2}x, accuracy: {:.1}%", point.area_gain(), point.accuracy * 100.0);
+//! // Train the bespoke Seeds baseline and wrap it in the evaluation engine.
+//! let budget = BaselineConfig { epochs: 8, ..BaselineConfig::default() };
+//! let engine = EvalEngine::train_with(UciDataset::Seeds, 42, &budget)?
+//!     .with_fine_tune_epochs(1);
+//!
+//! // Measure what 4-bit quantization buys in circuit area.
+//! let point = engine.evaluate(&MinimizationConfig::default().with_weight_bits(4))?;
+//! assert!(point.area_gain() > 1.0, "4-bit designs are smaller than the 8-bit baseline");
+//!
+//! // A second request for the same configuration is answered from the cache.
+//! let again = engine.evaluate(&point.config)?;
+//! assert_eq!(again, point);
+//! assert_eq!(engine.stats().hits, 1);
 //! # Ok(())
 //! # }
 //! ```
@@ -46,9 +54,12 @@ pub use pmlp_nn as nn;
 
 /// Commonly used items, importable with `use printed_mlp::prelude::*`.
 pub mod prelude {
-    pub use pmlp_core::baseline::BaselineDesign;
+    pub use pmlp_core::baseline::{BaselineConfig, BaselineDesign};
+    pub use pmlp_core::campaign::{Campaign, CampaignConfig, CampaignResult, DatasetReport};
+    pub use pmlp_core::engine::{EvalEngine, Evaluator};
     pub use pmlp_core::experiment::{Effort, Figure1Experiment, Figure2Experiment};
     pub use pmlp_core::objective::{evaluate_config, DesignPoint, EvaluationContext};
+    pub use pmlp_core::report::render_campaign_table;
     pub use pmlp_core::{Nsga2, Nsga2Config};
     pub use pmlp_data::{load, UciDataset};
     pub use pmlp_hw::{BespokeMlpCircuit, CellLibrary, CircuitSpec};
