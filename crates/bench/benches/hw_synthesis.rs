@@ -89,6 +89,37 @@ fn bench_hw_synthesis(c: &mut Criterion) {
         b.iter(|| circuit.timing().critical_path_us)
     });
 
+    // The two-tier comparison: candidate evaluation cost through the analytic
+    // fast path vs full synthesis + all three netlist analyses (what a search
+    // loop would otherwise pay per candidate).
+    group.bench_function("whitewine_full_synthesis_with_analyses", |b| {
+        b.iter(|| {
+            let circuit = BespokeMlpCircuit::synthesize(&spec, &library).unwrap();
+            black_box((
+                circuit.area().total_mm2,
+                circuit.power().total_uw,
+                circuit.timing().critical_path_us,
+            ))
+        })
+    });
+
+    group.bench_function("whitewine_fast_path_estimate", |b| {
+        b.iter(|| {
+            let report = pmlp_hw::cost::estimate_circuit(
+                &spec,
+                &library,
+                pmlp_hw::SharingStrategy::None,
+                RecodingStrategy::Csd,
+            )
+            .unwrap();
+            black_box((
+                report.area.total_mm2,
+                report.power.total_uw,
+                report.timing.critical_path_us,
+            ))
+        })
+    });
+
     group.finish();
 }
 

@@ -94,6 +94,41 @@ pub fn synthesize_area(
     })
 }
 
+/// Fast-path counterpart of [`synthesize_area`]: the same
+/// [`SynthesisSummary`] numbers computed through the analytic cost model
+/// ([`pmlp_hw::cost::estimate_circuit`]) without materializing a netlist.
+///
+/// The cost model mirrors synthesis gate for gate, so the summary is
+/// bit-for-bit identical to the full path — the equivalence suite asserts
+/// exact equality — at a small fraction of the cost. Search loops evaluate
+/// through this; Pareto-front finalists and the baseline run
+/// [`synthesize_area`] for a verifiable netlist.
+///
+/// # Errors
+///
+/// Propagates [`CoreError::Hw`] from spec validation.
+pub fn estimate_area(
+    layers: &[IntegerLayer],
+    input_bits: u8,
+    library: &CellLibrary,
+    sharing: SharingStrategy,
+) -> Result<SynthesisSummary, CoreError> {
+    let spec = circuit_spec_from_layers(layers, input_bits)?;
+    let report = pmlp_hw::cost::estimate_circuit(
+        &spec,
+        library,
+        sharing,
+        pmlp_hw::constmul::RecodingStrategy::Csd,
+    )
+    .map_err(CoreError::from)?;
+    Ok(SynthesisSummary {
+        area_mm2: report.area.total_mm2,
+        power_uw: report.power.total_uw,
+        critical_path_us: report.timing.critical_path_us,
+        gate_count: report.area.gate_count,
+    })
+}
+
 /// Compact synthesis result used by the search objective.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SynthesisSummary {
@@ -165,6 +200,16 @@ mod tests {
         }];
         let spec = circuit_spec_from_layers(&wide, 4).unwrap();
         assert!(spec.layers[0].weight_bits >= 5);
+    }
+
+    #[test]
+    fn estimate_area_matches_full_synthesis_exactly() {
+        let lib = CellLibrary::egt();
+        for sharing in [SharingStrategy::None, SharingStrategy::SharedPerInput] {
+            let full = synthesize_area(&layers(), 4, &lib, sharing).unwrap();
+            let fast = estimate_area(&layers(), 4, &lib, sharing).unwrap();
+            assert_eq!(fast, full, "{sharing:?}");
+        }
     }
 
     #[test]

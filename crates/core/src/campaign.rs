@@ -102,6 +102,15 @@ pub struct DatasetReport {
     pub evaluations: usize,
     /// Fraction of evaluation requests answered from the engine's cache.
     pub cache_hit_rate: f64,
+    /// Evaluations whose hardware cost came from the analytic fast path (no
+    /// netlist was built).
+    pub fast_path_evals: usize,
+    /// Evaluations (plus finalist verifications) that ran full gate-level
+    /// synthesis.
+    pub full_synthesis_evals: usize,
+    /// Hit rate of the process-wide constant-multiplier cost cache when this
+    /// dataset finished, in `[0, 1]` (shared across concurrent datasets).
+    pub multiplier_cache_hit_rate: f64,
     /// Wall-clock seconds spent on this dataset (training + sweeps).
     pub elapsed_secs: f64,
 }
@@ -309,6 +318,9 @@ impl Campaign {
             headline,
             evaluations: stats.misses,
             cache_hit_rate: stats.hit_rate(),
+            fast_path_evals: stats.fast_path,
+            full_synthesis_evals: stats.full_synthesis,
+            multiplier_cache_hit_rate: stats.multiplier_cache_hit_rate(),
             elapsed_secs: start.elapsed().as_secs_f64(),
         })
     }
@@ -347,6 +359,9 @@ mod tests {
                 .collect(),
             evaluations: 5,
             cache_hit_rate: 0.0,
+            fast_path_evals: 5,
+            full_synthesis_evals: 0,
+            multiplier_cache_hit_rate: 0.0,
             elapsed_secs: 1.0,
         }
     }

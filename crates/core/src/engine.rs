@@ -42,10 +42,12 @@
 //! ```
 
 use crate::baseline::{BaselineConfig, BaselineDesign};
+use crate::bridge::{synthesize_area, SynthesisSummary};
 use crate::error::CoreError;
-use crate::objective::{evaluate_config, DesignPoint, EvaluationContext};
+use crate::objective::{evaluate_config_detailed, DesignPoint, EvaluationContext, SynthesisTier};
 use pmlp_data::UciDataset;
-use pmlp_minimize::MinimizationConfig;
+use pmlp_hw::SharingStrategy;
+use pmlp_minimize::{IntegerLayer, MinimizationConfig};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -157,8 +159,17 @@ impl InFlight {
     }
 }
 
+/// A resolved cache entry: the scored point plus the artefacts finalization
+/// needs (integer layers + sharing strategy) without re-running minimization.
+#[derive(Debug, Clone)]
+struct CachedEval {
+    point: DesignPoint,
+    layers: Arc<Vec<IntegerLayer>>,
+    sharing: SharingStrategy,
+}
+
 enum Slot {
-    Done(DesignPoint),
+    Done(CachedEval),
     Pending(Arc<InFlight>),
 }
 
@@ -174,6 +185,17 @@ pub struct EngineStats {
     pub coalesced: usize,
     /// Number of distinct configurations currently cached.
     pub entries: usize,
+    /// Computed evaluations whose hardware cost came from the analytic fast
+    /// path (no netlist).
+    pub fast_path: usize,
+    /// Computed evaluations (plus finalist verifications) that ran full
+    /// gate-level synthesis.
+    pub full_synthesis: usize,
+    /// Process-wide constant-multiplier cost-cache hits at snapshot time
+    /// (see [`pmlp_hw::cost::multiplier_cache_stats`]).
+    pub multiplier_cache_hits: u64,
+    /// Process-wide constant-multiplier cost-cache misses at snapshot time.
+    pub multiplier_cache_misses: u64,
 }
 
 impl EngineStats {
@@ -184,6 +206,17 @@ impl EngineStats {
             0.0
         } else {
             (self.hits + self.coalesced) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of multiplier-cost lookups answered from the process-wide
+    /// cache, in `[0, 1]`.
+    pub fn multiplier_cache_hit_rate(&self) -> f64 {
+        let total = self.multiplier_cache_hits + self.multiplier_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.multiplier_cache_hits as f64 / total as f64
         }
     }
 }
@@ -210,10 +243,13 @@ pub struct EvalEngine {
     baseline: BaselineDesign,
     fine_tune_epochs: usize,
     salt: u64,
+    tier: SynthesisTier,
     shards: Box<[Mutex<HashMap<CacheKey, Slot>>]>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     coalesced: AtomicUsize,
+    fast_path: AtomicUsize,
+    full_synthesis: AtomicUsize,
     progress: Option<Box<ProgressFn>>,
 }
 
@@ -246,10 +282,13 @@ impl EvalEngine {
             baseline,
             fine_tune_epochs: DEFAULT_FINE_TUNE_EPOCHS,
             salt: 0,
+            tier: SynthesisTier::default(),
             shards,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             coalesced: AtomicUsize::new(0),
+            fast_path: AtomicUsize::new(0),
+            full_synthesis: AtomicUsize::new(0),
             progress: None,
         }
     }
@@ -297,6 +336,23 @@ impl EvalEngine {
         self
     }
 
+    /// Overrides the hardware-model tier of every evaluation (defaults to the
+    /// analytic fast path, which is bit-for-bit equivalent to full synthesis
+    /// and roughly an order of magnitude cheaper per candidate). Select
+    /// [`SynthesisTier::FullSynthesis`] to force every candidate through
+    /// gate-level synthesis, e.g. for ablation or to measure the fast path's
+    /// speedup.
+    #[must_use]
+    pub fn with_synthesis_tier(mut self, tier: SynthesisTier) -> Self {
+        self.tier = tier;
+        self
+    }
+
+    /// The hardware-model tier candidate evaluations run through.
+    pub fn synthesis_tier(&self) -> SynthesisTier {
+        self.tier
+    }
+
     /// Installs a progress callback invoked after every resolved evaluation.
     #[must_use]
     pub fn with_progress(
@@ -317,8 +373,11 @@ impl EvalEngine {
         self.fine_tune_epochs
     }
 
-    /// Current cache counters.
+    /// Current cache counters. The multiplier-cache fields are a snapshot of
+    /// the *process-wide* constant-multiplier cost cache, which every engine
+    /// in the process shares.
     pub fn stats(&self) -> EngineStats {
+        let mul = pmlp_hw::cost::multiplier_cache_stats();
         EngineStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -328,6 +387,10 @@ impl EvalEngine {
                 .iter()
                 .map(|s| s.lock().expect("shard lock").len())
                 .sum(),
+            fast_path: self.fast_path.load(Ordering::Relaxed),
+            full_synthesis: self.full_synthesis.load(Ordering::Relaxed),
+            multiplier_cache_hits: mul.hits,
+            multiplier_cache_misses: mul.misses,
         }
     }
 
@@ -386,7 +449,7 @@ impl EvalEngine {
         let action = {
             let mut guard = shard.lock().expect("shard lock");
             match guard.get(&key) {
-                Some(Slot::Done(point)) => Action::Hit(point.clone()),
+                Some(Slot::Done(entry)) => Action::Hit(entry.point.clone()),
                 Some(Slot::Pending(pending)) => Action::Wait(Arc::clone(pending)),
                 None => {
                     let pending = InFlight::new();
@@ -443,29 +506,114 @@ impl EvalEngine {
                 };
 
                 let ctx = EvaluationContext::new(&self.baseline)
-                    .with_fine_tune_epochs(self.fine_tune_epochs);
-                let outcome = evaluate_config(&ctx, config, self.salt);
+                    .with_fine_tune_epochs(self.fine_tune_epochs)
+                    .with_tier(self.tier);
+                let outcome = evaluate_config_detailed(&ctx, config, self.salt);
 
                 unwind_guard.armed = false;
-                {
+                // Move the minimized layers into the cache (only the design
+                // point is cloned); failures are not cached — a retry re-runs
+                // the pipeline.
+                let outcome = {
                     let mut guard = shard.lock().expect("shard lock");
-                    match &outcome {
-                        Ok(point) => {
-                            guard.insert(key, Slot::Done(point.clone()));
+                    match outcome {
+                        Ok(detailed) => {
+                            let point = detailed.point.clone();
+                            guard.insert(
+                                key,
+                                Slot::Done(CachedEval {
+                                    point: detailed.point,
+                                    layers: Arc::new(detailed.layers),
+                                    sharing: detailed.sharing,
+                                }),
+                            );
+                            Ok(point)
                         }
-                        Err(_) => {
-                            // Failures are not cached; a retry re-runs the
-                            // pipeline.
+                        Err(err) => {
                             guard.remove(&key);
+                            Err(err)
                         }
                     }
-                }
+                };
                 pending.fill(outcome.clone());
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                match self.tier {
+                    SynthesisTier::FastPath => {
+                        self.fast_path.fetch_add(1, Ordering::Relaxed);
+                    }
+                    SynthesisTier::FullSynthesis => {
+                        self.full_synthesis.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 self.report_progress(config, false);
                 outcome.map(|p| (p, false))
             }
         }
+    }
+}
+
+/// A Pareto-front finalist re-verified through full gate-level synthesis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FinalizedDesign {
+    /// The design point the search produced (fast-path numbers).
+    pub point: DesignPoint,
+    /// The full-synthesis summary of the same minimized layers.
+    pub full: SynthesisSummary,
+    /// `true` when full synthesis reproduced the search-time area, power and
+    /// gate count exactly — which it must, since the fast path mirrors
+    /// synthesis bit for bit. A `false` here indicates a cost-model bug.
+    pub matches_fast_path: bool,
+}
+
+impl EvalEngine {
+    /// Finalizes one configuration: evaluates it (served from the cache when
+    /// the search already scored it), then runs **full gate-level synthesis**
+    /// on the cached minimized layers and cross-checks the fast-path numbers.
+    ///
+    /// This is the second tier of the two-tier evaluation scheme: thousands
+    /// of search candidates go through the analytic fast path, and only
+    /// Pareto-front finalists (and the baseline) pay for a netlist — which
+    /// also makes them simulatable and exportable to Verilog.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation and synthesis errors.
+    pub fn finalize(&self, config: &MinimizationConfig) -> Result<FinalizedDesign, CoreError> {
+        let (point, _) = self.evaluate_with_status(config)?;
+        let key = CacheKey::new(
+            config,
+            self.baseline.input_bits,
+            self.fine_tune_epochs,
+            self.salt,
+        );
+        let (layers, sharing) = {
+            let guard = self.shard_for(&key).lock().expect("shard lock");
+            match guard.get(&key) {
+                Some(Slot::Done(entry)) => (Arc::clone(&entry.layers), entry.sharing),
+                _ => {
+                    return Err(CoreError::InvalidConfig {
+                        context: "finalize: evaluation vanished from the cache (cleared \
+                                  concurrently?)"
+                            .into(),
+                    })
+                }
+            }
+        };
+        let full = synthesize_area(
+            &layers,
+            self.baseline.input_bits,
+            &self.baseline.library,
+            sharing,
+        )?;
+        self.full_synthesis.fetch_add(1, Ordering::Relaxed);
+        let matches_fast_path = full.area_mm2 == point.area_mm2
+            && full.power_uw == point.power_uw
+            && full.gate_count == point.gate_count;
+        Ok(FinalizedDesign {
+            point,
+            full,
+            matches_fast_path,
+        })
     }
 }
 
@@ -563,8 +711,16 @@ mod tests {
             misses: 1,
             coalesced: 1,
             entries: 1,
+            ..EngineStats::default()
         };
         assert!((stats.hit_rate() - 0.8).abs() < 1e-12);
         assert_eq!(EngineStats::default().hit_rate(), 0.0);
+        let stats = EngineStats {
+            multiplier_cache_hits: 3,
+            multiplier_cache_misses: 1,
+            ..EngineStats::default()
+        };
+        assert!((stats.multiplier_cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(EngineStats::default().multiplier_cache_hit_rate(), 0.0);
     }
 }

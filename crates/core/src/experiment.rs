@@ -31,12 +31,17 @@ pub enum Effort {
 }
 
 impl Effort {
-    /// Baseline training budget for this effort level.
+    /// Baseline training budget for this effort level. `Quick` also swaps the
+    /// baseline's hardware characterization to the bit-identical analytic
+    /// fast path (full synthesis of the reference circuit is the single most
+    /// expensive hardware step of a smoke run; the equivalence suite pins the
+    /// two tiers to each other).
     pub fn baseline_config(self) -> BaselineConfig {
         match self {
             Effort::Full => BaselineConfig::default(),
             Effort::Quick => BaselineConfig {
                 epochs: 12,
+                synthesis_tier: crate::objective::SynthesisTier::FastPath,
                 ..BaselineConfig::default()
             },
         }
@@ -69,6 +74,48 @@ impl Effort {
             },
         }
     }
+
+    /// Whether Pareto-front finalists are re-verified through full gate-level
+    /// synthesis after the fast-path search.
+    ///
+    /// `Full` runs verify every finalist (the second tier of the two-tier
+    /// evaluation scheme); `Quick` runs skip it — CI smoke tests rely on the
+    /// fast-path/full-synthesis equivalence test suite instead, keeping the
+    /// smoke budget proportional to the analytic cost model.
+    pub fn verify_finalists(self) -> bool {
+        match self {
+            Effort::Full => true,
+            Effort::Quick => false,
+        }
+    }
+}
+
+/// Re-runs every Pareto-front finalist through full gate-level synthesis via
+/// [`EvalEngine::finalize`] and fails loudly if any fast-path number is not
+/// reproduced exactly.
+fn verify_front(
+    engine: &EvalEngine,
+    front: &[crate::objective::DesignPoint],
+) -> Result<(), CoreError> {
+    for point in front {
+        let finalized = engine.finalize(&point.config)?;
+        if !finalized.matches_fast_path {
+            return Err(CoreError::Hw {
+                context: format!(
+                    "fast-path cost model diverged from full synthesis for {:?}: \
+                     fast ({:.6} mm2, {:.6} uW, {} gates) vs full ({:.6} mm2, {:.6} uW, {} gates)",
+                    point.config.describe(),
+                    finalized.point.area_mm2,
+                    finalized.point.power_uw,
+                    finalized.point.gate_count,
+                    finalized.full.area_mm2,
+                    finalized.full.power_uw,
+                    finalized.full.gate_count,
+                ),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// The data behind one subplot of Fig. 1.
@@ -144,6 +191,9 @@ impl Figure1Experiment {
         let mut raw_points = Vec::with_capacity(sweeps.len());
         for sweep in sweeps {
             let front = pareto_front(&sweep.points);
+            if self.effort.verify_finalists() {
+                verify_front(engine, &front)?;
+            }
             series.push(FigureSeries::from_points(sweep.technique, &front));
             raw_points.push((sweep.technique, sweep.points));
         }
@@ -237,6 +287,9 @@ impl Figure2Experiment {
         let mut ga_config = self.effort.nsga2_config();
         ga_config.seed ^= self.seed;
         let search = Nsga2::new(ga_config).run(engine)?;
+        if self.effort.verify_finalists() {
+            verify_front(engine, &search.pareto_front)?;
+        }
         let combined = FigureSeries::from_points(Technique::Combined, &search.pareto_front);
 
         Ok(Figure2Result {

@@ -55,10 +55,10 @@ pub mod sweep;
 
 pub use baseline::BaselineDesign;
 pub use campaign::{Campaign, CampaignConfig, CampaignResult, DatasetReport};
-pub use engine::{EngineStats, EvalEngine, EvalProgress, Evaluator};
+pub use engine::{EngineStats, EvalEngine, EvalProgress, Evaluator, FinalizedDesign};
 pub use error::CoreError;
 pub use genome::Genome;
 pub use nsga2::{Nsga2, Nsga2Config};
-pub use objective::{evaluate_config, DesignPoint, EvaluationContext};
+pub use objective::{evaluate_config, DesignPoint, EvaluationContext, SynthesisTier};
 pub use pareto::{area_gain_at_accuracy_loss, pareto_front};
 pub use report::{render_campaign_table, FigureSeries, HeadlineRow, TechniqueSummary};

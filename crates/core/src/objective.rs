@@ -2,13 +2,30 @@
 //! bespoke-circuit area/power via the hardware model.
 
 use crate::baseline::BaselineDesign;
-use crate::bridge::synthesize_area;
+use crate::bridge::{estimate_area, synthesize_area};
 use crate::error::CoreError;
 use pmlp_hw::SharingStrategy;
-use pmlp_minimize::{minimize, MinimizationConfig};
+use pmlp_minimize::{minimize, IntegerLayer, MinimizationConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+/// Which hardware model a candidate evaluation runs through.
+///
+/// The two tiers produce bit-for-bit identical numbers (the fast path mirrors
+/// synthesis gate for gate; the equivalence suite asserts exact equality) —
+/// they differ only in cost and in whether a netlist exists afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SynthesisTier {
+    /// Analytic cost model ([`pmlp_hw::cost::estimate_circuit`]): no netlist,
+    /// an order of magnitude cheaper. The default for search loops.
+    #[default]
+    FastPath,
+    /// Full gate-level synthesis ([`pmlp_hw::BespokeMlpCircuit`]): builds the
+    /// netlist. Used for the baseline, Pareto-front finalists and anything
+    /// that needs simulation or Verilog export.
+    FullSynthesis,
+}
 
 /// Everything needed to evaluate candidate configurations against a baseline.
 #[derive(Debug, Clone)]
@@ -17,14 +34,18 @@ pub struct EvaluationContext<'a> {
     /// Fine-tuning epochs granted to every candidate (kept small inside the
     /// GA loop, larger for the final sweeps).
     pub fine_tune_epochs: usize,
+    /// Which hardware model scores the candidates (fast path by default).
+    pub tier: SynthesisTier,
 }
 
 impl<'a> EvaluationContext<'a> {
-    /// Creates a context with the default fine-tuning budget (8 epochs).
+    /// Creates a context with the default fine-tuning budget (8 epochs) and
+    /// the fast-path hardware model.
     pub fn new(baseline: &'a BaselineDesign) -> Self {
         EvaluationContext {
             baseline,
             fine_tune_epochs: 8,
+            tier: SynthesisTier::default(),
         }
     }
 
@@ -32,6 +53,13 @@ impl<'a> EvaluationContext<'a> {
     #[must_use]
     pub fn with_fine_tune_epochs(mut self, epochs: usize) -> Self {
         self.fine_tune_epochs = epochs;
+        self
+    }
+
+    /// Overrides the hardware-model tier.
+    #[must_use]
+    pub fn with_tier(mut self, tier: SynthesisTier) -> Self {
+        self.tier = tier;
         self
     }
 
@@ -115,6 +143,36 @@ pub fn evaluate_config(
     config: &MinimizationConfig,
     salt: u64,
 ) -> Result<DesignPoint, CoreError> {
+    evaluate_config_detailed(ctx, config, salt).map(|detailed| detailed.point)
+}
+
+/// One evaluated design together with the artefacts the two-tier engine needs
+/// to finalize it later: the minimized integer layers (so Pareto-front
+/// finalists can run full synthesis without re-training) and the sharing
+/// strategy the hardware model used.
+#[derive(Debug, Clone)]
+pub struct EvaluatedDesign {
+    /// The scored design point.
+    pub point: DesignPoint,
+    /// Integer layers the minimization pipeline produced.
+    pub layers: Vec<IntegerLayer>,
+    /// Multiplier-sharing strategy used for the hardware cost.
+    pub sharing: SharingStrategy,
+}
+
+/// The full-detail form of [`evaluate_config`]: additionally returns the
+/// minimized integer layers and the sharing strategy, which the engine caches
+/// so finalist verification can re-synthesize without re-running the
+/// minimization pipeline.
+///
+/// # Errors
+///
+/// Propagates minimization and synthesis errors.
+pub fn evaluate_config_detailed(
+    ctx: &EvaluationContext<'_>,
+    config: &MinimizationConfig,
+    salt: u64,
+) -> Result<EvaluatedDesign, CoreError> {
     let baseline = ctx.baseline();
     let mut config = *config;
     config.input_bits = baseline.input_bits;
@@ -134,14 +192,22 @@ pub fn evaluate_config(
     } else {
         SharingStrategy::None
     };
-    let synthesis = synthesize_area(
-        &minimized.integer_layers,
-        config.input_bits,
-        &baseline.library,
-        sharing,
-    )?;
+    let synthesis = match ctx.tier {
+        SynthesisTier::FastPath => estimate_area(
+            &minimized.integer_layers,
+            config.input_bits,
+            &baseline.library,
+            sharing,
+        )?,
+        SynthesisTier::FullSynthesis => synthesize_area(
+            &minimized.integer_layers,
+            config.input_bits,
+            &baseline.library,
+            sharing,
+        )?,
+    };
 
-    Ok(DesignPoint {
+    let point = DesignPoint {
         config,
         accuracy,
         area_mm2: synthesis.area_mm2,
@@ -158,6 +224,11 @@ pub fn evaluate_config(
         },
         sparsity: minimized.sparsity(),
         gate_count: synthesis.gate_count,
+    };
+    Ok(EvaluatedDesign {
+        point,
+        layers: minimized.integer_layers,
+        sharing,
     })
 }
 
@@ -233,6 +304,26 @@ mod tests {
             "pruned area ratio {}",
             p.normalized_area
         );
+    }
+
+    #[test]
+    fn fast_path_and_full_synthesis_tiers_agree_exactly() {
+        let baseline = baseline();
+        let fast_ctx = EvaluationContext::new(&baseline).with_fine_tune_epochs(2);
+        let full_ctx = EvaluationContext::new(&baseline)
+            .with_fine_tune_epochs(2)
+            .with_tier(SynthesisTier::FullSynthesis);
+        assert_eq!(fast_ctx.tier, SynthesisTier::FastPath);
+        for config in [
+            MinimizationConfig::baseline(),
+            MinimizationConfig::default().with_weight_bits(3),
+            MinimizationConfig::default().with_sparsity(0.5),
+            MinimizationConfig::default().with_clusters(3),
+        ] {
+            let fast = evaluate_config(&fast_ctx, &config, 1).unwrap();
+            let full = evaluate_config(&full_ctx, &config, 1).unwrap();
+            assert_eq!(fast, full, "tier mismatch for {config:?}");
+        }
     }
 
     #[test]

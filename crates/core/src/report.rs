@@ -185,6 +185,23 @@ pub fn render_campaign_table(result: &CampaignResult) -> String {
             format_gain(report.gain_for(Technique::Clustering)),
         ));
     }
+    out.push_str("=== evaluation cost (fast-path cost model vs full synthesis) ===\n");
+    out.push_str(&format!(
+        "{:<14} {:>6} {:>10} {:>10} {:>11} {:>12} {:>9}\n",
+        "dataset", "evals", "cache hit", "fast-path", "full-synth", "mul-cache", "secs"
+    ));
+    for report in &result.reports {
+        out.push_str(&format!(
+            "{:<14} {:>6} {:>9.0}% {:>10} {:>11} {:>11.0}% {:>9.2}\n",
+            report.name,
+            report.evaluations,
+            report.cache_hit_rate * 100.0,
+            report.fast_path_evals,
+            report.full_synthesis_evals,
+            report.multiplier_cache_hit_rate * 100.0,
+            report.elapsed_secs,
+        ));
+    }
     out.push_str("=== cross-dataset average area gain per technique ===\n");
     for summary in result.technique_summaries() {
         out.push_str(&summary.to_string());
@@ -258,6 +275,9 @@ mod tests {
             }],
             evaluations: 5,
             cache_hit_rate: 0.2,
+            fast_path_evals: 5,
+            full_synthesis_evals: 2,
+            multiplier_cache_hit_rate: 0.9,
             elapsed_secs: 1.0,
         };
         let result = CampaignResult {
@@ -270,6 +290,11 @@ mod tests {
         assert!(table.contains("Seeds"));
         assert!(table.contains("7-10-3"));
         assert!(table.contains("4.50x"));
+        // The evaluation-cost section reports fast-path vs full-synthesis
+        // counts and the multiplier-cache hit rate.
+        assert!(table.contains("evaluation cost"));
+        assert!(table.contains("fast-path"));
+        assert!(table.contains("90%"));
         // Pruning/clustering have no headline row -> rendered as "-".
         assert!(table.contains('-'));
         for technique in ["quantization", "pruning", "weight clustering"] {

@@ -15,9 +15,13 @@ pub fn zscore_normalize(data: &mut Dataset) -> Vec<(f32, f32)> {
     let rows = data.len();
     let mut stats = Vec::with_capacity(cols);
     for c in 0..cols {
-        let col = data.features().column(c);
-        let mean = col.iter().sum::<f32>() / rows as f32;
-        let var = col.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / rows as f32;
+        let features = data.features();
+        let mean = features.column_iter(c).sum::<f32>() / rows as f32;
+        let var = features
+            .column_iter(c)
+            .map(|x| (x - mean).powi(2))
+            .sum::<f32>()
+            / rows as f32;
         stats.push((mean, var.sqrt()));
     }
     apply_zscore(data, &stats);

@@ -80,6 +80,28 @@ impl LayerSpec {
         weight_bits: u8,
         activation: HwActivation,
     ) -> Result<Self, HwError> {
+        let layer = LayerSpec {
+            weights,
+            biases,
+            weight_bits,
+            activation,
+        };
+        layer.validate()?;
+        Ok(layer)
+    }
+
+    /// Re-checks the invariants [`LayerSpec::with_biases`] establishes; used
+    /// by synthesis and the fast-path cost model so hand-constructed specs
+    /// (the fields are public) cannot bypass validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidSpec`] / [`HwError::InvalidBitWidth`] exactly
+    /// as construction would.
+    pub fn validate(&self) -> Result<(), HwError> {
+        let weights = &self.weights;
+        let biases = &self.biases;
+        let weight_bits = self.weight_bits;
         if weights.is_empty() {
             return Err(HwError::InvalidSpec {
                 context: "layer has no neurons".into(),
@@ -113,12 +135,7 @@ impl LayerSpec {
                 context: format!("weight {w} does not fit in {weight_bits} signed bits"),
             });
         }
-        Ok(LayerSpec {
-            weights,
-            biases,
-            weight_bits,
-            activation,
-        })
+        Ok(())
     }
 
     /// Number of neurons in this layer.
@@ -170,17 +187,36 @@ impl CircuitSpec {
     /// consecutive layer sizes do not chain, and [`HwError::InvalidBitWidth`]
     /// for an unsupported input precision.
     pub fn new(input_bits: u8, layers: Vec<LayerSpec>) -> Result<Self, HwError> {
-        if input_bits == 0 || input_bits > 16 {
+        let spec = CircuitSpec { input_bits, layers };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Re-checks every invariant [`CircuitSpec::new`] establishes, including
+    /// the per-layer [`LayerSpec::validate`] checks. Synthesis and the
+    /// fast-path cost model both call this, so hand-constructed specs (the
+    /// fields are public) cannot bypass validation — without cloning the
+    /// layer stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidSpec`] / [`HwError::InvalidBitWidth`] exactly
+    /// as construction would.
+    pub fn validate(&self) -> Result<(), HwError> {
+        if self.input_bits == 0 || self.input_bits > 16 {
             return Err(HwError::InvalidBitWidth {
-                context: format!("input_bits must be in 1..=16, got {input_bits}"),
+                context: format!("input_bits must be in 1..=16, got {}", self.input_bits),
             });
         }
-        if layers.is_empty() {
+        if self.layers.is_empty() {
             return Err(HwError::InvalidSpec {
                 context: "circuit has no layers".into(),
             });
         }
-        for (i, pair) in layers.windows(2).enumerate() {
+        for layer in &self.layers {
+            layer.validate()?;
+        }
+        for (i, pair) in self.layers.windows(2).enumerate() {
             if pair[1].input_count() != pair[0].neuron_count() {
                 return Err(HwError::InvalidSpec {
                     context: format!(
@@ -192,7 +228,7 @@ impl CircuitSpec {
                 });
             }
         }
-        Ok(CircuitSpec { input_bits, layers })
+        Ok(())
     }
 
     /// Number of primary input features.
@@ -242,8 +278,9 @@ impl BespokeMlpCircuit {
         sharing: SharingStrategy,
         recoding: RecodingStrategy,
     ) -> Result<Self, HwError> {
-        // Re-validate so hand-constructed specs cannot bypass the checks.
-        let spec = CircuitSpec::new(spec.input_bits, spec.layers.clone())?;
+        // Re-validate so hand-constructed specs cannot bypass the checks
+        // (without cloning the layer stack).
+        spec.validate()?;
         let mut netlist = Netlist::new("bespoke_mlp");
         // Primary inputs: unsigned `input_bits` values, carried as signed words
         // with one extra (zero) sign bit.

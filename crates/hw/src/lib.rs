@@ -9,6 +9,8 @@
 //! * [`fixed`] — fixed-point weight/input formats,
 //! * [`csd`] — canonical-signed-digit recoding of hard-wired coefficients,
 //! * [`constmul`] — shift-add synthesis of constant-coefficient multipliers,
+//! * [`cost`] — the analytic fast-path cost model: area/power/timing without
+//!   building a netlist, with a process-wide memoized multiplier cost cache,
 //! * [`adder`] — ripple-carry adders and balanced adder trees,
 //! * [`netlist`] — a gate-level netlist with area/power/critical-path
 //!   analysis,
@@ -52,6 +54,7 @@ pub mod analysis;
 pub mod cell;
 pub mod circuit;
 pub mod constmul;
+pub mod cost;
 pub mod csd;
 pub mod error;
 pub mod fixed;
@@ -63,6 +66,7 @@ pub mod verilog;
 pub use analysis::{AreaReport, PowerReport, TimingReport};
 pub use cell::{CellKind, CellLibrary, CellParams};
 pub use circuit::{BespokeMlpCircuit, CircuitSpec, HwActivation, LayerSpec, SharingStrategy};
+pub use cost::{estimate_circuit, multiplier_cache_stats, CostCacheStats, CostReport};
 pub use csd::CsdDigits;
 pub use error::HwError;
 pub use fixed::FixedPointFormat;

@@ -224,6 +224,13 @@ impl Netlist {
     /// algorithm. Combinational loops are broken arbitrarily (they cannot be
     /// produced by the builders).
     pub fn topological_gate_order(&self) -> Vec<usize> {
+        // Fast path: the builders in this crate always append producers
+        // before consumers, so most netlists are already in topological
+        // order — verify with two bit-vectors instead of building the full
+        // Kahn worklist structures.
+        if self.insertion_order_is_topological() {
+            return (0..self.gates.len()).collect();
+        }
         // Map net -> producing gate index.
         let mut producer: Vec<Option<usize>> = vec![None; self.net_count];
         for (gi, gate) in self.gates.iter().enumerate() {
@@ -275,6 +282,29 @@ impl Netlist {
             }
         }
         order
+    }
+
+    /// `true` when every gate's inputs are driven only by constants, primary
+    /// inputs, undriven nets or gates that appear *earlier* in the list.
+    fn insertion_order_is_topological(&self) -> bool {
+        let mut gate_driven = vec![false; self.net_count];
+        for gate in &self.gates {
+            for &out in &gate.outputs {
+                gate_driven[out] = true;
+            }
+        }
+        let mut available = vec![false; self.net_count];
+        for gate in &self.gates {
+            for &input in &gate.inputs {
+                if gate_driven[input] && !available[input] {
+                    return false;
+                }
+            }
+            for &out in &gate.outputs {
+                available[out] = true;
+            }
+        }
+        true
     }
 
     /// Functionally simulates the netlist.

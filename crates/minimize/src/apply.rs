@@ -64,6 +64,11 @@ pub fn minimize<R: Rng + ?Sized>(
     let fine_tune = TrainConfig {
         epochs: config.fine_tune_epochs,
         learning_rate: 0.005,
+        // Fine-tune reports are discarded by this pipeline; skipping the
+        // per-epoch full-train-set accuracy pass saves a meaningful slice of
+        // every candidate evaluation (best-model tracking still runs on the
+        // validation set when one is supplied).
+        track_train_accuracy: false,
         ..TrainConfig::default()
     };
 

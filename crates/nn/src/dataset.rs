@@ -235,9 +235,12 @@ impl Dataset {
         let cols = self.feature_count();
         let mut ranges = Vec::with_capacity(cols);
         for c in 0..cols {
-            let col = self.features.column(c);
-            let min = col.iter().cloned().fold(f32::INFINITY, f32::min);
-            let max = col.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let (min, max) = self
+                .features
+                .column_iter(c)
+                .fold((f32::INFINITY, f32::NEG_INFINITY), |(min, max), v| {
+                    (min.min(v), max.max(v))
+                });
             ranges.push((min, max));
         }
         self.apply_min_max(&ranges);

@@ -54,6 +54,26 @@ pub struct LayerGradient {
     pub biases: Vec<f32>,
 }
 
+/// Reusable per-layer backprop buffers: the transposed weight and input
+/// matrices the backward pass needs every batch. Holding them across steps
+/// (see [`crate::Trainer`]) removes two allocations per layer per batch —
+/// the transposed *values* are recomputed (weights change every update), but
+/// into the same buffers.
+#[derive(Debug, Clone)]
+pub struct BackpropScratch {
+    weights_t: Matrix,
+    input_t: Matrix,
+}
+
+impl Default for BackpropScratch {
+    fn default() -> Self {
+        BackpropScratch {
+            weights_t: Matrix::zeros(0, 0),
+            input_t: Matrix::zeros(0, 0),
+        }
+    }
+}
+
 impl DenseLayer {
     /// Creates a layer with `inputs` inputs and `outputs` outputs.
     ///
@@ -177,14 +197,35 @@ impl DenseLayer {
     ///
     /// Returns [`NnError::ShapeMismatch`] when `x.cols() != self.inputs()`.
     pub fn forward_with_cache(&self, x: &Matrix) -> Result<(Matrix, LayerCache), NnError> {
-        let mut out = x.matmul(&self.weights)?;
-        out.add_row_broadcast_inplace(&self.biases)?;
-        let cache = LayerCache {
-            input: x.clone(),
-            pre_activation: out.clone(),
+        let mut cache = LayerCache {
+            input: Matrix::zeros(0, 0),
+            pre_activation: Matrix::zeros(0, 0),
         };
-        self.activation.apply_matrix_inplace(&mut out);
+        let out = self.forward_with_cache_into(x, &mut cache)?;
         Ok((out, cache))
+    }
+
+    /// Forward pass writing the backprop cache into a caller-owned
+    /// [`LayerCache`], reusing its buffers — the training loop keeps one
+    /// cache per layer alive across batches instead of reallocating the
+    /// input/pre-activation copies every step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when `x.cols() != self.inputs()`.
+    pub fn forward_with_cache_into(
+        &self,
+        x: &Matrix,
+        cache: &mut LayerCache,
+    ) -> Result<Matrix, NnError> {
+        cache.input.clone_from(x);
+        x.matmul_into(&self.weights, &mut cache.pre_activation)?;
+        cache
+            .pre_activation
+            .add_row_broadcast_inplace(&self.biases)?;
+        // Single pass: allocate the activated output directly instead of
+        // cloning the pre-activations and mapping in place.
+        Ok(cache.pre_activation.map(|x| self.activation.apply(x)))
     }
 
     /// Backward pass.
@@ -202,6 +243,59 @@ impl DenseLayer {
         cache: &LayerCache,
         grad_output: &Matrix,
     ) -> Result<(Matrix, LayerGradient), NnError> {
+        let mut scratch = BackpropScratch::default();
+        self.backward_with_scratch(cache, grad_output.clone(), &mut scratch)
+    }
+
+    /// Backward pass reusing caller-owned transpose buffers.
+    ///
+    /// Identical math to [`DenseLayer::backward`], but the transposed weight
+    /// and input matrices are written into `scratch` instead of freshly
+    /// allocated — the trainer holds one scratch per layer for the whole run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when `grad_output` does not match the
+    /// cached pre-activation shape.
+    pub fn backward_with_scratch(
+        &self,
+        cache: &LayerCache,
+        grad_output: Matrix,
+        scratch: &mut BackpropScratch,
+    ) -> Result<(Matrix, LayerGradient), NnError> {
+        let (dpre, grads) = self.backward_core(cache, grad_output, scratch)?;
+        // dL/dx = dpre W^T
+        self.weights.transpose_into(&mut scratch.weights_t);
+        let grad_input = dpre.matmul(&scratch.weights_t)?;
+        Ok((grad_input, grads))
+    }
+
+    /// [`DenseLayer::backward_with_scratch`] without the input-gradient
+    /// product — the first layer of a network has no upstream consumer for
+    /// `dL/dx`, and that product is a full quarter of its backward matmul
+    /// work.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DenseLayer::backward_with_scratch`].
+    pub fn backward_params_only(
+        &self,
+        cache: &LayerCache,
+        grad_output: Matrix,
+        scratch: &mut BackpropScratch,
+    ) -> Result<LayerGradient, NnError> {
+        Ok(self.backward_core(cache, grad_output, scratch)?.1)
+    }
+
+    /// The shared backward math: validates shapes, fuses the activation
+    /// derivative into the owned gradient in place (yielding `dL/dpre`) and
+    /// computes the parameter gradients.
+    fn backward_core(
+        &self,
+        cache: &LayerCache,
+        grad_output: Matrix,
+        scratch: &mut BackpropScratch,
+    ) -> Result<(Matrix, LayerGradient), NnError> {
         if grad_output.shape() != cache.pre_activation.shape() {
             return Err(NnError::ShapeMismatch {
                 context: "dense backward".into(),
@@ -209,15 +303,23 @@ impl DenseLayer {
                 right: cache.pre_activation.shape(),
             });
         }
-        // dL/dpre = dL/dout * act'(pre)
-        let dpre =
-            grad_output.hadamard(&self.activation.derivative_matrix(&cache.pre_activation))?;
-        // dL/dW = x^T dpre ; dL/db = column sums of dpre ; dL/dx = dpre W^T
-        let grad_weights = cache.input.transpose().matmul(&dpre)?;
+        // dL/dpre = dL/dout * act'(pre), fused in place into the owned
+        // gradient (the separate derivative matrix + hadamard allocated two
+        // intermediates per batch, plus a clone of the incoming gradient).
+        let mut dpre = grad_output;
+        for (g, &pre) in dpre
+            .as_mut_slice()
+            .iter_mut()
+            .zip(cache.pre_activation.as_slice())
+        {
+            *g *= self.activation.derivative(pre);
+        }
+        // dL/dW = x^T dpre ; dL/db = column sums of dpre
+        cache.input.transpose_into(&mut scratch.input_t);
+        let grad_weights = scratch.input_t.matmul(&dpre)?;
         let grad_biases = dpre.sum_rows();
-        let grad_input = dpre.matmul(&self.weights.transpose())?;
         Ok((
-            grad_input,
+            dpre,
             LayerGradient {
                 weights: grad_weights,
                 biases: grad_biases,
@@ -248,7 +350,16 @@ impl DenseLayer {
                 right: (1, self.biases.len()),
             });
         }
-        self.weights = self.weights.sub_elem(&update.weights)?;
+        // In place: this runs once per layer per batch, and the allocating
+        // `sub_elem` showed up in training profiles.
+        for (w, u) in self
+            .weights
+            .as_mut_slice()
+            .iter_mut()
+            .zip(update.weights.as_slice())
+        {
+            *w -= u;
+        }
         for (b, u) in self.biases.iter_mut().zip(update.biases.iter()) {
             *b -= u;
         }

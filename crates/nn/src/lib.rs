@@ -62,10 +62,10 @@ pub use activation::Activation;
 pub use dataset::Dataset;
 pub use error::NnError;
 pub use init::WeightInit;
-pub use layer::DenseLayer;
+pub use layer::{BackpropScratch, DenseLayer};
 pub use loss::Loss;
 pub use matrix::Matrix;
 pub use metrics::{accuracy, confusion_matrix, macro_f1, ClassificationReport};
-pub use mlp::{Mlp, MlpBuilder};
+pub use mlp::{Mlp, MlpBuilder, MlpScratch};
 pub use optimizer::{Adam, Momentum, Optimizer, Sgd};
 pub use trainer::{TrainConfig, TrainReport, Trainer};

@@ -73,7 +73,11 @@ impl Loss {
                     let v = grad.get(r, t);
                     grad.set(r, t, v - 1.0);
                 }
-                Ok(grad.scale(1.0 / n))
+                // In place — same arithmetic as `scale(1.0 / n)` without the
+                // extra per-batch allocation.
+                let inv_n = 1.0 / n;
+                grad.map_inplace(|x| x * inv_n);
+                Ok(grad)
             }
             Loss::MeanSquaredError => {
                 let mut grad = logits.clone();
@@ -85,6 +89,44 @@ impl Loss {
                 }
                 Ok(grad.scale(1.0 / (n * logits.cols() as f32)))
             }
+        }
+    }
+
+    /// Computes the scalar loss *and* its gradient in one pass, sharing the
+    /// softmax (the dominant transcendental cost) between the two — the
+    /// training loop needs both every batch, and computing them separately
+    /// exponentiates every logit twice.
+    ///
+    /// Bit-for-bit identical to calling [`Loss::compute`] and
+    /// [`Loss::gradient`] separately.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Loss::compute`].
+    pub fn compute_with_gradient(
+        self,
+        logits: &Matrix,
+        targets: &[usize],
+    ) -> Result<(f32, Matrix), NnError> {
+        self.validate(logits, targets)?;
+        let n = logits.rows() as f32;
+        match self {
+            Loss::SoftmaxCrossEntropy => {
+                let mut grad = softmax_rows(logits);
+                let mut total = 0.0;
+                for (r, &t) in targets.iter().enumerate() {
+                    let p = grad.get(r, t);
+                    total -= p.max(1e-12).ln();
+                    grad.set(r, t, p - 1.0);
+                }
+                let inv_n = 1.0 / n;
+                grad.map_inplace(|x| x * inv_n);
+                Ok((total / n, grad))
+            }
+            Loss::MeanSquaredError => Ok((
+                self.compute(logits, targets)?,
+                self.gradient(logits, targets)?,
+            )),
         }
     }
 

@@ -24,11 +24,29 @@ use std::ops::{Add, Mul, Sub};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Reuses the existing allocation when the capacities allow — hot
+    /// training loops `clone_from` into persistent buffers every batch.
+    fn clone_from(&mut self, source: &Self) {
+        self.rows = source.rows;
+        self.cols = source.cols;
+        self.data.clone_from(&source.data);
+    }
 }
 
 impl Matrix {
@@ -219,12 +237,23 @@ impl Matrix {
     ///
     /// Panics if `c >= cols`.
     pub fn column(&self, c: usize) -> Vec<f32> {
+        self.column_iter(c).collect()
+    }
+
+    /// Strided, allocation-free iterator over column `c` (top to bottom) —
+    /// the hot-path counterpart of [`Matrix::column`], which allocates a
+    /// fresh `Vec` per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn column_iter(&self, c: usize) -> impl Iterator<Item = f32> + '_ {
         assert!(
             c < self.cols,
             "column {c} out of bounds for {} columns",
             self.cols
         );
-        (0..self.rows).map(|r| self.get(r, c)).collect()
+        self.data.iter().skip(c).step_by(self.cols).copied()
     }
 
     /// Iterates over rows as slices.
@@ -234,13 +263,23 @@ impl Matrix {
 
     /// Matrix transpose.
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.set(c, r, self.get(r, c));
-            }
-        }
+        let mut out = Matrix::zeros(0, 0);
+        self.transpose_into(&mut out);
         out
+    }
+
+    /// Transposes into a caller-owned matrix, reusing its allocation — the
+    /// backprop hot path re-transposes the weight matrix every batch, so
+    /// avoiding the per-call allocation matters.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.rows = self.cols;
+        out.cols = self.rows;
+        out.data.clear();
+        out.data.reserve(self.rows * self.cols);
+        for c in 0..self.cols {
+            out.data
+                .extend(self.data.iter().skip(c).step_by(self.cols.max(1)));
+        }
     }
 
     /// Matrix product `self * other`.
@@ -249,6 +288,30 @@ impl Matrix {
     ///
     /// Returns [`NnError::ShapeMismatch`] when `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix, NnError> {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// How many multiply-adds a product must involve before `matmul_into`
+    /// fans rows out over the rayon pool; below this the sequential kernel
+    /// wins (and candidate-level parallelism already saturates the cores).
+    const PAR_MATMUL_FLOPS: usize = 1 << 20;
+
+    /// Matrix product `self * other` written into a caller-owned matrix,
+    /// reusing its allocation.
+    ///
+    /// This is the training hot kernel: a dense `ikj` loop blocked over `k`
+    /// for cache locality (iteration order — and therefore every f32
+    /// rounding — is identical to the naive kernel), with no per-element
+    /// zero test on the left operand, and with rows fanned out over the
+    /// rayon pool for large products. Row results are independent, so the
+    /// parallel and sequential paths are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when `self.cols() != other.rows()`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), NnError> {
         if self.cols != other.rows {
             return Err(NnError::ShapeMismatch {
                 context: "matmul".into(),
@@ -256,21 +319,38 @@ impl Matrix {
                 right: other.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let row_out = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                let row_b = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, b) in row_out.iter_mut().zip(row_b.iter()) {
-                    *o += a * b;
-                }
-            }
+        out.rows = self.rows;
+        out.cols = other.cols;
+        out.data.clear();
+        out.data.resize(self.rows * other.cols, 0.0);
+
+        let flops = self.rows * self.cols * other.cols;
+        if flops >= Self::PAR_MATMUL_FLOPS && rayon::current_num_threads() > 1 && self.rows > 1 {
+            use rayon::prelude::*;
+            let rows_per_chunk = self.rows.div_ceil(rayon::current_num_threads()).max(1);
+            out.data
+                .par_chunks_mut(rows_per_chunk * other.cols)
+                .enumerate()
+                .for_each(|(chunk_index, chunk)| {
+                    let row0 = chunk_index * rows_per_chunk;
+                    matmul_rows(
+                        &self.data[row0 * self.cols..],
+                        self.cols,
+                        &other.data,
+                        other.cols,
+                        chunk,
+                    );
+                });
+        } else {
+            matmul_rows(
+                &self.data,
+                self.cols,
+                &other.data,
+                other.cols,
+                &mut out.data,
+            );
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Element-wise addition.
@@ -485,6 +565,61 @@ impl Matrix {
     }
 }
 
+/// Dense row-major product kernel shared by the sequential and row-parallel
+/// paths of [`Matrix::matmul_into`]: `out` holds one or more complete result
+/// rows, `a` points at the first corresponding row of the left operand.
+///
+/// Blocked over output columns so the live `out` stripe stays cache-resident
+/// across the whole `k` sweep. Per output element the accumulation order is
+/// `k` ascending — identical to the naive kernel, so results are bit-for-bit
+/// unchanged — and the dense inner loop carries no per-element zero test, so
+/// it vectorizes.
+fn matmul_rows(a: &[f32], a_cols: usize, b: &[f32], b_cols: usize, out: &mut [f32]) {
+    const J_BLOCK: usize = 512;
+    if b_cols == 0 || a_cols == 0 {
+        return;
+    }
+    for (i, out_row) in out.chunks_mut(b_cols).enumerate() {
+        let a_row = &a[i * a_cols..(i + 1) * a_cols];
+        let mut j0 = 0;
+        while j0 < b_cols {
+            let j1 = (j0 + J_BLOCK).min(b_cols);
+            let out_chunk = &mut out_row[j0..j1];
+            let width = j1 - j0;
+            // Register-block four `k` steps per sweep: the accumulator stays
+            // live across four multiply-adds instead of being re-read and
+            // re-written per step, quartering the `out` traffic. Per element
+            // the adds still happen in ascending-`k` order.
+            let mut k = 0;
+            while k + 4 <= a_cols {
+                let (a0, a1, a2, a3) = (a_row[k], a_row[k + 1], a_row[k + 2], a_row[k + 3]);
+                let b0 = &b[k * b_cols + j0..k * b_cols + j0 + width];
+                let b1 = &b[(k + 1) * b_cols + j0..(k + 1) * b_cols + j0 + width];
+                let b2 = &b[(k + 2) * b_cols + j0..(k + 2) * b_cols + j0 + width];
+                let b3 = &b[(k + 3) * b_cols + j0..(k + 3) * b_cols + j0 + width];
+                for ((((o, &v0), &v1), &v2), &v3) in
+                    out_chunk.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    let mut acc = *o;
+                    acc += a0 * v0;
+                    acc += a1 * v1;
+                    acc += a2 * v2;
+                    acc += a3 * v3;
+                    *o = acc;
+                }
+                k += 4;
+            }
+            for (k, &av) in a_row.iter().enumerate().skip(k) {
+                let b_chunk = &b[k * b_cols + j0..k * b_cols + j1];
+                for (o, &bv) in out_chunk.iter_mut().zip(b_chunk) {
+                    *o += av * bv;
+                }
+            }
+            j0 = j1;
+        }
+    }
+}
+
 impl fmt::Display for Matrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Matrix {}x{}", self.rows, self.cols)?;
@@ -642,6 +777,68 @@ mod tests {
         let sel = a.select_rows(&[2, 0]);
         assert_eq!(sel.row(0), &[3.0]);
         assert_eq!(sel.row(1), &[1.0]);
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer_and_matches_matmul() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, -3.0], vec![0.5, -1.5, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![2.0, 0.0], vec![-1.0, 3.0], vec![0.5, 1.0]]).unwrap();
+        let expected = a.matmul(&b).unwrap();
+        // Start from a buffer of the wrong shape and stale contents.
+        let mut out = Matrix::filled(5, 7, 9.0);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, expected);
+        // Repeated calls into the same buffer stay correct.
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, expected);
+        // Shape mismatch is still reported.
+        assert!(b.matmul_into(&b, &mut out).is_err());
+    }
+
+    #[test]
+    fn matmul_has_no_zero_skip_semantics_change() {
+        // Rows/operands full of zeros still produce exact results.
+        let a = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 0.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![3.0, -2.0], vec![7.0, 5.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.row(0), &[0.0, 0.0]);
+        assert_eq!(c.row(1), &[3.0, -2.0]);
+    }
+
+    #[test]
+    fn transpose_into_matches_transpose() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let mut out = Matrix::filled(1, 1, 42.0);
+        a.transpose_into(&mut out);
+        assert_eq!(out, a.transpose());
+        // And again, reusing the now-correctly-sized buffer.
+        a.transpose_into(&mut out);
+        assert_eq!(out, a.transpose());
+    }
+
+    #[test]
+    fn column_iter_matches_column() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        for c in 0..2 {
+            assert_eq!(a.column_iter(c).collect::<Vec<_>>(), a.column(c));
+        }
+        assert_eq!(a.column_iter(1).sum::<f32>(), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn column_iter_panics_out_of_bounds() {
+        let a = Matrix::zeros(2, 2);
+        let _ = a.column_iter(2);
+    }
+
+    #[test]
+    fn clone_from_reuses_allocation_and_copies_exactly() {
+        let src = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let mut dst = Matrix::zeros(7, 3);
+        dst.clone_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.shape(), (2, 2));
     }
 
     #[test]

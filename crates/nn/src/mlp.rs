@@ -4,7 +4,7 @@ use crate::activation::Activation;
 use crate::dataset::Dataset;
 use crate::error::NnError;
 use crate::init::WeightInit;
-use crate::layer::{DenseLayer, LayerCache, LayerGradient};
+use crate::layer::{BackpropScratch, DenseLayer, LayerCache, LayerGradient};
 use crate::matrix::Matrix;
 use crate::metrics;
 use rand::Rng;
@@ -39,6 +39,14 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Mlp {
     layers: Vec<DenseLayer>,
+}
+
+/// Reusable per-layer backprop buffers for a whole network; see
+/// [`Mlp::backward_with_scratch`]. Sized lazily on first use, so one
+/// `MlpScratch::default()` serves any model.
+#[derive(Debug, Clone, Default)]
+pub struct MlpScratch {
+    layers: Vec<BackpropScratch>,
 }
 
 impl Mlp {
@@ -142,19 +150,43 @@ impl Mlp {
     ///
     /// Returns [`NnError::ShapeMismatch`] when the input width is wrong.
     pub fn forward_with_caches(&self, x: &Matrix) -> Result<(Matrix, Vec<LayerCache>), NnError> {
-        let mut caches = Vec::with_capacity(self.layers.len());
+        let mut caches = Vec::new();
+        let out = self.forward_with_caches_into(x, &mut caches)?;
+        Ok((out, caches))
+    }
+
+    /// Forward pass writing the per-layer backprop caches into caller-owned
+    /// storage, reusing its buffers across calls — the trainer keeps one
+    /// cache vector alive for the whole run instead of reallocating the
+    /// input/pre-activation copies of every layer every batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when the input width is wrong.
+    pub fn forward_with_caches_into(
+        &self,
+        x: &Matrix,
+        caches: &mut Vec<LayerCache>,
+    ) -> Result<Matrix, NnError> {
+        if caches.len() != self.layers.len() {
+            caches.clear();
+            caches.resize_with(self.layers.len(), || LayerCache {
+                input: Matrix::zeros(0, 0),
+                pre_activation: Matrix::zeros(0, 0),
+            });
+        }
         let (first, rest) = self
             .layers
             .split_first()
             .expect("mlp has at least one layer");
-        let (mut out, cache) = first.forward_with_cache(x)?;
-        caches.push(cache);
-        for layer in rest {
-            let (next, cache) = layer.forward_with_cache(&out)?;
-            caches.push(cache);
-            out = next;
+        let (first_cache, rest_caches) = caches
+            .split_first_mut()
+            .expect("cache vector sized to layer count");
+        let mut out = first.forward_with_cache_into(x, first_cache)?;
+        for (layer, cache) in rest.iter().zip(rest_caches.iter_mut()) {
+            out = layer.forward_with_cache_into(&out, cache)?;
         }
-        Ok((out, caches))
+        Ok(out)
     }
 
     /// Backward pass: given the gradient of the loss w.r.t. the logits and the
@@ -170,15 +202,49 @@ impl Mlp {
         caches: &[LayerCache],
         grad_logits: &Matrix,
     ) -> Result<Vec<LayerGradient>, NnError> {
+        let mut scratch = MlpScratch::default();
+        self.backward_with_scratch(caches, grad_logits.clone(), &mut scratch)
+    }
+
+    /// Backward pass reusing caller-owned per-layer transpose buffers.
+    ///
+    /// Identical math to [`Mlp::backward`]; the trainer holds one
+    /// [`MlpScratch`] across all batches so the per-layer weight/input
+    /// transposes stop allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when shapes are inconsistent with
+    /// the caches.
+    pub fn backward_with_scratch(
+        &self,
+        caches: &[LayerCache],
+        grad_logits: Matrix,
+        scratch: &mut MlpScratch,
+    ) -> Result<Vec<LayerGradient>, NnError> {
         if caches.len() != self.layers.len() {
             return Err(NnError::InvalidConfig {
                 context: format!("{} caches for {} layers", caches.len(), self.layers.len()),
             });
         }
+        if scratch.layers.len() != self.layers.len() {
+            scratch.layers.clear();
+            scratch
+                .layers
+                .resize_with(self.layers.len(), BackpropScratch::default);
+        }
         let mut grads = vec![None; self.layers.len()];
-        let mut grad = grad_logits.clone();
+        let mut grad = grad_logits;
         for (i, layer) in self.layers.iter().enumerate().rev() {
-            let (grad_input, layer_grad) = layer.backward(&caches[i], &grad)?;
+            if i == 0 {
+                // Nothing consumes dL/dx of the first layer; skip its
+                // input-gradient matmul entirely.
+                grads[0] =
+                    Some(layer.backward_params_only(&caches[0], grad, &mut scratch.layers[0])?);
+                break;
+            }
+            let (grad_input, layer_grad) =
+                layer.backward_with_scratch(&caches[i], grad, &mut scratch.layers[i])?;
             grads[i] = Some(layer_grad);
             grad = grad_input;
         }

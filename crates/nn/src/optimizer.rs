@@ -193,72 +193,78 @@ impl Optimizer for Adam {
         }
         let t = self.t.max(1) as f32;
 
-        let m_prev = self.first_moment[layer_index]
-            .take()
-            .unwrap_or_else(|| LayerGradient {
+        // Moment buffers are updated in place (hot path: one step per layer
+        // per batch); the arithmetic matches the textbook formulation
+        // exactly, element by element.
+        if self.first_moment[layer_index].is_none() {
+            self.first_moment[layer_index] = Some(LayerGradient {
                 weights: Matrix::zeros(gradient.weights.rows(), gradient.weights.cols()),
                 biases: vec![0.0; gradient.biases.len()],
             });
-        let v_prev = self.second_moment[layer_index]
-            .take()
-            .unwrap_or_else(|| LayerGradient {
+            self.second_moment[layer_index] = Some(LayerGradient {
                 weights: Matrix::zeros(gradient.weights.rows(), gradient.weights.cols()),
                 biases: vec![0.0; gradient.biases.len()],
             });
+        }
+        let m = self.first_moment[layer_index]
+            .as_mut()
+            .expect("adam m initialized");
+        let v = self.second_moment[layer_index]
+            .as_mut()
+            .expect("adam v initialized");
+        assert_eq!(
+            m.weights.shape(),
+            gradient.weights.shape(),
+            "adam moment shape drift"
+        );
 
-        let m = LayerGradient {
-            weights: m_prev
-                .weights
-                .scale(self.beta1)
-                .add_elem(&gradient.weights.scale(1.0 - self.beta1))
-                .expect("adam m shape drift"),
-            biases: m_prev
-                .biases
-                .iter()
-                .zip(gradient.biases.iter())
-                .map(|(m, g)| self.beta1 * m + (1.0 - self.beta1) * g)
-                .collect(),
-        };
-        let v = LayerGradient {
-            weights: v_prev
-                .weights
-                .scale(self.beta2)
-                .add_elem(&gradient.weights.map(|g| g * g).scale(1.0 - self.beta2))
-                .expect("adam v shape drift"),
-            biases: v_prev
-                .biases
-                .iter()
-                .zip(gradient.biases.iter())
-                .map(|(v, g)| self.beta2 * v + (1.0 - self.beta2) * g * g)
-                .collect(),
-        };
+        let (beta1, beta2) = (self.beta1, self.beta2);
+        for (m, &g) in m
+            .weights
+            .as_mut_slice()
+            .iter_mut()
+            .zip(gradient.weights.as_slice())
+        {
+            *m = beta1 * *m + (1.0 - beta1) * g;
+        }
+        for (m, &g) in m.biases.iter_mut().zip(gradient.biases.iter()) {
+            *m = beta1 * *m + (1.0 - beta1) * g;
+        }
+        for (v, &g) in v
+            .weights
+            .as_mut_slice()
+            .iter_mut()
+            .zip(gradient.weights.as_slice())
+        {
+            *v = beta2 * *v + (g * g) * (1.0 - beta2);
+        }
+        for (v, &g) in v.biases.iter_mut().zip(gradient.biases.iter()) {
+            *v = beta2 * *v + (1.0 - beta2) * g * g;
+        }
 
         let bias1 = 1.0 - self.beta1.powf(t);
         let bias2 = 1.0 - self.beta2.powf(t);
         let lr = self.lr;
         let eps = self.epsilon;
+        let adamize = |(m, v): (&f32, &f32)| -> f32 {
+            let m_hat = m / bias1;
+            let v_hat = v / bias2;
+            lr * m_hat / (v_hat.sqrt() + eps)
+        };
 
-        let mut update_weights = Matrix::zeros(gradient.weights.rows(), gradient.weights.cols());
-        for r in 0..update_weights.rows() {
-            for c in 0..update_weights.cols() {
-                let m_hat = m.weights.get(r, c) / bias1;
-                let v_hat = v.weights.get(r, c) / bias2;
-                update_weights.set(r, c, lr * m_hat / (v_hat.sqrt() + eps));
-            }
-        }
-        let update_biases: Vec<f32> = m
-            .biases
-            .iter()
-            .zip(v.biases.iter())
-            .map(|(m, v)| {
-                let m_hat = m / bias1;
-                let v_hat = v / bias2;
-                lr * m_hat / (v_hat.sqrt() + eps)
-            })
-            .collect();
+        let update_weights = Matrix::from_vec(
+            gradient.weights.rows(),
+            gradient.weights.cols(),
+            m.weights
+                .as_slice()
+                .iter()
+                .zip(v.weights.as_slice())
+                .map(adamize)
+                .collect(),
+        )
+        .expect("adam update shape");
+        let update_biases: Vec<f32> = m.biases.iter().zip(v.biases.iter()).map(adamize).collect();
 
-        self.first_moment[layer_index] = Some(m);
-        self.second_moment[layer_index] = Some(v);
         LayerGradient {
             weights: update_weights,
             biases: update_biases,

@@ -29,6 +29,14 @@ pub struct TrainConfig {
     pub patience: Option<usize>,
     /// L2 weight-decay coefficient added to the gradients (`0.0` disables).
     pub weight_decay: f32,
+    /// Record the full-train-set accuracy in [`TrainReport::train_accuracy`]
+    /// every epoch (`true` by default). When a validation set drives
+    /// best-model tracking this is pure reporting — inner-loop fine-tuning
+    /// (QAT, pruning, clustering) disables it, since the extra full forward
+    /// pass per epoch is a measurable share of each candidate evaluation.
+    /// Ignored (accuracy is always computed) when no validation set is given,
+    /// because best-model tracking then needs it.
+    pub track_train_accuracy: bool,
 }
 
 impl Default for TrainConfig {
@@ -41,17 +49,20 @@ impl Default for TrainConfig {
             lr_decay: 1.0,
             patience: None,
             weight_decay: 0.0,
+            track_train_accuracy: true,
         }
     }
 }
 
 impl TrainConfig {
     /// A configuration tuned for the fast fine-tuning passes used inside the
-    /// genetic-algorithm loop (few epochs, slightly higher learning rate).
+    /// genetic-algorithm loop (few epochs, slightly higher learning rate, no
+    /// per-epoch full-train-set accuracy pass).
     pub fn fine_tune(epochs: usize) -> Self {
         TrainConfig {
             epochs,
             learning_rate: 0.02,
+            track_train_accuracy: false,
             ..TrainConfig::default()
         }
     }
@@ -92,7 +103,9 @@ impl TrainConfig {
 pub struct TrainReport {
     /// Mean training loss per epoch.
     pub train_loss: Vec<f32>,
-    /// Training accuracy per epoch.
+    /// Training accuracy per epoch (empty when
+    /// [`TrainConfig::track_train_accuracy`] is off and a validation set was
+    /// supplied).
     pub train_accuracy: Vec<f64>,
     /// Validation accuracy per epoch (empty when no validation set given).
     pub val_accuracy: Vec<f64>,
@@ -221,13 +234,17 @@ impl Trainer {
         // Ensure the model starts from a constraint-satisfying point.
         constraint.apply(mlp);
 
-        // Reusable batch buffers: one shuffled index permutation per epoch and
-        // one gathered feature/label batch, reallocated only when the batch
-        // geometry changes (the short final chunk of an epoch).
+        // Reusable hot-loop buffers, all alive for the whole run: one
+        // shuffled index permutation per epoch, one gathered feature/label
+        // batch (reallocated only when the batch geometry changes — the short
+        // final chunk of an epoch), the per-layer forward caches and the
+        // per-layer backprop transpose scratch.
         let batch_size = self.config.batch_size.max(1);
         let mut shuffled: Vec<usize> = Vec::with_capacity(train.len());
         let mut batch_features = crate::matrix::Matrix::zeros(0, train.feature_count());
         let mut batch_labels: Vec<usize> = Vec::with_capacity(batch_size);
+        let mut caches: Vec<crate::layer::LayerCache> = Vec::new();
+        let mut scratch = crate::mlp::MlpScratch::default();
 
         for epoch in 0..self.config.epochs {
             let mut epoch_loss = 0.0_f32;
@@ -235,11 +252,14 @@ impl Trainer {
             train.shuffle_indices_into(&mut shuffled, rng);
             for batch in shuffled.chunks(batch_size) {
                 train.gather_batch(batch, &mut batch_features, &mut batch_labels);
-                let (logits, caches) = mlp.forward_with_caches(&batch_features)?;
-                epoch_loss += self.config.loss.compute(&logits, &batch_labels)?;
+                let logits = mlp.forward_with_caches_into(&batch_features, &mut caches)?;
+                let (batch_loss, grad_logits) = self
+                    .config
+                    .loss
+                    .compute_with_gradient(&logits, &batch_labels)?;
+                epoch_loss += batch_loss;
                 batches += 1;
-                let grad_logits = self.config.loss.gradient(&logits, &batch_labels)?;
-                let mut grads = mlp.backward(&caches, &grad_logits)?;
+                let mut grads = mlp.backward_with_scratch(&caches, grad_logits, &mut scratch)?;
                 if self.config.weight_decay > 0.0 {
                     for (grad, layer) in grads.iter_mut().zip(mlp.layers()) {
                         grad.weights = grad
@@ -255,13 +275,16 @@ impl Trainer {
                 mlp.apply_updates(&updates)?;
                 constraint.apply(mlp);
             }
-            let train_acc = mlp.accuracy(train);
             report.train_loss.push(if batches > 0 {
                 epoch_loss / batches as f32
             } else {
                 0.0
             });
-            report.train_accuracy.push(train_acc);
+            // The full-train-set accuracy pass is skippable only when a
+            // validation set drives best-model tracking.
+            if self.config.track_train_accuracy || validation.is_none() {
+                report.train_accuracy.push(mlp.accuracy(train));
+            }
             report.epochs_run = epoch + 1;
 
             let tracked_acc = match validation {
@@ -270,7 +293,10 @@ impl Trainer {
                     report.val_accuracy.push(acc);
                     acc
                 }
-                None => train_acc,
+                None => *report
+                    .train_accuracy
+                    .last()
+                    .expect("train accuracy recorded when no validation set"),
             };
 
             if tracked_acc > best_accuracy {

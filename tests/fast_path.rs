@@ -1,0 +1,124 @@
+//! Integration tests of the two-tier evaluation scheme: the analytic
+//! fast-path cost model must be indistinguishable from full gate-level
+//! synthesis everywhere the search can observe it, and the engine must
+//! account for which tier every evaluation ran through.
+
+use printed_mlp::core::baseline::BaselineConfig;
+use printed_mlp::core::engine::{EvalEngine, Evaluator};
+use printed_mlp::core::objective::SynthesisTier;
+use printed_mlp::data::UciDataset;
+use printed_mlp::minimize::MinimizationConfig;
+
+fn quick_engine(tier: SynthesisTier) -> EvalEngine {
+    EvalEngine::train_with(
+        UciDataset::Seeds,
+        13,
+        &BaselineConfig {
+            epochs: 10,
+            ..BaselineConfig::default()
+        },
+    )
+    .unwrap()
+    .with_fine_tune_epochs(2)
+    .with_synthesis_tier(tier)
+}
+
+fn candidate_configs() -> Vec<MinimizationConfig> {
+    vec![
+        MinimizationConfig::baseline(),
+        MinimizationConfig::default().with_weight_bits(3),
+        MinimizationConfig::default().with_weight_bits(6),
+        MinimizationConfig::default().with_sparsity(0.5),
+        MinimizationConfig::default().with_clusters(3),
+        MinimizationConfig::default()
+            .with_weight_bits(4)
+            .with_sparsity(0.4)
+            .with_clusters(4),
+    ]
+}
+
+#[test]
+fn fast_path_engine_reproduces_full_synthesis_engine_exactly() {
+    let fast = quick_engine(SynthesisTier::FastPath);
+    let full = quick_engine(SynthesisTier::FullSynthesis);
+    assert_eq!(fast.synthesis_tier(), SynthesisTier::FastPath);
+    for config in candidate_configs() {
+        let a = fast.evaluate(&config).unwrap();
+        let b = full.evaluate(&config).unwrap();
+        assert_eq!(a, b, "tier divergence for {}", config.describe());
+    }
+    let stats_fast = fast.stats();
+    let stats_full = full.stats();
+    assert_eq!(stats_fast.fast_path, candidate_configs().len());
+    assert_eq!(stats_fast.full_synthesis, 0);
+    assert_eq!(stats_full.fast_path, 0);
+    assert_eq!(stats_full.full_synthesis, candidate_configs().len());
+}
+
+#[test]
+fn finalize_verifies_the_fast_path_against_a_real_netlist() {
+    let engine = quick_engine(SynthesisTier::FastPath);
+    for config in candidate_configs() {
+        let finalized = engine.finalize(&config).unwrap();
+        assert!(
+            finalized.matches_fast_path,
+            "full synthesis diverged from the fast path for {}",
+            config.describe()
+        );
+        assert_eq!(finalized.full.area_mm2, finalized.point.area_mm2);
+        assert_eq!(finalized.full.power_uw, finalized.point.power_uw);
+        assert_eq!(finalized.full.gate_count, finalized.point.gate_count);
+    }
+    let stats = engine.stats();
+    // Every candidate went through the fast path once and full synthesis once
+    // (the finalist verification).
+    assert_eq!(stats.fast_path, candidate_configs().len());
+    assert_eq!(stats.full_synthesis, candidate_configs().len());
+    // Finalization reuses the cached minimized layers instead of re-running
+    // the pipeline.
+    assert_eq!(stats.misses, candidate_configs().len());
+}
+
+#[test]
+fn multiplier_cache_fills_and_reports_hits() {
+    let engine = quick_engine(SynthesisTier::FastPath);
+    let _ = engine
+        .evaluate(&MinimizationConfig::default().with_weight_bits(5))
+        .unwrap();
+    let stats = engine.stats();
+    let total = stats.multiplier_cache_hits + stats.multiplier_cache_misses;
+    assert!(total > 0, "fast path must consult the multiplier cache");
+    // Weight codes repeat heavily inside one circuit, so hits dominate.
+    assert!(
+        stats.multiplier_cache_hit_rate() > 0.5,
+        "hit rate {}",
+        stats.multiplier_cache_hit_rate()
+    );
+}
+
+#[test]
+fn quick_baseline_fast_path_matches_full_synthesis_baseline() {
+    use printed_mlp::core::experiment::Effort;
+    // The Quick effort characterizes the baseline circuit through the fast
+    // path; the numbers must equal a full-synthesis characterization.
+    let quick_cfg = Effort::Quick.baseline_config();
+    assert_eq!(quick_cfg.synthesis_tier, SynthesisTier::FastPath);
+    let full_cfg = BaselineConfig {
+        synthesis_tier: SynthesisTier::FullSynthesis,
+        ..quick_cfg.clone()
+    };
+    let a = printed_mlp::core::baseline::BaselineDesign::train_with(
+        UciDataset::Vertebral,
+        3,
+        &quick_cfg,
+    )
+    .unwrap();
+    let b = printed_mlp::core::baseline::BaselineDesign::train_with(
+        UciDataset::Vertebral,
+        3,
+        &full_cfg,
+    )
+    .unwrap();
+    assert_eq!(a.synthesis, b.synthesis);
+    assert_eq!(a.accuracy, b.accuracy);
+}
