@@ -6,15 +6,24 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p pmlp-bench --bin campaign -- [datasets|all] [full|quick] [seed] [--quick]
+//! cargo run --release -p pmlp-bench --bin campaign -- \
+//!     [datasets|all] [full|quick] [seed] [--quick] \
+//!     [--store DIR] [--resume] [--require-warm]
 //! ```
 //!
 //! `datasets` is `all` (default) or a comma-separated list of registry names
 //! (e.g. `seeds,balance,vertebral`). `--quick` anywhere on the command line
 //! forces the reduced CI effort. Artifacts land under
 //! `target/experiment-results/campaign/`.
+//!
+//! With `--store DIR` every evaluation persists into the crash-safe store
+//! under `DIR` and each finished dataset commits a completion marker;
+//! `--resume` restarts an interrupted campaign from those markers (only
+//! unfinished datasets are recomputed, and their evaluations warm-start from
+//! the store). `--require-warm` makes the run fail if anything had to be
+//! freshly evaluated — CI uses it to prove that a store re-run is free.
 
-use pmlp_bench::{parse_effort, split_cli_args};
+use pmlp_bench::{parse_cli, parse_effort};
 use pmlp_core::campaign::{Campaign, CampaignConfig};
 use pmlp_core::report::render_campaign_table;
 use pmlp_data::UciDataset;
@@ -22,11 +31,17 @@ use std::path::Path;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (positional, effort_flag) = split_cli_args(&args);
-    let which = positional.first().copied().unwrap_or("all");
-    let effort =
-        effort_flag.unwrap_or_else(|| parse_effort(positional.get(1).copied().unwrap_or("full")));
-    let seed: u64 = positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let options = parse_cli(&args);
+    options.validate()?;
+    let which = options.positional.first().copied().unwrap_or("all");
+    let effort = options
+        .effort
+        .unwrap_or_else(|| parse_effort(options.positional.get(1).copied().unwrap_or("full")));
+    let seed: u64 = options
+        .positional
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
 
     let datasets: Vec<UciDataset> = if which.eq_ignore_ascii_case("all") {
         UciDataset::all().to_vec()
@@ -44,6 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         effort,
         seed,
         max_accuracy_loss: 0.05,
+        store_dir: options.store.clone(),
+        resume: options.resume,
     })
     .with_progress(move |report| {
         eprintln!(
@@ -55,18 +72,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     });
 
-    let result = campaign.run()?;
+    let (result, stats) = campaign.run_with_stats()?;
     println!("{}", render_campaign_table(&result));
     println!(
         "campaign over {} datasets finished in {:.1}s",
         total,
         start.elapsed().as_secs_f64()
     );
+    if options.store.is_some() {
+        println!(
+            "persistence: {} dataset(s) resumed from markers, {} computed, \
+             {} fresh evaluation(s)",
+            stats.resumed.len(),
+            stats.computed.len(),
+            stats.fresh_evaluations
+        );
+    }
 
     let dir = Path::new("target")
         .join("experiment-results")
         .join("campaign");
     let paths = result.write_artifacts(&dir)?;
     println!("wrote {} artifacts under {}", paths.len(), dir.display());
+
+    if options.require_warm && stats.fresh_evaluations > 0 {
+        return Err(format!(
+            "--require-warm: {} fresh evaluation(s) were needed (datasets recomputed: {:?})",
+            stats.fresh_evaluations, stats.computed
+        )
+        .into());
+    }
     Ok(())
 }

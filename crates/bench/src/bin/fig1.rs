@@ -5,25 +5,39 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p pmlp-bench --bin fig1 -- [dataset|all] [full|quick] [seed] [--quick]
+//! cargo run --release -p pmlp-bench --bin fig1 -- \
+//!     [dataset|all] [full|quick] [seed] [--quick] \
+//!     [--store DIR] [--resume] [--require-warm]
 //! ```
 //!
 //! `all` means the four datasets of the paper's Fig. 1 (any registry dataset
 //! can be named explicitly; the full registry is covered by the `campaign`
 //! binary). `--quick` anywhere on the command line forces the reduced CI
 //! effort.
+//!
+//! With `--store DIR` every evaluation persists into (and warm-starts from)
+//! the crash-safe store under `DIR`; a re-run of the same figure is then pure
+//! cache replay. `--require-warm` fails the run if any evaluation had to be
+//! computed fresh. (`--resume` is accepted for symmetry with `campaign`; the
+//! sweeps are stateless, so warm-starting the store is already a resume.)
 
-use pmlp_bench::{parse_effort, persist_json, render_figure1, render_headline, split_cli_args};
+use pmlp_bench::{parse_cli, parse_effort, persist_json, render_figure1, render_headline};
 use pmlp_core::experiment::{headline_summary, Figure1Experiment};
 use pmlp_data::UciDataset;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (positional, effort_flag) = split_cli_args(&args);
-    let which = positional.first().copied().unwrap_or("all");
-    let effort =
-        effort_flag.unwrap_or_else(|| parse_effort(positional.get(1).copied().unwrap_or("full")));
-    let seed: u64 = positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let options = parse_cli(&args);
+    options.validate()?;
+    let which = options.positional.first().copied().unwrap_or("all");
+    let effort = options
+        .effort
+        .unwrap_or_else(|| parse_effort(options.positional.get(1).copied().unwrap_or("full")));
+    let seed: u64 = options
+        .positional
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
 
     let datasets: Vec<UciDataset> = if which.eq_ignore_ascii_case("all") {
         UciDataset::fig1().to_vec()
@@ -31,16 +45,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vec![UciDataset::parse(which)?]
     };
 
+    let mut fresh_evaluations = 0;
     for dataset in datasets {
         let start = std::time::Instant::now();
-        let result = Figure1Experiment::new(dataset, effort, seed).run()?;
+        let experiment = Figure1Experiment::new(dataset, effort, seed);
+        let mut engine = experiment.build_engine()?;
+        if let Some(dir) = &options.store {
+            engine = engine.with_store(dir)?;
+        }
+        let result = experiment.run_with(&engine)?;
         println!("{}", render_figure1(&result));
         let rows = headline_summary(&result, 0.05);
         println!("{}", render_headline(&rows));
+        let stats = engine.stats();
+        if options.store.is_some() {
+            println!(
+                "store: {} entries warm-started, {} fresh evaluation(s)",
+                stats.warmed, stats.misses
+            );
+        }
         println!("(elapsed: {:.1}s)\n", start.elapsed().as_secs_f64());
+        fresh_evaluations += stats.misses;
         persist_json(
             &format!("fig1_{}", dataset.to_string().to_lowercase()),
             &result,
+        );
+    }
+    if options.require_warm && fresh_evaluations > 0 {
+        return Err(
+            format!("--require-warm: {fresh_evaluations} fresh evaluation(s) were needed").into(),
         );
     }
     Ok(())

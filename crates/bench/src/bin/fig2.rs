@@ -6,35 +6,85 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p pmlp-bench --bin fig2 -- [dataset] [full|quick] [seed] [--quick]
+//! cargo run --release -p pmlp-bench --bin fig2 -- \
+//!     [dataset] [full|quick] [seed] [--quick] \
+//!     [--store DIR] [--resume] [--require-warm]
 //! ```
 //!
 //! `--quick` anywhere on the command line forces the reduced CI effort.
+//!
+//! With `--store DIR` every evaluation persists into the crash-safe store
+//! under `DIR` **and** the NSGA-II search checkpoints itself there after
+//! every generation: an interrupted run re-invoked with `--resume` picks the
+//! search up mid-run and reproduces the uninterrupted result exactly
+//! (without `--resume`, a stale checkpoint is discarded and the search
+//! recomputes against the warm store). `--require-warm` fails the run if any
+//! evaluation had to be computed fresh.
 
-use pmlp_bench::{parse_effort, persist_json, render_figure2, render_headline, split_cli_args};
+use pmlp_bench::{parse_cli, parse_effort, persist_json, render_figure2, render_headline};
 use pmlp_core::experiment::{headline_combined, Figure2Experiment};
 use pmlp_data::UciDataset;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (positional, effort_flag) = split_cli_args(&args);
-    let dataset = positional
+    let options = parse_cli(&args);
+    options.validate()?;
+    let dataset = options
+        .positional
         .first()
         .map(|name| UciDataset::parse(name))
         .transpose()?
         .unwrap_or(UciDataset::WhiteWine);
-    let effort =
-        effort_flag.unwrap_or_else(|| parse_effort(positional.get(1).copied().unwrap_or("full")));
-    let seed: u64 = positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let effort = options
+        .effort
+        .unwrap_or_else(|| parse_effort(options.positional.get(1).copied().unwrap_or("full")));
+    let seed: u64 = options
+        .positional
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
 
     let start = std::time::Instant::now();
-    let result = Figure2Experiment::new(dataset, effort, seed).run()?;
+    let experiment = Figure2Experiment::new(dataset, effort, seed);
+    let mut engine = experiment.build_engine()?;
+    if let Some(dir) = &options.store {
+        engine = engine.with_store(dir)?;
+    }
+    let result = match &options.store {
+        Some(dir) => {
+            let checkpoint = dir.join(format!(
+                "fig2_{}_nsga2.json",
+                dataset.to_string().to_lowercase()
+            ));
+            // Without --resume, any existing checkpoint is discarded: the
+            // search recomputes (against the warm store) instead of replaying.
+            if !options.resume {
+                std::fs::remove_file(&checkpoint).ok();
+            }
+            experiment.run_with_checkpoint(&engine, &checkpoint)?
+        }
+        None => experiment.run_with(&engine)?,
+    };
     println!("{}", render_figure2(&result));
     println!("{}", render_headline(&[headline_combined(&result, 0.05)]));
+    let stats = engine.stats();
+    if options.store.is_some() {
+        println!(
+            "store: {} entries warm-started, {} fresh evaluation(s)",
+            stats.warmed, stats.misses
+        );
+    }
     println!("(elapsed: {:.1}s)", start.elapsed().as_secs_f64());
     persist_json(
         &format!("fig2_{}", dataset.to_string().to_lowercase()),
         &result,
     );
+    if options.require_warm && stats.misses > 0 {
+        return Err(format!(
+            "--require-warm: {} fresh evaluation(s) were needed",
+            stats.misses
+        )
+        .into());
+    }
     Ok(())
 }

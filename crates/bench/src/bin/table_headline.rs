@@ -10,12 +10,16 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p pmlp-bench --bin table_headline -- [full|quick] [seed] [--quick]
+//! cargo run --release -p pmlp-bench --bin table_headline -- \
+//!     [full|quick] [seed] [--quick] [--store DIR] [--resume] [--require-warm]
 //! ```
 //!
 //! `--quick` anywhere on the command line forces the reduced CI effort.
+//! `--store DIR`/`--resume` persist and resume both the campaign (per-dataset
+//! completion markers) and the WhiteWine GA (per-generation checkpoints);
+//! `--require-warm` fails the run if anything had to be evaluated fresh.
 
-use pmlp_bench::{parse_effort, persist_json, render_headline, split_cli_args};
+use pmlp_bench::{parse_cli, parse_effort, persist_json, render_headline};
 use pmlp_core::campaign::{Campaign, CampaignConfig};
 use pmlp_core::experiment::{headline_combined, Figure2Experiment};
 use pmlp_core::report::{HeadlineRow, TechniqueSummary};
@@ -24,18 +28,26 @@ use pmlp_data::UciDataset;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (positional, effort_flag) = split_cli_args(&args);
-    let effort =
-        effort_flag.unwrap_or_else(|| parse_effort(positional.first().copied().unwrap_or("full")));
-    let seed: u64 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let options = parse_cli(&args);
+    options.validate()?;
+    let effort = options
+        .effort
+        .unwrap_or_else(|| parse_effort(options.positional.first().copied().unwrap_or("full")));
+    let seed: u64 = options
+        .positional
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
 
     let campaign = Campaign::new(CampaignConfig {
         datasets: UciDataset::all().to_vec(),
         effort,
         seed,
         max_accuracy_loss: 0.05,
+        store_dir: options.store.clone(),
+        resume: options.resume,
     });
-    let result = campaign.run()?;
+    let (result, campaign_stats) = campaign.run_with_stats()?;
     let mut rows: Vec<HeadlineRow> = result
         .reports
         .iter()
@@ -43,7 +55,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     // The combined (GA) claim is made for WhiteWine in the paper's Fig. 2.
-    let combined = Figure2Experiment::new(UciDataset::WhiteWine, effort, seed).run()?;
+    let fig2 = Figure2Experiment::new(UciDataset::WhiteWine, effort, seed);
+    let mut engine = fig2.build_engine()?;
+    if let Some(dir) = &options.store {
+        engine = engine.with_store(dir)?;
+    }
+    let combined = match &options.store {
+        Some(dir) => {
+            let checkpoint = dir.join("table_headline_nsga2.json");
+            // Without --resume, any existing checkpoint is discarded: the
+            // search recomputes (against the warm store) instead of replaying.
+            if !options.resume {
+                std::fs::remove_file(&checkpoint).ok();
+            }
+            fig2.run_with_checkpoint(&engine, &checkpoint)?
+        }
+        None => fig2.run_with(&engine)?,
+    };
     let combined_row = headline_combined(&combined, 0.05);
     rows.push(combined_row.clone());
 
@@ -65,5 +93,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{combined_summary}");
 
     persist_json("table_headline", &rows);
+
+    let fresh = campaign_stats.fresh_evaluations + engine.stats().misses;
+    if options.store.is_some() {
+        println!(
+            "persistence: {} dataset(s) resumed, {} fresh evaluation(s) total",
+            campaign_stats.resumed.len(),
+            fresh
+        );
+    }
+    if options.require_warm && fresh > 0 {
+        return Err(format!("--require-warm: {fresh} fresh evaluation(s) were needed").into());
+    }
     Ok(())
 }

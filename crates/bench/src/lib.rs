@@ -7,7 +7,7 @@
 
 use pmlp_core::experiment::{Effort, Figure1Result, Figure2Result};
 use pmlp_core::report::{render_headline_table, HeadlineRow};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Parses an effort name from the command line (`full`, `quick`).
 pub fn parse_effort(name: &str) -> Effort {
@@ -17,21 +17,84 @@ pub fn parse_effort(name: &str) -> Effort {
     }
 }
 
+/// Parsed command line shared by the figure/table/campaign binaries.
+#[derive(Debug, Default)]
+pub struct CliOptions<'a> {
+    /// Positional arguments, in order.
+    pub positional: Vec<&'a str>,
+    /// Effort override from `--quick`/`-q`/`--full`.
+    pub effort: Option<Effort>,
+    /// Persistent evaluation-store directory from `--store DIR` (or
+    /// `--store=DIR`): engines warm-start from it and append their misses,
+    /// and searches checkpoint into it.
+    pub store: Option<PathBuf>,
+    /// `--resume`: reuse completion markers and search checkpoints from the
+    /// store directory instead of recomputing finished work.
+    pub resume: bool,
+    /// `--require-warm`: exit with an error if the run needed any fresh
+    /// evaluation — CI's assertion that a store re-run recomputes nothing.
+    pub require_warm: bool,
+    /// A malformed command line detected during parsing (e.g. `--store`
+    /// without a directory); surfaced by [`CliOptions::validate`].
+    pub parse_error: Option<String>,
+}
+
+impl CliOptions<'_> {
+    /// Validates the parse and the flag combinations: `--resume`/
+    /// `--require-warm` only make sense with a store directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed or invalid command
+    /// lines.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(error) = &self.parse_error {
+            return Err(error.clone());
+        }
+        if self.store.is_none() && (self.resume || self.require_warm) {
+            return Err("--resume/--require-warm need --store DIR".into());
+        }
+        Ok(())
+    }
+}
+
+/// Parses the raw CLI arguments (excluding the program name) of the bench
+/// binaries: positionals, the effort override and the persistence flags.
+pub fn parse_cli(args: &[String]) -> CliOptions<'_> {
+    let mut options = CliOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" | "-q" => options.effort = Some(Effort::Quick),
+            "--full" => options.effort = Some(Effort::Full),
+            "--store" => match iter.next() {
+                // A following flag is a forgotten value, not a directory.
+                Some(dir) if !dir.starts_with('-') => options.store = Some(PathBuf::from(dir)),
+                _ => {
+                    options.parse_error = Some("--store needs a directory argument".into());
+                }
+            },
+            "--resume" => options.resume = true,
+            "--require-warm" => options.require_warm = true,
+            other => match other.strip_prefix("--store=") {
+                Some(dir) if !dir.is_empty() => options.store = Some(PathBuf::from(dir)),
+                Some(_) => {
+                    options.parse_error = Some("--store= needs a non-empty directory".into());
+                }
+                None => options.positional.push(other),
+            },
+        }
+    }
+    options
+}
+
 /// Splits raw CLI arguments (excluding the program name) into positional
 /// arguments and an effort override: `--quick` (or `-q`) anywhere on the
 /// command line forces [`Effort::Quick`], so CI can run the figure binaries
 /// without paper-scale budgets regardless of positional defaults.
 pub fn split_cli_args(args: &[String]) -> (Vec<&str>, Option<Effort>) {
-    let mut positional = Vec::new();
-    let mut effort = None;
-    for arg in args {
-        match arg.as_str() {
-            "--quick" | "-q" => effort = Some(Effort::Quick),
-            "--full" => effort = Some(Effort::Full),
-            other => positional.push(other),
-        }
-    }
-    (positional, effort)
+    let options = parse_cli(args);
+    (options.positional, options.effort)
 }
 
 /// Renders one Fig. 1 subplot as the text table the paper plots.
@@ -128,5 +191,51 @@ mod tests {
         let (positional, effort) = split_cli_args(&args);
         assert_eq!(positional, vec!["seeds", "full"]);
         assert_eq!(effort, None);
+    }
+
+    #[test]
+    fn persistence_flags_are_parsed_in_both_forms() {
+        let args: Vec<String> = ["all", "--store", "target/s", "--resume", "--require-warm"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let options = parse_cli(&args);
+        assert_eq!(options.positional, vec!["all"]);
+        assert_eq!(options.store.as_deref(), Some(Path::new("target/s")));
+        assert!(options.resume && options.require_warm);
+        assert!(options.validate().is_ok());
+
+        let args: Vec<String> = ["--store=target/other"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let options = parse_cli(&args);
+        assert_eq!(options.store.as_deref(), Some(Path::new("target/other")));
+
+        let args: Vec<String> = ["--resume"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_cli(&args).validate().is_err(), "resume needs a store");
+    }
+
+    #[test]
+    fn malformed_store_flags_are_rejected_not_swallowed() {
+        // `--store` followed by another flag must not eat the flag as a path.
+        let args: Vec<String> = ["all", "--store", "--resume"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let options = parse_cli(&args);
+        assert!(options.store.is_none());
+        assert!(options.validate().is_err());
+
+        // A trailing `--store` without a value is an error, not a silent
+        // no-persistence run.
+        let args: Vec<String> = ["all", "--quick", "--store"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse_cli(&args).validate().is_err());
+
+        let args: Vec<String> = ["--store="].iter().map(|s| s.to_string()).collect();
+        assert!(parse_cli(&args).validate().is_err());
     }
 }

@@ -152,6 +152,31 @@ impl BaselineDesign {
         self.synthesis.area_mm2
     }
 
+    /// Stable identity of this baseline, used by the persistent evaluation
+    /// store to bind cached results to the exact reference design they were
+    /// measured against.
+    ///
+    /// The fingerprint covers the dataset, data/training seed, circuit input
+    /// precision, model topology and the baseline's measured accuracy, area,
+    /// power and gate count — any change to the training budget or the
+    /// hardware model changes the measured numbers and therefore the
+    /// fingerprint, which invalidates stale store files without any explicit
+    /// versioning bookkeeping.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = crate::store::FingerprintHasher::new();
+        fp.mix_bytes(self.dataset.to_string().as_bytes());
+        fp.mix_u64(self.seed);
+        fp.mix_u64(u64::from(self.input_bits));
+        for width in self.model.topology() {
+            fp.mix_u64(width as u64);
+        }
+        fp.mix_u64(self.accuracy.to_bits());
+        fp.mix_u64(self.synthesis.area_mm2.to_bits());
+        fp.mix_u64(self.synthesis.power_uw.to_bits());
+        fp.mix_u64(self.synthesis.gate_count as u64);
+        fp.finish()
+    }
+
     /// Baseline test accuracy in `[0, 1]`.
     pub fn accuracy(&self) -> f64 {
         self.accuracy

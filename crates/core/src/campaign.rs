@@ -15,6 +15,13 @@
 //! ([`crate::report::render_campaign_table`]) and persist as machine-readable
 //! JSON artifacts ([`CampaignResult::write_artifacts`]).
 //!
+//! Campaigns are interruptible: with [`CampaignConfig::store_dir`] set, every
+//! engine reads and writes the persistent
+//! [evaluation store](crate::store::EvalStore) and each finished dataset
+//! commits an atomic completion marker; re-running with
+//! [`CampaignConfig::resume`] restarts only the unfinished datasets and
+//! reproduces the interrupted run's artifacts byte for byte.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -39,9 +46,11 @@ use crate::engine::EvalEngine;
 use crate::error::CoreError;
 use crate::experiment::{headline_summary, Effort, Figure1Experiment};
 use crate::report::{FigureSeries, HeadlineRow, TechniqueSummary};
+use crate::store::write_atomic;
 use crate::sweep::Technique;
 use pmlp_data::UciDataset;
 use rayon::prelude::*;
+use serde::json::{self, Value};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -59,6 +68,18 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Accuracy-loss threshold of the headline rows (the paper uses 0.05).
     pub max_accuracy_loss: f64,
+    /// Directory of the persistent evaluation store. When set, every
+    /// dataset's engine warm-starts from (and appends to) the store's record
+    /// logs, and a completion marker is committed per finished dataset so an
+    /// interrupted campaign can restart with only the unfinished datasets
+    /// (`None` = in-memory caching only, the historical behavior).
+    pub store_dir: Option<PathBuf>,
+    /// When `true` (and [`CampaignConfig::store_dir`] is set), datasets whose
+    /// completion marker matches this configuration **and** the freshly
+    /// trained baseline's fingerprint are loaded from the marker verbatim
+    /// instead of being re-swept (baselines always train — their fingerprint
+    /// is what proves a marker is still valid).
+    pub resume: bool,
 }
 
 impl Default for CampaignConfig {
@@ -68,6 +89,8 @@ impl Default for CampaignConfig {
             effort: Effort::Full,
             seed: 42,
             max_accuracy_loss: 0.05,
+            store_dir: None,
+            resume: false,
         }
     }
 }
@@ -202,6 +225,29 @@ impl CampaignResult {
     }
 }
 
+/// How each dataset of a campaign run was resolved, reported by
+/// [`Campaign::run_with_stats`]. Kept out of [`CampaignResult`] on purpose:
+/// artifacts must be byte-identical between an uninterrupted run and a
+/// resumed one, so run-local provenance lives here instead.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CampaignRunStats {
+    /// Datasets loaded verbatim from completion markers (no engine built).
+    pub resumed: Vec<UciDataset>,
+    /// Datasets computed in this process (their engines may still have been
+    /// answered entirely from a warm evaluation store).
+    pub computed: Vec<UciDataset>,
+    /// Full pipeline evaluations (cache misses) across all computed datasets
+    /// — `0` means the run was answered entirely from markers and/or the
+    /// persistent store.
+    pub fresh_evaluations: usize,
+}
+
+/// Magic string of campaign completion markers.
+const MARKER_MAGIC: &str = "pmlp-campaign-marker";
+
+/// Format version of campaign completion markers.
+const MARKER_VERSION: u32 = 1;
+
 type CampaignProgressFn = dyn Fn(&DatasetReport) + Send + Sync;
 
 /// The cross-dataset campaign driver.
@@ -248,13 +294,19 @@ impl Campaign {
 
     /// Builds the evaluation engine the campaign uses for `dataset`: baseline
     /// trained at the configured effort's budget, fine-tuning budget set
-    /// accordingly.
+    /// accordingly, warm-started from the persistent store when
+    /// [`CampaignConfig::store_dir`] is set.
     ///
     /// # Errors
     ///
-    /// Propagates baseline training and synthesis errors.
+    /// Propagates baseline training, synthesis and store errors.
     pub fn build_engine(&self, dataset: UciDataset) -> Result<EvalEngine, CoreError> {
-        Figure1Experiment::new(dataset, self.config.effort, self.config.seed).build_engine()
+        let engine =
+            Figure1Experiment::new(dataset, self.config.effort, self.config.seed).build_engine()?;
+        match &self.config.store_dir {
+            Some(dir) => engine.with_store(dir),
+            None => Ok(engine),
+        }
     }
 
     /// Runs the campaign: every dataset is trained, swept and summarized on
@@ -265,28 +317,152 @@ impl Campaign {
     /// Returns [`CoreError::InvalidConfig`] for an empty dataset list and
     /// propagates the first per-dataset error otherwise.
     pub fn run(&self) -> Result<CampaignResult, CoreError> {
+        self.run_with_stats().map(|(result, _)| result)
+    }
+
+    /// Same as [`Campaign::run`], additionally reporting how each dataset was
+    /// resolved (resumed from a marker vs computed) and how many fresh
+    /// evaluations the run cost — the signal CI uses to assert that a
+    /// warm-store re-run recomputes nothing.
+    ///
+    /// # Errors
+    ///
+    /// See [`Campaign::run`].
+    pub fn run_with_stats(&self) -> Result<(CampaignResult, CampaignRunStats), CoreError> {
         if self.config.datasets.is_empty() {
             return Err(CoreError::InvalidConfig {
                 context: "campaign needs at least one dataset".into(),
             });
         }
-        let reports: Result<Vec<DatasetReport>, CoreError> = self
+        let outcomes: Result<Vec<(DatasetReport, bool)>, CoreError> = self
             .config
             .datasets
             .par_iter()
             .map(|&dataset| {
-                let report = self.run_dataset(dataset)?;
+                let start = Instant::now();
+                // The baseline always trains: its fingerprint is what binds a
+                // completion marker (and the evaluation store) to the exact
+                // reference design, so stale markers self-invalidate after
+                // any code or budget change. Resuming skips the sweeps — the
+                // part that scales with the search, not the baseline.
+                let engine = self.build_engine(dataset)?;
+                let (report, was_resumed) = match self.load_marker(dataset, engine.fingerprint()) {
+                    Some(report) => (report, true),
+                    None => {
+                        let report = self.run_dataset_with(dataset, &engine, start)?;
+                        self.write_marker(&report, engine.fingerprint())?;
+                        (report, false)
+                    }
+                };
                 if let Some(callback) = &self.progress {
                     callback(&report);
                 }
-                Ok(report)
+                Ok((report, was_resumed))
             })
             .collect();
-        Ok(CampaignResult {
-            effort: self.config.effort,
-            seed: self.config.seed,
-            max_accuracy_loss: self.config.max_accuracy_loss,
-            reports: reports?,
+        let outcomes = outcomes?;
+        // Derive provenance from the (configuration-ordered) outcomes so the
+        // stats are deterministic regardless of worker scheduling.
+        let stats = CampaignRunStats {
+            resumed: outcomes
+                .iter()
+                .filter(|(_, was_resumed)| *was_resumed)
+                .map(|(report, _)| report.dataset)
+                .collect(),
+            computed: outcomes
+                .iter()
+                .filter(|(_, was_resumed)| !*was_resumed)
+                .map(|(report, _)| report.dataset)
+                .collect(),
+            fresh_evaluations: outcomes
+                .iter()
+                .filter(|(_, was_resumed)| !*was_resumed)
+                .map(|(report, _)| report.evaluations)
+                .sum(),
+        };
+        let reports: Vec<DatasetReport> = outcomes.into_iter().map(|(report, _)| report).collect();
+        Ok((
+            CampaignResult {
+                effort: self.config.effort,
+                seed: self.config.seed,
+                max_accuracy_loss: self.config.max_accuracy_loss,
+                reports,
+            },
+            stats,
+        ))
+    }
+
+    /// Identity of the campaign settings a completion marker must match to be
+    /// resumable: effort, seed and accuracy-loss threshold (the dataset list
+    /// is deliberately excluded so subset campaigns share markers).
+    fn marker_fingerprint(&self) -> u64 {
+        let rendered = Value::Object(vec![
+            ("effort".into(), self.config.effort.serialize_value()),
+            (
+                "seed".into(),
+                Value::String(format!("{:016x}", self.config.seed)),
+            ),
+            (
+                "max_accuracy_loss".into(),
+                self.config.max_accuracy_loss.serialize_value(),
+            ),
+        ])
+        .render_compact();
+        let mut fp = crate::store::FingerprintHasher::new();
+        fp.mix_bytes(rendered.as_bytes());
+        fp.finish()
+    }
+
+    /// Path of `dataset`'s completion marker, `None` without a store.
+    fn marker_path(&self, dataset: UciDataset) -> Option<PathBuf> {
+        self.config.store_dir.as_ref().map(|dir| {
+            dir.join(format!(
+                "done_{}_{:016x}.json",
+                dataset.to_string().to_lowercase(),
+                self.marker_fingerprint()
+            ))
+        })
+    }
+
+    /// Loads `dataset`'s completion marker when resuming; `None` when resume
+    /// is off, there is no marker, or the marker belongs to other settings or
+    /// another baseline (`engine_fingerprint` mismatch — e.g. after a code or
+    /// budget change that altered the trained reference design).
+    fn load_marker(&self, dataset: UciDataset, engine_fingerprint: u64) -> Option<DatasetReport> {
+        if !self.config.resume {
+            return None;
+        }
+        let path = self.marker_path(dataset)?;
+        let parsed = json::parse(&std::fs::read_to_string(path).ok()?).ok()?;
+        let value = crate::store::check_envelope(
+            &parsed,
+            MARKER_MAGIC,
+            MARKER_VERSION,
+            engine_fingerprint,
+        )?;
+        let report = DatasetReport::deserialize_value(value.get("report")?).ok()?;
+        (report.dataset == dataset).then_some(report)
+    }
+
+    /// Commits the completion marker of a finished dataset (tmp+rename),
+    /// bound to the baseline fingerprint it was measured against; a no-op
+    /// without a store directory.
+    fn write_marker(
+        &self,
+        report: &DatasetReport,
+        engine_fingerprint: u64,
+    ) -> Result<(), CoreError> {
+        let Some(path) = self.marker_path(report.dataset) else {
+            return Ok(());
+        };
+        let value = crate::store::seal_envelope(
+            MARKER_MAGIC,
+            MARKER_VERSION,
+            engine_fingerprint,
+            vec![("report".into(), report.serialize_value())],
+        );
+        write_atomic(&path, &value.render_pretty()).map_err(|e| CoreError::Store {
+            context: format!("write campaign marker {}: {e}", path.display()),
         })
     }
 
@@ -300,8 +476,19 @@ impl Campaign {
     pub fn run_dataset(&self, dataset: UciDataset) -> Result<DatasetReport, CoreError> {
         let start = Instant::now();
         let engine = self.build_engine(dataset)?;
+        self.run_dataset_with(dataset, &engine, start)
+    }
+
+    /// [`Campaign::run_dataset`] against an already-built engine, charging
+    /// wall-clock time from `start` (which should predate baseline training).
+    fn run_dataset_with(
+        &self,
+        dataset: UciDataset,
+        engine: &EvalEngine,
+        start: Instant,
+    ) -> Result<DatasetReport, CoreError> {
         let result = Figure1Experiment::new(dataset, self.config.effort, self.config.seed)
-            .run_with(&engine)?;
+            .run_with(engine)?;
         let headline = headline_summary(&result, self.config.max_accuracy_loss);
         let stats = engine.stats();
         let descriptor = dataset.descriptor();
@@ -364,6 +551,107 @@ mod tests {
             multiplier_cache_hit_rate: 0.0,
             elapsed_secs: 1.0,
         }
+    }
+
+    fn store_config(datasets: Vec<UciDataset>, dir: &Path, resume: bool) -> CampaignConfig {
+        CampaignConfig {
+            datasets,
+            effort: Effort::Quick,
+            seed: 5,
+            max_accuracy_loss: 0.05,
+            store_dir: Some(dir.to_path_buf()),
+            resume,
+        }
+    }
+
+    #[test]
+    fn resumed_campaign_loads_markers_verbatim_and_reports_them() {
+        let dir = std::env::temp_dir().join(format!(
+            "pmlp-campaign-resume-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let datasets = vec![UciDataset::Seeds];
+        let (first, first_stats) = Campaign::new(store_config(datasets.clone(), &dir, false))
+            .run_with_stats()
+            .unwrap();
+        assert_eq!(first_stats.resumed, Vec::new());
+        assert_eq!(first_stats.computed, datasets);
+        assert!(first_stats.fresh_evaluations > 0);
+
+        let (second, second_stats) = Campaign::new(store_config(datasets.clone(), &dir, true))
+            .run_with_stats()
+            .unwrap();
+        assert_eq!(second_stats.resumed, datasets);
+        assert_eq!(second_stats.computed, Vec::new());
+        assert_eq!(second_stats.fresh_evaluations, 0);
+        assert_eq!(second, first, "resumed reports must be verbatim");
+
+        // Without resume the dataset is recomputed, but the warm store
+        // answers every evaluation: zero misses.
+        let (third, third_stats) = Campaign::new(store_config(datasets.clone(), &dir, false))
+            .run_with_stats()
+            .unwrap();
+        assert_eq!(third_stats.computed, datasets);
+        assert_eq!(third_stats.fresh_evaluations, 0);
+        assert_eq!(third.reports[0].evaluations, 0);
+        assert!(third.reports[0].cache_hit_rate > 0.99);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn markers_of_another_baseline_fingerprint_are_not_resumed() {
+        let dir = std::env::temp_dir().join(format!(
+            "pmlp-campaign-stale-marker-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let datasets = vec![UciDataset::Seeds];
+        let campaign = Campaign::new(store_config(datasets.clone(), &dir, false));
+        campaign.run().unwrap();
+
+        // Tamper with the marker's fingerprint, simulating a marker written
+        // by a different (e.g. pre-code-change) baseline: resume must ignore
+        // it and recompute instead of replaying stale science.
+        let marker = campaign.marker_path(UciDataset::Seeds).unwrap();
+        let tampered = std::fs::read_to_string(&marker).unwrap().replacen(
+            "\"fingerprint\": \"",
+            "\"fingerprint\": \"f",
+            1,
+        );
+        std::fs::write(&marker, tampered).unwrap();
+
+        let (_, stats) = Campaign::new(store_config(datasets.clone(), &dir, true))
+            .run_with_stats()
+            .unwrap();
+        assert_eq!(stats.resumed, Vec::new(), "stale marker must not resume");
+        assert_eq!(stats.computed, datasets);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn markers_of_other_settings_are_not_resumed() {
+        let dir = std::env::temp_dir().join(format!(
+            "pmlp-campaign-marker-mismatch-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let datasets = vec![UciDataset::Seeds];
+        Campaign::new(store_config(datasets.clone(), &dir, false))
+            .run()
+            .unwrap();
+        // A different seed must ignore the existing marker (different
+        // fingerprint in the file name) and recompute.
+        let mut other = store_config(datasets.clone(), &dir, true);
+        other.seed = 6;
+        let (_, stats) = Campaign::new(other).run_with_stats().unwrap();
+        assert_eq!(stats.resumed, Vec::new());
+        assert_eq!(stats.computed, datasets);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -45,11 +45,13 @@ use crate::baseline::{BaselineConfig, BaselineDesign};
 use crate::bridge::{synthesize_area, SynthesisSummary};
 use crate::error::CoreError;
 use crate::objective::{evaluate_config_detailed, DesignPoint, EvaluationContext, SynthesisTier};
+use crate::store::{EvalRecord, EvalStore};
 use pmlp_data::UciDataset;
 use pmlp_hw::SharingStrategy;
 use pmlp_minimize::{IntegerLayer, MinimizationConfig};
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -83,25 +85,32 @@ pub trait Evaluator: Sync {
 ///
 /// Sparsity is snapped to a 1e-3 grid (matching the genome encoding) so that
 /// float noise cannot split logically identical configurations into distinct
-/// cache entries.
+/// cache entries. This is also the persistent identity of an evaluation in
+/// the on-disk [`EvalStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct CacheKey {
-    weight_bits: u8,
-    sparsity_millis: u32,
-    clusters: usize,
-    input_bits: u8,
-    fine_tune_epochs: usize,
-    salt: u64,
+pub struct EvalKey {
+    /// Quantization bit-width (0 = quantization disabled).
+    pub weight_bits: u8,
+    /// Sparsity snapped to the 1e-3 grid (`u32::MAX` = pruning disabled).
+    pub sparsity_millis: u32,
+    /// Clusters per input (0 = clustering disabled).
+    pub clusters: usize,
+    /// Input bit-width of the bespoke circuit.
+    pub input_bits: u8,
+    /// Fine-tuning budget the candidate was evaluated under.
+    pub fine_tune_epochs: usize,
+    /// RNG salt of the evaluation (see [`EvalEngine::with_salt`]).
+    pub salt: u64,
 }
 
-impl CacheKey {
+impl EvalKey {
     fn new(
         config: &MinimizationConfig,
         input_bits: u8,
         fine_tune_epochs: usize,
         salt: u64,
     ) -> Self {
-        CacheKey {
+        EvalKey {
             weight_bits: config.weight_bits.unwrap_or(0),
             sparsity_millis: config
                 .sparsity
@@ -159,13 +168,15 @@ impl InFlight {
     }
 }
 
-/// A resolved cache entry: the scored point plus the artefacts finalization
-/// needs (integer layers + sharing strategy) without re-running minimization.
+/// A resolved cache entry: the scored point plus, for entries computed in
+/// this process, the artefacts finalization needs (integer layers + sharing
+/// strategy) without re-running minimization. Entries warm-started from the
+/// persistent store carry no artefacts — only the design point is persisted —
+/// so finalizing one re-runs the deterministic pipeline once.
 #[derive(Debug, Clone)]
 struct CachedEval {
     point: DesignPoint,
-    layers: Arc<Vec<IntegerLayer>>,
-    sharing: SharingStrategy,
+    artifacts: Option<(Arc<Vec<IntegerLayer>>, SharingStrategy)>,
 }
 
 enum Slot {
@@ -191,6 +202,9 @@ pub struct EngineStats {
     /// Computed evaluations (plus finalist verifications) that ran full
     /// gate-level synthesis.
     pub full_synthesis: usize,
+    /// Entries preloaded from the persistent evaluation store when the engine
+    /// was constructed with [`EvalEngine::with_store`].
+    pub warmed: usize,
     /// Process-wide constant-multiplier cost-cache hits at snapshot time
     /// (see [`pmlp_hw::cost::multiplier_cache_stats`]).
     pub multiplier_cache_hits: u64,
@@ -244,12 +258,14 @@ pub struct EvalEngine {
     fine_tune_epochs: usize,
     salt: u64,
     tier: SynthesisTier,
-    shards: Box<[Mutex<HashMap<CacheKey, Slot>>]>,
+    shards: Box<[Mutex<HashMap<EvalKey, Slot>>]>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     coalesced: AtomicUsize,
     fast_path: AtomicUsize,
     full_synthesis: AtomicUsize,
+    warmed: usize,
+    store: Option<EvalStore>,
     progress: Option<Box<ProgressFn>>,
 }
 
@@ -289,6 +305,8 @@ impl EvalEngine {
             coalesced: AtomicUsize::new(0),
             fast_path: AtomicUsize::new(0),
             full_synthesis: AtomicUsize::new(0),
+            warmed: 0,
+            store: None,
             progress: None,
         }
     }
@@ -353,6 +371,53 @@ impl EvalEngine {
         self.tier
     }
 
+    /// Attaches the persistent evaluation store under `dir`: the engine
+    /// warm-starts its in-memory cache from the store's record log for this
+    /// baseline (see [`EvalEngine::fingerprint`]) and appends every cache
+    /// miss it computes from now on, so later processes inherit the results.
+    ///
+    /// All of [`EvalKey`]'s fields travel with each record, so entries
+    /// written under other fine-tuning budgets or salts coexist in the same
+    /// file and simply never match; changing the *baseline* (dataset, seed,
+    /// training budget, hardware tier of the reference circuit) changes the
+    /// fingerprint and selects a different file entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Store`] when the store directory or record log
+    /// cannot be opened.
+    #[must_use = "with_store returns the engine"]
+    pub fn with_store(mut self, dir: &Path) -> Result<Self, CoreError> {
+        let mut store =
+            EvalStore::open(dir, &self.baseline.dataset.to_string(), self.fingerprint())?;
+        let records = store.warm_start();
+        self.warmed = records.len();
+        for record in records {
+            let shard = self.shard_for(&record.key);
+            shard.lock().expect("shard lock").insert(
+                record.key,
+                Slot::Done(CachedEval {
+                    point: record.point,
+                    artifacts: None,
+                }),
+            );
+        }
+        self.store = Some(store);
+        Ok(self)
+    }
+
+    /// Stable identity of this engine's baseline, used to bind persistent
+    /// store files to the exact reference design (see
+    /// [`BaselineDesign::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.baseline.fingerprint()
+    }
+
+    /// The persistent store this engine appends to, when one is attached.
+    pub fn store(&self) -> Option<&EvalStore> {
+        self.store.as_ref()
+    }
+
     /// Installs a progress callback invoked after every resolved evaluation.
     #[must_use]
     pub fn with_progress(
@@ -389,6 +454,7 @@ impl EvalEngine {
                 .sum(),
             fast_path: self.fast_path.load(Ordering::Relaxed),
             full_synthesis: self.full_synthesis.load(Ordering::Relaxed),
+            warmed: self.warmed,
             multiplier_cache_hits: mul.hits,
             multiplier_cache_misses: mul.misses,
         }
@@ -401,7 +467,7 @@ impl EvalEngine {
         }
     }
 
-    fn shard_for(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, Slot>> {
+    fn shard_for(&self, key: &EvalKey) -> &Mutex<HashMap<EvalKey, Slot>> {
         &self.shards[(key.shard_hash() % self.shards.len() as u64) as usize]
     }
 
@@ -432,7 +498,7 @@ impl EvalEngine {
         &self,
         config: &MinimizationConfig,
     ) -> Result<(DesignPoint, bool), CoreError> {
-        let key = CacheKey::new(
+        let key = EvalKey::new(
             config,
             self.baseline.input_bits,
             self.fine_tune_epochs,
@@ -479,8 +545,8 @@ impl EvalEngine {
                 // for this key) and the waiters must be released rather than
                 // blocking on a condvar that will never be signalled.
                 struct ReleaseOnUnwind<'a> {
-                    shard: &'a Mutex<HashMap<CacheKey, Slot>>,
-                    key: CacheKey,
+                    shard: &'a Mutex<HashMap<EvalKey, Slot>>,
+                    key: EvalKey,
                     pending: &'a InFlight,
                     armed: bool,
                 }
@@ -523,8 +589,7 @@ impl EvalEngine {
                                 key,
                                 Slot::Done(CachedEval {
                                     point: detailed.point,
-                                    layers: Arc::new(detailed.layers),
-                                    sharing: detailed.sharing,
+                                    artifacts: Some((Arc::new(detailed.layers), detailed.sharing)),
                                 }),
                             );
                             Ok(point)
@@ -536,6 +601,17 @@ impl EvalEngine {
                     }
                 };
                 pending.fill(outcome.clone());
+                // Persist the fresh result; a failing append degrades the
+                // store to this process's lifetime but never fails a search.
+                if let (Some(store), Ok(point)) = (&self.store, &outcome) {
+                    if let Err(err) = store.append(&EvalRecord {
+                        key,
+                        tier: self.tier,
+                        point: point.clone(),
+                    }) {
+                        eprintln!("warning: {err}");
+                    }
+                }
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 match self.tier {
                     SynthesisTier::FastPath => {
@@ -580,16 +656,16 @@ impl EvalEngine {
     /// Propagates evaluation and synthesis errors.
     pub fn finalize(&self, config: &MinimizationConfig) -> Result<FinalizedDesign, CoreError> {
         let (point, _) = self.evaluate_with_status(config)?;
-        let key = CacheKey::new(
+        let key = EvalKey::new(
             config,
             self.baseline.input_bits,
             self.fine_tune_epochs,
             self.salt,
         );
-        let (layers, sharing) = {
+        let cached = {
             let guard = self.shard_for(&key).lock().expect("shard lock");
             match guard.get(&key) {
-                Some(Slot::Done(entry)) => (Arc::clone(&entry.layers), entry.sharing),
+                Some(Slot::Done(entry)) => entry.artifacts.clone(),
                 _ => {
                     return Err(CoreError::InvalidConfig {
                         context: "finalize: evaluation vanished from the cache (cleared \
@@ -597,6 +673,25 @@ impl EvalEngine {
                             .into(),
                     })
                 }
+            }
+        };
+        let (layers, sharing) = match cached {
+            Some(artifacts) => artifacts,
+            None => {
+                // The entry was warm-started from the persistent store, which
+                // only carries design points. Re-run the deterministic
+                // pipeline once to regenerate the minimized layers, and keep
+                // them for any later finalization of the same configuration.
+                let ctx = EvaluationContext::new(&self.baseline)
+                    .with_fine_tune_epochs(self.fine_tune_epochs)
+                    .with_tier(self.tier);
+                let detailed = evaluate_config_detailed(&ctx, config, self.salt)?;
+                let artifacts = (Arc::new(detailed.layers), detailed.sharing);
+                let mut guard = self.shard_for(&key).lock().expect("shard lock");
+                if let Some(Slot::Done(entry)) = guard.get_mut(&key) {
+                    entry.artifacts = Some(artifacts.clone());
+                }
+                artifacts
             }
         };
         let full = synthesize_area(
@@ -637,7 +732,7 @@ impl Evaluator for EvalEngine {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::pareto::pareto_front;
 
@@ -682,26 +777,26 @@ mod tests {
 
     #[test]
     fn cache_key_canonicalizes_float_noise() {
-        let a = CacheKey::new(&MinimizationConfig::default().with_sparsity(0.3), 4, 8, 0);
-        let b = CacheKey::new(
+        let a = EvalKey::new(&MinimizationConfig::default().with_sparsity(0.3), 4, 8, 0);
+        let b = EvalKey::new(
             &MinimizationConfig::default().with_sparsity(0.30000000001),
             4,
             8,
             0,
         );
         assert_eq!(a, b);
-        let c = CacheKey::new(&MinimizationConfig::default().with_sparsity(0.301), 4, 8, 0);
+        let c = EvalKey::new(&MinimizationConfig::default().with_sparsity(0.301), 4, 8, 0);
         assert_ne!(a, c);
     }
 
     #[test]
     fn cache_key_separates_budgets_and_salts() {
         let config = MinimizationConfig::default().with_weight_bits(4);
-        let base = CacheKey::new(&config, 4, 8, 0);
-        assert_ne!(base, CacheKey::new(&config, 4, 2, 0));
-        assert_ne!(base, CacheKey::new(&config, 6, 8, 0));
-        assert_ne!(base, CacheKey::new(&config, 4, 8, 7));
-        assert_eq!(base, CacheKey::new(&config, 4, 8, 0));
+        let base = EvalKey::new(&config, 4, 8, 0);
+        assert_ne!(base, EvalKey::new(&config, 4, 2, 0));
+        assert_ne!(base, EvalKey::new(&config, 6, 8, 0));
+        assert_ne!(base, EvalKey::new(&config, 4, 8, 7));
+        assert_eq!(base, EvalKey::new(&config, 4, 8, 0));
     }
 
     #[test]

@@ -30,6 +30,11 @@ pub enum CoreError {
         /// Forwarded description.
         context: String,
     },
+    /// Error from the persistent evaluation store or a checkpoint file.
+    Store {
+        /// Description of the I/O or format problem.
+        context: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -40,6 +45,7 @@ impl fmt::Display for CoreError {
             CoreError::Data { context } => write!(f, "dataset error: {context}"),
             CoreError::Minimize { context } => write!(f, "minimization error: {context}"),
             CoreError::Hw { context } => write!(f, "hardware model error: {context}"),
+            CoreError::Store { context } => write!(f, "persistence error: {context}"),
         }
     }
 }

@@ -18,6 +18,7 @@ use crate::report::{FigureSeries, HeadlineRow};
 use crate::sweep::{sweep_all, SweepRanges, Technique};
 use pmlp_data::UciDataset;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// Effort level of an experiment run: `Full` reproduces the paper's ranges,
 /// `Quick` shrinks everything for smoke tests and CI.
@@ -278,6 +279,34 @@ impl Figure2Experiment {
     ///
     /// Propagates evaluation, synthesis and search errors.
     pub fn run_with(&self, engine: &EvalEngine) -> Result<Figure2Result, CoreError> {
+        self.run_impl(engine, None)
+    }
+
+    /// Same as [`Figure2Experiment::run_with`], with the GA checkpointed to
+    /// `checkpoint` after every generation
+    /// ([`Nsga2::run_resumable`](crate::nsga2::Nsga2::run_resumable)): an
+    /// interrupted run re-invoked with the same arguments resumes the search
+    /// instead of restarting it, and a finished checkpoint replays without
+    /// evaluations. Pair with
+    /// [`EvalEngine::with_store`](crate::engine::EvalEngine::with_store) so
+    /// the standalone sweeps are persistent too.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation, synthesis, search and checkpoint-write errors.
+    pub fn run_with_checkpoint(
+        &self,
+        engine: &EvalEngine,
+        checkpoint: &Path,
+    ) -> Result<Figure2Result, CoreError> {
+        self.run_impl(engine, Some(checkpoint))
+    }
+
+    fn run_impl(
+        &self,
+        engine: &EvalEngine,
+        checkpoint: Option<&Path>,
+    ) -> Result<Figure2Result, CoreError> {
         let sweeps = sweep_all(engine, &self.effort.sweep_ranges())?;
         let standalone: Vec<FigureSeries> = sweeps
             .iter()
@@ -286,7 +315,14 @@ impl Figure2Experiment {
 
         let mut ga_config = self.effort.nsga2_config();
         ga_config.seed ^= self.seed;
-        let search = Nsga2::new(ga_config).run(engine)?;
+        let searcher = Nsga2::new(ga_config);
+        let search = match checkpoint {
+            // The checkpoint identity is tagged with the baseline fingerprint
+            // so a checkpoint written against one baseline (or cost model) is
+            // never replayed against a retrained/changed one.
+            Some(path) => searcher.run_resumable_tagged(engine, path, engine.fingerprint())?,
+            None => searcher.run(engine)?,
+        };
         if self.effort.verify_finalists() {
             verify_front(engine, &search.pareto_front)?;
         }
@@ -305,20 +341,32 @@ impl Figure2Experiment {
 
 /// Computes the headline rows (area gain at `max_accuracy_loss`) for one
 /// Fig. 1 result.
+///
+/// The baseline reference point that leads every sweep series is excluded
+/// here: a headline row reports what the *technique* buys, so a technique
+/// that never meets the threshold must stay `None` ("n/a") rather than
+/// borrow the baseline's trivial 1.0x gain.
 pub fn headline_summary(result: &Figure1Result, max_accuracy_loss: f64) -> Vec<HeadlineRow> {
     result
         .raw_points
         .iter()
-        .map(|(technique, points)| HeadlineRow {
-            dataset: result.dataset.clone(),
-            technique: technique.name().to_string(),
-            baseline_accuracy: result.baseline_accuracy,
-            area_gain: area_gain_at_accuracy_loss(
-                points,
-                result.baseline_accuracy,
+        .map(|(technique, points)| {
+            let technique_points: Vec<DesignPoint> = points
+                .iter()
+                .filter(|p| !p.config.is_baseline())
+                .cloned()
+                .collect();
+            HeadlineRow {
+                dataset: result.dataset.clone(),
+                technique: technique.name().to_string(),
+                baseline_accuracy: result.baseline_accuracy,
+                area_gain: area_gain_at_accuracy_loss(
+                    &technique_points,
+                    result.baseline_accuracy,
+                    max_accuracy_loss,
+                ),
                 max_accuracy_loss,
-            ),
-            max_accuracy_loss,
+            }
         })
         .collect()
 }
@@ -382,6 +430,56 @@ mod tests {
         };
         assert!(min_area(Technique::Quantization) < 1.0);
         assert!(min_area(Technique::Pruning) < 1.0);
+    }
+
+    #[test]
+    fn headline_summary_ignores_the_baseline_reference_point() {
+        use pmlp_minimize::MinimizationConfig;
+        let point = |config: MinimizationConfig, accuracy: f64, norm_area: f64| DesignPoint {
+            config,
+            accuracy,
+            area_mm2: norm_area * 100.0,
+            power_uw: 1.0,
+            normalized_accuracy: accuracy / 0.9,
+            normalized_area: norm_area,
+            sparsity: 0.0,
+            gate_count: 10,
+        };
+        let result = Figure1Result {
+            dataset: "Synthetic".into(),
+            baseline_accuracy: 0.9,
+            baseline_area_mm2: 100.0,
+            series: Vec::new(),
+            raw_points: vec![
+                (
+                    crate::sweep::Technique::Quantization,
+                    vec![
+                        point(MinimizationConfig::baseline(), 0.9, 1.0),
+                        point(
+                            MinimizationConfig::default().with_weight_bits(4),
+                            0.88,
+                            0.25,
+                        ),
+                    ],
+                ),
+                (
+                    crate::sweep::Technique::Pruning,
+                    // Only the baseline reference meets the 5% threshold: the
+                    // technique itself never does, so the row must be `None`
+                    // ("n/a"), not a borrowed 1.0x.
+                    vec![
+                        point(MinimizationConfig::baseline(), 0.9, 1.0),
+                        point(MinimizationConfig::default().with_sparsity(0.6), 0.7, 0.5),
+                    ],
+                ),
+            ],
+        };
+        let rows = headline_summary(&result, 0.05);
+        assert!((rows[0].area_gain.unwrap() - 4.0).abs() < 1e-9);
+        assert_eq!(
+            rows[1].area_gain, None,
+            "baseline must not count for pruning"
+        );
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //! * [`experiment`] — drivers that regenerate every figure/table of the paper,
 //! * [`campaign::Campaign`] — the cross-dataset reproduction campaign that
 //!   fans the whole dataset registry out over the worker pool,
+//! * [`store::EvalStore`] — the persistent, crash-safe evaluation store that
+//!   carries cached evaluations (and search checkpoints) across processes,
 //! * [`pareto`] / [`report`] — Pareto-front utilities and result tables.
 //!
 //! ## Example
@@ -51,14 +53,16 @@ pub mod nsga2;
 pub mod objective;
 pub mod pareto;
 pub mod report;
+pub mod store;
 pub mod sweep;
 
 pub use baseline::BaselineDesign;
-pub use campaign::{Campaign, CampaignConfig, CampaignResult, DatasetReport};
-pub use engine::{EngineStats, EvalEngine, EvalProgress, Evaluator, FinalizedDesign};
+pub use campaign::{Campaign, CampaignConfig, CampaignResult, CampaignRunStats, DatasetReport};
+pub use engine::{EngineStats, EvalEngine, EvalKey, EvalProgress, Evaluator, FinalizedDesign};
 pub use error::CoreError;
 pub use genome::Genome;
 pub use nsga2::{Nsga2, Nsga2Config};
 pub use objective::{evaluate_config, DesignPoint, EvaluationContext, SynthesisTier};
 pub use pareto::{area_gain_at_accuracy_loss, pareto_front};
 pub use report::{render_campaign_table, FigureSeries, HeadlineRow, TechniqueSummary};
+pub use store::{EvalRecord, EvalStore};

@@ -7,17 +7,27 @@
 //! [`Evaluator`] — in production the memoizing
 //! [`EvalEngine`](crate::engine::EvalEngine) — so repeated genomes cost one
 //! evaluation per engine lifetime and populations are evaluated in parallel.
+//!
+//! Long searches are resumable: [`Nsga2::run_resumable`] commits a checkpoint
+//! (population genomes, RNG state, per-generation history and every scored
+//! point) after every generation with an atomic tmp+rename write, and a later
+//! invocation with the same configuration picks up exactly where the previous
+//! process died — reproducing the uninterrupted [`SearchResult`] bit for bit.
 
 use crate::engine::Evaluator;
 use crate::error::CoreError;
-use crate::genome::{Genome, GenomeSpace};
+use crate::genome::{sparsity_millis, Genome, GenomeSpace};
 use crate::objective::DesignPoint;
-use crate::pareto::{crowding_distances, non_dominated_ranks, pareto_front};
+use crate::pareto::{crowding_distances, descending_nan_last, non_dominated_ranks, pareto_front};
+use crate::store::write_atomic;
+use pmlp_minimize::MinimizationConfig;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
+use serde::json::{self, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::path::Path;
 
 /// Hyper-parameters of the NSGA-II search.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -136,6 +146,77 @@ impl Nsga2 {
     /// evaluation fails.
     pub fn run<E: Evaluator + ?Sized>(&self, evaluator: &E) -> Result<SearchResult, CoreError> {
         self.config.validate()?;
+        let mut state = self.init_state(evaluator)?;
+        while state.history.len() < self.config.generations {
+            self.advance(&mut state, evaluator)?;
+        }
+        Ok(state.into_result())
+    }
+
+    /// Runs the search with per-generation checkpointing: after every
+    /// generation the full search state (population genomes, RNG progress,
+    /// history, every scored point) is committed to `checkpoint` with an
+    /// atomic tmp+rename write.
+    ///
+    /// When `checkpoint` already holds a state written by the **same**
+    /// configuration, the search resumes from it — re-running only the
+    /// missing generations — and produces exactly the [`SearchResult`] the
+    /// uninterrupted run would have produced, because the checkpoint carries
+    /// the RNG state. A checkpoint from a different configuration (or a
+    /// corrupt/incompatible file) is ignored and overwritten. A checkpoint
+    /// of a *finished* run short-circuits: the result is rebuilt from the
+    /// recorded points without a single evaluation.
+    ///
+    /// Pair this with [`EvalEngine::with_store`](crate::engine::EvalEngine::with_store)
+    /// and the resumed generations' evaluations are cache hits too.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] when the configuration is invalid, an evaluation
+    /// fails, or a checkpoint cannot be written ([`CoreError::Store`]).
+    pub fn run_resumable<E: Evaluator + ?Sized>(
+        &self,
+        evaluator: &E,
+        checkpoint: &Path,
+    ) -> Result<SearchResult, CoreError> {
+        self.run_resumable_tagged(evaluator, checkpoint, 0)
+    }
+
+    /// [`Nsga2::run_resumable`] with an extra `tag` mixed into the checkpoint
+    /// identity. Use it when the evaluator itself has state the checkpoint
+    /// must be bound to — e.g. pass
+    /// [`EvalEngine::fingerprint`](crate::engine::EvalEngine::fingerprint) so
+    /// a checkpoint written against one baseline is never replayed against a
+    /// retrained one (the experiment drivers do exactly this).
+    ///
+    /// # Errors
+    ///
+    /// See [`Nsga2::run_resumable`].
+    pub fn run_resumable_tagged<E: Evaluator + ?Sized>(
+        &self,
+        evaluator: &E,
+        checkpoint: &Path,
+        tag: u64,
+    ) -> Result<SearchResult, CoreError> {
+        self.config.validate()?;
+        let mut state = match self.load_checkpoint(checkpoint, tag) {
+            Some(state) => state,
+            None => {
+                let state = self.init_state(evaluator)?;
+                self.save_checkpoint(checkpoint, &state, tag)?;
+                state
+            }
+        };
+        while state.history.len() < self.config.generations {
+            self.advance(&mut state, evaluator)?;
+            self.save_checkpoint(checkpoint, &state, tag)?;
+        }
+        Ok(state.into_result())
+    }
+
+    /// Seeds and scores the initial population (the state before
+    /// generation 0).
+    fn init_state<E: Evaluator + ?Sized>(&self, evaluator: &E) -> Result<SearchState, CoreError> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let space = &self.config.space;
 
@@ -148,69 +229,78 @@ impl Nsga2 {
 
         // Every distinct genome this run has scored, in stable key order.
         let mut seen: BTreeMap<(u8, u32, usize), DesignPoint> = BTreeMap::new();
-        let mut history = Vec::with_capacity(self.config.generations);
+        let evaluated = self.evaluate_population(evaluator, &population, &mut seen)?;
+        Ok(SearchState {
+            population,
+            evaluated,
+            seen,
+            history: Vec::with_capacity(self.config.generations),
+            rng,
+        })
+    }
 
-        let mut evaluated = self.evaluate_population(evaluator, &population, &mut seen)?;
+    /// Runs one generation: variation, evaluation, environmental selection,
+    /// history bookkeeping.
+    fn advance<E: Evaluator + ?Sized>(
+        &self,
+        state: &mut SearchState,
+        evaluator: &E,
+    ) -> Result<(), CoreError> {
+        let generation = state.history.len();
+        let space = &self.config.space;
 
-        for generation in 0..self.config.generations {
-            // Selection + variation: build an offspring population.
-            let ranks = non_dominated_ranks(&evaluated);
-            let crowding = crowding_by_rank(&evaluated, &ranks);
-            let mut offspring = Vec::with_capacity(self.config.population);
-            while offspring.len() < self.config.population {
-                let a = self.tournament(&population, &ranks, &crowding, &mut rng);
-                let b = self.tournament(&population, &ranks, &crowding, &mut rng);
-                let child = population[a].crossover(&population[b], &mut rng).mutate(
-                    space,
-                    self.config.mutation_rate,
-                    &mut rng,
-                );
-                offspring.push(child);
-            }
-
-            // Evaluate offspring (cached + parallel) and merge with parents.
-            let offspring_points = self.evaluate_population(evaluator, &offspring, &mut seen)?;
-            let mut combined_genomes = population.clone();
-            combined_genomes.extend_from_slice(&offspring);
-            let mut combined_points = evaluated.clone();
-            combined_points.extend_from_slice(&offspring_points);
-
-            // Environmental selection: keep the best `population` individuals
-            // by (rank, crowding distance).
-            let ranks = non_dominated_ranks(&combined_points);
-            let crowding = crowding_by_rank(&combined_points, &ranks);
-            let mut order: Vec<usize> = (0..combined_points.len()).collect();
-            order.sort_by(|&i, &j| {
-                ranks[i].cmp(&ranks[j]).then_with(|| {
-                    crowding[j]
-                        .partial_cmp(&crowding[i])
-                        .expect("finite or inf")
-                })
-            });
-            order.truncate(self.config.population);
-            population = order.iter().map(|&i| combined_genomes[i]).collect();
-            evaluated = order.iter().map(|&i| combined_points[i].clone()).collect();
-
-            let front = pareto_front(&evaluated);
-            history.push(GenerationStats {
-                generation,
-                front_size: front.len(),
-                best_accuracy: evaluated.iter().map(|p| p.accuracy).fold(0.0, f64::max),
-                best_normalized_area: evaluated
-                    .iter()
-                    .map(|p| p.normalized_area)
-                    .fold(f64::INFINITY, f64::min),
-                evaluations: seen.len(),
-            });
+        // Selection + variation: build an offspring population.
+        let ranks = non_dominated_ranks(&state.evaluated);
+        let crowding = crowding_by_rank(&state.evaluated, &ranks);
+        let mut offspring = Vec::with_capacity(self.config.population);
+        while offspring.len() < self.config.population {
+            let a = self.tournament(&state.population, &ranks, &crowding, &mut state.rng);
+            let b = self.tournament(&state.population, &ranks, &crowding, &mut state.rng);
+            let child = state.population[a]
+                .crossover(&state.population[b], &mut state.rng)
+                .mutate(space, self.config.mutation_rate, &mut state.rng);
+            offspring.push(child);
         }
 
-        let all_points: Vec<DesignPoint> = seen.into_values().collect();
-        let front = pareto_front(&all_points);
-        Ok(SearchResult {
-            pareto_front: front,
-            all_points,
-            history,
-        })
+        // Evaluate offspring (cached + parallel) and merge with parents.
+        let offspring_points = self.evaluate_population(evaluator, &offspring, &mut state.seen)?;
+        let mut combined_genomes = state.population.clone();
+        combined_genomes.extend_from_slice(&offspring);
+        let mut combined_points = state.evaluated.clone();
+        combined_points.extend_from_slice(&offspring_points);
+
+        // Environmental selection: keep the best `population` individuals by
+        // (rank, crowding distance). The ordering is NaN-safe — a degenerate
+        // evaluation sorts last instead of panicking the whole search.
+        let ranks = non_dominated_ranks(&combined_points);
+        let crowding = crowding_by_rank(&combined_points, &ranks);
+        let mut order: Vec<usize> = (0..combined_points.len()).collect();
+        order.sort_by(|&i, &j| {
+            ranks[i]
+                .cmp(&ranks[j])
+                .then_with(|| descending_nan_last(crowding[i], crowding[j]))
+        });
+        order.truncate(self.config.population);
+        state.population = order.iter().map(|&i| combined_genomes[i]).collect();
+        state.evaluated = order.iter().map(|&i| combined_points[i].clone()).collect();
+
+        let front = pareto_front(&state.evaluated);
+        state.history.push(GenerationStats {
+            generation,
+            front_size: front.len(),
+            best_accuracy: state
+                .evaluated
+                .iter()
+                .map(|p| p.accuracy)
+                .fold(0.0, f64::max),
+            best_normalized_area: state
+                .evaluated
+                .iter()
+                .map(|p| p.normalized_area)
+                .fold(f64::INFINITY, f64::min),
+            evaluations: state.seen.len(),
+        });
+        Ok(())
     }
 
     fn tournament<R: Rng + ?Sized>(
@@ -256,6 +346,132 @@ impl Nsga2 {
     }
 }
 
+/// Live state of a search between generations: everything needed to continue
+/// (or checkpoint) the run.
+struct SearchState {
+    population: Vec<Genome>,
+    evaluated: Vec<DesignPoint>,
+    seen: BTreeMap<(u8, u32, usize), DesignPoint>,
+    history: Vec<GenerationStats>,
+    rng: StdRng,
+}
+
+impl SearchState {
+    fn into_result(self) -> SearchResult {
+        let all_points: Vec<DesignPoint> = self.seen.into_values().collect();
+        let front = pareto_front(&all_points);
+        SearchResult {
+            pareto_front: front,
+            all_points,
+            history: self.history,
+        }
+    }
+}
+
+/// Magic string of NSGA-II checkpoint files.
+const CHECKPOINT_MAGIC: &str = "pmlp-nsga2-checkpoint";
+
+/// Format version of NSGA-II checkpoint files; bumping it orphans (and
+/// overwrites) old checkpoints instead of misreading them.
+const CHECKPOINT_VERSION: u32 = 1;
+
+/// The genome deduplication key of an already-evaluated configuration — the
+/// inverse of [`Genome::to_config`] as far as [`Genome::key`] is concerned,
+/// used to rebuild the `seen` map from checkpointed design points.
+fn config_key(config: &MinimizationConfig) -> (u8, u32, usize) {
+    (
+        config.weight_bits.unwrap_or(0),
+        config.sparsity.map(sparsity_millis).unwrap_or(u32::MAX),
+        config.clusters_per_input.unwrap_or(0),
+    )
+}
+
+impl Nsga2 {
+    /// Hash of the full configuration (space included) plus the caller's
+    /// evaluator tag: a checkpoint is only resumed by the exact configuration
+    /// (and, when tagged, the exact baseline) that wrote it.
+    fn config_fingerprint(&self, tag: u64) -> u64 {
+        let rendered = self.config.serialize_value().render_compact();
+        let mut fp = crate::store::FingerprintHasher::new();
+        fp.mix_bytes(rendered.as_bytes());
+        fp.mix_u64(tag);
+        fp.finish()
+    }
+
+    /// Commits `state` to `path` atomically (tmp+rename).
+    fn save_checkpoint(&self, path: &Path, state: &SearchState, tag: u64) -> Result<(), CoreError> {
+        let rng_words: Vec<Value> = state
+            .rng
+            .state()
+            .iter()
+            .map(|w| Value::String(format!("{w:016x}")))
+            .collect();
+        let seen: Vec<&DesignPoint> = state.seen.values().collect();
+        let value = crate::store::seal_envelope(
+            CHECKPOINT_MAGIC,
+            CHECKPOINT_VERSION,
+            self.config_fingerprint(tag),
+            vec![
+                ("rng".into(), Value::Array(rng_words)),
+                ("population".into(), state.population.serialize_value()),
+                ("evaluated".into(), state.evaluated.serialize_value()),
+                ("history".into(), state.history.serialize_value()),
+                ("seen".into(), seen.serialize_value()),
+            ],
+        );
+        write_atomic(path, &value.render_pretty()).map_err(|e| CoreError::Store {
+            context: format!("write checkpoint {}: {e}", path.display()),
+        })
+    }
+
+    /// Loads a checkpoint written by this exact configuration; anything else
+    /// (missing file, corrupt JSON, other config, other version) yields
+    /// `None` so the caller starts fresh.
+    fn load_checkpoint(&self, path: &Path, tag: u64) -> Option<SearchState> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let parsed = json::parse(&text).ok()?;
+        let value = crate::store::check_envelope(
+            &parsed,
+            CHECKPOINT_MAGIC,
+            CHECKPOINT_VERSION,
+            self.config_fingerprint(tag),
+        )?;
+        let rng_words: Vec<String> = Deserialize::deserialize_value(value.get("rng")?).ok()?;
+        if rng_words.len() != 4 {
+            return None;
+        }
+        let mut rng_state = [0u64; 4];
+        for (slot, word) in rng_state.iter_mut().zip(&rng_words) {
+            *slot = u64::from_str_radix(word, 16).ok()?;
+        }
+        let population: Vec<Genome> =
+            Deserialize::deserialize_value(value.get("population")?).ok()?;
+        let evaluated: Vec<DesignPoint> =
+            Deserialize::deserialize_value(value.get("evaluated")?).ok()?;
+        let history: Vec<GenerationStats> =
+            Deserialize::deserialize_value(value.get("history")?).ok()?;
+        let seen_points: Vec<DesignPoint> =
+            Deserialize::deserialize_value(value.get("seen")?).ok()?;
+        if population.len() != self.config.population
+            || evaluated.len() != self.config.population
+            || history.len() > self.config.generations
+        {
+            return None;
+        }
+        let seen: BTreeMap<(u8, u32, usize), DesignPoint> = seen_points
+            .into_iter()
+            .map(|p| (config_key(&p.config), p))
+            .collect();
+        Some(SearchState {
+            population,
+            evaluated,
+            seen,
+            history,
+            rng: StdRng::from_state(rng_state),
+        })
+    }
+}
+
 /// Crowding distances computed within each rank (NSGA-II semantics).
 fn crowding_by_rank(points: &[DesignPoint], ranks: &[usize]) -> Vec<f64> {
     let mut crowding = vec![0.0_f64; points.len()];
@@ -274,8 +490,190 @@ fn crowding_by_rank(points: &[DesignPoint], ranks: &[usize]) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::tests::MockEvaluator;
     use crate::engine::EvalEngine;
     use pmlp_data::UciDataset;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn checkpoint_path(tag: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "pmlp-nsga2-checkpoint-{tag}-{}-{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_file(&path).ok();
+        path
+    }
+
+    fn mock_search(seed: u64, generations: usize) -> Nsga2 {
+        Nsga2::new(Nsga2Config {
+            population: 8,
+            generations,
+            seed,
+            ..Nsga2Config::default()
+        })
+    }
+
+    /// Wraps an evaluator with an evaluation budget; once exhausted, every
+    /// call fails — simulating a process killed mid-search.
+    struct DyingEvaluator<E> {
+        inner: E,
+        remaining: AtomicUsize,
+    }
+
+    impl<E: Evaluator> Evaluator for DyingEvaluator<E> {
+        fn evaluate(&self, config: &MinimizationConfig) -> Result<DesignPoint, CoreError> {
+            let left = self.remaining.fetch_sub(1, Ordering::SeqCst);
+            if left == 0 || left > usize::MAX / 2 {
+                self.remaining.store(0, Ordering::SeqCst);
+                return Err(CoreError::Nn {
+                    context: "simulated crash".into(),
+                });
+            }
+            self.inner.evaluate(config)
+        }
+    }
+
+    #[test]
+    fn resumable_without_prior_checkpoint_matches_plain_run() {
+        let path = checkpoint_path("fresh");
+        let searcher = mock_search(3, 4);
+        let plain = searcher.run(&MockEvaluator).unwrap();
+        let resumable = searcher.run_resumable(&MockEvaluator, &path).unwrap();
+        assert_eq!(resumable, plain);
+        assert!(path.exists(), "checkpoint must be committed");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn interrupted_search_resumes_to_the_identical_result() {
+        let path = checkpoint_path("interrupted");
+        let searcher = mock_search(7, 5);
+        let uninterrupted = searcher.run(&MockEvaluator).unwrap();
+
+        // Kill the search partway: enough budget for the initial population
+        // plus roughly one generation, then hard failure.
+        let dying = DyingEvaluator {
+            inner: MockEvaluator,
+            remaining: AtomicUsize::new(12),
+        };
+        let crash = searcher.run_resumable(&dying, &path);
+        assert!(crash.is_err(), "the simulated crash must surface");
+        assert!(path.exists(), "a checkpoint must survive the crash");
+
+        // A fresh process resumes from the checkpoint and reproduces the
+        // uninterrupted result exactly (RNG state travels with it).
+        let resumed = searcher.run_resumable(&MockEvaluator, &path).unwrap();
+        assert_eq!(resumed, uninterrupted);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn finished_checkpoint_short_circuits_without_evaluations() {
+        let path = checkpoint_path("finished");
+        let searcher = mock_search(11, 3);
+        let first = searcher.run_resumable(&MockEvaluator, &path).unwrap();
+
+        // An evaluator with zero budget: any evaluation attempt would fail.
+        let dead = DyingEvaluator {
+            inner: MockEvaluator,
+            remaining: AtomicUsize::new(0),
+        };
+        let replay = searcher.run_resumable(&dead, &path).unwrap();
+        assert_eq!(replay, first);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_of_another_config_is_ignored() {
+        let path = checkpoint_path("other-config");
+        mock_search(1, 3)
+            .run_resumable(&MockEvaluator, &path)
+            .unwrap();
+        // Different seed => different fingerprint => fresh start, identical
+        // to an uncheckpointed run of the second configuration.
+        let other = mock_search(2, 3);
+        let expected = other.run(&MockEvaluator).unwrap();
+        let actual = other.run_resumable(&MockEvaluator, &path).unwrap();
+        assert_eq!(actual, expected);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_tags_isolate_different_evaluator_identities() {
+        let path = checkpoint_path("tagged");
+        let searcher = mock_search(4, 3);
+        let first = searcher
+            .run_resumable_tagged(&MockEvaluator, &path, 0xAAAA)
+            .unwrap();
+        // A different tag (e.g. a retrained baseline) must ignore the
+        // finished checkpoint and run fresh — here against a dead evaluator,
+        // so a wrongly-resumed replay would be the only way to "succeed".
+        let dead = DyingEvaluator {
+            inner: MockEvaluator,
+            remaining: AtomicUsize::new(0),
+        };
+        assert!(
+            searcher.run_resumable_tagged(&dead, &path, 0xBBBB).is_err(),
+            "a checkpoint from another tag must not be replayed"
+        );
+        // The matching tag still short-circuits.
+        let replay = searcher.run_resumable_tagged(&dead, &path, 0xAAAA).unwrap();
+        assert_eq!(replay, first);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_falls_back_to_a_fresh_run() {
+        let path = checkpoint_path("corrupt");
+        std::fs::write(&path, "{not json").unwrap();
+        let searcher = mock_search(5, 2);
+        let expected = searcher.run(&MockEvaluator).unwrap();
+        let actual = searcher.run_resumable(&MockEvaluator, &path).unwrap();
+        assert_eq!(actual, expected);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A degenerate evaluator: every 3-bit candidate comes back with NaN
+    /// accuracy (e.g. a diverged fine-tune).
+    struct NanEvaluator;
+
+    impl Evaluator for NanEvaluator {
+        fn evaluate(&self, config: &MinimizationConfig) -> Result<DesignPoint, CoreError> {
+            let mut point = MockEvaluator.evaluate(config)?;
+            if config.weight_bits == Some(3) {
+                point.accuracy = f64::NAN;
+            }
+            Ok(point)
+        }
+    }
+
+    #[test]
+    fn nan_evaluations_rank_worst_instead_of_panicking_the_search() {
+        let result = Nsga2::new(Nsga2Config {
+            population: 8,
+            generations: 3,
+            seed: 13,
+            space: GenomeSpace {
+                weight_bits: vec![3, 4, 5],
+                sparsities: vec![0.2, 0.4],
+                cluster_counts: vec![2, 3],
+                enable_probability: 0.9,
+            },
+            ..Nsga2Config::default()
+        })
+        .run(&NanEvaluator)
+        .unwrap();
+        assert!(!result.pareto_front.is_empty());
+        assert!(
+            result
+                .pareto_front
+                .iter()
+                .all(|p| !p.accuracy.is_nan() && !p.area_mm2.is_nan()),
+            "NaN points must never reach the front"
+        );
+    }
 
     #[test]
     fn config_validation() {

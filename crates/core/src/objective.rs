@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// The two tiers produce bit-for-bit identical numbers (the fast path mirrors
 /// synthesis gate for gate; the equivalence suite asserts exact equality) —
 /// they differ only in cost and in whether a netlist exists afterwards.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum SynthesisTier {
     /// Analytic cost model ([`pmlp_hw::cost::estimate_circuit`]): no netlist,
     /// an order of magnitude cheaper. The default for search loops.

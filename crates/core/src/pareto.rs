@@ -1,24 +1,56 @@
 //! Pareto-front utilities over (accuracy ↑, area ↓) design points.
+//!
+//! All orderings in this module are **NaN-safe**: a degenerate evaluation
+//! whose accuracy or area is NaN never panics a search — it simply ranks
+//! worst (excluded from fronts, last Pareto rank, zero crowding distance).
 
 use crate::objective::DesignPoint;
+use std::cmp::Ordering;
+
+/// `true` when either objective of the point is NaN. Such points compare as
+/// worse than every well-formed point.
+fn has_nan_objective(p: &DesignPoint) -> bool {
+    p.accuracy.is_nan() || p.area_mm2.is_nan()
+}
+
+/// Descending order with NaN last: larger values first, NaN after everything
+/// (used for crowding distances, where NaN must never look "isolated").
+pub(crate) fn descending_nan_last(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => b.total_cmp(&a),
+    }
+}
 
 /// `true` when `a` dominates `b`: at least as good in both objectives
 /// (higher accuracy, lower area) and strictly better in at least one.
+///
+/// A point with a NaN objective never dominates anything, and any well-formed
+/// point dominates a NaN point.
 pub fn dominates(a: &DesignPoint, b: &DesignPoint) -> bool {
+    if has_nan_objective(a) {
+        return false;
+    }
+    if has_nan_objective(b) {
+        return true;
+    }
     let at_least_as_good = a.accuracy >= b.accuracy && a.area_mm2 <= b.area_mm2;
     let strictly_better = a.accuracy > b.accuracy || a.area_mm2 < b.area_mm2;
     at_least_as_good && strictly_better
 }
 
 /// Extracts the Pareto front (non-dominated set) from a collection of design
-/// points, sorted by increasing area.
+/// points, sorted by increasing area. Points with NaN objectives are never
+/// part of the front.
 pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
     let mut front: Vec<DesignPoint> = points
         .iter()
-        .filter(|p| !points.iter().any(|q| dominates(q, p)))
+        .filter(|p| !has_nan_objective(p) && !points.iter().any(|q| dominates(q, p)))
         .cloned()
         .collect();
-    front.sort_by(|a, b| a.area_mm2.partial_cmp(&b.area_mm2).expect("finite areas"));
+    front.sort_by(|a, b| a.area_mm2.total_cmp(&b.area_mm2));
     // Remove exact duplicates (same config evaluated twice).
     front.dedup_by(|a, b| a.config == b.config && a.area_mm2 == b.area_mm2);
     front
@@ -27,41 +59,46 @@ pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
 /// Non-dominated sorting: partitions `points` into Pareto ranks (rank 0 = the
 /// Pareto front, rank 1 = the front of the remainder, ...). Returns the rank
 /// of every input point. Used by NSGA-II.
+///
+/// Points with NaN objectives are kept out of the well-formed ranking and all
+/// share the worst rank, so a single degenerate evaluation can never displace
+/// a real design.
 pub fn non_dominated_ranks(points: &[DesignPoint]) -> Vec<usize> {
     let n = points.len();
-    let mut dominated_by_count = vec![0usize; n];
-    let mut dominates_list: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for i in 0..n {
-        for j in 0..n {
-            if i == j {
+    let clean: Vec<usize> = (0..n).filter(|&i| !has_nan_objective(&points[i])).collect();
+    let m = clean.len();
+    let mut dominated_by_count = vec![0usize; m];
+    let mut dominates_list: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for a in 0..m {
+        for b in 0..m {
+            if a == b {
                 continue;
             }
-            if dominates(&points[i], &points[j]) {
-                dominates_list[i].push(j);
-            } else if dominates(&points[j], &points[i]) {
-                dominated_by_count[i] += 1;
+            if dominates(&points[clean[a]], &points[clean[b]]) {
+                dominates_list[a].push(b);
+            } else if dominates(&points[clean[b]], &points[clean[a]]) {
+                dominated_by_count[a] += 1;
             }
         }
     }
     let mut ranks = vec![usize::MAX; n];
-    let mut current: Vec<usize> = (0..n).filter(|&i| dominated_by_count[i] == 0).collect();
+    let mut current: Vec<usize> = (0..m).filter(|&a| dominated_by_count[a] == 0).collect();
     let mut rank = 0usize;
     while !current.is_empty() {
         let mut next = Vec::new();
-        for &i in &current {
-            ranks[i] = rank;
-            for &j in &dominates_list[i] {
-                dominated_by_count[j] -= 1;
-                if dominated_by_count[j] == 0 {
-                    next.push(j);
+        for &a in &current {
+            ranks[clean[a]] = rank;
+            for &b in &dominates_list[a] {
+                dominated_by_count[b] -= 1;
+                if dominated_by_count[b] == 0 {
+                    next.push(b);
                 }
             }
         }
         current = next;
         rank += 1;
     }
-    // Any remaining (possible only with NaN metrics, which we do not produce)
-    // get the worst rank.
+    // NaN points rank strictly behind every well-formed rank.
     for r in &mut ranks {
         if *r == usize::MAX {
             *r = rank;
@@ -72,13 +109,21 @@ pub fn non_dominated_ranks(points: &[DesignPoint]) -> Vec<usize> {
 
 /// Crowding distance of every point within one Pareto rank (larger = more
 /// isolated = preferred by NSGA-II for diversity). Boundary points get
-/// `f64::INFINITY`.
+/// `f64::INFINITY`; when several points tie an objective's extreme value,
+/// **all** of them are treated as boundary points and get infinite distance
+/// (so equally-extreme designs are never crowded out arbitrarily). Points
+/// with NaN objectives get distance `0.0` (least preferred).
 pub fn crowding_distances(points: &[DesignPoint]) -> Vec<f64> {
     let n = points.len();
-    if n <= 2 {
-        return vec![f64::INFINITY; n];
-    }
     let mut distance = vec![0.0_f64; n];
+    let clean: Vec<usize> = (0..n).filter(|&i| !has_nan_objective(&points[i])).collect();
+    let m = clean.len();
+    if m <= 2 {
+        for &i in &clean {
+            distance[i] = f64::INFINITY;
+        }
+        return distance;
+    }
     for objective in 0..2 {
         let value = |p: &DesignPoint| {
             if objective == 0 {
@@ -87,19 +132,22 @@ pub fn crowding_distances(points: &[DesignPoint]) -> Vec<f64> {
                 p.area_mm2
             }
         };
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            value(&points[a])
-                .partial_cmp(&value(&points[b]))
-                .expect("finite")
-        });
-        distance[order[0]] = f64::INFINITY;
-        distance[order[n - 1]] = f64::INFINITY;
-        let range = value(&points[order[n - 1]]) - value(&points[order[0]]);
+        let mut order: Vec<usize> = clean.clone();
+        order.sort_by(|&a, &b| value(&points[a]).total_cmp(&value(&points[b])));
+        let min_value = value(&points[order[0]]);
+        let max_value = value(&points[order[m - 1]]);
+        // Every point tying an extreme is a boundary point.
+        for &i in &order {
+            let v = value(&points[i]);
+            if v == min_value || v == max_value {
+                distance[i] = f64::INFINITY;
+            }
+        }
+        let range = max_value - min_value;
         if range <= 0.0 {
             continue;
         }
-        for w in 1..n - 1 {
+        for w in 1..m - 1 {
             let prev = value(&points[order[w - 1]]);
             let next = value(&points[order[w + 1]]);
             distance[order[w]] += (next - prev) / range;
@@ -212,6 +260,71 @@ mod tests {
     fn crowding_small_sets_are_all_infinite() {
         let points = vec![point(0.9, 10.0), point(0.8, 5.0)];
         assert!(crowding_distances(&points).iter().all(|d| d.is_infinite()));
+    }
+
+    #[test]
+    fn crowding_gives_all_tied_extremes_infinite_distance() {
+        // Two points tie the minimum area (and two tie the maximum accuracy):
+        // every point at an objective extreme must be treated as a boundary
+        // point, regardless of where a stable sort happens to place it.
+        let points = vec![
+            point(0.80, 20.0), // ties min area
+            point(0.85, 20.0), // ties min area
+            point(0.90, 50.0),
+            point(0.95, 80.0), // ties max accuracy (and max area)
+            point(0.95, 60.0), // ties max accuracy
+        ];
+        let d = crowding_distances(&points);
+        assert!(d[0].is_infinite(), "tied min-area point crowded out: {d:?}");
+        assert!(d[1].is_infinite(), "tied min-area point crowded out: {d:?}");
+        assert!(d[3].is_infinite(), "tied max-accuracy point: {d:?}");
+        assert!(d[4].is_infinite(), "tied max-accuracy point: {d:?}");
+        assert!(d[2].is_finite(), "interior point must stay finite: {d:?}");
+    }
+
+    #[test]
+    fn crowding_all_equal_points_are_all_boundaries() {
+        let points = vec![point(0.9, 10.0); 4];
+        assert!(crowding_distances(&points).iter().all(|d| d.is_infinite()));
+    }
+
+    #[test]
+    fn nan_points_rank_worst_and_never_reach_the_front() {
+        let mut points = vec![point(0.9, 50.0), point(0.8, 60.0)];
+        points.push(point(f64::NAN, 10.0));
+        points.push(point(0.99, f64::NAN));
+
+        // The front contains only well-formed points, sorted without panics.
+        let front = pareto_front(&points);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].accuracy, 0.9);
+
+        // NaN points share the worst rank, strictly behind every clean rank.
+        let ranks = non_dominated_ranks(&points);
+        assert_eq!(ranks[0], 0);
+        assert_eq!(ranks[1], 1);
+        assert_eq!(ranks[2], 2);
+        assert_eq!(ranks[3], 2);
+
+        // Crowding never rewards a NaN point with infinite distance.
+        let d = crowding_distances(&points);
+        assert_eq!(d[2], 0.0);
+        assert_eq!(d[3], 0.0);
+        assert!(d[0].is_infinite() && d[1].is_infinite());
+
+        // Domination involving NaN is one-way: clean beats NaN, never the
+        // reverse (and NaN does not dominate NaN).
+        assert!(dominates(&points[0], &points[2]));
+        assert!(!dominates(&points[2], &points[0]));
+        assert!(!dominates(&points[2], &points[3]));
+    }
+
+    #[test]
+    fn all_nan_input_is_handled_without_panicking() {
+        let points = vec![point(f64::NAN, f64::NAN); 3];
+        assert!(pareto_front(&points).is_empty());
+        assert_eq!(non_dominated_ranks(&points), vec![0, 0, 0]);
+        assert!(crowding_distances(&points).iter().all(|&d| d == 0.0));
     }
 
     #[test]

@@ -35,7 +35,7 @@ impl FigureSeries {
                 )
             })
             .collect();
-        tuples.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite areas"));
+        tuples.sort_by(|a, b| a.1.total_cmp(&b.1));
         FigureSeries {
             technique,
             label: technique.name().to_string(),

@@ -1,0 +1,641 @@
+//! Persistent, crash-safe evaluation store: survives process death so that
+//! campaigns, CI runs and figure regenerations never pay for the same
+//! candidate evaluation twice.
+//!
+//! Every candidate evaluation in this workspace is deterministic and keyed by
+//! a canonical [`EvalKey`] (quantization bits, sparsity grid cell, cluster
+//! count, input precision, fine-tuning budget, RNG salt). The
+//! [`EvalEngine`](crate::engine::EvalEngine) memoizes those evaluations in
+//! memory; an [`EvalStore`] extends that memo across processes:
+//!
+//! * **append-only JSONL log** — one header line binding the file to a
+//!   [`BaselineDesign::fingerprint`](crate::baseline::BaselineDesign::fingerprint),
+//!   then one record per evaluated design point. Appends are single
+//!   `write` + `flush` calls of whole lines, so a crash can only ever
+//!   truncate the final record;
+//! * **corruption-tolerant replay** — [`EvalStore::open`] skips a truncated
+//!   or garbled tail record (and any mid-file garbage) instead of failing,
+//!   then **compacts** the salvaged records back to disk with an atomic
+//!   tmp+rename commit so the file is clean again;
+//! * **fingerprint invalidation** — the store directory holds one file per
+//!   `(dataset, baseline fingerprint)` pair; retraining the baseline under a
+//!   different budget produces a different fingerprint and therefore a fresh
+//!   file, so stale results can never leak into a new campaign;
+//! * **versioning** — a [`STORE_VERSION`] bump makes old files unreadable by
+//!   design: they are ignored and rewritten rather than misparsed.
+//!
+//! The same atomic-commit primitive ([`write_atomic`]) backs the NSGA-II
+//! per-generation checkpoints ([`crate::nsga2::Nsga2::run_resumable`]) and
+//! the campaign's per-dataset completion markers
+//! ([`crate::campaign::CampaignConfig::store_dir`]).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use pmlp_core::engine::{EvalEngine, Evaluator};
+//! use pmlp_data::UciDataset;
+//! use pmlp_minimize::MinimizationConfig;
+//! use std::path::Path;
+//!
+//! # fn main() -> Result<(), pmlp_core::CoreError> {
+//! // First run: misses are computed and appended to the store.
+//! let engine = EvalEngine::train(UciDataset::Seeds, 42)?
+//!     .with_store(Path::new("target/eval-store"))?;
+//! engine.evaluate(&MinimizationConfig::default().with_weight_bits(4))?;
+//!
+//! // A later process warm-starts from disk: the same request is a hit.
+//! let engine = EvalEngine::train(UciDataset::Seeds, 42)?
+//!     .with_store(Path::new("target/eval-store"))?;
+//! engine.evaluate(&MinimizationConfig::default().with_weight_bits(4))?;
+//! assert_eq!(engine.stats().misses, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::engine::EvalKey;
+use crate::error::CoreError;
+use crate::objective::{DesignPoint, SynthesisTier};
+use serde::json::{self, Value};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Format version of the store's JSONL record log. Files written under a
+/// different version are ignored (and rewritten) on open, never misparsed.
+pub const STORE_VERSION: u32 = 1;
+
+/// Magic string of the store header line.
+const STORE_MAGIC: &str = "pmlp-eval-store";
+
+/// One persisted evaluation: the canonical cache key, the hardware-model tier
+/// that produced it (the two tiers are bit-for-bit identical, recorded for
+/// the audit trail) and the scored design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalRecord {
+    /// Canonical identity of the evaluated configuration under its engine.
+    pub key: EvalKey,
+    /// Which hardware model scored the point.
+    pub tier: SynthesisTier,
+    /// The scored design point.
+    pub point: DesignPoint,
+}
+
+/// Incremental FNV-1a hasher behind baseline fingerprints and checkpoint
+/// config identities.
+pub(crate) struct FingerprintHasher(u64);
+
+impl FingerprintHasher {
+    /// Starts a fresh FNV-1a state.
+    pub fn new() -> Self {
+        FingerprintHasher(0xcbf29ce484222325)
+    }
+
+    /// Mixes one 64-bit word.
+    pub fn mix_u64(&mut self, v: u64) {
+        self.0 ^= v;
+        self.0 = self.0.wrapping_mul(0x100000001b3);
+    }
+
+    /// Mixes a byte string.
+    pub fn mix_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.mix_u64(u64::from(b));
+        }
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Writes `contents` to `path` atomically: the bytes land in a sibling
+/// `*.tmp` file first and are renamed over the target, so readers (and
+/// crash-interrupted writers) only ever observe the old or the new complete
+/// file, never a torn one.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem errors.
+pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path)
+}
+
+/// Renders a `u64` as the fixed-width hex string used in store headers and
+/// record salts (JSON numbers are `f64` in this workspace's serializer, which
+/// cannot represent every `u64` exactly).
+fn hex(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+/// Parses a [`hex`]-formatted field.
+fn parse_hex(value: &Value) -> Result<u64, json::Error> {
+    let text = value
+        .as_str()
+        .ok_or_else(|| json::Error::custom("expected hex string"))?;
+    u64::from_str_radix(text, 16).map_err(|_| json::Error::custom(format!("bad hex `{text}`")))
+}
+
+/// Wraps a payload in the standard persistence envelope shared by store
+/// headers, NSGA-II checkpoints and campaign markers: a magic string, a
+/// format version and a hex identity fingerprint ahead of the payload fields.
+pub(crate) fn seal_envelope(
+    magic: &str,
+    version: u32,
+    fingerprint: u64,
+    fields: Vec<(String, Value)>,
+) -> Value {
+    let mut entries = vec![
+        ("magic".to_string(), Value::String(magic.into())),
+        ("version".to_string(), Value::Number(f64::from(version))),
+        ("fingerprint".to_string(), Value::String(hex(fingerprint))),
+    ];
+    entries.extend(fields);
+    Value::Object(entries)
+}
+
+/// Validates an envelope written by [`seal_envelope`]: returns the value for
+/// payload access only when magic, version and fingerprint all match, so
+/// foreign, stale or incompatible files are ignored instead of misread.
+pub(crate) fn check_envelope<'v>(
+    value: &'v Value,
+    magic: &str,
+    version: u32,
+    fingerprint: u64,
+) -> Option<&'v Value> {
+    (value.get("magic")?.as_str()? == magic).then_some(())?;
+    (u32::deserialize_value(value.get("version")?).ok()? == version).then_some(())?;
+    (parse_hex(value.get("fingerprint")?).ok()? == fingerprint).then_some(())?;
+    Some(value)
+}
+
+fn header_line(fingerprint: u64) -> String {
+    seal_envelope(STORE_MAGIC, STORE_VERSION, fingerprint, Vec::new()).render_compact()
+}
+
+/// `true` when `line` is a valid header for `fingerprint` at the current
+/// store version.
+fn header_matches(line: &str, fingerprint: u64) -> bool {
+    json::parse(line)
+        .ok()
+        .and_then(|value| {
+            check_envelope(&value, STORE_MAGIC, STORE_VERSION, fingerprint).map(|_| ())
+        })
+        .is_some()
+}
+
+fn record_to_line(record: &EvalRecord) -> String {
+    let key = Value::Object(vec![
+        (
+            "weight_bits".into(),
+            Value::Number(f64::from(record.key.weight_bits)),
+        ),
+        (
+            "sparsity_millis".into(),
+            Value::Number(f64::from(record.key.sparsity_millis)),
+        ),
+        ("clusters".into(), Value::Number(record.key.clusters as f64)),
+        (
+            "input_bits".into(),
+            Value::Number(f64::from(record.key.input_bits)),
+        ),
+        (
+            "fine_tune_epochs".into(),
+            Value::Number(record.key.fine_tune_epochs as f64),
+        ),
+        ("salt".into(), Value::String(hex(record.key.salt))),
+    ]);
+    Value::Object(vec![
+        ("key".into(), key),
+        ("tier".into(), record.tier.serialize_value()),
+        ("point".into(), record.point.serialize_value()),
+    ])
+    .render_compact()
+}
+
+fn record_from_line(line: &str) -> Result<EvalRecord, json::Error> {
+    let value = json::parse(line)?;
+    let key_value = value.field("key")?;
+    let key = EvalKey {
+        weight_bits: u8::deserialize_value(key_value.field("weight_bits")?)?,
+        sparsity_millis: u32::deserialize_value(key_value.field("sparsity_millis")?)?,
+        clusters: usize::deserialize_value(key_value.field("clusters")?)?,
+        input_bits: u8::deserialize_value(key_value.field("input_bits")?)?,
+        fine_tune_epochs: usize::deserialize_value(key_value.field("fine_tune_epochs")?)?,
+        salt: parse_hex(key_value.field("salt")?)?,
+    };
+    Ok(EvalRecord {
+        key,
+        tier: SynthesisTier::deserialize_value(value.field("tier")?)?,
+        point: DesignPoint::deserialize_value(value.field("point")?)?,
+    })
+}
+
+/// The on-disk half of the evaluation cache: an append-only JSONL record log
+/// bound to one baseline fingerprint.
+///
+/// See the [module documentation](self) for the format and crash-safety
+/// guarantees. Appends are internally synchronized; one store is shared by
+/// all worker threads of its engine.
+pub struct EvalStore {
+    path: PathBuf,
+    fingerprint: u64,
+    writer: Mutex<fs::File>,
+    loaded: Vec<EvalRecord>,
+    dropped: usize,
+}
+
+impl std::fmt::Debug for EvalStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalStore")
+            .field("path", &self.path)
+            .field("fingerprint", &hex(self.fingerprint))
+            .field("loaded", &self.loaded.len())
+            .field("dropped", &self.dropped)
+            .finish()
+    }
+}
+
+impl EvalStore {
+    /// Opens (or creates) the record log for `(name, fingerprint)` inside
+    /// `dir` and replays its surviving records.
+    ///
+    /// Replay is corruption-tolerant: a truncated final record — the only
+    /// damage a crashed append can cause — is skipped, as is any garbled
+    /// line; whenever anything had to be skipped (or the header belongs to a
+    /// different version), the salvaged records are committed back via an
+    /// atomic tmp+rename rewrite so the next open sees a clean file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Store`] when the directory or file cannot be
+    /// created, read or rewritten.
+    pub fn open(dir: &Path, name: &str, fingerprint: u64) -> Result<Self, CoreError> {
+        let to_store_err = |context: String| CoreError::Store { context };
+        fs::create_dir_all(dir)
+            .map_err(|e| to_store_err(format!("create {}: {e}", dir.display())))?;
+        let file_name = format!(
+            "{}_{}.jsonl",
+            name.to_lowercase().replace([' ', '/'], "-"),
+            hex(fingerprint)
+        );
+        let path = dir.join(file_name);
+
+        let mut loaded: Vec<EvalRecord> = Vec::new();
+        let mut dropped = 0usize;
+        let mut needs_rewrite = true;
+        if path.exists() {
+            let text = fs::read_to_string(&path)
+                .map_err(|e| to_store_err(format!("read {}: {e}", path.display())))?;
+            let mut lines = text.lines();
+            match lines.next() {
+                Some(header) if header_matches(header, fingerprint) => {
+                    needs_rewrite = false;
+                    for line in lines {
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        match record_from_line(line) {
+                            Ok(record) => loaded.push(record),
+                            Err(_) => {
+                                // Truncated tail (crash mid-append) or garbled
+                                // line: skip it and schedule a compaction.
+                                dropped += 1;
+                                needs_rewrite = true;
+                            }
+                        }
+                    }
+                }
+                // Missing, foreign or incompatible-version header: the file
+                // is unusable as-is; start fresh (atomically) below.
+                _ => dropped += text.lines().count(),
+            }
+        }
+
+        if needs_rewrite {
+            let mut contents = header_line(fingerprint);
+            contents.push('\n');
+            for record in &loaded {
+                contents.push_str(&record_to_line(record));
+                contents.push('\n');
+            }
+            write_atomic(&path, &contents)
+                .map_err(|e| to_store_err(format!("rewrite {}: {e}", path.display())))?;
+        }
+
+        let writer = fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| to_store_err(format!("open {} for append: {e}", path.display())))?;
+        Ok(EvalStore {
+            path,
+            fingerprint,
+            writer: Mutex::new(writer),
+            loaded,
+            dropped,
+        })
+    }
+
+    /// Takes the records replayed by [`EvalStore::open`], leaving the store
+    /// ready for appends. The engine feeds these into its in-memory cache.
+    pub fn warm_start(&mut self) -> Vec<EvalRecord> {
+        std::mem::take(&mut self.loaded)
+    }
+
+    /// Appends one record to the log as a single flushed line, so a crash
+    /// can lose at most this record (and only by truncation, which the next
+    /// [`EvalStore::open`] tolerates).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Store`] when the write fails.
+    pub fn append(&self, record: &EvalRecord) -> Result<(), CoreError> {
+        let mut line = record_to_line(record);
+        line.push('\n');
+        let mut writer = self.writer.lock().expect("store writer lock");
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.flush())
+            .map_err(|e| CoreError::Store {
+                context: format!("append to {}: {e}", self.path.display()),
+            })
+    }
+
+    /// Path of the record log on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The baseline fingerprint this store is bound to.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of corrupt records skipped during the last
+    /// [`EvalStore::open`] replay.
+    pub fn dropped_records(&self) -> usize {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmlp_minimize::MinimizationConfig;
+
+    fn record(bits: u8, accuracy: f64, area: f64) -> EvalRecord {
+        let config = MinimizationConfig::default().with_weight_bits(bits);
+        EvalRecord {
+            key: EvalKey {
+                weight_bits: bits,
+                sparsity_millis: u32::MAX,
+                clusters: 0,
+                input_bits: 4,
+                fine_tune_epochs: 2,
+                salt: 0xDEAD_BEEF_DEAD_BEEF,
+            },
+            tier: SynthesisTier::FastPath,
+            point: DesignPoint {
+                config,
+                accuracy,
+                area_mm2: area,
+                power_uw: area * 10.0,
+                normalized_accuracy: accuracy / 0.9,
+                normalized_area: area / 100.0,
+                sparsity: 0.0,
+                gate_count: (area * 7.0) as usize,
+            },
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pmlp-store-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn records_round_trip_through_open_append_warm_start() {
+        let dir = temp_dir("roundtrip");
+        let records = vec![
+            record(3, 0.8, 40.0),
+            record(4, 0.85, 55.5),
+            record(5, 0.9, 72.25),
+        ];
+        {
+            let store = EvalStore::open(&dir, "Seeds", 0xABCD).unwrap();
+            for r in &records {
+                store.append(r).unwrap();
+            }
+        }
+        let mut store = EvalStore::open(&dir, "Seeds", 0xABCD).unwrap();
+        assert_eq!(store.dropped_records(), 0);
+        assert_eq!(store.warm_start(), records);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn salts_and_fingerprints_survive_as_full_u64s() {
+        // u64 values above 2^53 cannot live in a JSON f64; the hex encoding
+        // must carry them losslessly.
+        let dir = temp_dir("hex");
+        let fingerprint = u64::MAX - 12345;
+        {
+            let store = EvalStore::open(&dir, "Seeds", fingerprint).unwrap();
+            store.append(&record(4, 0.8, 40.0)).unwrap();
+        }
+        let mut store = EvalStore::open(&dir, "Seeds", fingerprint).unwrap();
+        let replayed = store.warm_start();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].key.salt, 0xDEAD_BEEF_DEAD_BEEF);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_tail_record_is_skipped_and_compacted_away() {
+        let dir = temp_dir("truncated");
+        {
+            let store = EvalStore::open(&dir, "Seeds", 7).unwrap();
+            store.append(&record(3, 0.8, 40.0)).unwrap();
+            store.append(&record(4, 0.85, 55.0)).unwrap();
+        }
+        // Simulate a crash mid-append: chop the last record in half.
+        let path = {
+            let store = EvalStore::open(&dir, "Seeds", 7).unwrap();
+            store.path().to_path_buf()
+        };
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 25]).unwrap();
+
+        let mut store = EvalStore::open(&dir, "Seeds", 7).unwrap();
+        assert_eq!(store.dropped_records(), 1);
+        let survivors = store.warm_start();
+        assert_eq!(survivors.len(), 1);
+        assert_eq!(survivors[0], record(3, 0.8, 40.0));
+        // The store stays usable after recovery ...
+        store.append(&record(5, 0.9, 70.0)).unwrap();
+        drop(store);
+        // ... and the compaction removed the corrupt bytes for good.
+        let mut reopened = EvalStore::open(&dir, "Seeds", 7).unwrap();
+        assert_eq!(reopened.dropped_records(), 0);
+        assert_eq!(reopened.warm_start().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn incompatible_header_discards_the_file_instead_of_misparsing_it() {
+        let dir = temp_dir("header");
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = EvalStore::open(&dir, "Seeds", 9).unwrap();
+        let path = store.path().to_path_buf();
+        drop(store);
+        std::fs::write(&path, "{\"magic\":\"something-else\"}\ngarbage\n").unwrap();
+        let mut reopened = EvalStore::open(&dir, "Seeds", 9).unwrap();
+        assert_eq!(reopened.warm_start(), Vec::new());
+        assert_eq!(reopened.dropped_records(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn different_fingerprints_use_disjoint_files() {
+        let dir = temp_dir("fingerprints");
+        {
+            let store = EvalStore::open(&dir, "Seeds", 1).unwrap();
+            store.append(&record(3, 0.8, 40.0)).unwrap();
+        }
+        let mut other = EvalStore::open(&dir, "Seeds", 2).unwrap();
+        assert!(other.warm_start().is_empty(), "fingerprints must isolate");
+        let mut original = EvalStore::open(&dir, "Seeds", 1).unwrap();
+        assert_eq!(original.warm_start().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_atomic_replaces_the_target_in_one_step() {
+        let dir = temp_dir("atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("marker.json");
+        write_atomic(&path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        write_atomic(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        assert!(!path.with_extension("tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use pmlp_minimize::MinimizationConfig;
+    use proptest::prelude::*;
+
+    /// Strategy-built records spanning the whole configuration space,
+    /// including disabled techniques and extreme float values.
+    fn build_record(
+        bits: u8,
+        sparsity: f64,
+        clusters: usize,
+        accuracy: f64,
+        area: f64,
+        salt: u64,
+    ) -> EvalRecord {
+        let mut config = MinimizationConfig::default();
+        let sparsity_millis = if sparsity < 0.05 {
+            u32::MAX
+        } else {
+            config = config.with_sparsity(sparsity);
+            crate::genome::sparsity_millis(sparsity)
+        };
+        let weight_bits = if bits >= 2 {
+            config = config.with_weight_bits(bits);
+            bits
+        } else {
+            0
+        };
+        let cluster_key = if clusters >= 2 {
+            config = config.with_clusters(clusters);
+            clusters
+        } else {
+            0
+        };
+        EvalRecord {
+            key: EvalKey {
+                weight_bits,
+                sparsity_millis,
+                clusters: cluster_key,
+                input_bits: 4,
+                fine_tune_epochs: 2,
+                salt,
+            },
+            tier: SynthesisTier::FastPath,
+            point: DesignPoint {
+                config,
+                accuracy,
+                area_mm2: area,
+                power_uw: area * 9.5,
+                normalized_accuracy: accuracy,
+                normalized_area: area / 128.0,
+                sparsity: if sparsity < 0.05 { 0.0 } else { sparsity },
+                gate_count: (area * 3.0) as usize,
+            },
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn replay_round_trips_arbitrary_points_even_with_a_truncated_tail(
+            raw in proptest::collection::vec(
+                (0u8..9, 0.0f64..0.9, 0usize..9, 0.0f64..1.0, 0.001f64..500.0, 0u64..=u64::MAX),
+                1..12,
+            ),
+            chop in 1usize..40,
+        ) {
+            let dir = std::env::temp_dir().join(format!(
+                "pmlp-store-proptest-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+            let records: Vec<EvalRecord> = raw
+                .iter()
+                .map(|&(b, s, c, acc, area, salt)| build_record(b, s, c, acc, area, salt))
+                .collect();
+            let path = {
+                let store = EvalStore::open(&dir, "proptest", 0x5EED).unwrap();
+                for r in &records {
+                    store.append(r).unwrap();
+                }
+                store.path().to_path_buf()
+            };
+
+            // Full replay reproduces every record bit-for-bit.
+            let mut store = EvalStore::open(&dir, "proptest", 0x5EED).unwrap();
+            prop_assert_eq!(store.warm_start(), records.clone());
+
+            // Truncating the final record (by up to `chop` bytes — always
+            // fewer than one whole record line) loses exactly that record.
+            let text = std::fs::read_to_string(&path).unwrap();
+            let cut = text.trim_end().len() - chop;
+            std::fs::write(&path, &text[..cut]).unwrap();
+            let mut store = EvalStore::open(&dir, "proptest", 0x5EED).unwrap();
+            let survivors = store.warm_start();
+            prop_assert_eq!(&records[..records.len() - 1], &survivors[..]);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}

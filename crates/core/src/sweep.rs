@@ -74,14 +74,19 @@ impl SweepRanges {
 pub struct SweepResult {
     /// Which technique was swept.
     pub technique: Technique,
-    /// All evaluated points, in sweep order.
+    /// All evaluated points, in sweep order. The first point is always the
+    /// un-minimized baseline configuration — the reference every Fig. 1
+    /// series is read against — followed by the technique's range.
     pub points: Vec<DesignPoint>,
 }
 
 /// Runs the standalone sweep of `technique` over `ranges`.
 ///
-/// Candidates are evaluated as one batch through `evaluator` — in parallel
-/// and memoized when the evaluator is an
+/// The baseline configuration is evaluated first (memoized, so the three
+/// sweeps of one engine share a single baseline evaluation) and leads the
+/// result's points, so every series carries its reference point. The
+/// technique's candidates follow, evaluated as one batch through `evaluator`
+/// — in parallel and memoized when the evaluator is an
 /// [`EvalEngine`](crate::engine::EvalEngine).
 ///
 /// # Errors
@@ -92,22 +97,26 @@ pub fn sweep_technique<E: Evaluator + ?Sized>(
     technique: Technique,
     ranges: &SweepRanges,
 ) -> Result<SweepResult, CoreError> {
-    let configs: Vec<MinimizationConfig> = match technique {
-        Technique::Quantization => ranges
-            .weight_bits
-            .iter()
-            .map(|&b| MinimizationConfig::default().with_weight_bits(b))
-            .collect(),
-        Technique::Pruning => ranges
-            .sparsities
-            .iter()
-            .map(|&s| MinimizationConfig::default().with_sparsity(s))
-            .collect(),
-        Technique::Clustering => ranges
-            .cluster_counts
-            .iter()
-            .map(|&k| MinimizationConfig::default().with_clusters(k))
-            .collect(),
+    let mut configs: Vec<MinimizationConfig> = vec![MinimizationConfig::baseline()];
+    match technique {
+        Technique::Quantization => configs.extend(
+            ranges
+                .weight_bits
+                .iter()
+                .map(|&b| MinimizationConfig::default().with_weight_bits(b)),
+        ),
+        Technique::Pruning => configs.extend(
+            ranges
+                .sparsities
+                .iter()
+                .map(|&s| MinimizationConfig::default().with_sparsity(s)),
+        ),
+        Technique::Clustering => configs.extend(
+            ranges
+                .cluster_counts
+                .iter()
+                .map(|&k| MinimizationConfig::default().with_clusters(k)),
+        ),
         Technique::Combined => {
             return Err(CoreError::InvalidConfig {
                 context: "the combined technique is explored with Nsga2, not a sweep".into(),
@@ -178,12 +187,15 @@ mod tests {
             cluster_counts: vec![],
         };
         let result = sweep_technique(&engine, Technique::Quantization, &ranges).unwrap();
-        assert_eq!(result.points.len(), 3);
+        // The baseline reference point leads, then one point per bit-width.
+        assert_eq!(result.points.len(), 4);
+        assert!(result.points[0].config.is_baseline());
+        assert!((result.points[0].normalized_area - 1.0).abs() < 1e-9);
         // Fewer bits -> smaller circuits.
-        assert!(result.points[0].area_mm2 < result.points[1].area_mm2);
         assert!(result.points[1].area_mm2 < result.points[2].area_mm2);
+        assert!(result.points[2].area_mm2 < result.points[3].area_mm2);
         // Every quantized design is smaller than the baseline.
-        assert!(result.points.iter().all(|p| p.normalized_area < 1.0));
+        assert!(result.points[1..].iter().all(|p| p.normalized_area < 1.0));
     }
 
     #[test]
@@ -195,8 +207,35 @@ mod tests {
             cluster_counts: vec![],
         };
         let result = sweep_technique(&engine, Technique::Pruning, &ranges).unwrap();
-        assert_eq!(result.points.len(), 2);
-        assert!(result.points[1].area_mm2 < result.points[0].area_mm2);
+        assert_eq!(result.points.len(), 3);
+        assert!(result.points[0].config.is_baseline());
+        assert!(result.points[2].area_mm2 < result.points[1].area_mm2);
+    }
+
+    #[test]
+    fn every_sweep_leads_with_the_baseline_reference_point() {
+        let engine = quick_engine(6, 8);
+        for result in sweep_all(&engine, &SweepRanges::quick()).unwrap() {
+            assert!(
+                result.points[0].config.is_baseline(),
+                "{:?} series must carry the baseline reference",
+                result.technique
+            );
+            assert!((result.points[0].normalized_area - 1.0).abs() < 1e-9);
+            assert_eq!(
+                result.points[1..]
+                    .iter()
+                    .filter(|p| p.config.is_baseline())
+                    .count(),
+                0,
+                "the baseline appears exactly once"
+            );
+        }
+        // The three sweeps share one memoized baseline evaluation.
+        let ranges = SweepRanges::quick();
+        let expected =
+            1 + ranges.weight_bits.len() + ranges.sparsities.len() + ranges.cluster_counts.len();
+        assert_eq!(engine.stats().entries, expected);
     }
 
     #[test]

@@ -136,6 +136,24 @@ impl Serialize for char {
     }
 }
 
+impl Serialize for std::path::PathBuf {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string_lossy().into_owned())
+    }
+}
+
+impl Deserialize for std::path::PathBuf {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(std::path::PathBuf::from(s)),
+            other => Err(Error::custom(format!(
+                "expected string path, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Containers
 // ---------------------------------------------------------------------------

@@ -23,6 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         effort: Effort::Quick,
         seed: 42,
         max_accuracy_loss: 0.05,
+        ..CampaignConfig::default()
     };
     let campaign = Campaign::new(config).with_progress(|report| {
         println!(

@@ -12,6 +12,7 @@ fn quick_config(datasets: Vec<UciDataset>) -> CampaignConfig {
         effort: Effort::Quick,
         seed: 11,
         max_accuracy_loss: 0.05,
+        ..CampaignConfig::default()
     }
 }
 

@@ -141,9 +141,18 @@ fn figure1_quick_smoke_on_seeds() {
         assert!(!series.points.is_empty());
     }
     let ranges = Effort::Quick.sweep_ranges();
+    // One evaluation per swept configuration, plus the shared baseline
+    // reference point every sweep series now leads with.
     let expected_configs =
-        ranges.weight_bits.len() + ranges.sparsities.len() + ranges.cluster_counts.len();
+        1 + ranges.weight_bits.len() + ranges.sparsities.len() + ranges.cluster_counts.len();
     assert_eq!(engine.stats().entries, expected_configs);
+    // Every series carries the baseline as its reference point.
+    for (technique, points) in &result.raw_points {
+        assert!(
+            points.first().is_some_and(|p| p.config.is_baseline()),
+            "{technique:?} series lacks the baseline reference point"
+        );
+    }
 
     // Re-running the same experiment on the warm engine recomputes nothing.
     let misses = engine.stats().misses;

@@ -1,0 +1,203 @@
+//! Integration tests of the persistence layer: the kill/resume contract of
+//! campaigns (zero fresh evaluations and byte-identical artifacts on a warm
+//! store) and exact NSGA-II resumption through a real engine.
+
+use printed_mlp::core::campaign::{Campaign, CampaignConfig};
+use printed_mlp::core::experiment::{Effort, Figure2Experiment};
+use printed_mlp::core::Evaluator;
+use printed_mlp::data::UciDataset;
+use printed_mlp::minimize::MinimizationConfig;
+use std::path::{Path, PathBuf};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pmlp-store-it-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn store_campaign(datasets: Vec<UciDataset>, store: &Path, resume: bool) -> Campaign {
+    Campaign::new(CampaignConfig {
+        datasets,
+        effort: Effort::Quick,
+        seed: 11,
+        max_accuracy_loss: 0.05,
+        store_dir: Some(store.to_path_buf()),
+        resume,
+    })
+}
+
+/// The headline acceptance contract: run a quick campaign to completion with
+/// a store, then re-run on the warm store and observe (a) zero fresh
+/// evaluations and (b) byte-identical artifact JSON.
+#[test]
+fn warm_store_campaign_rerun_is_free_and_byte_identical() {
+    let store = temp_dir("campaign-store");
+    let artifacts_first = temp_dir("campaign-artifacts-1");
+    let artifacts_second = temp_dir("campaign-artifacts-2");
+    let datasets = vec![UciDataset::Seeds, UciDataset::Vertebral];
+
+    // Cold run: everything is computed and persisted.
+    let (first, first_stats) = store_campaign(datasets.clone(), &store, false)
+        .run_with_stats()
+        .unwrap();
+    assert!(first_stats.fresh_evaluations > 0, "cold run must compute");
+    let first_paths = first.write_artifacts(&artifacts_first).unwrap();
+
+    // Warm re-run with --resume: every dataset restarts from its completion
+    // marker; zero evaluations, byte-identical artifacts.
+    let (second, second_stats) = store_campaign(datasets.clone(), &store, true)
+        .run_with_stats()
+        .unwrap();
+    assert_eq!(second_stats.fresh_evaluations, 0);
+    assert_eq!(second_stats.resumed, datasets);
+    assert_eq!(second_stats.computed, Vec::new());
+    let second_paths = second.write_artifacts(&artifacts_second).unwrap();
+    assert_eq!(first_paths.len(), second_paths.len());
+    for (a, b) in first_paths.iter().zip(&second_paths) {
+        assert_eq!(
+            std::fs::read(a).unwrap(),
+            std::fs::read(b).unwrap(),
+            "artifact {} differs between the uninterrupted and resumed run",
+            a.file_name().unwrap().to_string_lossy()
+        );
+    }
+
+    // Even with the markers out of the picture (resume off), the warm store
+    // answers every single evaluation: EngineStats.misses == 0 everywhere.
+    let (third, third_stats) = store_campaign(datasets.clone(), &store, false)
+        .run_with_stats()
+        .unwrap();
+    assert_eq!(third_stats.fresh_evaluations, 0);
+    for report in &third.reports {
+        assert_eq!(
+            report.evaluations, 0,
+            "{}: warm-store rerun must have zero cache misses",
+            report.name
+        );
+    }
+    // The recomputed science agrees with the cold run (only run-local cache
+    // statistics and timing may differ).
+    for (cold, warm) in first.reports.iter().zip(&third.reports) {
+        assert_eq!(cold.series, warm.series);
+        assert_eq!(cold.headline, warm.headline);
+        assert_eq!(cold.baseline_accuracy, warm.baseline_accuracy);
+        assert_eq!(cold.baseline_area_mm2, warm.baseline_area_mm2);
+    }
+
+    for dir in [&store, &artifacts_first, &artifacts_second] {
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+/// An interrupted campaign (one dataset finished, then the process "dies")
+/// resumes with only the unfinished dataset and still produces the same
+/// result as an uninterrupted run.
+#[test]
+fn interrupted_campaign_restarts_only_the_unfinished_datasets() {
+    let store = temp_dir("campaign-interrupt");
+    let datasets = vec![UciDataset::Seeds, UciDataset::Mammographic];
+
+    // Uninterrupted reference (no store: independent computation).
+    let reference = Campaign::new(CampaignConfig {
+        datasets: datasets.clone(),
+        effort: Effort::Quick,
+        seed: 11,
+        max_accuracy_loss: 0.05,
+        ..CampaignConfig::default()
+    })
+    .run()
+    .unwrap();
+
+    // "Crash" after the first dataset: run a one-dataset campaign, as if the
+    // process died before reaching the second.
+    store_campaign(vec![datasets[0]], &store, false)
+        .run()
+        .unwrap();
+
+    // The restarted full campaign resumes the finished dataset from its
+    // marker and computes only the second one.
+    let (resumed, stats) = store_campaign(datasets.clone(), &store, true)
+        .run_with_stats()
+        .unwrap();
+    assert_eq!(stats.resumed, vec![datasets[0]]);
+    assert_eq!(stats.computed, vec![datasets[1]]);
+
+    // Identical science, dataset by dataset (run-local stats/timing aside).
+    for (a, b) in reference.reports.iter().zip(&resumed.reports) {
+        assert_eq!(a.dataset, b.dataset);
+        assert_eq!(a.series, b.series);
+        assert_eq!(a.headline, b.headline);
+    }
+    std::fs::remove_dir_all(&store).ok();
+}
+
+/// NSGA-II through a real engine: a search interrupted mid-run (simulated by
+/// an evaluator whose budget runs out) resumes from its checkpoint and
+/// reproduces the uninterrupted `SearchResult` exactly.
+#[test]
+fn interrupted_fig2_search_resumes_to_the_identical_result() {
+    use printed_mlp::core::engine::EvalEngine;
+    use printed_mlp::core::{CoreError, DesignPoint};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let store = temp_dir("fig2-resume");
+    let experiment = Figure2Experiment::new(UciDataset::Seeds, Effort::Quick, 21);
+
+    // Uninterrupted reference run on a plain engine.
+    let reference = experiment
+        .run_with(&experiment.build_engine().unwrap())
+        .unwrap();
+
+    /// Fails every evaluation once the budget is spent.
+    struct DyingEngine {
+        inner: EvalEngine,
+        remaining: AtomicUsize,
+    }
+    impl Evaluator for DyingEngine {
+        fn evaluate(&self, config: &MinimizationConfig) -> Result<DesignPoint, CoreError> {
+            let left = self.remaining.fetch_sub(1, Ordering::SeqCst);
+            if left == 0 || left > usize::MAX / 2 {
+                self.remaining.store(0, Ordering::SeqCst);
+                return Err(CoreError::Nn {
+                    context: "simulated crash".into(),
+                });
+            }
+            self.inner.evaluate(config)
+        }
+    }
+
+    // Kill the engine one evaluation short of what the search needs: the
+    // crash is guaranteed, and it lands as deep into the run as possible.
+    let budget = reference.search.all_points.len() - 1;
+    let checkpoint = store.join("fig2_seeds_nsga2.json");
+    let dying = DyingEngine {
+        inner: experiment
+            .build_engine()
+            .unwrap()
+            .with_store(&store)
+            .unwrap(),
+        remaining: AtomicUsize::new(budget),
+    };
+    let mut ga_config = Effort::Quick.nsga2_config();
+    ga_config.seed ^= 21;
+    let searcher = printed_mlp::core::Nsga2::new(ga_config);
+    let crash = searcher.run_resumable(&dying, &checkpoint);
+    assert!(crash.is_err(), "the simulated crash must surface");
+
+    // Fresh process: same store (warm evaluations) + same checkpoint.
+    let engine = experiment
+        .build_engine()
+        .unwrap()
+        .with_store(&store)
+        .unwrap();
+    let resumed = searcher.run_resumable(&engine, &checkpoint).unwrap();
+    assert_eq!(
+        resumed, reference.search,
+        "resumed search must equal the uninterrupted one"
+    );
+    std::fs::remove_dir_all(&store).ok();
+}
