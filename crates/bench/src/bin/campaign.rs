@@ -8,7 +8,10 @@
 //! ```text
 //! cargo run --release -p pmlp-bench --bin campaign -- \
 //!     [datasets|all] [full|quick] [seed] [--quick] \
-//!     [--store DIR] [--resume] [--require-warm]
+//!     [--store DIR] [--remote-store URL] [--resume] [--require-warm]
+//!
+//! cargo run --release -p pmlp-bench --bin campaign -- \
+//!     gc [full|quick] [seed] --store DIR
 //! ```
 //!
 //! `datasets` is `all` (default) or a comma-separated list of registry names
@@ -20,19 +23,33 @@
 //! under `DIR` and each finished dataset commits a completion marker;
 //! `--resume` restarts an interrupted campaign from those markers (only
 //! unfinished datasets are recomputed, and their evaluations warm-start from
-//! the store). `--require-warm` makes the run fail if anything had to be
-//! freshly evaluated — CI uses it to prove that a store re-run is free.
+//! the store). `--remote-store URL` shares the cache through a `pmlp-serve`
+//! instance: a second worker pointed at the same server inherits every
+//! evaluation and marker the first one computed. `--require-warm` makes the
+//! run fail if anything had to be freshly evaluated — CI uses it to prove
+//! that a store re-run is free.
+//!
+//! The `gc` subcommand garbage-collects a local store directory: it trains
+//! every registry baseline at the given effort/seed to learn the *live*
+//! fingerprints, then deletes record logs (and completion markers) bound to
+//! any other baseline, merges duplicate keys, and compacts oversized logs.
 
-use pmlp_bench::{parse_cli, parse_effort};
+use pmlp_bench::{parse_cli, parse_effort, CliOptions};
 use pmlp_core::campaign::{Campaign, CampaignConfig};
+use pmlp_core::experiment::Figure1Experiment;
 use pmlp_core::report::render_campaign_table;
+use pmlp_core::store::{EvalStore, GcPolicy};
 use pmlp_data::UciDataset;
+use rayon::prelude::*;
 use std::path::Path;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let options = parse_cli(&args);
     options.validate()?;
+    if options.positional.first().copied() == Some("gc") {
+        return run_gc(&options);
+    }
     let which = options.positional.first().copied().unwrap_or("all");
     let effort = options
         .effort
@@ -60,6 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed,
         max_accuracy_loss: 0.05,
         store_dir: options.store.clone(),
+        remote_store: options.remote_store.clone(),
         resume: options.resume,
     })
     .with_progress(move |report| {
@@ -79,7 +97,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         total,
         start.elapsed().as_secs_f64()
     );
-    if options.store.is_some() {
+    if options.has_store() {
         println!(
             "persistence: {} dataset(s) resumed from markers, {} computed, \
              {} fresh evaluation(s)",
@@ -102,5 +120,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )
         .into());
     }
+    Ok(())
+}
+
+/// `campaign gc`: garbage-collect a local store directory against the live
+/// registry baselines.
+fn run_gc(options: &CliOptions<'_>) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(dir) = &options.store else {
+        return Err(
+            "campaign gc needs --store DIR (remote stores are compacted \
+                    server-side by running gc against the server's own directory)"
+                .into(),
+        );
+    };
+    let effort = options
+        .effort
+        .unwrap_or_else(|| parse_effort(options.positional.get(1).copied().unwrap_or("full")));
+    let seed: u64 = options
+        .positional
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    // The live fingerprints are the trained registry baselines at this
+    // effort/seed — training is exactly what a campaign run does first, so
+    // gc's notion of "live" matches what the next campaign will warm-start.
+    eprintln!(
+        "[gc] training {} registry baselines ({effort:?}, seed {seed}) to learn live fingerprints",
+        UciDataset::all().len()
+    );
+    let live: Result<Vec<u64>, pmlp_core::CoreError> = UciDataset::all()
+        .par_iter()
+        .map(|&dataset| {
+            Figure1Experiment::new(dataset, effort, seed)
+                .build_engine()
+                .map(|engine| engine.fingerprint())
+        })
+        .collect();
+    let live = live?;
+
+    let report = EvalStore::gc(dir, &live, &GcPolicy::default())?;
+    println!(
+        "gc of {}: kept {} record log(s), dropped {} file(s), reclaimed {} byte(s), \
+         merged {} duplicate record(s), dropped {} corrupt record(s)",
+        dir.display(),
+        report.files_kept,
+        report.files_dropped,
+        report.bytes_reclaimed,
+        report.duplicates_merged,
+        report.corrupt_dropped,
+    );
     Ok(())
 }

@@ -7,7 +7,7 @@
 //! ```text
 //! cargo run --release -p pmlp-bench --bin fig1 -- \
 //!     [dataset|all] [full|quick] [seed] [--quick] \
-//!     [--store DIR] [--resume] [--require-warm]
+//!     [--store DIR] [--remote-store URL] [--resume] [--require-warm]
 //! ```
 //!
 //! `all` means the four datasets of the paper's Fig. 1 (any registry dataset
@@ -17,9 +17,12 @@
 //!
 //! With `--store DIR` every evaluation persists into (and warm-starts from)
 //! the crash-safe store under `DIR`; a re-run of the same figure is then pure
-//! cache replay. `--require-warm` fails the run if any evaluation had to be
-//! computed fresh. (`--resume` is accepted for symmetry with `campaign`; the
-//! sweeps are stateless, so warm-starting the store is already a resume.)
+//! cache replay. `--remote-store URL` adds (or replaces it with) a shared
+//! `pmlp-serve` tier — records stream in from the server and fresh ones
+//! replicate back, so another machine's evaluations count as warm here.
+//! `--require-warm` fails the run if any evaluation had to be computed
+//! fresh. (`--resume` is accepted for symmetry with `campaign`; the sweeps
+//! are stateless, so warm-starting the store is already a resume.)
 
 use pmlp_bench::{parse_cli, parse_effort, persist_json, render_figure1, render_headline};
 use pmlp_core::experiment::{headline_summary, Figure1Experiment};
@@ -50,15 +53,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let start = std::time::Instant::now();
         let experiment = Figure1Experiment::new(dataset, effort, seed);
         let mut engine = experiment.build_engine()?;
-        if let Some(dir) = &options.store {
-            engine = engine.with_store(dir)?;
+        if let Some(backend) = options.open_backend()? {
+            engine = engine.with_backend(backend)?;
         }
         let result = experiment.run_with(&engine)?;
         println!("{}", render_figure1(&result));
         let rows = headline_summary(&result, 0.05);
         println!("{}", render_headline(&rows));
         let stats = engine.stats();
-        if options.store.is_some() {
+        if options.has_store() {
             println!(
                 "store: {} entries warm-started, {} fresh evaluation(s)",
                 stats.warmed, stats.misses

@@ -8,18 +8,21 @@
 //! ```text
 //! cargo run --release -p pmlp-bench --bin fig2 -- \
 //!     [dataset] [full|quick] [seed] [--quick] \
-//!     [--store DIR] [--resume] [--require-warm]
+//!     [--store DIR] [--remote-store URL] [--resume] [--require-warm]
 //! ```
 //!
 //! `--quick` anywhere on the command line forces the reduced CI effort.
 //!
 //! With `--store DIR` every evaluation persists into the crash-safe store
 //! under `DIR` **and** the NSGA-II search checkpoints itself there after
-//! every generation: an interrupted run re-invoked with `--resume` picks the
-//! search up mid-run and reproduces the uninterrupted result exactly
-//! (without `--resume`, a stale checkpoint is discarded and the search
-//! recomputes against the warm store). `--require-warm` fails the run if any
-//! evaluation had to be computed fresh.
+//! every evaluation batch: an interrupted run re-invoked with `--resume`
+//! picks the search up mid-generation and reproduces the uninterrupted
+//! result exactly (without `--resume`, a stale checkpoint is discarded and
+//! the search recomputes against the warm store). `--remote-store URL` adds
+//! (or replaces the directory with) a shared `pmlp-serve` tier: evaluations
+//! *and the GA checkpoint* replicate to the server, so another machine can
+//! resume the search. `--require-warm` fails the run if any evaluation had
+//! to be computed fresh.
 
 use pmlp_bench::{parse_cli, parse_effort, persist_json, render_figure2, render_headline};
 use pmlp_core::experiment::{headline_combined, Figure2Experiment};
@@ -47,28 +50,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let start = std::time::Instant::now();
     let experiment = Figure2Experiment::new(dataset, effort, seed);
     let mut engine = experiment.build_engine()?;
-    if let Some(dir) = &options.store {
-        engine = engine.with_store(dir)?;
+    if let Some(backend) = options.open_backend()? {
+        engine = engine.with_backend(backend)?;
     }
-    let result = match &options.store {
-        Some(dir) => {
-            let checkpoint = dir.join(format!(
-                "fig2_{}_nsga2.json",
-                dataset.to_string().to_lowercase()
-            ));
-            // Without --resume, any existing checkpoint is discarded: the
-            // search recomputes (against the warm store) instead of replaying.
-            if !options.resume {
-                std::fs::remove_file(&checkpoint).ok();
-            }
-            experiment.run_with_checkpoint(&engine, &checkpoint)?
+    let result = if engine.store().is_some() {
+        let checkpoint = format!("fig2_{}_nsga2.json", dataset.to_string().to_lowercase());
+        // Without --resume, any existing checkpoint is discarded: the
+        // search recomputes (against the warm store) instead of replaying.
+        if !options.resume {
+            engine
+                .store()
+                .expect("store attached")
+                .remove_doc(&checkpoint)?;
         }
-        None => experiment.run_with(&engine)?,
+        experiment.run_with_checkpoint_doc(&engine, &checkpoint)?
+    } else {
+        experiment.run_with(&engine)?
     };
     println!("{}", render_figure2(&result));
     println!("{}", render_headline(&[headline_combined(&result, 0.05)]));
     let stats = engine.stats();
-    if options.store.is_some() {
+    if options.has_store() {
         println!(
             "store: {} entries warm-started, {} fresh evaluation(s)",
             stats.warmed, stats.misses

@@ -1,9 +1,11 @@
 //! Tracked performance baseline: times the stages that dominate a paper
 //! reproduction run — baseline training, a single candidate evaluation, the
 //! hardware cost of one candidate under both tiers (analytic fast path vs
-//! full gate-level synthesis), the quick Fig. 2 experiment and the quick
-//! full-registry campaign — and writes the numbers to `BENCH_campaign.json`
-//! so every future PR is measured against a recorded trajectory.
+//! full gate-level synthesis), the quick Fig. 2 experiment, the quick
+//! full-registry campaign, and the persistence tier (local store append /
+//! replay rates plus the `pmlp-serve` loopback round trip) — and writes the
+//! numbers to `BENCH_campaign.json` so every future PR is measured against a
+//! recorded trajectory.
 //!
 //! Usage:
 //!
@@ -47,6 +49,8 @@ struct PerfReport {
     timings: Timings,
     /// Evaluation-cost counters of the quick campaign run.
     campaign_engine: CampaignEngine,
+    /// Persistence-tier throughput (local JSONL store + pmlp-serve loopback).
+    store: StoreMetrics,
     /// Process-wide constant-multiplier cost-cache counters at exit.
     multiplier_cache: MultiplierCache,
     /// Context for readers of the trajectory.
@@ -83,6 +87,25 @@ struct CampaignEngine {
     fast_path_evals: usize,
     /// Evaluations (plus finalist verifications) that ran full synthesis.
     full_synthesis_evals: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct StoreMetrics {
+    /// Records pushed through each measured path.
+    records: usize,
+    /// Appends to a local JSONL record log, records/second (one flushed
+    /// whole-line write each).
+    local_append_records_per_sec: f64,
+    /// Warm-start replay of that log (open + parse every record),
+    /// records/second — the cost a resumed run pays before its first
+    /// evaluation.
+    local_replay_records_per_sec: f64,
+    /// The same replay through a loopback `pmlp-serve` instance (HTTP scan of
+    /// the full log), records/second.
+    remote_replay_records_per_sec: f64,
+    /// Appends through the loopback server (one HTTP POST per record),
+    /// records/second.
+    remote_append_records_per_sec: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -194,6 +217,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .run()?;
     let campaign_quick_secs = t0.elapsed().as_secs_f64();
 
+    // 6. Persistence tier: local store append/replay rate and the same
+    //    record log served over a loopback pmlp-serve instance.
+    let store = measure_store(if quick { 256 } else { 2048 })?;
+
     let mul = pmlp_hw::cost::multiplier_cache_stats();
     let report = PerfReport {
         schema: "pmlp-perf-report/v1".into(),
@@ -209,6 +236,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             fig2_quick_secs,
             campaign_quick_secs,
         },
+        store,
         campaign_engine: CampaignEngine {
             evaluations: campaign.reports.iter().map(|r| r.evaluations).sum(),
             fast_path_evals: campaign.reports.iter().map(|r| r.fast_path_evals).sum(),
@@ -238,6 +266,83 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{json}");
     println!("\nwrote BENCH_campaign.json");
     Ok(())
+}
+
+/// Times the persistence tiers with `records` synthetic evaluation records:
+/// local JSONL append + warm-start replay, then the same log appended to and
+/// scanned from a loopback `pmlp-serve` instance.
+fn measure_store(records: usize) -> Result<StoreMetrics, Box<dyn std::error::Error>> {
+    use pmlp_core::engine::EvalKey;
+    use pmlp_core::objective::{DesignPoint, SynthesisTier};
+    use pmlp_core::store::{EvalRecord, EvalStore, RemoteBackend, StoreBackend};
+
+    let record = |i: usize| EvalRecord {
+        key: EvalKey {
+            weight_bits: (i % 14) as u8 + 2,
+            sparsity_millis: (i * 37 % 900) as u32,
+            clusters: i % 7,
+            input_bits: 4,
+            fine_tune_epochs: 2,
+            salt: i as u64,
+        },
+        tier: SynthesisTier::FastPath,
+        point: DesignPoint {
+            config: MinimizationConfig::default().with_weight_bits((i % 14) as u8 + 2),
+            accuracy: 0.5 + (i % 50) as f64 / 100.0,
+            area_mm2: 10.0 + i as f64,
+            power_uw: 100.0 + i as f64,
+            normalized_accuracy: 0.9,
+            normalized_area: 0.5,
+            sparsity: 0.1,
+            gate_count: 100 + i,
+        },
+        artifacts: None,
+    };
+    let rate = |n: usize, secs: f64| n as f64 / secs.max(1e-9);
+
+    // Local tier.
+    let dir = std::env::temp_dir().join(format!("pmlp-perf-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = EvalStore::open(&dir, "perf", 0xBE7C)?;
+    let t0 = Instant::now();
+    for i in 0..records {
+        store.append(&record(i))?;
+    }
+    let local_append = t0.elapsed().as_secs_f64();
+    drop(store);
+    let t0 = Instant::now();
+    let mut store = EvalStore::open(&dir, "perf", 0xBE7C)?;
+    let replayed = store.warm_start();
+    let local_replay = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        replayed.len(),
+        records,
+        "replay must reproduce every record"
+    );
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Remote tier over loopback.
+    let server = pmlp_serve::spawn(&pmlp_serve::ServeConfig::default())?;
+    let client = RemoteBackend::new(&server.url())?;
+    let t0 = Instant::now();
+    for i in 0..records {
+        client.append("perf", 0xBE7C, &record(i))?;
+    }
+    let remote_append = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let outcome = client.scan("perf", 0xBE7C)?;
+    let remote_replay = t0.elapsed().as_secs_f64();
+    assert_eq!(outcome.records.len(), records);
+    server.stop();
+
+    Ok(StoreMetrics {
+        records,
+        local_append_records_per_sec: rate(records, local_append),
+        local_replay_records_per_sec: rate(records, local_replay),
+        remote_replay_records_per_sec: rate(records, remote_replay),
+        remote_append_records_per_sec: rate(records, remote_append),
+    })
 }
 
 /// Small helper so stage 1 reads as "build the quick baseline engine".

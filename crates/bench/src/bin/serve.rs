@@ -1,0 +1,41 @@
+//! Runs the `pmlp-serve` evaluation-cache server: a dependency-free HTTP
+//! key-value tier that lets a fleet of workers share one content-addressed
+//! evaluation cache (records, NSGA-II checkpoints and campaign completion
+//! markers).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p pmlp-bench --bin serve -- \
+//!     [host:port] [--store DIR]
+//! ```
+//!
+//! `host:port` defaults to `127.0.0.1:7878` (use port `0` for an ephemeral
+//! port — the bound address is printed on startup). With `--store DIR` the
+//! server persists into the standard local JSONL store format under `DIR`, so
+//! an existing single-machine `--store` directory can be promoted to a shared
+//! server without conversion; without it, state lives in memory for the
+//! server's lifetime.
+//!
+//! Point workers at the server with `--remote-store http://host:port` on the
+//! `fig1`/`fig2`/`table_headline`/`campaign` binaries.
+
+use pmlp_bench::parse_cli;
+use pmlp_serve::{run, ServeConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = parse_cli(&args);
+    options.validate()?;
+    let addr = options
+        .positional
+        .first()
+        .copied()
+        .unwrap_or("127.0.0.1:7878")
+        .to_string();
+    run(&ServeConfig {
+        addr,
+        store_dir: options.store.clone(),
+    })?;
+    Ok(())
+}

@@ -11,12 +11,14 @@
 //!
 //! ```text
 //! cargo run --release -p pmlp-bench --bin table_headline -- \
-//!     [full|quick] [seed] [--quick] [--store DIR] [--resume] [--require-warm]
+//!     [full|quick] [seed] [--quick] [--store DIR] [--remote-store URL] \
+//!     [--resume] [--require-warm]
 //! ```
 //!
 //! `--quick` anywhere on the command line forces the reduced CI effort.
 //! `--store DIR`/`--resume` persist and resume both the campaign (per-dataset
-//! completion markers) and the WhiteWine GA (per-generation checkpoints);
+//! completion markers) and the WhiteWine GA (per-batch checkpoints);
+//! `--remote-store URL` shares all of it through a `pmlp-serve` instance;
 //! `--require-warm` fails the run if anything had to be evaluated fresh.
 
 use pmlp_bench::{parse_cli, parse_effort, persist_json, render_headline};
@@ -45,6 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed,
         max_accuracy_loss: 0.05,
         store_dir: options.store.clone(),
+        remote_store: options.remote_store.clone(),
         resume: options.resume,
     });
     let (result, campaign_stats) = campaign.run_with_stats()?;
@@ -57,20 +60,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The combined (GA) claim is made for WhiteWine in the paper's Fig. 2.
     let fig2 = Figure2Experiment::new(UciDataset::WhiteWine, effort, seed);
     let mut engine = fig2.build_engine()?;
-    if let Some(dir) = &options.store {
-        engine = engine.with_store(dir)?;
+    if let Some(backend) = options.open_backend()? {
+        engine = engine.with_backend(backend)?;
     }
-    let combined = match &options.store {
-        Some(dir) => {
-            let checkpoint = dir.join("table_headline_nsga2.json");
-            // Without --resume, any existing checkpoint is discarded: the
-            // search recomputes (against the warm store) instead of replaying.
-            if !options.resume {
-                std::fs::remove_file(&checkpoint).ok();
-            }
-            fig2.run_with_checkpoint(&engine, &checkpoint)?
+    let combined = if engine.store().is_some() {
+        let checkpoint = "table_headline_nsga2.json";
+        // Without --resume, any existing checkpoint is discarded: the
+        // search recomputes (against the warm store) instead of replaying.
+        if !options.resume {
+            engine
+                .store()
+                .expect("store attached")
+                .remove_doc(checkpoint)?;
         }
-        None => fig2.run_with(&engine)?,
+        fig2.run_with_checkpoint_doc(&engine, checkpoint)?
+    } else {
+        fig2.run_with(&engine)?
     };
     let combined_row = headline_combined(&combined, 0.05);
     rows.push(combined_row.clone());
@@ -95,7 +100,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     persist_json("table_headline", &rows);
 
     let fresh = campaign_stats.fresh_evaluations + engine.stats().misses;
-    if options.store.is_some() {
+    if options.has_store() {
         println!(
             "persistence: {} dataset(s) resumed, {} fresh evaluation(s) total",
             campaign_stats.resumed.len(),

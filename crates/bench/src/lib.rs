@@ -28,6 +28,11 @@ pub struct CliOptions<'a> {
     /// `--store=DIR`): engines warm-start from it and append their misses,
     /// and searches checkpoint into it.
     pub store: Option<PathBuf>,
+    /// Remote `pmlp-serve` URL from `--remote-store URL` (or
+    /// `--remote-store=URL`). Combined with `--store DIR` the directory
+    /// becomes a write-through cache of the server; alone, the server is the
+    /// only persistence tier.
+    pub remote_store: Option<String>,
     /// `--resume`: reuse completion markers and search checkpoints from the
     /// store directory instead of recomputing finished work.
     pub resume: bool,
@@ -41,7 +46,8 @@ pub struct CliOptions<'a> {
 
 impl CliOptions<'_> {
     /// Validates the parse and the flag combinations: `--resume`/
-    /// `--require-warm` only make sense with a store directory.
+    /// `--require-warm` only make sense with a persistence tier (`--store`
+    /// and/or `--remote-store`).
     ///
     /// # Errors
     ///
@@ -51,10 +57,32 @@ impl CliOptions<'_> {
         if let Some(error) = &self.parse_error {
             return Err(error.clone());
         }
-        if self.store.is_none() && (self.resume || self.require_warm) {
-            return Err("--resume/--require-warm need --store DIR".into());
+        if self.store.is_none() && self.remote_store.is_none() && (self.resume || self.require_warm)
+        {
+            return Err(
+                "--resume/--require-warm need --store DIR and/or --remote-store URL".into(),
+            );
         }
         Ok(())
+    }
+
+    /// `true` when any persistence tier is configured.
+    pub fn has_store(&self) -> bool {
+        self.store.is_some() || self.remote_store.is_some()
+    }
+
+    /// Opens the [`StoreBackend`](pmlp_core::store::StoreBackend) the parsed
+    /// flags select: local directory, remote server, their tiered
+    /// composition, or `None` (see [`pmlp_core::store::open_backend`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`pmlp_core::CoreError::Store`] for an uncreatable
+    /// directory or malformed URL.
+    pub fn open_backend(
+        &self,
+    ) -> Result<Option<Box<dyn pmlp_core::store::StoreBackend>>, pmlp_core::CoreError> {
+        pmlp_core::store::open_backend(self.store.as_deref(), self.remote_store.as_deref())
     }
 }
 
@@ -74,15 +102,31 @@ pub fn parse_cli(args: &[String]) -> CliOptions<'_> {
                     options.parse_error = Some("--store needs a directory argument".into());
                 }
             },
+            "--remote-store" => match iter.next() {
+                Some(url) if !url.starts_with('-') => options.remote_store = Some(url.clone()),
+                _ => {
+                    options.parse_error = Some("--remote-store needs a URL argument".into());
+                }
+            },
             "--resume" => options.resume = true,
             "--require-warm" => options.require_warm = true,
-            other => match other.strip_prefix("--store=") {
-                Some(dir) if !dir.is_empty() => options.store = Some(PathBuf::from(dir)),
-                Some(_) => {
-                    options.parse_error = Some("--store= needs a non-empty directory".into());
+            other => {
+                if let Some(dir) = other.strip_prefix("--store=") {
+                    if dir.is_empty() {
+                        options.parse_error = Some("--store= needs a non-empty directory".into());
+                    } else {
+                        options.store = Some(PathBuf::from(dir));
+                    }
+                } else if let Some(url) = other.strip_prefix("--remote-store=") {
+                    if url.is_empty() {
+                        options.parse_error = Some("--remote-store= needs a non-empty URL".into());
+                    } else {
+                        options.remote_store = Some(url.to_string());
+                    }
+                } else {
+                    options.positional.push(other);
                 }
-                None => options.positional.push(other),
-            },
+            }
         }
     }
     options
@@ -214,6 +258,62 @@ mod tests {
 
         let args: Vec<String> = ["--resume"].iter().map(|s| s.to_string()).collect();
         assert!(parse_cli(&args).validate().is_err(), "resume needs a store");
+    }
+
+    #[test]
+    fn remote_store_flags_are_parsed_in_both_forms() {
+        let args: Vec<String> = ["all", "--remote-store", "http://127.0.0.1:7878"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let options = parse_cli(&args);
+        assert_eq!(
+            options.remote_store.as_deref(),
+            Some("http://127.0.0.1:7878")
+        );
+        assert!(options.has_store());
+        assert!(options.validate().is_ok());
+
+        let args: Vec<String> = ["--remote-store=http://h:1", "--require-warm"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let options = parse_cli(&args);
+        assert_eq!(options.remote_store.as_deref(), Some("http://h:1"));
+        assert!(
+            options.validate().is_ok(),
+            "--require-warm works with a remote tier alone"
+        );
+
+        // Missing or empty URLs are parse errors.
+        let args: Vec<String> = ["--remote-store"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_cli(&args).validate().is_err());
+        let args: Vec<String> = ["--remote-store="].iter().map(|s| s.to_string()).collect();
+        assert!(parse_cli(&args).validate().is_err());
+        // A following flag is a forgotten value, not a URL.
+        let args: Vec<String> = ["--remote-store", "--resume"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse_cli(&args).validate().is_err());
+    }
+
+    #[test]
+    fn open_backend_composes_the_selected_tiers() {
+        let dir = std::env::temp_dir().join(format!(
+            "pmlp-bench-backend-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let options = CliOptions {
+            store: Some(dir.clone()),
+            remote_store: Some("http://127.0.0.1:7878".into()),
+            ..CliOptions::default()
+        };
+        let backend = options.open_backend().unwrap().unwrap();
+        assert!(backend.describe().starts_with("tiered"));
+        assert!(CliOptions::default().open_backend().unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -46,13 +46,14 @@ use crate::engine::EvalEngine;
 use crate::error::CoreError;
 use crate::experiment::{headline_summary, Effort, Figure1Experiment};
 use crate::report::{FigureSeries, HeadlineRow, TechniqueSummary};
-use crate::store::write_atomic;
+use crate::store::{open_backend, StoreBackend};
 use crate::sweep::Technique;
 use pmlp_data::UciDataset;
 use rayon::prelude::*;
 use serde::json::{self, Value};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// What a [`Campaign`] runs: which datasets, at which effort, under which
@@ -74,7 +75,16 @@ pub struct CampaignConfig {
     /// interrupted campaign can restart with only the unfinished datasets
     /// (`None` = in-memory caching only, the historical behavior).
     pub store_dir: Option<PathBuf>,
-    /// When `true` (and [`CampaignConfig::store_dir`] is set), datasets whose
+    /// URL of a remote `pmlp-serve` evaluation-cache server
+    /// (`http://host:port`). Set together with
+    /// [`CampaignConfig::store_dir`], the local directory becomes a
+    /// write-through cache of the server ([`crate::store::TieredStore`]):
+    /// evaluations and completion markers stream in from (and replicate to)
+    /// the server, so a fleet of workers shares one cache. Alone, the server
+    /// is the only tier. A killed server degrades the run to local-only
+    /// instead of failing it.
+    pub remote_store: Option<String>,
+    /// When `true` (and a store tier is configured), datasets whose
     /// completion marker matches this configuration **and** the freshly
     /// trained baseline's fingerprint are loaded from the marker verbatim
     /// instead of being re-swept (baselines always train — their fingerprint
@@ -90,6 +100,7 @@ impl Default for CampaignConfig {
             seed: 42,
             max_accuracy_loss: 0.05,
             store_dir: None,
+            remote_store: None,
             resume: false,
         }
     }
@@ -292,19 +303,49 @@ impl Campaign {
         &self.config
     }
 
+    /// Opens the persistence backend this campaign's configuration selects:
+    /// local directory, remote server, their tiered composition, or `None`
+    /// when neither is configured (see [`crate::store::open_backend`]).
+    ///
+    /// [`Campaign::run_with_stats`] opens this **once** and shares the
+    /// instance across every dataset (engines, markers): tier state — a
+    /// degraded remote, cached append handles — is campaign-wide, so a dead
+    /// server is probed (and warned about) once, not once per operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Store`] when the directory cannot be created or
+    /// the URL is malformed.
+    pub fn open_backend(&self) -> Result<Option<Arc<dyn StoreBackend>>, CoreError> {
+        Ok(open_backend(
+            self.config.store_dir.as_deref(),
+            self.config.remote_store.as_deref(),
+        )?
+        .map(Arc::from))
+    }
+
     /// Builds the evaluation engine the campaign uses for `dataset`: baseline
     /// trained at the configured effort's budget, fine-tuning budget set
-    /// accordingly, warm-started from the persistent store when
-    /// [`CampaignConfig::store_dir`] is set.
+    /// accordingly, warm-started from the configured persistence tiers when
+    /// any are set.
     ///
     /// # Errors
     ///
     /// Propagates baseline training, synthesis and store errors.
     pub fn build_engine(&self, dataset: UciDataset) -> Result<EvalEngine, CoreError> {
+        self.build_engine_with(dataset, self.open_backend()?.as_ref())
+    }
+
+    /// [`Campaign::build_engine`] against an already-opened (shared) backend.
+    fn build_engine_with(
+        &self,
+        dataset: UciDataset,
+        backend: Option<&Arc<dyn StoreBackend>>,
+    ) -> Result<EvalEngine, CoreError> {
         let engine =
             Figure1Experiment::new(dataset, self.config.effort, self.config.seed).build_engine()?;
-        match &self.config.store_dir {
-            Some(dir) => engine.with_store(dir),
+        match backend {
+            Some(backend) => engine.with_backend(Box::new(Arc::clone(backend))),
             None => Ok(engine),
         }
     }
@@ -334,6 +375,9 @@ impl Campaign {
                 context: "campaign needs at least one dataset".into(),
             });
         }
+        // One backend instance for the whole run: tier state (a degraded
+        // remote, cached append handles) is shared by every dataset.
+        let backend = self.open_backend()?;
         let outcomes: Result<Vec<(DatasetReport, bool)>, CoreError> = self
             .config
             .datasets
@@ -345,15 +389,16 @@ impl Campaign {
                 // reference design, so stale markers self-invalidate after
                 // any code or budget change. Resuming skips the sweeps — the
                 // part that scales with the search, not the baseline.
-                let engine = self.build_engine(dataset)?;
-                let (report, was_resumed) = match self.load_marker(dataset, engine.fingerprint()) {
-                    Some(report) => (report, true),
-                    None => {
-                        let report = self.run_dataset_with(dataset, &engine, start)?;
-                        self.write_marker(&report, engine.fingerprint())?;
-                        (report, false)
-                    }
-                };
+                let engine = self.build_engine_with(dataset, backend.as_ref())?;
+                let (report, was_resumed) =
+                    match self.load_marker(backend.as_deref(), dataset, engine.fingerprint()) {
+                        Some(report) => (report, true),
+                        None => {
+                            let report = self.run_dataset_with(dataset, &engine, start)?;
+                            self.write_marker(backend.as_deref(), &report, engine.fingerprint())?;
+                            (report, false)
+                        }
+                    };
                 if let Some(callback) = &self.progress {
                     callback(&report);
                 }
@@ -413,27 +458,32 @@ impl Campaign {
         fp.finish()
     }
 
-    /// Path of `dataset`'s completion marker, `None` without a store.
-    fn marker_path(&self, dataset: UciDataset) -> Option<PathBuf> {
-        self.config.store_dir.as_ref().map(|dir| {
-            dir.join(format!(
-                "done_{}_{:016x}.json",
-                dataset.to_string().to_lowercase(),
-                self.marker_fingerprint()
-            ))
-        })
+    /// Document name of `dataset`'s completion marker (also its file name
+    /// under a local store directory).
+    fn marker_doc_name(&self, dataset: UciDataset) -> String {
+        format!(
+            "done_{}_{:016x}.json",
+            dataset.to_string().to_lowercase(),
+            self.marker_fingerprint()
+        )
     }
 
     /// Loads `dataset`'s completion marker when resuming; `None` when resume
-    /// is off, there is no marker, or the marker belongs to other settings or
-    /// another baseline (`engine_fingerprint` mismatch — e.g. after a code or
-    /// budget change that altered the trained reference design).
-    fn load_marker(&self, dataset: UciDataset, engine_fingerprint: u64) -> Option<DatasetReport> {
+    /// is off, there is no marker (on any configured tier), or the marker
+    /// belongs to other settings or another baseline (`engine_fingerprint`
+    /// mismatch — e.g. after a code or budget change that altered the trained
+    /// reference design).
+    fn load_marker(
+        &self,
+        backend: Option<&dyn StoreBackend>,
+        dataset: UciDataset,
+        engine_fingerprint: u64,
+    ) -> Option<DatasetReport> {
         if !self.config.resume {
             return None;
         }
-        let path = self.marker_path(dataset)?;
-        let parsed = json::parse(&std::fs::read_to_string(path).ok()?).ok()?;
+        let text = backend?.get_doc(&self.marker_doc_name(dataset)).ok()??;
+        let parsed = json::parse(&text).ok()?;
         let value = crate::store::check_envelope(
             &parsed,
             MARKER_MAGIC,
@@ -444,15 +494,17 @@ impl Campaign {
         (report.dataset == dataset).then_some(report)
     }
 
-    /// Commits the completion marker of a finished dataset (tmp+rename),
-    /// bound to the baseline fingerprint it was measured against; a no-op
-    /// without a store directory.
+    /// Commits the completion marker of a finished dataset through the
+    /// configured backend (atomically on the local tier, replicated to the
+    /// remote tier), bound to the baseline fingerprint it was measured
+    /// against; a no-op without a store.
     fn write_marker(
         &self,
+        backend: Option<&dyn StoreBackend>,
         report: &DatasetReport,
         engine_fingerprint: u64,
     ) -> Result<(), CoreError> {
-        let Some(path) = self.marker_path(report.dataset) else {
+        let Some(backend) = backend else {
             return Ok(());
         };
         let value = crate::store::seal_envelope(
@@ -461,9 +513,10 @@ impl Campaign {
             engine_fingerprint,
             vec![("report".into(), report.serialize_value())],
         );
-        write_atomic(&path, &value.render_pretty()).map_err(|e| CoreError::Store {
-            context: format!("write campaign marker {}: {e}", path.display()),
-        })
+        backend.put_doc(
+            &self.marker_doc_name(report.dataset),
+            &value.render_pretty(),
+        )
     }
 
     /// Runs one dataset of the campaign: trains its baseline, sweeps the
@@ -560,6 +613,7 @@ mod tests {
             seed: 5,
             max_accuracy_loss: 0.05,
             store_dir: Some(dir.to_path_buf()),
+            remote_store: None,
             resume,
         }
     }
@@ -616,7 +670,7 @@ mod tests {
         // Tamper with the marker's fingerprint, simulating a marker written
         // by a different (e.g. pre-code-change) baseline: resume must ignore
         // it and recompute instead of replaying stale science.
-        let marker = campaign.marker_path(UciDataset::Seeds).unwrap();
+        let marker = dir.join(campaign.marker_doc_name(UciDataset::Seeds));
         let tampered = std::fs::read_to_string(&marker).unwrap().replacen(
             "\"fingerprint\": \"",
             "\"fingerprint\": \"f",

@@ -45,7 +45,7 @@ use crate::baseline::{BaselineConfig, BaselineDesign};
 use crate::bridge::{synthesize_area, SynthesisSummary};
 use crate::error::CoreError;
 use crate::objective::{evaluate_config_detailed, DesignPoint, EvaluationContext, SynthesisTier};
-use crate::store::{EvalRecord, EvalStore};
+use crate::store::{EvalArtifacts, EvalRecord, EvalStore, StoreBackend};
 use pmlp_data::UciDataset;
 use pmlp_hw::SharingStrategy;
 use pmlp_minimize::{IntegerLayer, MinimizationConfig};
@@ -203,8 +203,14 @@ pub struct EngineStats {
     /// gate-level synthesis.
     pub full_synthesis: usize,
     /// Entries preloaded from the persistent evaluation store when the engine
-    /// was constructed with [`EvalEngine::with_store`].
+    /// was constructed with [`EvalEngine::with_store`] /
+    /// [`EvalEngine::with_backend`].
     pub warmed: usize,
+    /// Finalizations that had to re-run the minimization pipeline because the
+    /// cached entry carried no artifacts (store records written before
+    /// artifact persistence, or with an undecodable blob). Store-warmed
+    /// entries with intact artifacts finalize without a re-run.
+    pub finalize_reruns: usize,
     /// Process-wide constant-multiplier cost-cache hits at snapshot time
     /// (see [`pmlp_hw::cost::multiplier_cache_stats`]).
     pub multiplier_cache_hits: u64,
@@ -265,6 +271,7 @@ pub struct EvalEngine {
     fast_path: AtomicUsize,
     full_synthesis: AtomicUsize,
     warmed: usize,
+    finalize_reruns: AtomicUsize,
     store: Option<EvalStore>,
     progress: Option<Box<ProgressFn>>,
 }
@@ -306,6 +313,7 @@ impl EvalEngine {
             fast_path: AtomicUsize::new(0),
             full_synthesis: AtomicUsize::new(0),
             warmed: 0,
+            finalize_reruns: AtomicUsize::new(0),
             store: None,
             progress: None,
         }
@@ -371,10 +379,11 @@ impl EvalEngine {
         self.tier
     }
 
-    /// Attaches the persistent evaluation store under `dir`: the engine
-    /// warm-starts its in-memory cache from the store's record log for this
-    /// baseline (see [`EvalEngine::fingerprint`]) and appends every cache
-    /// miss it computes from now on, so later processes inherit the results.
+    /// Attaches the persistent evaluation store under `dir` (the local JSONL
+    /// backend): the engine warm-starts its in-memory cache from the store's
+    /// record log for this baseline (see [`EvalEngine::fingerprint`]) and
+    /// appends every cache miss it computes from now on, so later processes
+    /// inherit the results.
     ///
     /// All of [`EvalKey`]'s fields travel with each record, so entries
     /// written under other fine-tuning budgets or salts coexist in the same
@@ -387,18 +396,41 @@ impl EvalEngine {
     /// Returns [`CoreError::Store`] when the store directory or record log
     /// cannot be opened.
     #[must_use = "with_store returns the engine"]
-    pub fn with_store(mut self, dir: &Path) -> Result<Self, CoreError> {
-        let mut store =
-            EvalStore::open(dir, &self.baseline.dataset.to_string(), self.fingerprint())?;
+    pub fn with_store(self, dir: &Path) -> Result<Self, CoreError> {
+        let backend = crate::store::LocalJsonlBackend::open(dir)?;
+        self.with_backend(Box::new(backend))
+    }
+
+    /// Attaches any persistence tier — local directory, in-memory store,
+    /// remote `pmlp-serve` client or a [tiered](crate::store::TieredStore)
+    /// composition (see [`crate::store::open_backend`]). Warm-starts the
+    /// in-memory cache from the backend's records for this baseline and
+    /// appends every computed miss.
+    ///
+    /// Records carrying [finalization artifacts](crate::store::EvalArtifacts)
+    /// warm the cache *fully*: [`EvalEngine::finalize`] of such an entry runs
+    /// gate-level synthesis directly instead of re-running minimization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Store`] when the backend cannot be scanned.
+    #[must_use = "with_backend returns the engine"]
+    pub fn with_backend(mut self, backend: Box<dyn StoreBackend>) -> Result<Self, CoreError> {
+        let mut store = EvalStore::with_backend(
+            backend,
+            &self.baseline.dataset.to_string(),
+            self.fingerprint(),
+        )?;
         let records = store.warm_start();
         self.warmed = records.len();
         for record in records {
+            let artifacts = record.artifacts.map(|a| (Arc::new(a.layers), a.sharing));
             let shard = self.shard_for(&record.key);
             shard.lock().expect("shard lock").insert(
                 record.key,
                 Slot::Done(CachedEval {
                     point: record.point,
-                    artifacts: None,
+                    artifacts,
                 }),
             );
         }
@@ -455,6 +487,7 @@ impl EvalEngine {
             fast_path: self.fast_path.load(Ordering::Relaxed),
             full_synthesis: self.full_synthesis.load(Ordering::Relaxed),
             warmed: self.warmed,
+            finalize_reruns: self.finalize_reruns.load(Ordering::Relaxed),
             multiplier_cache_hits: mul.hits,
             multiplier_cache_misses: mul.misses,
         }
@@ -580,34 +613,41 @@ impl EvalEngine {
                 // Move the minimized layers into the cache (only the design
                 // point is cloned); failures are not cached — a retry re-runs
                 // the pipeline.
-                let outcome = {
+                let (outcome, stored_artifacts) = {
                     let mut guard = shard.lock().expect("shard lock");
                     match outcome {
                         Ok(detailed) => {
                             let point = detailed.point.clone();
+                            let artifacts = (Arc::new(detailed.layers), detailed.sharing);
                             guard.insert(
                                 key,
                                 Slot::Done(CachedEval {
                                     point: detailed.point,
-                                    artifacts: Some((Arc::new(detailed.layers), detailed.sharing)),
+                                    artifacts: Some(artifacts.clone()),
                                 }),
                             );
-                            Ok(point)
+                            (Ok(point), Some(artifacts))
                         }
                         Err(err) => {
                             guard.remove(&key);
-                            Err(err)
+                            (Err(err), None)
                         }
                     }
                 };
                 pending.fill(outcome.clone());
-                // Persist the fresh result; a failing append degrades the
-                // store to this process's lifetime but never fails a search.
+                // Persist the fresh result — layers included, so a later
+                // process can finalize it without re-minimizing; a failing
+                // append degrades the store to this process's lifetime but
+                // never fails a search.
                 if let (Some(store), Ok(point)) = (&self.store, &outcome) {
                     if let Err(err) = store.append(&EvalRecord {
                         key,
                         tier: self.tier,
                         point: point.clone(),
+                        artifacts: stored_artifacts.map(|(layers, sharing)| EvalArtifacts {
+                            layers: layers.as_ref().clone(),
+                            sharing,
+                        }),
                     }) {
                         eprintln!("warning: {err}");
                     }
@@ -678,10 +718,12 @@ impl EvalEngine {
         let (layers, sharing) = match cached {
             Some(artifacts) => artifacts,
             None => {
-                // The entry was warm-started from the persistent store, which
-                // only carries design points. Re-run the deterministic
-                // pipeline once to regenerate the minimized layers, and keep
-                // them for any later finalization of the same configuration.
+                // The entry was warm-started from a store record without a
+                // usable artifact blob (written before artifact persistence,
+                // or damaged). Re-run the deterministic pipeline once to
+                // regenerate the minimized layers, and keep them for any
+                // later finalization of the same configuration.
+                self.finalize_reruns.fetch_add(1, Ordering::Relaxed);
                 let ctx = EvaluationContext::new(&self.baseline)
                     .with_fine_tune_epochs(self.fine_tune_epochs)
                     .with_tier(self.tier);

@@ -226,6 +226,12 @@ pub struct Figure2Result {
     pub search: SearchResult,
 }
 
+/// Where a Fig. 2 GA checkpoint lives: a file path or a store document.
+enum CheckpointSpec<'a> {
+    File(&'a Path),
+    Doc(&'a str),
+}
+
 /// Driver for Fig. 2.
 #[derive(Debug, Clone)]
 pub struct Figure2Experiment {
@@ -299,13 +305,37 @@ impl Figure2Experiment {
         engine: &EvalEngine,
         checkpoint: &Path,
     ) -> Result<Figure2Result, CoreError> {
-        self.run_impl(engine, Some(checkpoint))
+        self.run_impl(engine, Some(CheckpointSpec::File(checkpoint)))
+    }
+
+    /// Same as [`Figure2Experiment::run_with_checkpoint`], but the GA
+    /// checkpoint lives as the named document `doc_name` in the engine's
+    /// attached store backend (see
+    /// [`EvalEngine::with_backend`](crate::engine::EvalEngine::with_backend)) —
+    /// against a tiered or remote backend the checkpoint replicates to the
+    /// `pmlp-serve` server, so another worker can resume the search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the engine has no store
+    /// attached; otherwise see [`Figure2Experiment::run_with_checkpoint`].
+    pub fn run_with_checkpoint_doc(
+        &self,
+        engine: &EvalEngine,
+        doc_name: &str,
+    ) -> Result<Figure2Result, CoreError> {
+        if engine.store().is_none() {
+            return Err(CoreError::InvalidConfig {
+                context: "run_with_checkpoint_doc needs an engine with an attached store".into(),
+            });
+        }
+        self.run_impl(engine, Some(CheckpointSpec::Doc(doc_name)))
     }
 
     fn run_impl(
         &self,
         engine: &EvalEngine,
-        checkpoint: Option<&Path>,
+        checkpoint: Option<CheckpointSpec<'_>>,
     ) -> Result<Figure2Result, CoreError> {
         let sweeps = sweep_all(engine, &self.effort.sweep_ranges())?;
         let standalone: Vec<FigureSeries> = sweeps
@@ -320,7 +350,13 @@ impl Figure2Experiment {
             // The checkpoint identity is tagged with the baseline fingerprint
             // so a checkpoint written against one baseline (or cost model) is
             // never replayed against a retrained/changed one.
-            Some(path) => searcher.run_resumable_tagged(engine, path, engine.fingerprint())?,
+            Some(CheckpointSpec::File(path)) => {
+                searcher.run_resumable_tagged(engine, path, engine.fingerprint())?
+            }
+            Some(CheckpointSpec::Doc(name)) => {
+                let store = engine.store().expect("checked by run_with_checkpoint_doc");
+                searcher.run_resumable_store(engine, store, name, engine.fingerprint())?
+            }
             None => searcher.run(engine)?,
         };
         if self.effort.verify_finalists() {

@@ -10,16 +10,24 @@
 //!
 //! Long searches are resumable: [`Nsga2::run_resumable`] commits a checkpoint
 //! (population genomes, RNG state, per-generation history and every scored
-//! point) after every generation with an atomic tmp+rename write, and a later
-//! invocation with the same configuration picks up exactly where the previous
-//! process died — reproducing the uninterrupted [`SearchResult`] bit for bit.
+//! point) with an atomic tmp+rename write — **after every evaluation batch**,
+//! not just per generation: once a generation's offspring are bred, the
+//! post-variation RNG state and the pending offspring are checkpointed, and
+//! once their evaluation batch lands the scored points are checkpointed too,
+//! so a process killed anywhere inside a generation resumes mid-generation
+//! and still reproduces the uninterrupted [`SearchResult`] bit for bit.
+//!
+//! Checkpoints can live on a file path or inside any
+//! [`StoreBackend`](crate::store::StoreBackend) document namespace
+//! ([`Nsga2::run_resumable_store`]) — including a remote `pmlp-serve`
+//! instance, so a second machine can pick up an interrupted search.
 
 use crate::engine::Evaluator;
 use crate::error::CoreError;
 use crate::genome::{sparsity_millis, Genome, GenomeSpace};
 use crate::objective::DesignPoint;
 use crate::pareto::{crowding_distances, descending_nan_last, non_dominated_ranks, pareto_front};
-use crate::store::write_atomic;
+use crate::store::{write_atomic, EvalStore};
 use pmlp_minimize::MinimizationConfig;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -148,19 +156,25 @@ impl Nsga2 {
         self.config.validate()?;
         let mut state = self.init_state(evaluator)?;
         while state.history.len() < self.config.generations {
-            self.advance(&mut state, evaluator)?;
+            self.advance(&mut state, evaluator, &mut |_| Ok(()))?;
         }
         Ok(state.into_result())
     }
 
-    /// Runs the search with per-generation checkpointing: after every
-    /// generation the full search state (population genomes, RNG progress,
-    /// history, every scored point) is committed to `checkpoint` with an
-    /// atomic tmp+rename write.
+    /// Runs the search with checkpointing after **every evaluation batch**:
+    /// the full search state (population genomes, RNG progress, history,
+    /// every scored point, plus any pending mid-generation offspring) is
+    /// committed to `checkpoint` with an atomic tmp+rename write — once when
+    /// a generation's offspring are bred (so the consumed RNG state is safe),
+    /// once when their evaluation batch lands, and once when environmental
+    /// selection finishes the generation.
     ///
     /// When `checkpoint` already holds a state written by the **same**
-    /// configuration, the search resumes from it — re-running only the
-    /// missing generations — and produces exactly the [`SearchResult`] the
+    /// configuration, the search resumes from it — mid-generation if that is
+    /// where the previous process died: a checkpoint with pending offspring
+    /// skips the variation step (its randomness is already spent) and
+    /// re-evaluates only what the persistent evaluation store cannot answer.
+    /// The resumed run produces exactly the [`SearchResult`] the
     /// uninterrupted run would have produced, because the checkpoint carries
     /// the RNG state. A checkpoint from a different configuration (or a
     /// corrupt/incompatible file) is ignored and overwritten. A checkpoint
@@ -198,18 +212,46 @@ impl Nsga2 {
         checkpoint: &Path,
         tag: u64,
     ) -> Result<SearchResult, CoreError> {
+        self.run_resumable_impl(evaluator, &CheckpointTarget::File(checkpoint), tag)
+    }
+
+    /// [`Nsga2::run_resumable_tagged`] with the checkpoint stored as a named
+    /// document in an [`EvalStore`]'s backend instead of a file path: against
+    /// a [tiered](crate::store::TieredStore) or remote backend the checkpoint
+    /// replicates to the `pmlp-serve` server, so a *different machine*
+    /// pointed at the same server resumes the search.
+    ///
+    /// # Errors
+    ///
+    /// See [`Nsga2::run_resumable`].
+    pub fn run_resumable_store<E: Evaluator + ?Sized>(
+        &self,
+        evaluator: &E,
+        store: &EvalStore,
+        doc_name: &str,
+        tag: u64,
+    ) -> Result<SearchResult, CoreError> {
+        self.run_resumable_impl(evaluator, &CheckpointTarget::Doc(store, doc_name), tag)
+    }
+
+    fn run_resumable_impl<E: Evaluator + ?Sized>(
+        &self,
+        evaluator: &E,
+        target: &CheckpointTarget<'_>,
+        tag: u64,
+    ) -> Result<SearchResult, CoreError> {
         self.config.validate()?;
-        let mut state = match self.load_checkpoint(checkpoint, tag) {
+        let mut state = match self.load_checkpoint(target, tag) {
             Some(state) => state,
             None => {
                 let state = self.init_state(evaluator)?;
-                self.save_checkpoint(checkpoint, &state, tag)?;
+                self.save_checkpoint(target, &state, tag)?;
                 state
             }
         };
         while state.history.len() < self.config.generations {
-            self.advance(&mut state, evaluator)?;
-            self.save_checkpoint(checkpoint, &state, tag)?;
+            let mut save = |s: &SearchState| self.save_checkpoint(target, s, tag);
+            self.advance(&mut state, evaluator, &mut save)?;
         }
         Ok(state.into_result())
     }
@@ -236,34 +278,54 @@ impl Nsga2 {
             seen,
             history: Vec::with_capacity(self.config.generations),
             rng,
+            pending: None,
         })
     }
 
     /// Runs one generation: variation, evaluation, environmental selection,
-    /// history bookkeeping.
+    /// history bookkeeping. `save` commits the state after each step that
+    /// either consumes randomness or completes an evaluation batch, bounding
+    /// the work a crash can lose to one batch.
     fn advance<E: Evaluator + ?Sized>(
         &self,
         state: &mut SearchState,
         evaluator: &E,
+        save: &mut dyn FnMut(&SearchState) -> Result<(), CoreError>,
     ) -> Result<(), CoreError> {
         let generation = state.history.len();
         let space = &self.config.space;
 
-        // Selection + variation: build an offspring population.
-        let ranks = non_dominated_ranks(&state.evaluated);
-        let crowding = crowding_by_rank(&state.evaluated, &ranks);
-        let mut offspring = Vec::with_capacity(self.config.population);
-        while offspring.len() < self.config.population {
-            let a = self.tournament(&state.population, &ranks, &crowding, &mut state.rng);
-            let b = self.tournament(&state.population, &ranks, &crowding, &mut state.rng);
-            let child = state.population[a]
-                .crossover(&state.population[b], &mut state.rng)
-                .mutate(space, self.config.mutation_rate, &mut state.rng);
-            offspring.push(child);
-        }
+        // Selection + variation: build an offspring population — unless a
+        // mid-generation checkpoint already carries one, in which case its
+        // randomness is spent and re-breeding would diverge from the
+        // uninterrupted run.
+        let offspring = match &state.pending {
+            Some(offspring) => offspring.clone(),
+            None => {
+                let ranks = non_dominated_ranks(&state.evaluated);
+                let crowding = crowding_by_rank(&state.evaluated, &ranks);
+                let mut offspring = Vec::with_capacity(self.config.population);
+                while offspring.len() < self.config.population {
+                    let a = self.tournament(&state.population, &ranks, &crowding, &mut state.rng);
+                    let b = self.tournament(&state.population, &ranks, &crowding, &mut state.rng);
+                    let child = state.population[a]
+                        .crossover(&state.population[b], &mut state.rng)
+                        .mutate(space, self.config.mutation_rate, &mut state.rng);
+                    offspring.push(child);
+                }
+                // Commit the bred offspring and the post-variation RNG state
+                // before evaluating: a crash inside the evaluation batch
+                // resumes here instead of re-rolling the generation.
+                state.pending = Some(offspring.clone());
+                save(state)?;
+                offspring
+            }
+        };
 
         // Evaluate offspring (cached + parallel) and merge with parents.
         let offspring_points = self.evaluate_population(evaluator, &offspring, &mut state.seen)?;
+        // Checkpoint the completed evaluation batch.
+        save(state)?;
         let mut combined_genomes = state.population.clone();
         combined_genomes.extend_from_slice(&offspring);
         let mut combined_points = state.evaluated.clone();
@@ -300,6 +362,10 @@ impl Nsga2 {
                 .fold(f64::INFINITY, f64::min),
             evaluations: state.seen.len(),
         });
+        state.pending = None;
+        // Per-generation checkpoint: selection and history are in, the
+        // pending offspring are consumed.
+        save(state)?;
         Ok(())
     }
 
@@ -346,14 +412,44 @@ impl Nsga2 {
     }
 }
 
-/// Live state of a search between generations: everything needed to continue
-/// (or checkpoint) the run.
+/// Live state of a search between checkpoints: everything needed to continue
+/// the run — including, mid-generation, the bred-but-unselected offspring
+/// whose randomness has already been consumed from `rng`.
 struct SearchState {
     population: Vec<Genome>,
     evaluated: Vec<DesignPoint>,
     seen: BTreeMap<(u8, u32, usize), DesignPoint>,
     history: Vec<GenerationStats>,
     rng: StdRng,
+    /// Offspring of the in-flight generation (`None` between generations).
+    pending: Option<Vec<Genome>>,
+}
+
+/// Where a checkpoint lives: a plain file path, or a named document in a
+/// store backend (which may replicate it to a `pmlp-serve` server).
+enum CheckpointTarget<'a> {
+    File(&'a Path),
+    Doc(&'a EvalStore, &'a str),
+}
+
+impl CheckpointTarget<'_> {
+    fn read(&self) -> Option<String> {
+        match self {
+            CheckpointTarget::File(path) => std::fs::read_to_string(path).ok(),
+            CheckpointTarget::Doc(store, name) => store.get_doc(name).ok().flatten(),
+        }
+    }
+
+    fn write(&self, contents: &str) -> Result<(), CoreError> {
+        match self {
+            CheckpointTarget::File(path) => {
+                write_atomic(path, contents).map_err(|e| CoreError::Store {
+                    context: format!("write checkpoint {}: {e}", path.display()),
+                })
+            }
+            CheckpointTarget::Doc(store, name) => store.put_doc(name, contents),
+        }
+    }
 }
 
 impl SearchState {
@@ -372,8 +468,9 @@ impl SearchState {
 const CHECKPOINT_MAGIC: &str = "pmlp-nsga2-checkpoint";
 
 /// Format version of NSGA-II checkpoint files; bumping it orphans (and
-/// overwrites) old checkpoints instead of misreading them.
-const CHECKPOINT_VERSION: u32 = 1;
+/// overwrites) old checkpoints instead of misreading them. Version 2 added
+/// the mid-generation `pending` offspring section.
+const CHECKPOINT_VERSION: u32 = 2;
 
 /// The genome deduplication key of an already-evaluated configuration — the
 /// inverse of [`Genome::to_config`] as far as [`Genome::key`] is concerned,
@@ -398,8 +495,13 @@ impl Nsga2 {
         fp.finish()
     }
 
-    /// Commits `state` to `path` atomically (tmp+rename).
-    fn save_checkpoint(&self, path: &Path, state: &SearchState, tag: u64) -> Result<(), CoreError> {
+    /// Commits `state` to `target` atomically.
+    fn save_checkpoint(
+        &self,
+        target: &CheckpointTarget<'_>,
+        state: &SearchState,
+        tag: u64,
+    ) -> Result<(), CoreError> {
         let rng_words: Vec<Value> = state
             .rng
             .state()
@@ -417,18 +519,23 @@ impl Nsga2 {
                 ("evaluated".into(), state.evaluated.serialize_value()),
                 ("history".into(), state.history.serialize_value()),
                 ("seen".into(), seen.serialize_value()),
+                (
+                    "pending".into(),
+                    match &state.pending {
+                        Some(offspring) => offspring.serialize_value(),
+                        None => Value::Null,
+                    },
+                ),
             ],
         );
-        write_atomic(path, &value.render_pretty()).map_err(|e| CoreError::Store {
-            context: format!("write checkpoint {}: {e}", path.display()),
-        })
+        target.write(&value.render_pretty())
     }
 
     /// Loads a checkpoint written by this exact configuration; anything else
     /// (missing file, corrupt JSON, other config, other version) yields
     /// `None` so the caller starts fresh.
-    fn load_checkpoint(&self, path: &Path, tag: u64) -> Option<SearchState> {
-        let text = std::fs::read_to_string(path).ok()?;
+    fn load_checkpoint(&self, target: &CheckpointTarget<'_>, tag: u64) -> Option<SearchState> {
+        let text = target.read()?;
         let parsed = json::parse(&text).ok()?;
         let value = crate::store::check_envelope(
             &parsed,
@@ -452,9 +559,16 @@ impl Nsga2 {
             Deserialize::deserialize_value(value.get("history")?).ok()?;
         let seen_points: Vec<DesignPoint> =
             Deserialize::deserialize_value(value.get("seen")?).ok()?;
+        let pending: Option<Vec<Genome>> = match value.get("pending") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(Deserialize::deserialize_value(v).ok()?),
+        };
         if population.len() != self.config.population
             || evaluated.len() != self.config.population
             || history.len() > self.config.generations
+            || pending
+                .as_ref()
+                .is_some_and(|offspring| offspring.len() != self.config.population)
         {
             return None;
         }
@@ -468,6 +582,7 @@ impl Nsga2 {
             seen,
             history,
             rng: StdRng::from_state(rng_state),
+            pending,
         })
     }
 }
@@ -567,6 +682,89 @@ mod tests {
         let resumed = searcher.run_resumable(&MockEvaluator, &path).unwrap();
         assert_eq!(resumed, uninterrupted);
         std::fs::remove_file(&path).ok();
+    }
+
+    /// Counts every evaluation that reaches the inner evaluator.
+    struct CountingEvaluator<E> {
+        inner: E,
+        calls: AtomicUsize,
+    }
+
+    impl<E: Evaluator> Evaluator for CountingEvaluator<E> {
+        fn evaluate(&self, config: &MinimizationConfig) -> Result<DesignPoint, CoreError> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            self.inner.evaluate(config)
+        }
+    }
+
+    #[test]
+    fn mid_generation_crash_resumes_bit_identically_without_restarting() {
+        let path = checkpoint_path("mid-generation");
+        let searcher = mock_search(7, 5);
+        let counting_full = CountingEvaluator {
+            inner: MockEvaluator,
+            calls: AtomicUsize::new(0),
+        };
+        let uninterrupted = searcher.run(&counting_full).unwrap();
+        let full_calls = counting_full.calls.load(Ordering::SeqCst);
+
+        // Kill the search inside a generation's evaluation batch: enough
+        // budget for the initial population plus part of generation 0.
+        let dying = DyingEvaluator {
+            inner: MockEvaluator,
+            remaining: AtomicUsize::new(10),
+        };
+        assert!(searcher.run_resumable(&dying, &path).is_err());
+
+        // The surviving checkpoint is a *mid-generation* one: the bred
+        // offspring (and the consumed RNG state) are in it.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.contains("\"pending\": ["),
+            "checkpoint must carry pending offspring, got: {}",
+            &text[..200.min(text.len())]
+        );
+
+        // Resume: bit-identical result, and strictly fewer evaluations than
+        // a from-scratch run (the checkpointed `seen` answers the initial
+        // population, and variation is not re-rolled).
+        let counting = CountingEvaluator {
+            inner: MockEvaluator,
+            calls: AtomicUsize::new(0),
+        };
+        let resumed = searcher.run_resumable(&counting, &path).unwrap();
+        assert_eq!(resumed, uninterrupted);
+        assert!(
+            counting.calls.load(Ordering::SeqCst) < full_calls,
+            "mid-generation resume must not restart the search ({} vs {full_calls})",
+            counting.calls.load(Ordering::SeqCst)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoints_live_in_any_store_backend_document() {
+        use crate::store::{EvalStore, MemoryBackend};
+        let store = EvalStore::with_backend(Box::new(MemoryBackend::new()), "ga", 0).unwrap();
+        let searcher = mock_search(9, 3);
+        let reference = searcher.run(&MockEvaluator).unwrap();
+        let first = searcher
+            .run_resumable_store(&MockEvaluator, &store, "ga_checkpoint.json", 7)
+            .unwrap();
+        assert_eq!(first, reference);
+        assert!(
+            store.get_doc("ga_checkpoint.json").unwrap().is_some(),
+            "checkpoint document must be committed to the backend"
+        );
+        // A finished checkpoint short-circuits through the document path too.
+        let dead = DyingEvaluator {
+            inner: MockEvaluator,
+            remaining: AtomicUsize::new(0),
+        };
+        let replay = searcher
+            .run_resumable_store(&dead, &store, "ga_checkpoint.json", 7)
+            .unwrap();
+        assert_eq!(replay, first);
     }
 
     #[test]

@@ -1,0 +1,544 @@
+//! The local JSONL directory backend — the historical [`EvalStore`] on-disk
+//! format, extracted behind [`StoreBackend`] bit for bit.
+//!
+//! One append-only `*.jsonl` file per `(dataset name, baseline fingerprint)`
+//! pair, each led by a sealed-envelope header line; appends are single
+//! flushed whole-line writes; replay is corruption-tolerant and compacts
+//! salvaged records back to disk atomically. Documents (checkpoints,
+//! completion markers) are sibling files committed with
+//! [`write_atomic`](crate::store::write_atomic). See the
+//! [store module documentation](crate::store) for the crash-safety story.
+
+use super::backend::{
+    check_doc_name, merge_duplicate_keys, sanitize_name, ScanOutcome, StoreBackend,
+};
+use super::{header_line, header_matches, hex, parse_record_line, record_line, write_atomic};
+use crate::error::CoreError;
+use crate::store::EvalRecord;
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+fn store_err(context: String) -> CoreError {
+    CoreError::Store { context }
+}
+
+/// The append-only JSONL directory tier.
+///
+/// Cheap to construct (one `create_dir_all`); append handles are opened
+/// lazily and cached per record log, so repeated appends cost one `write` +
+/// `flush` each, exactly like the pre-refactor store.
+pub struct LocalJsonlBackend {
+    dir: PathBuf,
+    writers: Mutex<HashMap<PathBuf, fs::File>>,
+}
+
+impl std::fmt::Debug for LocalJsonlBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalJsonlBackend")
+            .field("dir", &self.dir)
+            .finish()
+    }
+}
+
+impl LocalJsonlBackend {
+    /// Opens (creating if needed) the store directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Store`] when the directory cannot be created.
+    pub fn open(dir: &Path) -> Result<Self, CoreError> {
+        fs::create_dir_all(dir).map_err(|e| store_err(format!("create {}: {e}", dir.display())))?;
+        Ok(LocalJsonlBackend {
+            dir: dir.to_path_buf(),
+            writers: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The directory this backend stores into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn file_path(&self, name: &str, fingerprint: u64) -> PathBuf {
+        self.dir.join(format!(
+            "{}_{}.jsonl",
+            sanitize_name(name),
+            hex(fingerprint)
+        ))
+    }
+
+    /// Replays `path`, returning the surviving records and whether the file
+    /// needs a compacting rewrite (corrupt tail, garbled line, foreign
+    /// header). A missing file replays empty *without* scheduling a rewrite —
+    /// reads must never create files (a disk-backed server would otherwise
+    /// grow one empty log per probed fingerprint).
+    fn replay(path: &Path, fingerprint: u64) -> Result<(Vec<EvalRecord>, usize, bool), CoreError> {
+        let mut loaded: Vec<EvalRecord> = Vec::new();
+        let mut dropped = 0usize;
+        let mut needs_rewrite = false;
+        if path.exists() {
+            let text = fs::read_to_string(path)
+                .map_err(|e| store_err(format!("read {}: {e}", path.display())))?;
+            let mut lines = text.lines();
+            match lines.next() {
+                Some(header) if header_matches(header, fingerprint) => {
+                    for line in lines {
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        match parse_record_line(line) {
+                            Ok(record) => loaded.push(record),
+                            Err(_) => {
+                                // Truncated tail (crash mid-append) or garbled
+                                // line: skip it and schedule a compaction.
+                                dropped += 1;
+                                needs_rewrite = true;
+                            }
+                        }
+                    }
+                }
+                // Foreign or incompatible-version header: the file is
+                // unusable as-is; start fresh (atomically).
+                _ => {
+                    dropped += text.lines().count();
+                    needs_rewrite = true;
+                }
+            }
+        }
+        Ok((loaded, dropped, needs_rewrite))
+    }
+
+    /// Writes `records` (plus the header) to `path` atomically.
+    fn rewrite(path: &Path, fingerprint: u64, records: &[EvalRecord]) -> Result<(), CoreError> {
+        let mut contents = header_line(fingerprint);
+        contents.push('\n');
+        for record in records {
+            contents.push_str(&record_line(record));
+            contents.push('\n');
+        }
+        write_atomic(path, &contents)
+            .map_err(|e| store_err(format!("rewrite {}: {e}", path.display())))
+    }
+}
+
+impl StoreBackend for LocalJsonlBackend {
+    fn describe(&self) -> String {
+        format!("local jsonl dir {}", self.dir.display())
+    }
+
+    fn scan(&self, name: &str, fingerprint: u64) -> Result<ScanOutcome, CoreError> {
+        let path = self.file_path(name, fingerprint);
+        // The writers lock is held across replay + rewrite so a compacting
+        // rewrite can never clobber a concurrent append (the server shares
+        // one backend across handler threads).
+        let mut writers = self.writers.lock().expect("writer map lock");
+        let (records, dropped, needs_rewrite) = Self::replay(&path, fingerprint)?;
+        if needs_rewrite {
+            // A rewrite replaces the inode any cached append handle points
+            // at; drop the stale handle so later appends reopen the new file.
+            Self::rewrite(&path, fingerprint, &records)?;
+            writers.remove(&path);
+        }
+        Ok(ScanOutcome { records, dropped })
+    }
+
+    fn append(&self, name: &str, fingerprint: u64, record: &EvalRecord) -> Result<(), CoreError> {
+        let path = self.file_path(name, fingerprint);
+        let mut line = record_line(record);
+        line.push('\n');
+        let mut writers = self.writers.lock().expect("writer map lock");
+        if !writers.contains_key(&path) {
+            // First touch of this log by this backend instance: make sure a
+            // valid header leads the file before appending after it. An
+            // existing file with a foreign/stale header must be salvaged
+            // *now* — appending after a bad header would let the next scan
+            // discard the fresh records along with it.
+            let (records, _, needs_rewrite) = Self::replay(&path, fingerprint)?;
+            if needs_rewrite {
+                Self::rewrite(&path, fingerprint, &records)?;
+            } else if !path.exists() {
+                // Brand-new log: seal the header so a replay can bind the
+                // file to its fingerprint.
+                let mut contents = header_line(fingerprint);
+                contents.push('\n');
+                write_atomic(&path, &contents)
+                    .map_err(|e| store_err(format!("create {}: {e}", path.display())))?;
+            }
+            let file = fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .map_err(|e| store_err(format!("open {} for append: {e}", path.display())))?;
+            writers.insert(path.clone(), file);
+        }
+        let writer = writers.get_mut(&path).expect("cached writer");
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.flush())
+            .map_err(|e| store_err(format!("append to {}: {e}", path.display())))
+    }
+
+    fn compact(&self, name: &str, fingerprint: u64) -> Result<usize, CoreError> {
+        let path = self.file_path(name, fingerprint);
+        let mut writers = self.writers.lock().expect("writer map lock");
+        let (records, _, _) = Self::replay(&path, fingerprint)?;
+        let (merged, removed) = merge_duplicate_keys(records);
+        if removed > 0 {
+            Self::rewrite(&path, fingerprint, &merged)?;
+            writers.remove(&path);
+        }
+        Ok(removed)
+    }
+
+    fn get_doc(&self, name: &str) -> Result<Option<String>, CoreError> {
+        check_doc_name(name)?;
+        match fs::read_to_string(self.dir.join(name)) {
+            Ok(text) => Ok(Some(text)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(store_err(format!("read doc {name}: {e}"))),
+        }
+    }
+
+    fn put_doc(&self, name: &str, contents: &str) -> Result<(), CoreError> {
+        check_doc_name(name)?;
+        write_atomic(&self.dir.join(name), contents)
+            .map_err(|e| store_err(format!("write doc {name}: {e}")))
+    }
+
+    fn remove_doc(&self, name: &str) -> Result<(), CoreError> {
+        check_doc_name(name)?;
+        match fs::remove_file(self.dir.join(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(store_err(format!("remove doc {name}: {e}"))),
+        }
+    }
+
+    fn record_path(&self, name: &str, fingerprint: u64) -> Option<PathBuf> {
+        Some(self.file_path(name, fingerprint))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Garbage collection
+// ---------------------------------------------------------------------------
+
+/// Tuning knobs of [`gc_store_dir`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcPolicy {
+    /// Record logs at or above this size are compacted (duplicate keys
+    /// merged, corrupt lines dropped) even if nothing else is wrong with
+    /// them. Logs below it are only rewritten when duplicates exist.
+    pub compact_threshold_bytes: u64,
+}
+
+impl Default for GcPolicy {
+    fn default() -> Self {
+        GcPolicy {
+            // Quick-campaign record logs are a few KiB; a megabyte means a
+            // long-lived store that has earned a compaction pass.
+            compact_threshold_bytes: 1 << 20,
+        }
+    }
+}
+
+/// What one garbage-collection pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcReport {
+    /// Record logs whose fingerprint matched a live baseline and were kept.
+    pub files_kept: usize,
+    /// Record logs (and stale completion markers) deleted.
+    pub files_dropped: usize,
+    /// Bytes freed by deletions and compactions.
+    pub bytes_reclaimed: u64,
+    /// Duplicate-key records merged away during compaction.
+    pub duplicates_merged: usize,
+    /// Corrupt records dropped during compaction.
+    pub corrupt_dropped: usize,
+}
+
+/// Extracts the trailing `_{16-hex}.jsonl` fingerprint of a record-log file
+/// name.
+fn record_log_fingerprint(file_name: &str) -> Option<u64> {
+    let stem = file_name.strip_suffix(".jsonl")?;
+    let (_, fp) = stem.rsplit_once('_')?;
+    (fp.len() == 16).then(|| u64::from_str_radix(fp, 16).ok())?
+}
+
+/// Extracts the envelope fingerprint of a `done_*.json` completion marker.
+fn marker_fingerprint(path: &Path) -> Option<u64> {
+    let parsed = serde::json::parse(&fs::read_to_string(path).ok()?).ok()?;
+    super::parse_hex(parsed.get("fingerprint")?).ok()
+}
+
+/// Garbage-collects a local store directory:
+///
+/// * record logs whose baseline fingerprint is not in `live_fingerprints`
+///   are deleted (their baseline no longer exists, so no engine can ever
+///   warm-start from them again),
+/// * surviving logs have duplicate keys merged, and logs at or above
+///   [`GcPolicy::compact_threshold_bytes`] are compacted unconditionally,
+/// * `done_*.json` completion markers bound to a dead baseline fingerprint
+///   are deleted too.
+///
+/// Checkpoint documents and unrelated files are left untouched.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Store`] when the directory cannot be read or a
+/// rewrite fails; per-file deletions that race with other processes are
+/// ignored.
+pub fn gc_store_dir(
+    dir: &Path,
+    live_fingerprints: &[u64],
+    policy: &GcPolicy,
+) -> Result<GcReport, CoreError> {
+    let mut report = GcReport::default();
+    let entries =
+        fs::read_dir(dir).map_err(|e| store_err(format!("read {}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| store_err(format!("read {}: {e}", dir.display())))?;
+        let path = entry.path();
+        let Some(file_name) = path.file_name().and_then(|n| n.to_str()).map(String::from) else {
+            continue;
+        };
+        let size = entry.metadata().map(|m| m.len()).unwrap_or(0);
+
+        if let Some(fp) = record_log_fingerprint(&file_name) {
+            if !live_fingerprints.contains(&fp) {
+                fs::remove_file(&path).ok();
+                report.files_dropped += 1;
+                report.bytes_reclaimed += size;
+                continue;
+            }
+            report.files_kept += 1;
+            let (records, corrupt, damaged) = LocalJsonlBackend::replay(&path, fp)?;
+            let (merged, removed) = merge_duplicate_keys(records);
+            if removed > 0 || damaged || size >= policy.compact_threshold_bytes {
+                LocalJsonlBackend::rewrite(&path, fp, &merged)?;
+                let new_size = fs::metadata(&path).map(|m| m.len()).unwrap_or(size);
+                report.bytes_reclaimed += size.saturating_sub(new_size);
+                report.duplicates_merged += removed;
+                report.corrupt_dropped += corrupt;
+            }
+        } else if file_name.starts_with("done_") && file_name.ends_with(".json") {
+            // Completion markers carry the baseline fingerprint they were
+            // measured against in their envelope; a dead baseline means the
+            // marker can never be resumed again.
+            match marker_fingerprint(&path) {
+                Some(fp) if !live_fingerprints.contains(&fp) => {
+                    fs::remove_file(&path).ok();
+                    report.files_dropped += 1;
+                    report.bytes_reclaimed += size;
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::{record, temp_dir};
+    use super::*;
+
+    #[test]
+    fn scan_of_a_missing_log_is_empty_and_creates_nothing() {
+        // Reads must never write: a disk-backed server would otherwise grow
+        // one empty log per probed fingerprint.
+        let dir = temp_dir("jsonl-create");
+        let backend = LocalJsonlBackend::open(&dir).unwrap();
+        let outcome = backend.scan("Seeds", 7).unwrap();
+        assert!(outcome.records.is_empty());
+        let path = backend.record_path("Seeds", 7).unwrap();
+        assert!(!path.exists(), "a read-only scan must not create files");
+        // The header still gets sealed by the first append.
+        backend.append("Seeds", 7, &record(4, 0.8, 40.0)).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(header_matches(text.lines().next().unwrap(), 7));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_without_prior_scan_seals_a_header_first() {
+        let dir = temp_dir("jsonl-append-first");
+        let backend = LocalJsonlBackend::open(&dir).unwrap();
+        backend.append("Seeds", 9, &record(4, 0.8, 40.0)).unwrap();
+        let outcome = backend.scan("Seeds", 9).unwrap();
+        assert_eq!(outcome.records, vec![record(4, 0.8, 40.0)]);
+        assert_eq!(outcome.dropped, 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_salvages_a_foreign_header_before_writing() {
+        // Appending after a stale/foreign header would let the next scan
+        // discard the fresh record together with the bad file.
+        let dir = temp_dir("jsonl-foreign-append");
+        std::fs::create_dir_all(&dir).unwrap();
+        let backend = LocalJsonlBackend::open(&dir).unwrap();
+        let path = backend.record_path("Seeds", 3).unwrap();
+        fs::write(&path, "{\"magic\":\"something-else\"}\nold garbage\n").unwrap();
+
+        let fresh = record(4, 0.8, 40.0);
+        backend.append("Seeds", 3, &fresh).unwrap();
+        let outcome = backend.scan("Seeds", 3).unwrap();
+        assert_eq!(outcome.records, vec![fresh], "fresh record must survive");
+        assert_eq!(outcome.dropped, 0, "the bad file was salvaged on append");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn get_answers_by_key_with_last_write_winning() {
+        let dir = temp_dir("jsonl-get");
+        let backend = LocalJsonlBackend::open(&dir).unwrap();
+        let first = record(4, 0.8, 40.0);
+        let mut second = record(4, 0.8, 40.0);
+        second.point.accuracy = 0.81;
+        backend.append("Seeds", 1, &first).unwrap();
+        backend.append("Seeds", 1, &second).unwrap();
+        let got = backend.get("Seeds", 1, &first.key).unwrap();
+        assert_eq!(got, Some(second));
+        assert_eq!(
+            backend.get("Seeds", 1, &record(7, 0.9, 9.0).key).unwrap(),
+            None
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_merges_duplicate_keys_keeping_the_last() {
+        let dir = temp_dir("jsonl-compact");
+        let backend = LocalJsonlBackend::open(&dir).unwrap();
+        let a = record(3, 0.7, 30.0);
+        let mut a2 = a.clone();
+        a2.point.accuracy = 0.72;
+        let b = record(4, 0.8, 40.0);
+        for r in [&a, &b, &a2] {
+            backend.append("Seeds", 5, r).unwrap();
+        }
+        assert_eq!(backend.compact("Seeds", 5).unwrap(), 1);
+        let outcome = backend.scan("Seeds", 5).unwrap();
+        assert_eq!(outcome.records, vec![a2, b]);
+        // Idempotent.
+        assert_eq!(backend.compact("Seeds", 5).unwrap(), 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn appends_remain_valid_after_a_compacting_rewrite() {
+        // A rewrite swaps the file's inode; cached append handles must not
+        // keep writing to the orphaned one.
+        let dir = temp_dir("jsonl-inode");
+        let backend = LocalJsonlBackend::open(&dir).unwrap();
+        let a = record(3, 0.7, 30.0);
+        backend.append("Seeds", 5, &a).unwrap();
+        backend.append("Seeds", 5, &a).unwrap(); // duplicate
+        assert_eq!(backend.compact("Seeds", 5).unwrap(), 1);
+        let b = record(4, 0.8, 40.0);
+        backend.append("Seeds", 5, &b).unwrap();
+        let outcome = backend.scan("Seeds", 5).unwrap();
+        assert_eq!(outcome.records, vec![a, b]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn docs_round_trip_and_reject_unsafe_names() {
+        let dir = temp_dir("jsonl-docs");
+        let backend = LocalJsonlBackend::open(&dir).unwrap();
+        assert_eq!(backend.get_doc("marker.json").unwrap(), None);
+        backend.put_doc("marker.json", "{\"x\":1}").unwrap();
+        assert_eq!(
+            backend.get_doc("marker.json").unwrap().as_deref(),
+            Some("{\"x\":1}")
+        );
+        backend.remove_doc("marker.json").unwrap();
+        assert_eq!(backend.get_doc("marker.json").unwrap(), None);
+        backend.remove_doc("marker.json").unwrap(); // idempotent
+        assert!(backend.put_doc("../escape", "x").is_err());
+        assert!(backend.get_doc("a/b").is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_drops_dead_fingerprints_and_compacts_live_ones() {
+        let dir = temp_dir("jsonl-gc");
+        let backend = LocalJsonlBackend::open(&dir).unwrap();
+        let live = record(3, 0.7, 30.0);
+        backend.append("Seeds", 0xA11CE, &live).unwrap();
+        backend.append("Seeds", 0xA11CE, &live).unwrap(); // duplicate
+        backend
+            .append("Seeds", 0xDEAD, &record(4, 0.8, 40.0))
+            .unwrap();
+        backend
+            .append("Balance", 0xDEAD, &record(5, 0.9, 50.0))
+            .unwrap();
+
+        let report = gc_store_dir(&dir, &[0xA11CE], &GcPolicy::default()).unwrap();
+        assert_eq!(report.files_kept, 1);
+        assert_eq!(report.files_dropped, 2);
+        assert_eq!(report.duplicates_merged, 1);
+        assert!(report.bytes_reclaimed > 0);
+
+        // The dead logs are gone; the live one survived with merged keys.
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names.len(), 1);
+        assert!(names[0].starts_with("seeds_"));
+        let outcome = backend.scan("Seeds", 0xA11CE).unwrap();
+        assert_eq!(outcome.records, vec![live]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_drops_markers_of_dead_baselines_only() {
+        let dir = temp_dir("jsonl-gc-markers");
+        let backend = LocalJsonlBackend::open(&dir).unwrap();
+        let marker = |fp: u64| {
+            super::super::seal_envelope("pmlp-campaign-marker", 1, fp, Vec::new()).render_pretty()
+        };
+        backend
+            .put_doc("done_seeds_0001.json", &marker(0xA))
+            .unwrap();
+        backend
+            .put_doc("done_balance_0002.json", &marker(0xB))
+            .unwrap();
+        backend
+            .put_doc("fig2_seeds_nsga2.json", "{\"unrelated\":true}")
+            .unwrap();
+
+        let report = gc_store_dir(&dir, &[0xA], &GcPolicy::default()).unwrap();
+        assert_eq!(report.files_dropped, 1);
+        assert!(backend.get_doc("done_seeds_0001.json").unwrap().is_some());
+        assert!(backend.get_doc("done_balance_0002.json").unwrap().is_none());
+        // Checkpoints are never GC'd (their fingerprints are config hashes,
+        // not baseline identities).
+        assert!(backend.get_doc("fig2_seeds_nsga2.json").unwrap().is_some());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_size_trigger_compacts_large_logs() {
+        let dir = temp_dir("jsonl-gc-size");
+        let backend = LocalJsonlBackend::open(&dir).unwrap();
+        let r = record(3, 0.7, 30.0);
+        for _ in 0..20 {
+            backend.append("Seeds", 0xF00, &r).unwrap();
+        }
+        let path = backend.record_path("Seeds", 0xF00).unwrap();
+        let before = fs::metadata(&path).unwrap().len();
+        // Threshold below the current size forces the compaction.
+        let policy = GcPolicy {
+            compact_threshold_bytes: 1,
+        };
+        let report = gc_store_dir(&dir, &[0xF00], &policy).unwrap();
+        assert_eq!(report.duplicates_merged, 19);
+        assert!(fs::metadata(&path).unwrap().len() < before);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,33 +1,42 @@
-//! Persistent, crash-safe evaluation store: survives process death so that
-//! campaigns, CI runs and figure regenerations never pay for the same
-//! candidate evaluation twice.
+//! Layered, crash-safe persistence for candidate evaluations: campaigns, CI
+//! runs and figure regenerations never pay for the same evaluation twice —
+//! not on this machine, and (with a remote tier) not on any machine.
 //!
 //! Every candidate evaluation in this workspace is deterministic and keyed by
 //! a canonical [`EvalKey`] (quantization bits, sparsity grid cell, cluster
-//! count, input precision, fine-tuning budget, RNG salt). The
-//! [`EvalEngine`](crate::engine::EvalEngine) memoizes those evaluations in
-//! memory; an [`EvalStore`] extends that memo across processes:
+//! count, input precision, fine-tuning budget, RNG salt) under a
+//! [`BaselineDesign::fingerprint`](crate::baseline::BaselineDesign::fingerprint).
+//! That `(fingerprint, key)` pair is a **content address**: the persistence
+//! subsystem stores scored design points (plus compressed finalization
+//! artifacts) under it, behind the [`StoreBackend`] trait:
 //!
-//! * **append-only JSONL log** — one header line binding the file to a
-//!   [`BaselineDesign::fingerprint`](crate::baseline::BaselineDesign::fingerprint),
-//!   then one record per evaluated design point. Appends are single
-//!   `write` + `flush` calls of whole lines, so a crash can only ever
-//!   truncate the final record;
-//! * **corruption-tolerant replay** — [`EvalStore::open`] skips a truncated
-//!   or garbled tail record (and any mid-file garbage) instead of failing,
-//!   then **compacts** the salvaged records back to disk with an atomic
-//!   tmp+rename commit so the file is clean again;
-//! * **fingerprint invalidation** — the store directory holds one file per
-//!   `(dataset, baseline fingerprint)` pair; retraining the baseline under a
-//!   different budget produces a different fingerprint and therefore a fresh
-//!   file, so stale results can never leak into a new campaign;
-//! * **versioning** — a [`STORE_VERSION`] bump makes old files unreadable by
-//!   design: they are ignored and rewritten rather than misparsed.
+//! * [`LocalJsonlBackend`] — the historical on-disk format: one append-only
+//!   JSONL log per `(dataset, fingerprint)` pair, a sealed-envelope header
+//!   line, single flushed whole-line appends (a crash can only truncate the
+//!   final record), corruption-tolerant replay that compacts salvaged
+//!   records back with an atomic tmp+rename commit;
+//! * [`MemoryBackend`] — an in-process map for tests and for the
+//!   `pmlp-serve` server's default state;
+//! * [`RemoteBackend`] — an HTTP/1.1 client for a `pmlp-serve`
+//!   evaluation-cache server, speaking the same sealed-envelope JSONL wire
+//!   format;
+//! * [`TieredStore`] — local-as-write-through-cache over remote: scans fill
+//!   the local cache from the server, appends land locally and replicate to
+//!   the server, and a killed server degrades the composition to local-only
+//!   instead of failing the run.
 //!
-//! The same atomic-commit primitive ([`write_atomic`]) backs the NSGA-II
-//! per-generation checkpoints ([`crate::nsga2::Nsga2::run_resumable`]) and
-//! the campaign's per-dataset completion markers
-//! ([`crate::campaign::CampaignConfig::store_dir`]).
+//! [`EvalStore`] binds a backend to one `(dataset name, fingerprint)` pair —
+//! the view an [`EvalEngine`](crate::engine::EvalEngine) warm-starts from and
+//! appends to. Backends also carry named *documents* (NSGA-II checkpoints,
+//! campaign completion markers), so resumable searches work identically
+//! against every tier. [`EvalStore::gc`] garbage-collects a local store
+//! directory: logs of dead baselines are dropped, duplicate keys merged, and
+//! oversized logs compacted.
+//!
+//! Versioning: a [`STORE_VERSION`] bump makes old files unreadable by design —
+//! they are ignored and rewritten rather than misparsed. The same atomic
+//! commit primitive ([`write_atomic`]) backs NSGA-II checkpoints
+//! ([`crate::nsga2::Nsga2::run_resumable`]) and campaign completion markers.
 //!
 //! # Example
 //!
@@ -48,30 +57,72 @@
 //!     .with_store(Path::new("target/eval-store"))?;
 //! engine.evaluate(&MinimizationConfig::default().with_weight_bits(4))?;
 //! assert_eq!(engine.stats().misses, 0);
+//!
+//! // Sharing across machines: compose the local cache over a pmlp-serve
+//! // instance. Records stream in from the server on warm start and every
+//! // local miss replicates back to it.
+//! use pmlp_core::store::open_backend;
+//! let backend = open_backend(
+//!     Some(Path::new("target/eval-store")),
+//!     Some("http://127.0.0.1:7878"),
+//! )?
+//! .expect("a tier was configured");
+//! let engine = EvalEngine::train(UciDataset::Seeds, 42)?.with_backend(backend)?;
 //! # Ok(())
 //! # }
 //! ```
 
+mod backend;
+mod codec;
+mod jsonl;
+mod memory;
+mod remote;
+mod tiered;
+
+pub use backend::{safe_component, sanitize_name, ScanOutcome, StoreBackend};
+pub use codec::{decode_artifacts, encode_artifacts};
+pub use jsonl::{gc_store_dir, GcPolicy, GcReport, LocalJsonlBackend};
+pub use memory::MemoryBackend;
+pub use remote::RemoteBackend;
+pub use tiered::{TieredStats, TieredStore};
+
 use crate::engine::EvalKey;
 use crate::error::CoreError;
 use crate::objective::{DesignPoint, SynthesisTier};
+use pmlp_hw::SharingStrategy;
+use pmlp_minimize::IntegerLayer;
 use serde::json::{self, Value};
 use serde::{Deserialize, Serialize};
 use std::fs;
-use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
 
 /// Format version of the store's JSONL record log. Files written under a
 /// different version are ignored (and rewritten) on open, never misparsed.
+/// The optional per-record `artifacts` blob is a backward-compatible
+/// extension of the version-1 format — blob-less records parse as
+/// point-only — so adding it did **not** bump the version: existing stores
+/// keep warm-starting.
 pub const STORE_VERSION: u32 = 1;
 
 /// Magic string of the store header line.
 const STORE_MAGIC: &str = "pmlp-eval-store";
 
+/// The artifacts finalization needs, persisted next to a hot design point so
+/// that [`EvalEngine::finalize`](crate::engine::EvalEngine::finalize) of a
+/// store-warmed Pareto finalist runs full synthesis directly instead of
+/// re-running the whole minimization pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalArtifacts {
+    /// The minimized integer layers of the candidate.
+    pub layers: Vec<IntegerLayer>,
+    /// The multiplier-sharing strategy its hardware cost was measured under.
+    pub sharing: SharingStrategy,
+}
+
 /// One persisted evaluation: the canonical cache key, the hardware-model tier
 /// that produced it (the two tiers are bit-for-bit identical, recorded for
-/// the audit trail) and the scored design point.
+/// the audit trail), the scored design point and, when available, the
+/// compressed finalization artifacts.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EvalRecord {
     /// Canonical identity of the evaluated configuration under its engine.
@@ -80,6 +131,10 @@ pub struct EvalRecord {
     pub tier: SynthesisTier,
     /// The scored design point.
     pub point: DesignPoint,
+    /// Minimized layers + sharing strategy (`None` for records written
+    /// before artifact persistence, or whose blob failed to decode — the
+    /// engine then regenerates them on demand).
+    pub artifacts: Option<EvalArtifacts>,
 }
 
 /// Incremental FNV-1a hasher behind baseline fingerprints and checkpoint
@@ -133,12 +188,12 @@ pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
 /// Renders a `u64` as the fixed-width hex string used in store headers and
 /// record salts (JSON numbers are `f64` in this workspace's serializer, which
 /// cannot represent every `u64` exactly).
-fn hex(v: u64) -> String {
+pub(crate) fn hex(v: u64) -> String {
     format!("{v:016x}")
 }
 
 /// Parses a [`hex`]-formatted field.
-fn parse_hex(value: &Value) -> Result<u64, json::Error> {
+pub(crate) fn parse_hex(value: &Value) -> Result<u64, json::Error> {
     let text = value
         .as_str()
         .ok_or_else(|| json::Error::custom("expected hex string"))?;
@@ -178,13 +233,15 @@ pub(crate) fn check_envelope<'v>(
     Some(value)
 }
 
-fn header_line(fingerprint: u64) -> String {
+/// Renders the sealed-envelope header line binding a record log (on disk or
+/// on the wire) to `fingerprint` at the current [`STORE_VERSION`].
+pub fn header_line(fingerprint: u64) -> String {
     seal_envelope(STORE_MAGIC, STORE_VERSION, fingerprint, Vec::new()).render_compact()
 }
 
 /// `true` when `line` is a valid header for `fingerprint` at the current
 /// store version.
-fn header_matches(line: &str, fingerprint: u64) -> bool {
+pub fn header_matches(line: &str, fingerprint: u64) -> bool {
     json::parse(line)
         .ok()
         .and_then(|value| {
@@ -193,7 +250,9 @@ fn header_matches(line: &str, fingerprint: u64) -> bool {
         .is_some()
 }
 
-fn record_to_line(record: &EvalRecord) -> String {
+/// Renders one record as its canonical single-line JSON wire form — the
+/// format of local record logs and of `pmlp-serve` scan/append bodies alike.
+pub fn record_line(record: &EvalRecord) -> String {
     let key = Value::Object(vec![
         (
             "weight_bits".into(),
@@ -214,15 +273,35 @@ fn record_to_line(record: &EvalRecord) -> String {
         ),
         ("salt".into(), Value::String(hex(record.key.salt))),
     ]);
-    Value::Object(vec![
+    let mut entries = vec![
         ("key".into(), key),
         ("tier".into(), record.tier.serialize_value()),
         ("point".into(), record.point.serialize_value()),
-    ])
-    .render_compact()
+    ];
+    if let Some(artifacts) = &record.artifacts {
+        entries.push((
+            "artifacts".into(),
+            Value::String(encode_artifacts(&artifacts.layers, artifacts.sharing)),
+        ));
+    }
+    Value::Object(entries).render_compact()
 }
 
-fn record_from_line(line: &str) -> Result<EvalRecord, json::Error> {
+/// Parses a line written by [`record_line`]. A missing or undecodable
+/// `artifacts` blob yields a record without artifacts (the design point is
+/// the scientific payload; artifacts are a regenerable optimization), while
+/// a damaged key/point is an error the caller counts as a dropped record.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Store`] for malformed JSON or a damaged key/point.
+pub fn parse_record_line(line: &str) -> Result<EvalRecord, CoreError> {
+    record_from_line_inner(line).map_err(|e| CoreError::Store {
+        context: format!("bad record line: {e}"),
+    })
+}
+
+fn record_from_line_inner(line: &str) -> Result<EvalRecord, json::Error> {
     let value = json::parse(line)?;
     let key_value = value.field("key")?;
     let key = EvalKey {
@@ -233,23 +312,60 @@ fn record_from_line(line: &str) -> Result<EvalRecord, json::Error> {
         fine_tune_epochs: usize::deserialize_value(key_value.field("fine_tune_epochs")?)?,
         salt: parse_hex(key_value.field("salt")?)?,
     };
+    let artifacts = value
+        .get("artifacts")
+        .and_then(Value::as_str)
+        .and_then(decode_artifacts)
+        .map(|(layers, sharing)| EvalArtifacts { layers, sharing });
     Ok(EvalRecord {
         key,
         tier: SynthesisTier::deserialize_value(value.field("tier")?)?,
         point: DesignPoint::deserialize_value(value.field("point")?)?,
+        artifacts,
     })
 }
 
-/// The on-disk half of the evaluation cache: an append-only JSONL record log
-/// bound to one baseline fingerprint.
+/// Composes a [`StoreBackend`] from the two optional tiers every driver and
+/// binary exposes: a local directory (`--store DIR`) and/or a remote
+/// `pmlp-serve` URL (`--remote-store URL`).
+///
+/// | local | remote | result |
+/// |-------|--------|--------|
+/// | — | — | `None` (in-memory caching only) |
+/// | dir | — | [`LocalJsonlBackend`] |
+/// | — | url | [`RemoteBackend`] |
+/// | dir | url | [`TieredStore`] (local cache over the server) |
+///
+/// # Errors
+///
+/// Returns [`CoreError::Store`] when the directory cannot be created or the
+/// URL is malformed.
+pub fn open_backend(
+    local_dir: Option<&Path>,
+    remote_url: Option<&str>,
+) -> Result<Option<Box<dyn StoreBackend>>, CoreError> {
+    match (local_dir, remote_url) {
+        (None, None) => Ok(None),
+        (Some(dir), None) => Ok(Some(Box::new(LocalJsonlBackend::open(dir)?))),
+        (None, Some(url)) => Ok(Some(Box::new(RemoteBackend::new(url)?))),
+        (Some(dir), Some(url)) => Ok(Some(Box::new(TieredStore::new(
+            Box::new(LocalJsonlBackend::open(dir)?),
+            Box::new(RemoteBackend::new(url)?),
+        )))),
+    }
+}
+
+/// A backend bound to one `(dataset name, baseline fingerprint)` pair: the
+/// view an engine warm-starts from and appends to, plus the document
+/// namespace its searches checkpoint into.
 ///
 /// See the [module documentation](self) for the format and crash-safety
 /// guarantees. Appends are internally synchronized; one store is shared by
 /// all worker threads of its engine.
 pub struct EvalStore {
-    path: PathBuf,
+    name: String,
     fingerprint: u64,
-    writer: Mutex<fs::File>,
+    backend: Box<dyn StoreBackend>,
     loaded: Vec<EvalRecord>,
     dropped: usize,
 }
@@ -257,7 +373,8 @@ pub struct EvalStore {
 impl std::fmt::Debug for EvalStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EvalStore")
-            .field("path", &self.path)
+            .field("backend", &self.backend.describe())
+            .field("name", &self.name)
             .field("fingerprint", &hex(self.fingerprint))
             .field("loaded", &self.loaded.len())
             .field("dropped", &self.dropped)
@@ -266,8 +383,9 @@ impl std::fmt::Debug for EvalStore {
 }
 
 impl EvalStore {
-    /// Opens (or creates) the record log for `(name, fingerprint)` inside
-    /// `dir` and replays its surviving records.
+    /// Opens (or creates) the local record log for `(name, fingerprint)`
+    /// inside `dir` and replays its surviving records — the historical
+    /// single-machine store.
     ///
     /// Replay is corruption-tolerant: a truncated final record — the only
     /// damage a crashed append can cause — is skipped, as is any garbled
@@ -280,99 +398,52 @@ impl EvalStore {
     /// Returns [`CoreError::Store`] when the directory or file cannot be
     /// created, read or rewritten.
     pub fn open(dir: &Path, name: &str, fingerprint: u64) -> Result<Self, CoreError> {
-        let to_store_err = |context: String| CoreError::Store { context };
-        fs::create_dir_all(dir)
-            .map_err(|e| to_store_err(format!("create {}: {e}", dir.display())))?;
-        let file_name = format!(
-            "{}_{}.jsonl",
-            name.to_lowercase().replace([' ', '/'], "-"),
-            hex(fingerprint)
-        );
-        let path = dir.join(file_name);
+        Self::with_backend(Box::new(LocalJsonlBackend::open(dir)?), name, fingerprint)
+    }
 
-        let mut loaded: Vec<EvalRecord> = Vec::new();
-        let mut dropped = 0usize;
-        let mut needs_rewrite = true;
-        if path.exists() {
-            let text = fs::read_to_string(&path)
-                .map_err(|e| to_store_err(format!("read {}: {e}", path.display())))?;
-            let mut lines = text.lines();
-            match lines.next() {
-                Some(header) if header_matches(header, fingerprint) => {
-                    needs_rewrite = false;
-                    for line in lines {
-                        if line.trim().is_empty() {
-                            continue;
-                        }
-                        match record_from_line(line) {
-                            Ok(record) => loaded.push(record),
-                            Err(_) => {
-                                // Truncated tail (crash mid-append) or garbled
-                                // line: skip it and schedule a compaction.
-                                dropped += 1;
-                                needs_rewrite = true;
-                            }
-                        }
-                    }
-                }
-                // Missing, foreign or incompatible-version header: the file
-                // is unusable as-is; start fresh (atomically) below.
-                _ => dropped += text.lines().count(),
-            }
-        }
-
-        if needs_rewrite {
-            let mut contents = header_line(fingerprint);
-            contents.push('\n');
-            for record in &loaded {
-                contents.push_str(&record_to_line(record));
-                contents.push('\n');
-            }
-            write_atomic(&path, &contents)
-                .map_err(|e| to_store_err(format!("rewrite {}: {e}", path.display())))?;
-        }
-
-        let writer = fs::OpenOptions::new()
-            .append(true)
-            .open(&path)
-            .map_err(|e| to_store_err(format!("open {} for append: {e}", path.display())))?;
+    /// Binds any [`StoreBackend`] to `(name, fingerprint)` and replays its
+    /// records (for a [`TieredStore`] this is also the moment the local cache
+    /// fills from the server).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Store`] when the backend's scan fails.
+    pub fn with_backend(
+        backend: Box<dyn StoreBackend>,
+        name: &str,
+        fingerprint: u64,
+    ) -> Result<Self, CoreError> {
+        let outcome = backend.scan(name, fingerprint)?;
         Ok(EvalStore {
-            path,
+            name: name.to_string(),
             fingerprint,
-            writer: Mutex::new(writer),
-            loaded,
-            dropped,
+            backend,
+            loaded: outcome.records,
+            dropped: outcome.dropped,
         })
     }
 
-    /// Takes the records replayed by [`EvalStore::open`], leaving the store
-    /// ready for appends. The engine feeds these into its in-memory cache.
+    /// Takes the records replayed at construction, leaving the store ready
+    /// for appends. The engine feeds these into its in-memory cache.
     pub fn warm_start(&mut self) -> Vec<EvalRecord> {
         std::mem::take(&mut self.loaded)
     }
 
     /// Appends one record to the log as a single flushed line, so a crash
     /// can lose at most this record (and only by truncation, which the next
-    /// [`EvalStore::open`] tolerates).
+    /// replay tolerates).
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::Store`] when the write fails.
     pub fn append(&self, record: &EvalRecord) -> Result<(), CoreError> {
-        let mut line = record_to_line(record);
-        line.push('\n');
-        let mut writer = self.writer.lock().expect("store writer lock");
-        writer
-            .write_all(line.as_bytes())
-            .and_then(|()| writer.flush())
-            .map_err(|e| CoreError::Store {
-                context: format!("append to {}: {e}", self.path.display()),
-            })
+        self.backend.append(&self.name, self.fingerprint, record)
     }
 
-    /// Path of the record log on disk.
-    pub fn path(&self) -> &Path {
-        &self.path
+    /// Path of the record log on disk, for backends that have one (`None`
+    /// for memory and remote tiers).
+    pub fn path(&self) -> Option<PathBuf> {
+        self.backend.record_path(&self.name, self.fingerprint)
     }
 
     /// The baseline fingerprint this store is bound to.
@@ -380,19 +451,74 @@ impl EvalStore {
         self.fingerprint
     }
 
-    /// Number of corrupt records skipped during the last
-    /// [`EvalStore::open`] replay.
+    /// The dataset label this store is bound to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of corrupt records skipped during the construction replay.
     pub fn dropped_records(&self) -> usize {
         self.dropped
+    }
+
+    /// The backend this store writes through.
+    pub fn backend(&self) -> &dyn StoreBackend {
+        self.backend.as_ref()
+    }
+
+    /// Reads a named document (checkpoint, completion marker) from the
+    /// backend; `None` when it does not exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Store`] when the backend fails.
+    pub fn get_doc(&self, name: &str) -> Result<Option<String>, CoreError> {
+        self.backend.get_doc(name)
+    }
+
+    /// Writes (atomically replacing) a named document through the backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Store`] when the backend fails.
+    pub fn put_doc(&self, name: &str, contents: &str) -> Result<(), CoreError> {
+        self.backend.put_doc(name, contents)
+    }
+
+    /// Deletes a named document; a missing document is not an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Store`] when the backend fails.
+    pub fn remove_doc(&self, name: &str) -> Result<(), CoreError> {
+        self.backend.remove_doc(name)
+    }
+
+    /// Garbage-collects a local store directory: record logs (and completion
+    /// markers) bound to a baseline fingerprint not in `live_fingerprints`
+    /// are deleted, duplicate keys are merged, and logs at or above the
+    /// policy's size threshold are compacted. See [`gc_store_dir`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Store`] when the directory cannot be read or a
+    /// rewrite fails.
+    pub fn gc(
+        dir: &Path,
+        live_fingerprints: &[u64],
+        policy: &GcPolicy,
+    ) -> Result<GcReport, CoreError> {
+        gc_store_dir(dir, live_fingerprints, policy)
     }
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use pmlp_minimize::MinimizationConfig;
 
-    fn record(bits: u8, accuracy: f64, area: f64) -> EvalRecord {
+    /// Shared test fixture: a record with a distinctive key and point.
+    pub(crate) fn record(bits: u8, accuracy: f64, area: f64) -> EvalRecord {
         let config = MinimizationConfig::default().with_weight_bits(bits);
         EvalRecord {
             key: EvalKey {
@@ -414,10 +540,12 @@ mod tests {
                 sparsity: 0.0,
                 gate_count: (area * 7.0) as usize,
             },
+            artifacts: None,
         }
     }
 
-    fn temp_dir(tag: &str) -> PathBuf {
+    /// Shared test fixture: a unique temp directory per test.
+    pub(crate) fn temp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
             "pmlp-store-test-{tag}-{}-{:?}",
             std::process::id(),
@@ -425,6 +553,20 @@ mod tests {
         ));
         std::fs::remove_dir_all(&dir).ok();
         dir
+    }
+
+    fn record_with_artifacts(bits: u8) -> EvalRecord {
+        let mut r = record(bits, 0.85, 50.0);
+        r.artifacts = Some(EvalArtifacts {
+            layers: vec![IntegerLayer {
+                codes: vec![vec![1, -2, 3], vec![0, 0, 4]],
+                bias_codes: vec![-1, 2],
+                scale: 0.125,
+                weight_bits: bits,
+            }],
+            sharing: SharingStrategy::SharedPerInput,
+        });
+        r
     }
 
     #[test]
@@ -445,6 +587,36 @@ mod tests {
         assert_eq!(store.dropped_records(), 0);
         assert_eq!(store.warm_start(), records);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn artifacts_travel_with_their_records() {
+        let dir = temp_dir("artifacts");
+        let records = vec![record_with_artifacts(4), record(5, 0.9, 70.0)];
+        {
+            let store = EvalStore::open(&dir, "Seeds", 0xF00D).unwrap();
+            for r in &records {
+                store.append(r).unwrap();
+            }
+        }
+        let mut store = EvalStore::open(&dir, "Seeds", 0xF00D).unwrap();
+        let replayed = store.warm_start();
+        assert_eq!(replayed, records);
+        assert!(replayed[0].artifacts.is_some());
+        assert!(replayed[1].artifacts.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_corrupt_artifact_blob_degrades_to_a_point_only_record() {
+        let with = record_with_artifacts(4);
+        let line = record_line(&with).replace("artifacts\":\"", "artifacts\":\"!corrupt!");
+        let parsed = parse_record_line(&line).unwrap();
+        assert_eq!(parsed.point, with.point);
+        assert_eq!(
+            parsed.artifacts, None,
+            "blob damage must not drop the point"
+        );
     }
 
     #[test]
@@ -475,7 +647,7 @@ mod tests {
         // Simulate a crash mid-append: chop the last record in half.
         let path = {
             let store = EvalStore::open(&dir, "Seeds", 7).unwrap();
-            store.path().to_path_buf()
+            store.path().expect("local store has a path")
         };
         let text = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, &text[..text.len() - 25]).unwrap();
@@ -500,7 +672,7 @@ mod tests {
         let dir = temp_dir("header");
         std::fs::create_dir_all(&dir).unwrap();
         let store = EvalStore::open(&dir, "Seeds", 9).unwrap();
-        let path = store.path().to_path_buf();
+        let path = store.path().expect("local store has a path");
         drop(store);
         std::fs::write(&path, "{\"magic\":\"something-else\"}\ngarbage\n").unwrap();
         let mut reopened = EvalStore::open(&dir, "Seeds", 9).unwrap();
@@ -533,6 +705,38 @@ mod tests {
         write_atomic(&path, "second").unwrap();
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
         assert!(!path.with_extension("tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn eval_store_works_over_any_backend() {
+        let backend = MemoryBackend::new();
+        backend.append("Seeds", 5, &record(3, 0.8, 40.0)).unwrap();
+        let mut store = EvalStore::with_backend(Box::new(backend), "Seeds", 5).unwrap();
+        assert_eq!(store.path(), None, "memory tier has no path");
+        assert_eq!(store.warm_start().len(), 1);
+        store.append(&record(4, 0.9, 50.0)).unwrap();
+        store.put_doc("m.json", "x").unwrap();
+        assert_eq!(store.get_doc("m.json").unwrap().as_deref(), Some("x"));
+        store.remove_doc("m.json").unwrap();
+        assert_eq!(store.get_doc("m.json").unwrap(), None);
+    }
+
+    #[test]
+    fn open_backend_composes_the_configured_tiers() {
+        let dir = temp_dir("compose");
+        assert!(open_backend(None, None).unwrap().is_none());
+        let local = open_backend(Some(&dir), None).unwrap().unwrap();
+        assert!(local.describe().starts_with("local jsonl"));
+        let remote = open_backend(None, Some("http://127.0.0.1:7878"))
+            .unwrap()
+            .unwrap();
+        assert!(remote.describe().contains("pmlp-serve"));
+        let tiered = open_backend(Some(&dir), Some("http://127.0.0.1:7878"))
+            .unwrap()
+            .unwrap();
+        assert!(tiered.describe().starts_with("tiered"));
+        assert!(open_backend(None, Some("ftp://nope")).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 }
@@ -572,6 +776,20 @@ mod proptests {
         } else {
             0
         };
+        // Give some records artifacts so the blob field round-trips too.
+        let artifacts = bits.is_multiple_of(2).then(|| EvalArtifacts {
+            layers: vec![IntegerLayer {
+                codes: vec![vec![bits as i64, -(clusters as i64)]],
+                bias_codes: vec![salt as i64 >> 32],
+                scale: (sparsity as f32).max(0.01),
+                weight_bits: bits.max(2),
+            }],
+            sharing: if clusters >= 2 {
+                pmlp_hw::SharingStrategy::SharedPerInput
+            } else {
+                pmlp_hw::SharingStrategy::None
+            },
+        });
         EvalRecord {
             key: EvalKey {
                 weight_bits,
@@ -592,6 +810,7 @@ mod proptests {
                 sparsity: if sparsity < 0.05 { 0.0 } else { sparsity },
                 gate_count: (area * 3.0) as usize,
             },
+            artifacts,
         }
     }
 
@@ -620,7 +839,7 @@ mod proptests {
                 for r in &records {
                     store.append(r).unwrap();
                 }
-                store.path().to_path_buf()
+                store.path().expect("local store has a path")
             };
 
             // Full replay reproduces every record bit-for-bit.

@@ -1,0 +1,313 @@
+//! HTTP/1.1 client backend for a `pmlp-serve` evaluation-cache server.
+//!
+//! The wire format is the store's own sealed-envelope JSONL: a record scan
+//! response is byte-compatible with a local record log (header line bound to
+//! the baseline fingerprint, then one record per line), so the client reuses
+//! the same corruption-tolerant parsing as the local tier. Endpoints:
+//!
+//! | Method + path | Meaning |
+//! |---------------|---------|
+//! | `GET /v1/records/{name}/{fp}` | scan one record log |
+//! | `POST /v1/records/{name}/{fp}` | append record line(s) |
+//! | `GET /v1/docs/{name}` | read a document (404 = absent) |
+//! | `PUT /v1/docs/{name}` | write a document |
+//! | `DELETE /v1/docs/{name}` | delete a document |
+//! | `GET /v1/healthz` | liveness probe |
+//! | `GET /v1/stats` | server counters (JSON) |
+//!
+//! The client is deliberately dependency-free (`std::net` only), opens one
+//! connection per request (`Connection: close`) and applies conservative
+//! timeouts so a dead server degrades a [`TieredStore`](crate::store::TieredStore)
+//! instead of hanging a search.
+
+use super::backend::{check_doc_name, sanitize_name, ScanOutcome, StoreBackend};
+use super::{header_matches, hex, parse_record_line, record_line};
+use crate::error::CoreError;
+use crate::store::EvalRecord;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+fn store_err(context: String) -> CoreError {
+    CoreError::Store { context }
+}
+
+/// One parsed HTTP response.
+#[derive(Debug)]
+struct Response {
+    status: u16,
+    body: String,
+}
+
+/// The remote tier: an HTTP client bound to one `pmlp-serve` base URL.
+#[derive(Debug, Clone)]
+pub struct RemoteBackend {
+    /// `host:port` the server listens on.
+    authority: String,
+    /// Per-request connect/read/write timeout.
+    timeout: Duration,
+}
+
+impl RemoteBackend {
+    /// Creates a client for `url` (`http://host:port`, a trailing slash is
+    /// tolerated; `https` is not supported — the store speaks plain HTTP on a
+    /// trusted network, typically loopback or a cluster-internal address).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Store`] for unsupported schemes or a malformed
+    /// authority. The server is *not* contacted — a client can be constructed
+    /// before its server starts.
+    pub fn new(url: &str) -> Result<Self, CoreError> {
+        let trimmed = url.trim();
+        let rest = match trimmed.split_once("://") {
+            Some(("http", rest)) => rest,
+            Some((scheme, _)) => {
+                return Err(store_err(format!(
+                    "remote store: unsupported scheme `{scheme}` in `{url}` (only http)"
+                )))
+            }
+            None => trimmed,
+        };
+        let authority = rest.trim_end_matches('/');
+        if authority.is_empty() || authority.contains('/') {
+            return Err(store_err(format!("remote store: malformed URL `{url}`")));
+        }
+        Ok(RemoteBackend {
+            authority: authority.to_string(),
+            timeout: Duration::from_secs(10),
+        })
+    }
+
+    /// Overrides the per-request timeout (connect, read and write).
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The `host:port` this client talks to.
+    pub fn authority(&self) -> &str {
+        &self.authority
+    }
+
+    fn connect(&self) -> Result<TcpStream, CoreError> {
+        let addrs: Vec<SocketAddr> = self
+            .authority
+            .to_socket_addrs()
+            .map_err(|e| store_err(format!("remote store: resolve {}: {e}", self.authority)))?
+            .collect();
+        if addrs.is_empty() {
+            return Err(store_err(format!(
+                "remote store: no address for {}",
+                self.authority
+            )));
+        }
+        // Try every resolved address (a dual-stack `localhost` often lists
+        // ::1 first while the server bound 127.0.0.1 — the IPv4 attempt must
+        // still go through).
+        let mut last_err = None;
+        for addr in &addrs {
+            match TcpStream::connect_timeout(addr, self.timeout) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(self.timeout)).ok();
+                    stream.set_write_timeout(Some(self.timeout)).ok();
+                    return Ok(stream);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(store_err(format!(
+            "remote store: connect {}: {}",
+            self.authority,
+            last_err.expect("at least one address was tried")
+        )))
+    }
+
+    /// One request/response round trip.
+    fn request(&self, method: &str, path: &str, body: &str) -> Result<Response, CoreError> {
+        let mut stream = self.connect()?;
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.authority,
+            body.len(),
+        );
+        stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(body.as_bytes()))
+            .map_err(|e| store_err(format!("remote store: send {method} {path}: {e}")))?;
+
+        let mut raw = Vec::new();
+        stream
+            .read_to_end(&mut raw)
+            .map_err(|e| store_err(format!("remote store: read {method} {path}: {e}")))?;
+        let text = String::from_utf8(raw)
+            .map_err(|_| store_err(format!("remote store: non-UTF8 response to {path}")))?;
+        let (head, body) = text
+            .split_once("\r\n\r\n")
+            .ok_or_else(|| store_err(format!("remote store: malformed response to {path}")))?;
+        let status: u16 = head
+            .lines()
+            .next()
+            .and_then(|line| line.split_whitespace().nth(1))
+            .and_then(|code| code.parse().ok())
+            .ok_or_else(|| store_err(format!("remote store: bad status line for {path}")))?;
+        Ok(Response {
+            status,
+            body: body.to_string(),
+        })
+    }
+
+    fn records_path(name: &str, fingerprint: u64) -> String {
+        format!("/v1/records/{}/{}", sanitize_name(name), hex(fingerprint))
+    }
+
+    /// Liveness probe: `true` when the server answers `GET /v1/healthz`.
+    pub fn ping(&self) -> bool {
+        self.request("GET", "/v1/healthz", "")
+            .map(|r| r.status == 200)
+            .unwrap_or(false)
+    }
+
+    /// Fetches the server's `/v1/stats` counters as raw JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Store`] when the server is unreachable or answers
+    /// with a non-200 status.
+    pub fn stats(&self) -> Result<String, CoreError> {
+        let response = self.request("GET", "/v1/stats", "")?;
+        if response.status != 200 {
+            return Err(store_err(format!(
+                "remote store: stats returned HTTP {}",
+                response.status
+            )));
+        }
+        Ok(response.body)
+    }
+}
+
+impl StoreBackend for RemoteBackend {
+    fn describe(&self) -> String {
+        format!("remote pmlp-serve at http://{}", self.authority)
+    }
+
+    fn scan(&self, name: &str, fingerprint: u64) -> Result<ScanOutcome, CoreError> {
+        let path = Self::records_path(name, fingerprint);
+        let response = self.request("GET", &path, "")?;
+        if response.status != 200 {
+            return Err(store_err(format!(
+                "remote store: scan {path} returned HTTP {}",
+                response.status
+            )));
+        }
+        let mut lines = response.body.lines();
+        match lines.next() {
+            Some(header) if header_matches(header, fingerprint) => {}
+            _ => {
+                return Err(store_err(format!(
+                    "remote store: scan {path} returned a foreign or versionless header"
+                )))
+            }
+        }
+        let mut outcome = ScanOutcome::default();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_record_line(line) {
+                Ok(record) => outcome.records.push(record),
+                Err(_) => outcome.dropped += 1,
+            }
+        }
+        Ok(outcome)
+    }
+
+    fn append(&self, name: &str, fingerprint: u64, record: &EvalRecord) -> Result<(), CoreError> {
+        let path = Self::records_path(name, fingerprint);
+        let response = self.request("POST", &path, &record_line(record))?;
+        if response.status != 204 {
+            return Err(store_err(format!(
+                "remote store: append {path} returned HTTP {}",
+                response.status
+            )));
+        }
+        Ok(())
+    }
+
+    fn get_doc(&self, name: &str) -> Result<Option<String>, CoreError> {
+        check_doc_name(name)?;
+        let response = self.request("GET", &format!("/v1/docs/{name}"), "")?;
+        match response.status {
+            200 => Ok(Some(response.body)),
+            404 => Ok(None),
+            status => Err(store_err(format!(
+                "remote store: get doc {name} returned HTTP {status}"
+            ))),
+        }
+    }
+
+    fn put_doc(&self, name: &str, contents: &str) -> Result<(), CoreError> {
+        check_doc_name(name)?;
+        let response = self.request("PUT", &format!("/v1/docs/{name}"), contents)?;
+        if response.status != 204 {
+            return Err(store_err(format!(
+                "remote store: put doc {name} returned HTTP {}",
+                response.status
+            )));
+        }
+        Ok(())
+    }
+
+    fn remove_doc(&self, name: &str) -> Result<(), CoreError> {
+        check_doc_name(name)?;
+        let response = self.request("DELETE", &format!("/v1/docs/{name}"), "")?;
+        if response.status != 204 && response.status != 404 {
+            return Err(store_err(format!(
+                "remote store: delete doc {name} returned HTTP {}",
+                response.status
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_parsing_accepts_http_and_bare_authorities() {
+        assert_eq!(
+            RemoteBackend::new("http://127.0.0.1:7878")
+                .unwrap()
+                .authority(),
+            "127.0.0.1:7878"
+        );
+        assert_eq!(
+            RemoteBackend::new("http://localhost:8080/")
+                .unwrap()
+                .authority(),
+            "localhost:8080"
+        );
+        assert_eq!(
+            RemoteBackend::new("127.0.0.1:7878").unwrap().authority(),
+            "127.0.0.1:7878"
+        );
+        assert!(RemoteBackend::new("https://x:1").is_err());
+        assert!(RemoteBackend::new("http://").is_err());
+        assert!(RemoteBackend::new("http://host:1/path").is_err());
+    }
+
+    #[test]
+    fn a_dead_server_errors_instead_of_hanging() {
+        // Nothing listens on this port; the client must fail fast (the
+        // tiered store converts this error into local-only degradation).
+        let client = RemoteBackend::new("http://127.0.0.1:1")
+            .unwrap()
+            .with_timeout(Duration::from_millis(200));
+        assert!(!client.ping());
+        assert!(client.scan("seeds", 1).is_err());
+        assert!(client.get_doc("m.json").is_err());
+    }
+}

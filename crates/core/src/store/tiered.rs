@@ -1,0 +1,406 @@
+//! Local-over-remote composition: the local tier is a write-through cache of
+//! a shared remote evaluation-cache server.
+//!
+//! * **scan** replays the local tier, then merges in every remote record the
+//!   local tier is missing — and writes those through to the local tier, so
+//!   the cache fills itself on first contact;
+//! * **append** always lands locally first (the durable tier a crashed
+//!   campaign resumes from), then best-effort on the remote tier so other
+//!   workers inherit it;
+//! * **documents** (checkpoints, completion markers) read local-first with a
+//!   remote fallback (cached locally on hit) and write through to both.
+//!
+//! The remote tier is optional at runtime: the first remote failure flips the
+//! composition into local-only mode with a single warning — a killed server
+//! degrades a running campaign to exactly the behavior of a local store, it
+//! never fails it.
+
+use super::backend::{ScanOutcome, StoreBackend};
+use crate::engine::EvalKey;
+use crate::error::CoreError;
+use crate::store::EvalRecord;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Counters of one tiered store's remote traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TieredStats {
+    /// Records fetched from the remote tier that the local tier was missing
+    /// (each was written through to the local cache).
+    pub remote_fills: usize,
+    /// Records appended to the remote tier.
+    pub remote_appends: usize,
+    /// Remote operations that failed (at most 1 unless the remote recovers
+    /// between constructions — the first failure disables the tier).
+    pub remote_failures: usize,
+}
+
+/// The two-tier composition: a local write-through cache over a shared
+/// remote tier, degrading to local-only when the remote fails.
+pub struct TieredStore {
+    local: Box<dyn StoreBackend>,
+    remote: Box<dyn StoreBackend>,
+    remote_ok: AtomicBool,
+    remote_fills: AtomicUsize,
+    remote_appends: AtomicUsize,
+    remote_failures: AtomicUsize,
+}
+
+impl std::fmt::Debug for TieredStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TieredStore")
+            .field("local", &self.local.describe())
+            .field("remote", &self.remote.describe())
+            .field("remote_ok", &self.remote_ok.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl TieredStore {
+    /// Composes `local` (write-through cache) over `remote` (shared tier).
+    pub fn new(local: Box<dyn StoreBackend>, remote: Box<dyn StoreBackend>) -> Self {
+        TieredStore {
+            local,
+            remote,
+            remote_ok: AtomicBool::new(true),
+            remote_fills: AtomicUsize::new(0),
+            remote_appends: AtomicUsize::new(0),
+            remote_failures: AtomicUsize::new(0),
+        }
+    }
+
+    /// `false` once a remote operation has failed and the store degraded to
+    /// local-only mode.
+    pub fn remote_healthy(&self) -> bool {
+        self.remote_ok.load(Ordering::Relaxed)
+    }
+
+    /// Remote-traffic counters.
+    pub fn stats(&self) -> TieredStats {
+        TieredStats {
+            remote_fills: self.remote_fills.load(Ordering::Relaxed),
+            remote_appends: self.remote_appends.load(Ordering::Relaxed),
+            remote_failures: self.remote_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Records a remote failure: degrade to local-only, warn once.
+    fn degrade(&self, what: &str, err: &CoreError) {
+        self.remote_failures.fetch_add(1, Ordering::Relaxed);
+        if self.remote_ok.swap(false, Ordering::Relaxed) {
+            eprintln!(
+                "warning: remote store {} failed during {what} ({err}); \
+                 continuing on the local write-through cache only",
+                self.remote.describe()
+            );
+        }
+    }
+
+    /// Runs `op` against the remote tier unless it already degraded; any
+    /// error degrades and is swallowed.
+    fn remote_best_effort<T>(&self, what: &str, op: impl FnOnce() -> Result<T, CoreError>) {
+        if !self.remote_healthy() {
+            return;
+        }
+        if let Err(err) = op() {
+            self.degrade(what, &err);
+        }
+    }
+}
+
+impl StoreBackend for TieredStore {
+    fn describe(&self) -> String {
+        format!(
+            "tiered ({} over {})",
+            self.local.describe(),
+            self.remote.describe()
+        )
+    }
+
+    fn scan(&self, name: &str, fingerprint: u64) -> Result<ScanOutcome, CoreError> {
+        // The local tier is authoritative for this process: its failure is a
+        // real error. The remote tier adds missing records — and upgrades a
+        // local record whose finalization artifacts were lost (e.g. a blob
+        // damaged by a crash) when the server still has the intact copy.
+        let mut outcome = self.local.scan(name, fingerprint)?;
+        if self.remote_healthy() {
+            match self.remote.scan(name, fingerprint) {
+                Ok(remote) => {
+                    let have: HashMap<EvalKey, usize> = outcome
+                        .records
+                        .iter()
+                        .enumerate()
+                        .map(|(i, r)| (r.key, i))
+                        .collect();
+                    for record in remote.records {
+                        match have.get(&record.key) {
+                            Some(&i) => {
+                                if outcome.records[i].artifacts.is_none()
+                                    && record.artifacts.is_some()
+                                {
+                                    // Appending locally makes the upgrade
+                                    // durable: last write wins on replay.
+                                    self.local.append(name, fingerprint, &record)?;
+                                    self.remote_fills.fetch_add(1, Ordering::Relaxed);
+                                    outcome.records[i] = record;
+                                }
+                            }
+                            None => {
+                                // Write-through cache fill: a record seen
+                                // remotely is replayed locally on the next
+                                // (offline) run too.
+                                self.local.append(name, fingerprint, &record)?;
+                                self.remote_fills.fetch_add(1, Ordering::Relaxed);
+                                outcome.records.push(record);
+                            }
+                        }
+                    }
+                }
+                Err(err) => self.degrade("scan", &err),
+            }
+        }
+        Ok(outcome)
+    }
+
+    fn get(
+        &self,
+        name: &str,
+        fingerprint: u64,
+        key: &EvalKey,
+    ) -> Result<Option<EvalRecord>, CoreError> {
+        if let Some(record) = self.local.get(name, fingerprint, key)? {
+            return Ok(Some(record));
+        }
+        if self.remote_healthy() {
+            match self.remote.get(name, fingerprint, key) {
+                Ok(Some(record)) => {
+                    self.local.append(name, fingerprint, &record)?;
+                    self.remote_fills.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Some(record));
+                }
+                Ok(None) => {}
+                Err(err) => self.degrade("get", &err),
+            }
+        }
+        Ok(None)
+    }
+
+    fn append(&self, name: &str, fingerprint: u64, record: &EvalRecord) -> Result<(), CoreError> {
+        self.local.append(name, fingerprint, record)?;
+        self.remote_best_effort("append", || {
+            self.remote.append(name, fingerprint, record)?;
+            self.remote_appends.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        });
+        Ok(())
+    }
+
+    fn compact(&self, name: &str, fingerprint: u64) -> Result<usize, CoreError> {
+        // Compaction is a local storage concern; the server compacts its own
+        // tier on its own schedule.
+        self.local.compact(name, fingerprint)
+    }
+
+    fn get_doc(&self, name: &str) -> Result<Option<String>, CoreError> {
+        if let Some(doc) = self.local.get_doc(name)? {
+            return Ok(Some(doc));
+        }
+        if self.remote_healthy() {
+            match self.remote.get_doc(name) {
+                Ok(Some(doc)) => {
+                    self.local.put_doc(name, &doc)?;
+                    return Ok(Some(doc));
+                }
+                Ok(None) => {}
+                Err(err) => self.degrade("get_doc", &err),
+            }
+        }
+        Ok(None)
+    }
+
+    fn put_doc(&self, name: &str, contents: &str) -> Result<(), CoreError> {
+        self.local.put_doc(name, contents)?;
+        self.remote_best_effort("put_doc", || self.remote.put_doc(name, contents));
+        Ok(())
+    }
+
+    fn remove_doc(&self, name: &str) -> Result<(), CoreError> {
+        self.local.remove_doc(name)?;
+        self.remote_best_effort("remove_doc", || self.remote.remove_doc(name));
+        Ok(())
+    }
+
+    fn record_path(&self, name: &str, fingerprint: u64) -> Option<std::path::PathBuf> {
+        self.local.record_path(name, fingerprint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::memory::MemoryBackend;
+    use super::super::tests::record;
+    use super::*;
+
+    /// A backend that fails every operation — a dead server stand-in.
+    #[derive(Debug)]
+    struct DeadBackend;
+
+    impl StoreBackend for DeadBackend {
+        fn describe(&self) -> String {
+            "dead backend".into()
+        }
+        fn scan(&self, _: &str, _: u64) -> Result<ScanOutcome, CoreError> {
+            Err(CoreError::Store {
+                context: "dead".into(),
+            })
+        }
+        fn append(&self, _: &str, _: u64, _: &EvalRecord) -> Result<(), CoreError> {
+            Err(CoreError::Store {
+                context: "dead".into(),
+            })
+        }
+        fn get_doc(&self, _: &str) -> Result<Option<String>, CoreError> {
+            Err(CoreError::Store {
+                context: "dead".into(),
+            })
+        }
+        fn put_doc(&self, _: &str, _: &str) -> Result<(), CoreError> {
+            Err(CoreError::Store {
+                context: "dead".into(),
+            })
+        }
+        fn remove_doc(&self, _: &str) -> Result<(), CoreError> {
+            Err(CoreError::Store {
+                context: "dead".into(),
+            })
+        }
+    }
+
+    #[test]
+    fn scan_merges_remote_records_and_fills_the_local_cache() {
+        let local = MemoryBackend::new();
+        let remote = MemoryBackend::new();
+        let shared = record(3, 0.8, 40.0);
+        let remote_only = record(4, 0.9, 50.0);
+        local.append("Seeds", 1, &shared).unwrap();
+        remote.append("Seeds", 1, &shared).unwrap();
+        remote.append("Seeds", 1, &remote_only).unwrap();
+
+        let tiered = TieredStore::new(Box::new(local), Box::new(remote));
+        let outcome = tiered.scan("Seeds", 1).unwrap();
+        assert_eq!(outcome.records, vec![shared.clone(), remote_only.clone()]);
+        assert_eq!(tiered.stats().remote_fills, 1);
+
+        // The fill is durable: a second scan finds it locally.
+        let outcome = tiered.scan("Seeds", 1).unwrap();
+        assert_eq!(outcome.records.len(), 2);
+        assert_eq!(tiered.stats().remote_fills, 1, "no re-fill");
+    }
+
+    #[test]
+    fn scan_upgrades_artifactless_local_records_from_the_remote() {
+        use crate::store::EvalArtifacts;
+        let local = MemoryBackend::new();
+        let remote = MemoryBackend::new();
+        let bare = record(3, 0.8, 40.0); // artifacts: None (e.g. damaged blob)
+        let mut rich = bare.clone();
+        rich.artifacts = Some(EvalArtifacts {
+            layers: Vec::new(),
+            sharing: pmlp_hw::SharingStrategy::None,
+        });
+        local.append("Seeds", 1, &bare).unwrap();
+        remote.append("Seeds", 1, &rich).unwrap();
+
+        let tiered = TieredStore::new(Box::new(local), Box::new(remote));
+        let outcome = tiered.scan("Seeds", 1).unwrap();
+        assert_eq!(outcome.records, vec![rich.clone()], "remote artifacts win");
+        assert_eq!(tiered.stats().remote_fills, 1);
+
+        // The upgrade is durable on the local tier (last write wins), so the
+        // next scan needs no re-fill.
+        let outcome = tiered.scan("Seeds", 1).unwrap();
+        assert!(outcome
+            .records
+            .iter()
+            .any(|r| r.key == rich.key && r.artifacts.is_some()));
+        assert_eq!(tiered.stats().remote_fills, 1, "no re-fill");
+    }
+
+    #[test]
+    fn appends_write_through_to_both_tiers() {
+        let tiered = TieredStore::new(
+            Box::new(MemoryBackend::new()),
+            Box::new(MemoryBackend::new()),
+        );
+        let r = record(3, 0.8, 40.0);
+        tiered.append("Seeds", 1, &r).unwrap();
+        assert_eq!(tiered.stats().remote_appends, 1);
+        assert_eq!(
+            tiered.local.scan("Seeds", 1).unwrap().records,
+            vec![r.clone()]
+        );
+        assert_eq!(tiered.remote.scan("Seeds", 1).unwrap().records, vec![r]);
+    }
+
+    #[test]
+    fn a_dead_remote_degrades_to_local_only_without_failing() {
+        let local = MemoryBackend::new();
+        let r = record(3, 0.8, 40.0);
+        local.append("Seeds", 1, &r).unwrap();
+        let tiered = TieredStore::new(Box::new(local), Box::new(DeadBackend));
+
+        // Scan survives, marks the remote unhealthy, serves local records.
+        let outcome = tiered.scan("Seeds", 1).unwrap();
+        assert_eq!(outcome.records, vec![r.clone()]);
+        assert!(!tiered.remote_healthy());
+
+        // Later operations never touch the dead tier again.
+        tiered.append("Seeds", 1, &record(4, 0.9, 50.0)).unwrap();
+        tiered.put_doc("m.json", "body").unwrap();
+        assert_eq!(tiered.get_doc("m.json").unwrap().as_deref(), Some("body"));
+        tiered.remove_doc("m.json").unwrap();
+        assert_eq!(
+            tiered.stats().remote_failures,
+            1,
+            "exactly one probe failed"
+        );
+    }
+
+    #[test]
+    fn docs_fall_back_to_the_remote_tier_and_cache_locally() {
+        let local = MemoryBackend::new();
+        let remote = MemoryBackend::new();
+        remote.put_doc("marker.json", "remote-body").unwrap();
+        let tiered = TieredStore::new(Box::new(local), Box::new(remote));
+
+        assert_eq!(
+            tiered.get_doc("marker.json").unwrap().as_deref(),
+            Some("remote-body")
+        );
+        // Cached locally now.
+        assert_eq!(
+            tiered.local.get_doc("marker.json").unwrap().as_deref(),
+            Some("remote-body")
+        );
+        assert_eq!(tiered.get_doc("absent.json").unwrap(), None);
+    }
+
+    #[test]
+    fn put_doc_reaches_both_tiers() {
+        let tiered = TieredStore::new(
+            Box::new(MemoryBackend::new()),
+            Box::new(MemoryBackend::new()),
+        );
+        tiered.put_doc("m.json", "x").unwrap();
+        assert_eq!(
+            tiered.local.get_doc("m.json").unwrap().as_deref(),
+            Some("x")
+        );
+        assert_eq!(
+            tiered.remote.get_doc("m.json").unwrap().as_deref(),
+            Some("x")
+        );
+        tiered.remove_doc("m.json").unwrap();
+        assert_eq!(tiered.remote.get_doc("m.json").unwrap(), None);
+    }
+}

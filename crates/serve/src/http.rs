@@ -1,0 +1,112 @@
+//! Minimal HTTP/1.1 request/response plumbing for the evaluation-cache
+//! server: exactly the subset the `pmlp-core` [`RemoteBackend`] client and
+//! `curl`-style smoke tests need — request line, headers, `Content-Length`
+//! bodies, `Connection: close` responses.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Largest accepted request body. Checkpoint documents carry every scored
+/// point of a search, so this is generous rather than tight.
+const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub(crate) struct Request {
+    /// `GET`, `POST`, `PUT`, `DELETE`, ...
+    pub method: String,
+    /// The request target, e.g. `/v1/records/seeds/00000000000000aa`.
+    pub path: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+/// Reads one request from `stream`. Returns `Ok(None)` when the peer closed
+/// the connection before sending anything, and `Err` for malformed or
+/// oversized requests (the caller answers 400 and closes).
+pub(crate) fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+
+    // Accumulate until the blank line that ends the head.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(bad("request head too large"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            return Err(bad("connection closed mid-request"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| bad("non-UTF8 head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or_else(|| bad("empty request"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| bad("missing method"))?
+        .to_string();
+    let path = parts.next().ok_or_else(|| bad("missing path"))?.to_string();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad("request body too large"));
+    }
+
+    // The body: whatever followed the head in the buffer, plus the rest.
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body).map_err(|_| bad("non-UTF8 body"))?;
+
+    Ok(Some(Request { method, path, body }))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes one `Connection: close` response.
+pub(crate) fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

@@ -1,0 +1,476 @@
+//! # pmlp-serve — the networked evaluation-cache tier
+//!
+//! A dependency-free HTTP/1.1 key-value server over
+//! `std::net::TcpListener` that exposes a [`StoreBackend`] to a fleet of
+//! workers: candidate evaluations (and search checkpoints / campaign
+//! completion markers) computed by one machine become cache hits on every
+//! other machine pointed at the same server via `--remote-store URL`.
+//!
+//! The wire format **is** the store's sealed-envelope JSONL (versioned by
+//! [`pmlp_core::store::STORE_VERSION`]): a record scan response is
+//! byte-compatible with a local record log, so the `pmlp-core`
+//! [`RemoteBackend`](pmlp_core::store::RemoteBackend) client parses it with
+//! the same corruption-tolerant code path as a file. Endpoints:
+//!
+//! | Method + path | Meaning |
+//! |---------------|---------|
+//! | `GET /v1/healthz` | liveness probe |
+//! | `GET /v1/stats` | request/record counters (JSON) |
+//! | `GET /v1/records/{name}/{fp}` | scan: header line + one record per line |
+//! | `POST /v1/records/{name}/{fp}` | append the record line(s) in the body |
+//! | `GET /v1/docs/{name}` | read a document (404 when absent) |
+//! | `PUT /v1/docs/{name}` | write a document |
+//! | `DELETE /v1/docs/{name}` | delete a document |
+//!
+//! State lives in an in-memory backend by default, or durably in a local
+//! JSONL store directory (`ServeConfig::store_dir`) — the same on-disk format
+//! a single-machine run writes, so an existing `--store` directory can be
+//! promoted to a shared server without conversion.
+//!
+//! The accept loop is threaded (one handler thread per connection,
+//! `Connection: close`), which is plenty for the request rates a campaign
+//! fleet generates — the expensive work is candidate evaluation, not cache
+//! I/O.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use pmlp_serve::{ServeConfig, spawn};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let handle = spawn(&ServeConfig::default())?; // 127.0.0.1, ephemeral port
+//! println!("serving on {}", handle.url());
+//! // ... point workers at handle.url() via --remote-store ...
+//! handle.stop();
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod http;
+
+use http::{read_request, respond, Request};
+use pmlp_core::store::{
+    header_line, parse_record_line, record_line, safe_component, LocalJsonlBackend, MemoryBackend,
+    StoreBackend,
+};
+use serde::json::Value;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+/// How a server is stood up.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (`host:port`; port `0` picks an ephemeral port).
+    pub addr: String,
+    /// Local JSONL directory to persist records and documents into; `None`
+    /// keeps everything in memory for the server's lifetime.
+    pub store_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            store_dir: None,
+        }
+    }
+}
+
+/// Monotonic request/record counters, rendered by `GET /v1/stats`.
+#[derive(Debug, Default)]
+struct ServeStats {
+    requests: AtomicU64,
+    scans: AtomicU64,
+    records_served: AtomicU64,
+    records_appended: AtomicU64,
+    doc_gets: AtomicU64,
+    doc_puts: AtomicU64,
+    doc_deletes: AtomicU64,
+    bad_requests: AtomicU64,
+}
+
+/// A point-in-time copy of the server's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Requests handled (any route, any outcome).
+    pub requests: u64,
+    /// Record-log scans served.
+    pub scans: u64,
+    /// Records streamed out across all scans.
+    pub records_served: u64,
+    /// Records appended across all `POST`s.
+    pub records_appended: u64,
+    /// Document reads (including 404s).
+    pub doc_gets: u64,
+    /// Document writes.
+    pub doc_puts: u64,
+    /// Document deletions.
+    pub doc_deletes: u64,
+    /// Requests rejected with a 4xx status.
+    pub bad_requests: u64,
+}
+
+impl ServeStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            scans: self.scans.load(Ordering::Relaxed),
+            records_served: self.records_served.load(Ordering::Relaxed),
+            records_appended: self.records_appended.load(Ordering::Relaxed),
+            doc_gets: self.doc_gets.load(Ordering::Relaxed),
+            doc_puts: self.doc_puts.load(Ordering::Relaxed),
+            doc_deletes: self.doc_deletes.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Shared server state: the backing store plus counters.
+struct ServerState {
+    backend: Box<dyn StoreBackend>,
+    stats: ServeStats,
+    started: Instant,
+}
+
+/// A server bound to its listener but not yet serving; lets callers learn
+/// the (possibly ephemeral) address before the accept loop starts.
+pub struct BoundServer {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+/// A handle to a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    state: Arc<ServerState>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+/// Binds a server to `config.addr` without serving yet.
+///
+/// # Errors
+///
+/// Propagates bind failures and store-directory errors.
+pub fn bind(config: &ServeConfig) -> std::io::Result<BoundServer> {
+    let backend: Box<dyn StoreBackend> = match &config.store_dir {
+        Some(dir) => Box::new(LocalJsonlBackend::open(dir).map_err(std::io::Error::other)?),
+        None => Box::new(MemoryBackend::new()),
+    };
+    let listener = TcpListener::bind(&config.addr)?;
+    Ok(BoundServer {
+        listener,
+        state: Arc::new(ServerState {
+            backend,
+            stats: ServeStats::default(),
+            started: Instant::now(),
+        }),
+    })
+}
+
+/// Binds and serves on a background thread, returning a [`ServerHandle`].
+///
+/// # Errors
+///
+/// Propagates bind failures and store-directory errors.
+pub fn spawn(config: &ServeConfig) -> std::io::Result<ServerHandle> {
+    bind(config)?.spawn()
+}
+
+/// Binds and serves on the calling thread, forever. This is the `serve`
+/// binary's entry point.
+///
+/// # Errors
+///
+/// Propagates bind failures and store-directory errors.
+pub fn run(config: &ServeConfig) -> std::io::Result<()> {
+    let bound = bind(config)?;
+    eprintln!(
+        "pmlp-serve listening on http://{} ({})",
+        bound.local_addr()?,
+        bound.state.backend.describe()
+    );
+    bound.serve(&AtomicBool::new(false));
+    Ok(())
+}
+
+impl BoundServer {
+    /// The address the listener is bound to.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying socket error.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Moves the accept loop onto a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying socket error.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let state = Arc::clone(&self.state);
+        let stop_flag = Arc::clone(&stop);
+        let thread = thread::spawn(move || self.serve(&stop_flag));
+        Ok(ServerHandle {
+            addr,
+            stop,
+            state,
+            thread: Some(thread),
+        })
+    }
+
+    /// The threaded accept loop: one handler thread per connection, until
+    /// `stop` flips.
+    fn serve(&self, stop: &AtomicBool) {
+        for stream in self.listener.incoming() {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    let state = Arc::clone(&self.state);
+                    thread::spawn(move || handle_connection(stream, &state));
+                }
+                Err(err) => {
+                    eprintln!("pmlp-serve: accept failed: {err}");
+                }
+            }
+        }
+    }
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The base URL workers pass as `--remote-store`.
+    pub fn url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.state.stats.snapshot()
+    }
+
+    /// Stops the accept loop and joins the server thread. In-flight handler
+    /// threads finish their single request on their own.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = thread.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &ServerState) {
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .ok();
+    let request = match read_request(&mut stream) {
+        Ok(Some(request)) => request,
+        Ok(None) => return, // shutdown poke or idle close
+        Err(_) => {
+            state.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let _ = respond(
+                &mut stream,
+                400,
+                "Bad Request",
+                "text/plain",
+                "bad request\n",
+            );
+            return;
+        }
+    };
+    state.stats.requests.fetch_add(1, Ordering::Relaxed);
+    let (status, reason, content_type, body) = route(&request, state);
+    if status >= 400 {
+        state.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+    }
+    let _ = respond(&mut stream, status, reason, content_type, &body);
+}
+
+/// Dispatches one request, returning `(status, reason, content type, body)`.
+fn route(request: &Request, state: &ServerState) -> (u16, &'static str, &'static str, String) {
+    let not_found = || {
+        (
+            404,
+            "Not Found",
+            "text/plain",
+            "unknown resource\n".to_string(),
+        )
+    };
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["v1", "healthz"]) => (
+            200,
+            "OK",
+            "application/json",
+            Value::Object(vec![
+                ("magic".into(), Value::String("pmlp-serve".into())),
+                (
+                    "store_version".into(),
+                    Value::Number(f64::from(pmlp_core::store::STORE_VERSION)),
+                ),
+                ("status".into(), Value::String("ok".into())),
+            ])
+            .render_compact(),
+        ),
+        ("GET", ["v1", "stats"]) => (200, "OK", "application/json", render_stats(state)),
+        ("GET", ["v1", "records", name, fp]) => match parse_record_target(name, fp) {
+            Some(fingerprint) => match state.backend.scan(name, fingerprint) {
+                Ok(outcome) => {
+                    state.stats.scans.fetch_add(1, Ordering::Relaxed);
+                    state
+                        .stats
+                        .records_served
+                        .fetch_add(outcome.records.len() as u64, Ordering::Relaxed);
+                    let mut body = header_line(fingerprint);
+                    body.push('\n');
+                    for record in &outcome.records {
+                        body.push_str(&record_line(record));
+                        body.push('\n');
+                    }
+                    (200, "OK", "application/jsonl", body)
+                }
+                Err(err) => (
+                    500,
+                    "Internal Server Error",
+                    "text/plain",
+                    format!("{err}\n"),
+                ),
+            },
+            None => not_found(),
+        },
+        ("POST" | "PUT", ["v1", "records", name, fp]) => match parse_record_target(name, fp) {
+            Some(fingerprint) => {
+                // Parse every line before appending any: a malformed batch is
+                // rejected whole instead of half-applied.
+                let mut records = Vec::new();
+                for line in request.body.lines().filter(|l| !l.trim().is_empty()) {
+                    match parse_record_line(line) {
+                        Ok(record) => records.push(record),
+                        Err(err) => {
+                            return (400, "Bad Request", "text/plain", format!("{err}\n"));
+                        }
+                    }
+                }
+                for record in &records {
+                    if let Err(err) = state.backend.append(name, fingerprint, record) {
+                        return (
+                            500,
+                            "Internal Server Error",
+                            "text/plain",
+                            format!("{err}\n"),
+                        );
+                    }
+                }
+                state
+                    .stats
+                    .records_appended
+                    .fetch_add(records.len() as u64, Ordering::Relaxed);
+                (204, "No Content", "text/plain", String::new())
+            }
+            None => not_found(),
+        },
+        ("GET", ["v1", "docs", name]) if safe_component(name) => {
+            state.stats.doc_gets.fetch_add(1, Ordering::Relaxed);
+            match state.backend.get_doc(name) {
+                Ok(Some(doc)) => (200, "OK", "application/json", doc),
+                Ok(None) => (404, "Not Found", "text/plain", "no such document\n".into()),
+                Err(err) => (
+                    500,
+                    "Internal Server Error",
+                    "text/plain",
+                    format!("{err}\n"),
+                ),
+            }
+        }
+        ("PUT" | "POST", ["v1", "docs", name]) if safe_component(name) => {
+            match state.backend.put_doc(name, &request.body) {
+                Ok(()) => {
+                    state.stats.doc_puts.fetch_add(1, Ordering::Relaxed);
+                    (204, "No Content", "text/plain", String::new())
+                }
+                Err(err) => (
+                    500,
+                    "Internal Server Error",
+                    "text/plain",
+                    format!("{err}\n"),
+                ),
+            }
+        }
+        ("DELETE", ["v1", "docs", name]) if safe_component(name) => {
+            match state.backend.remove_doc(name) {
+                Ok(()) => {
+                    state.stats.doc_deletes.fetch_add(1, Ordering::Relaxed);
+                    (204, "No Content", "text/plain", String::new())
+                }
+                Err(err) => (
+                    500,
+                    "Internal Server Error",
+                    "text/plain",
+                    format!("{err}\n"),
+                ),
+            }
+        }
+        _ => not_found(),
+    }
+}
+
+/// Validates a `/v1/records/{name}/{fp}` target: the shard label must be a
+/// safe path component and the fingerprint fixed-width hex.
+fn parse_record_target(name: &str, fp: &str) -> Option<u64> {
+    if !safe_component(name) || fp.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(fp, 16).ok()
+}
+
+fn render_stats(state: &ServerState) -> String {
+    let stats = state.stats.snapshot();
+    let n = |v: u64| Value::Number(v as f64);
+    Value::Object(vec![
+        ("magic".into(), Value::String("pmlp-serve-stats".into())),
+        ("backend".into(), Value::String(state.backend.describe())),
+        (
+            "uptime_secs".into(),
+            Value::Number(state.started.elapsed().as_secs_f64()),
+        ),
+        ("requests".into(), n(stats.requests)),
+        ("scans".into(), n(stats.scans)),
+        ("records_served".into(), n(stats.records_served)),
+        ("records_appended".into(), n(stats.records_appended)),
+        ("doc_gets".into(), n(stats.doc_gets)),
+        ("doc_puts".into(), n(stats.doc_puts)),
+        ("doc_deletes".into(), n(stats.doc_deletes)),
+        ("bad_requests".into(), n(stats.bad_requests)),
+    ])
+    .render_pretty()
+}

@@ -1,0 +1,225 @@
+//! End-to-end tests of the evaluation-cache server against the real
+//! `pmlp-core` HTTP client: records and documents round-trip over loopback,
+//! the tiered composition fills its local cache from the server, and bad
+//! input is rejected instead of stored.
+
+use pmlp_core::engine::EvalKey;
+use pmlp_core::objective::{DesignPoint, SynthesisTier};
+use pmlp_core::store::{
+    EvalRecord, EvalStore, LocalJsonlBackend, MemoryBackend, RemoteBackend, StoreBackend,
+    TieredStore,
+};
+use pmlp_minimize::MinimizationConfig;
+use pmlp_serve::{spawn, ServeConfig};
+use std::path::PathBuf;
+
+fn record(bits: u8, accuracy: f64) -> EvalRecord {
+    EvalRecord {
+        key: EvalKey {
+            weight_bits: bits,
+            sparsity_millis: u32::MAX,
+            clusters: 0,
+            input_bits: 4,
+            fine_tune_epochs: 2,
+            salt: 0xFEED_FACE_CAFE_BEEF,
+        },
+        tier: SynthesisTier::FastPath,
+        point: DesignPoint {
+            config: MinimizationConfig::default().with_weight_bits(bits),
+            accuracy,
+            area_mm2: 42.5,
+            power_uw: 425.0,
+            normalized_accuracy: accuracy / 0.9,
+            normalized_area: 0.425,
+            sparsity: 0.0,
+            gate_count: 300,
+        },
+        artifacts: None,
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pmlp-serve-it-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn records_round_trip_through_the_server() {
+    let handle = spawn(&ServeConfig::default()).unwrap();
+    let client = RemoteBackend::new(&handle.url()).unwrap();
+    assert!(client.ping());
+
+    // Empty scan first: a valid (empty) log with a matching header.
+    let outcome = client.scan("Seeds", 0xAB).unwrap();
+    assert!(outcome.records.is_empty());
+
+    let a = record(3, 0.8);
+    let b = record(4, 0.9);
+    client.append("Seeds", 0xAB, &a).unwrap();
+    client.append("Seeds", 0xAB, &b).unwrap();
+
+    let outcome = client.scan("Seeds", 0xAB).unwrap();
+    assert_eq!(outcome.records, vec![a.clone(), b.clone()]);
+    assert_eq!(outcome.dropped, 0);
+
+    // Fingerprints isolate on the server exactly like on disk.
+    assert!(client.scan("Seeds", 0xCD).unwrap().records.is_empty());
+    // get() resolves through the scan path.
+    assert_eq!(client.get("Seeds", 0xAB, &a.key).unwrap(), Some(a));
+
+    let stats = handle.stats();
+    assert_eq!(stats.records_appended, 2);
+    assert!(stats.scans >= 3);
+    handle.stop();
+}
+
+#[test]
+fn documents_round_trip_and_missing_ones_are_404_not_errors() {
+    let handle = spawn(&ServeConfig::default()).unwrap();
+    let client = RemoteBackend::new(&handle.url()).unwrap();
+
+    assert_eq!(client.get_doc("checkpoint.json").unwrap(), None);
+    client.put_doc("checkpoint.json", "{\"gen\":3}").unwrap();
+    assert_eq!(
+        client.get_doc("checkpoint.json").unwrap().as_deref(),
+        Some("{\"gen\":3}")
+    );
+    // Overwrite.
+    client.put_doc("checkpoint.json", "{\"gen\":4}").unwrap();
+    assert_eq!(
+        client.get_doc("checkpoint.json").unwrap().as_deref(),
+        Some("{\"gen\":4}")
+    );
+    client.remove_doc("checkpoint.json").unwrap();
+    assert_eq!(client.get_doc("checkpoint.json").unwrap(), None);
+    client.remove_doc("checkpoint.json").unwrap(); // idempotent
+    handle.stop();
+}
+
+#[test]
+fn server_rejects_malformed_records_and_unsafe_paths() {
+    let handle = spawn(&ServeConfig::default()).unwrap();
+    let client = RemoteBackend::new(&handle.url()).unwrap();
+
+    // A hand-rolled bad append: the server must reject the whole batch.
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    let body = "this is not a record line";
+    write!(
+        stream,
+        "POST /v1/records/seeds/00000000000000ab HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 400"), "got: {response}");
+
+    // Nothing was stored.
+    assert!(client.scan("seeds", 0xAB).unwrap().records.is_empty());
+
+    // Unsafe names never reach the backend.
+    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    write!(
+        stream,
+        "GET /v1/docs/..%2Fescape HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 404"), "got: {response}");
+
+    assert!(handle.stats().bad_requests >= 1);
+    handle.stop();
+}
+
+#[test]
+fn tiered_store_fills_its_local_cache_from_the_server() {
+    let handle = spawn(&ServeConfig::default()).unwrap();
+
+    // Worker A computes two "evaluations" and replicates them.
+    let worker_a = TieredStore::new(
+        Box::new(MemoryBackend::new()),
+        Box::new(RemoteBackend::new(&handle.url()).unwrap()),
+    );
+    let a = record(3, 0.8);
+    let b = record(4, 0.9);
+    worker_a.append("Seeds", 0x11, &a).unwrap();
+    worker_a.append("Seeds", 0x11, &b).unwrap();
+
+    // Worker B, fresh local tier, same server: the scan streams both records
+    // in and caches them locally.
+    let local_b = MemoryBackend::new();
+    let worker_b = TieredStore::new(
+        Box::new(local_b),
+        Box::new(RemoteBackend::new(&handle.url()).unwrap()),
+    );
+    let outcome = worker_b.scan("Seeds", 0x11).unwrap();
+    assert_eq!(outcome.records.len(), 2);
+    assert_eq!(worker_b.stats().remote_fills, 2);
+
+    // Kill the server: worker B still answers from its filled local cache.
+    handle.stop();
+    let outcome = worker_b.scan("Seeds", 0x11).unwrap();
+    assert_eq!(
+        outcome.records.len(),
+        2,
+        "local cache must survive the server"
+    );
+    assert!(!worker_b.remote_healthy());
+}
+
+#[test]
+fn eval_store_checkpoint_documents_replicate_to_the_server() {
+    let handle = spawn(&ServeConfig::default()).unwrap();
+    let tiered = TieredStore::new(
+        Box::new(MemoryBackend::new()),
+        Box::new(RemoteBackend::new(&handle.url()).unwrap()),
+    );
+    let store = EvalStore::with_backend(Box::new(tiered), "Seeds", 0x22).unwrap();
+    store
+        .put_doc("done_seeds_0000.json", "{\"done\":true}")
+        .unwrap();
+
+    // A different client sees the document on the server.
+    let other = RemoteBackend::new(&handle.url()).unwrap();
+    assert_eq!(
+        other.get_doc("done_seeds_0000.json").unwrap().as_deref(),
+        Some("{\"done\":true}")
+    );
+    handle.stop();
+}
+
+#[test]
+fn a_store_directory_backs_the_server_durably() {
+    let dir = temp_dir("durable");
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        store_dir: Some(dir.clone()),
+    };
+    let a = record(5, 0.7);
+    {
+        let handle = spawn(&config).unwrap();
+        let client = RemoteBackend::new(&handle.url()).unwrap();
+        client.append("Seeds", 0x33, &a).unwrap();
+        handle.stop();
+    }
+    // A new server over the same directory still has the record...
+    {
+        let handle = spawn(&config).unwrap();
+        let client = RemoteBackend::new(&handle.url()).unwrap();
+        assert_eq!(client.scan("Seeds", 0x33).unwrap().records, vec![a.clone()]);
+        handle.stop();
+    }
+    // ...because it lives in the standard local JSONL format, readable by a
+    // plain single-machine backend too.
+    let local = LocalJsonlBackend::open(&dir).unwrap();
+    assert_eq!(local.scan("Seeds", 0x33).unwrap().records, vec![a]);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -10,6 +10,7 @@
 //! | [`hw`] | `pmlp-hw` | bespoke printed-electronics hardware model (EGT cells, CSD multipliers, netlists, area/power/delay) |
 //! | [`minimize`] | `pmlp-minimize` | quantization/QAT, pruning, weight clustering |
 //! | [`core`] | `pmlp-core` | hardware-aware NSGA-II search, sweeps, Pareto fronts, experiment drivers, cross-dataset campaigns |
+//! | [`serve`] | `pmlp-serve` | networked evaluation-cache server (HTTP tier over the store wire format) |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,8 @@ pub use pmlp_hw as hw;
 pub use pmlp_minimize as minimize;
 /// Re-export of the neural-network substrate (`pmlp-nn`).
 pub use pmlp_nn as nn;
+/// Re-export of the networked evaluation-cache server (`pmlp-serve`).
+pub use pmlp_serve as serve;
 
 /// Commonly used items, importable with `use printed_mlp::prelude::*`.
 pub mod prelude {

@@ -26,6 +26,7 @@ fn store_campaign(datasets: Vec<UciDataset>, store: &Path, resume: bool) -> Camp
         seed: 11,
         max_accuracy_loss: 0.05,
         store_dir: Some(store.to_path_buf()),
+        remote_store: None,
         resume,
     })
 }
@@ -132,6 +133,123 @@ fn interrupted_campaign_restarts_only_the_unfinished_datasets() {
         assert_eq!(a.series, b.series);
         assert_eq!(a.headline, b.headline);
     }
+    std::fs::remove_dir_all(&store).ok();
+}
+
+/// Persisted finalization artifacts: a store-warmed Pareto finalist runs
+/// full gate-level synthesis directly from the persisted integer layers,
+/// without re-running the minimization pipeline — and a PR-4-era record
+/// (no artifact blob) still finalizes via exactly one re-run.
+#[test]
+fn store_warmed_finalists_finalize_without_re_minimization() {
+    use printed_mlp::core::baseline::BaselineConfig;
+    use printed_mlp::core::engine::EvalEngine;
+
+    let dir = temp_dir("finalize-warm");
+    let config = MinimizationConfig::default().with_weight_bits(4);
+    let budget = BaselineConfig {
+        epochs: 10,
+        ..BaselineConfig::default()
+    };
+    let build = || {
+        EvalEngine::train_with(UciDataset::Seeds, 11, &budget)
+            .unwrap()
+            .with_fine_tune_epochs(2)
+            .with_store(&dir)
+            .unwrap()
+    };
+
+    // Cold engine: evaluate + finalize; artifacts are computed in-process.
+    let engine = build();
+    let reference = engine.finalize(&config).unwrap();
+    assert!(reference.matches_fast_path);
+    assert_eq!(engine.stats().finalize_reruns, 0);
+    let store_path = engine.store().unwrap().path().expect("local store");
+    drop(engine);
+
+    // Fresh engine: the record (artifacts included) warm-starts the cache;
+    // finalization must not re-run minimization.
+    let engine = build();
+    assert_eq!(engine.stats().warmed, 1);
+    let finalized = engine.finalize(&config).unwrap();
+    assert_eq!(engine.stats().misses, 0, "evaluation must be warm");
+    assert_eq!(
+        engine.stats().finalize_reruns,
+        0,
+        "persisted layers must skip the minimization re-run"
+    );
+    assert!(finalized.matches_fast_path);
+    assert_eq!(finalized.point, reference.point);
+    assert_eq!(finalized.full, reference.full);
+    drop(engine);
+
+    // Strip the artifact blobs, simulating a record log written before
+    // artifact persistence: finalization still reproduces the reference,
+    // paying exactly one minimization re-run.
+    let text = std::fs::read_to_string(&store_path).unwrap();
+    let stripped: String = text
+        .lines()
+        .map(|line| match line.find(",\"artifacts\":\"") {
+            Some(cut) => format!("{}}}\n", &line[..cut]),
+            None => format!("{line}\n"),
+        })
+        .collect();
+    std::fs::write(&store_path, stripped).unwrap();
+
+    let engine = build();
+    assert_eq!(engine.stats().warmed, 1);
+    let finalized = engine.finalize(&config).unwrap();
+    assert_eq!(engine.stats().misses, 0);
+    assert_eq!(
+        engine.stats().finalize_reruns,
+        1,
+        "a blob-less record must fall back to one re-run"
+    );
+    assert!(finalized.matches_fast_path);
+    assert_eq!(finalized.point, reference.point);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `EvalStore::gc` against a real campaign store: live fingerprints survive,
+/// a dead baseline's logs and markers disappear.
+#[test]
+fn gc_prunes_a_real_campaign_store() {
+    use printed_mlp::core::store::{EvalStore, GcPolicy};
+
+    let store = temp_dir("gc-campaign");
+    let datasets = vec![UciDataset::Seeds];
+
+    // Two campaigns with different seeds: two baselines' worth of files.
+    store_campaign(datasets.clone(), &store, false)
+        .run()
+        .unwrap();
+    let mut other = CampaignConfig {
+        datasets: datasets.clone(),
+        effort: Effort::Quick,
+        seed: 12,
+        max_accuracy_loss: 0.05,
+        store_dir: Some(store.to_path_buf()),
+        remote_store: None,
+        resume: false,
+    };
+    let other_campaign = Campaign::new(other.clone());
+    other_campaign.run().unwrap();
+    let live_fp = other_campaign
+        .build_engine(UciDataset::Seeds)
+        .unwrap()
+        .fingerprint();
+
+    let files_before = std::fs::read_dir(&store).unwrap().count();
+    let report = EvalStore::gc(&store, &[live_fp], &GcPolicy::default()).unwrap();
+    assert_eq!(report.files_kept, 1, "one live record log");
+    assert!(report.files_dropped >= 2, "dead log + dead marker");
+    assert!(std::fs::read_dir(&store).unwrap().count() < files_before);
+
+    // The surviving store still resumes the live campaign with zero work.
+    other.resume = true;
+    let (_, stats) = Campaign::new(other).run_with_stats().unwrap();
+    assert_eq!(stats.fresh_evaluations, 0);
+    assert_eq!(stats.resumed, datasets);
     std::fs::remove_dir_all(&store).ok();
 }
 
