@@ -78,6 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_accuracy_loss: 0.05,
         store_dir: options.store.clone(),
         remote_store: options.remote_store.clone(),
+        remote_timeout_ms: options.remote_timeout_ms,
         resume: options.resume,
     })
     .with_progress(move |report| {

@@ -103,9 +103,31 @@ struct StoreMetrics {
     /// The same replay through a loopback `pmlp-serve` instance (HTTP scan of
     /// the full log), records/second.
     remote_replay_records_per_sec: f64,
-    /// Appends through the loopback server (one HTTP POST per record),
-    /// records/second.
+    /// Appends through the loopback server the way an engine flushes them at
+    /// `evaluate_batch` boundaries: batches of 64 records per keep-alive HTTP
+    /// POST, records/second. This is the rate a remote-store worker actually
+    /// pays per generation.
     remote_append_records_per_sec: f64,
+    /// Appends through the loopback server as one record per request (still
+    /// on a pooled keep-alive connection) — the per-request floor,
+    /// records/second.
+    remote_single_append_records_per_sec: f64,
+    /// The server's own counters after the remote measurements.
+    serve: ServeCounters,
+}
+
+#[derive(Debug, Serialize)]
+struct ServeCounters {
+    /// Requests the loopback server handled.
+    requests: u64,
+    /// Connections its accept loop handed to the worker pool.
+    connections_accepted: u64,
+    /// Requests served on an already-used (reused keep-alive) connection.
+    requests_reused: u64,
+    /// Request bytes read off the wire.
+    bytes_in: u64,
+    /// Response bytes written to the wire.
+    bytes_out: u64,
 }
 
 #[derive(Debug, Serialize)]
@@ -322,18 +344,27 @@ fn measure_store(records: usize) -> Result<StoreMetrics, Box<dyn std::error::Err
     drop(store);
     std::fs::remove_dir_all(&dir).ok();
 
-    // Remote tier over loopback.
+    // Remote tier over loopback. Single appends and batched appends go to
+    // distinct fingerprints so each path writes (and the scan reads) a
+    // well-defined log.
     let server = pmlp_serve::spawn(&pmlp_serve::ServeConfig::default())?;
     let client = RemoteBackend::new(&server.url())?;
     let t0 = Instant::now();
     for i in 0..records {
         client.append("perf", 0xBE7C, &record(i))?;
     }
+    let remote_single_append = t0.elapsed().as_secs_f64();
+    let batch: Vec<EvalRecord> = (0..records).map(record).collect();
+    let t0 = Instant::now();
+    for chunk in batch.chunks(64) {
+        client.append_batch("perf", 0xBA7C, chunk)?;
+    }
     let remote_append = t0.elapsed().as_secs_f64();
     let t0 = Instant::now();
     let outcome = client.scan("perf", 0xBE7C)?;
     let remote_replay = t0.elapsed().as_secs_f64();
     assert_eq!(outcome.records.len(), records);
+    let serve_stats = server.stats();
     server.stop();
 
     Ok(StoreMetrics {
@@ -342,6 +373,14 @@ fn measure_store(records: usize) -> Result<StoreMetrics, Box<dyn std::error::Err
         local_replay_records_per_sec: rate(records, local_replay),
         remote_replay_records_per_sec: rate(records, remote_replay),
         remote_append_records_per_sec: rate(records, remote_append),
+        remote_single_append_records_per_sec: rate(records, remote_single_append),
+        serve: ServeCounters {
+            requests: serve_stats.requests,
+            connections_accepted: serve_stats.connections_accepted,
+            requests_reused: serve_stats.requests_reused,
+            bytes_in: serve_stats.bytes_in,
+            bytes_out: serve_stats.bytes_out,
+        },
     })
 }
 

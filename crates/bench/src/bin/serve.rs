@@ -7,17 +7,24 @@
 //!
 //! ```text
 //! cargo run --release -p pmlp-bench --bin serve -- \
-//!     [host:port] [--store DIR]
+//!     [host:port] [--store DIR] [--token TOKEN] [--workers N]
 //! ```
 //!
 //! `host:port` defaults to `127.0.0.1:7878` (use port `0` for an ephemeral
 //! port — the bound address is printed on startup). With `--store DIR` the
-//! server persists into the standard local JSONL store format under `DIR`, so
-//! an existing single-machine `--store` directory can be promoted to a shared
+//! server persists into the standard local JSONL store format under `DIR`
+//! (fronted by an in-memory record index preloaded at startup), so an
+//! existing single-machine `--store` directory can be promoted to a shared
 //! server without conversion; without it, state lives in memory for the
 //! server's lifetime.
 //!
-//! Point workers at the server with `--remote-store http://host:port` on the
+//! `--token TOKEN` turns on bearer auth: every request except the
+//! `/v1/healthz` liveness probe must carry `Authorization: Bearer TOKEN`, and
+//! workers embed the token in their store URL. `--workers N` sizes the
+//! connection worker pool (default: one per core, clamped to 4..=32).
+//!
+//! Point workers at the server with `--remote-store http://host:port` (or
+//! `http://TOKEN@host:port` when auth is on) on the
 //! `fig1`/`fig2`/`table_headline`/`campaign` binaries.
 
 use pmlp_bench::parse_cli;
@@ -36,6 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     run(&ServeConfig {
         addr,
         store_dir: options.store.clone(),
+        token: options.token.clone(),
+        workers: options.workers.unwrap_or(0),
+        ..ServeConfig::default()
     })?;
     Ok(())
 }

@@ -39,6 +39,17 @@ pub struct CliOptions<'a> {
     /// `--require-warm`: exit with an error if the run needed any fresh
     /// evaluation — CI's assertion that a store re-run recomputes nothing.
     pub require_warm: bool,
+    /// Remote-store request timeout override in milliseconds from
+    /// `--remote-timeout-ms N` (connect + read + write deadlines of every
+    /// request to the `pmlp-serve` tier; default 10s).
+    pub remote_timeout_ms: Option<u64>,
+    /// Bearer token from `--token TOKEN`: the `serve` binary requires it on
+    /// every request except the liveness probe. (Workers pass their token
+    /// inline in the URL instead: `--remote-store http://TOKEN@host:port`.)
+    pub token: Option<String>,
+    /// Worker-pool size override for the `serve` binary from `--workers N`
+    /// (default: one per core, clamped to 4..=32).
+    pub workers: Option<usize>,
     /// A malformed command line detected during parsing (e.g. `--store`
     /// without a directory); surfaced by [`CliOptions::validate`].
     pub parse_error: Option<String>,
@@ -63,6 +74,12 @@ impl CliOptions<'_> {
                 "--resume/--require-warm need --store DIR and/or --remote-store URL".into(),
             );
         }
+        if self.remote_timeout_ms == Some(0) {
+            return Err("--remote-timeout-ms must be positive".into());
+        }
+        if self.workers == Some(0) {
+            return Err("--workers must be positive".into());
+        }
         Ok(())
     }
 
@@ -82,7 +99,11 @@ impl CliOptions<'_> {
     pub fn open_backend(
         &self,
     ) -> Result<Option<Box<dyn pmlp_core::store::StoreBackend>>, pmlp_core::CoreError> {
-        pmlp_core::store::open_backend(self.store.as_deref(), self.remote_store.as_deref())
+        pmlp_core::store::open_backend_with(
+            self.store.as_deref(),
+            self.remote_store.as_deref(),
+            self.remote_timeout_ms.map(std::time::Duration::from_millis),
+        )
     }
 }
 
@@ -108,6 +129,25 @@ pub fn parse_cli(args: &[String]) -> CliOptions<'_> {
                     options.parse_error = Some("--remote-store needs a URL argument".into());
                 }
             },
+            "--remote-timeout-ms" => match iter.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(ms)) => options.remote_timeout_ms = Some(ms),
+                _ => {
+                    options.parse_error =
+                        Some("--remote-timeout-ms needs a number of milliseconds".into());
+                }
+            },
+            "--token" => match iter.next() {
+                Some(token) if !token.starts_with('-') => options.token = Some(token.clone()),
+                _ => {
+                    options.parse_error = Some("--token needs a token argument".into());
+                }
+            },
+            "--workers" => match iter.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => options.workers = Some(n),
+                _ => {
+                    options.parse_error = Some("--workers needs a thread count".into());
+                }
+            },
             "--resume" => options.resume = true,
             "--require-warm" => options.require_warm = true,
             other => {
@@ -122,6 +162,27 @@ pub fn parse_cli(args: &[String]) -> CliOptions<'_> {
                         options.parse_error = Some("--remote-store= needs a non-empty URL".into());
                     } else {
                         options.remote_store = Some(url.to_string());
+                    }
+                } else if let Some(ms) = other.strip_prefix("--remote-timeout-ms=") {
+                    match ms.parse::<u64>() {
+                        Ok(ms) => options.remote_timeout_ms = Some(ms),
+                        Err(_) => {
+                            options.parse_error =
+                                Some("--remote-timeout-ms needs a number of milliseconds".into());
+                        }
+                    }
+                } else if let Some(token) = other.strip_prefix("--token=") {
+                    if token.is_empty() {
+                        options.parse_error = Some("--token= needs a non-empty token".into());
+                    } else {
+                        options.token = Some(token.to_string());
+                    }
+                } else if let Some(n) = other.strip_prefix("--workers=") {
+                    match n.parse::<usize>() {
+                        Ok(n) => options.workers = Some(n),
+                        Err(_) => {
+                            options.parse_error = Some("--workers needs a thread count".into());
+                        }
                     }
                 } else {
                     options.positional.push(other);
@@ -296,6 +357,53 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert!(parse_cli(&args).validate().is_err());
+    }
+
+    #[test]
+    fn serve_tier_flags_are_parsed_in_both_forms() {
+        let args: Vec<String> = [
+            "0.0.0.0:7878",
+            "--token",
+            "sekrit",
+            "--workers",
+            "8",
+            "--remote-timeout-ms",
+            "2500",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let options = parse_cli(&args);
+        assert_eq!(options.positional, vec!["0.0.0.0:7878"]);
+        assert_eq!(options.token.as_deref(), Some("sekrit"));
+        assert_eq!(options.workers, Some(8));
+        assert_eq!(options.remote_timeout_ms, Some(2500));
+        assert!(options.validate().is_ok());
+
+        let args: Vec<String> = ["--token=t0k", "--workers=4", "--remote-timeout-ms=100"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let options = parse_cli(&args);
+        assert_eq!(options.token.as_deref(), Some("t0k"));
+        assert_eq!(options.workers, Some(4));
+        assert_eq!(options.remote_timeout_ms, Some(100));
+
+        // Missing values, non-numbers and zeros are rejected.
+        for bad in [
+            vec!["--token"],
+            vec!["--workers", "lots"],
+            vec!["--remote-timeout-ms"],
+            vec!["--remote-timeout-ms", "soon"],
+            vec!["--workers", "0"],
+            vec!["--remote-timeout-ms", "0"],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(
+                parse_cli(&args).validate().is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
     }
 
     #[test]

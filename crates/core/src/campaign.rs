@@ -46,7 +46,7 @@ use crate::engine::EvalEngine;
 use crate::error::CoreError;
 use crate::experiment::{headline_summary, Effort, Figure1Experiment};
 use crate::report::{FigureSeries, HeadlineRow, TechniqueSummary};
-use crate::store::{open_backend, StoreBackend};
+use crate::store::{open_backend_with, StoreBackend};
 use crate::sweep::Technique;
 use pmlp_data::UciDataset;
 use rayon::prelude::*;
@@ -84,6 +84,11 @@ pub struct CampaignConfig {
     /// is the only tier. A killed server degrades the run to local-only
     /// instead of failing it.
     pub remote_store: Option<String>,
+    /// Per-request deadline for the remote store tier, in milliseconds
+    /// (connect + read + write timeouts of every request; `None` keeps the
+    /// client's 10s default). Lower it when a flaky server should degrade
+    /// the run to local-only quickly instead of stalling each request.
+    pub remote_timeout_ms: Option<u64>,
     /// When `true` (and a store tier is configured), datasets whose
     /// completion marker matches this configuration **and** the freshly
     /// trained baseline's fingerprint are loaded from the marker verbatim
@@ -101,6 +106,7 @@ impl Default for CampaignConfig {
             max_accuracy_loss: 0.05,
             store_dir: None,
             remote_store: None,
+            remote_timeout_ms: None,
             resume: false,
         }
     }
@@ -317,9 +323,12 @@ impl Campaign {
     /// Returns [`CoreError::Store`] when the directory cannot be created or
     /// the URL is malformed.
     pub fn open_backend(&self) -> Result<Option<Arc<dyn StoreBackend>>, CoreError> {
-        Ok(open_backend(
+        Ok(open_backend_with(
             self.config.store_dir.as_deref(),
             self.config.remote_store.as_deref(),
+            self.config
+                .remote_timeout_ms
+                .map(std::time::Duration::from_millis),
         )?
         .map(Arc::from))
     }
@@ -614,6 +623,7 @@ mod tests {
             max_accuracy_loss: 0.05,
             store_dir: Some(dir.to_path_buf()),
             remote_store: None,
+            remote_timeout_ms: None,
             resume,
         }
     }

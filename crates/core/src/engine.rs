@@ -273,6 +273,13 @@ pub struct EvalEngine {
     warmed: usize,
     finalize_reruns: AtomicUsize,
     store: Option<EvalStore>,
+    /// Records computed inside an [`EvalEngine::evaluate_batch`] call, held
+    /// back so the whole batch lands in the store as **one** append — over a
+    /// remote tier that is one request instead of hundreds.
+    batch_buffer: Mutex<Vec<EvalRecord>>,
+    /// How many `evaluate_batch` calls are currently on the stack (across
+    /// threads); the last one out flushes the buffer.
+    batch_depth: AtomicUsize,
     progress: Option<Box<ProgressFn>>,
 }
 
@@ -315,6 +322,8 @@ impl EvalEngine {
             warmed: 0,
             finalize_reruns: AtomicUsize::new(0),
             store: None,
+            batch_buffer: Mutex::new(Vec::new()),
+            batch_depth: AtomicUsize::new(0),
             progress: None,
         }
     }
@@ -640,7 +649,7 @@ impl EvalEngine {
                 // append degrades the store to this process's lifetime but
                 // never fails a search.
                 if let (Some(store), Ok(point)) = (&self.store, &outcome) {
-                    if let Err(err) = store.append(&EvalRecord {
+                    let record = EvalRecord {
                         key,
                         tier: self.tier,
                         point: point.clone(),
@@ -648,7 +657,15 @@ impl EvalEngine {
                             layers: layers.as_ref().clone(),
                             sharing,
                         }),
-                    }) {
+                    };
+                    if self.batch_depth.load(Ordering::Acquire) > 0 {
+                        // Inside evaluate_batch: hold the record back so the
+                        // whole batch flushes as one append at the boundary.
+                        self.batch_buffer
+                            .lock()
+                            .expect("batch buffer lock")
+                            .push(record);
+                    } else if let Err(err) = store.append(&record) {
                         eprintln!("warning: {err}");
                     }
                 }
@@ -754,6 +771,31 @@ impl EvalEngine {
     }
 }
 
+impl EvalEngine {
+    /// Drains the batch buffer into the store as one append. A failing flush
+    /// degrades the store to this process's lifetime but never fails a
+    /// search, mirroring the single-append contract.
+    fn flush_batched_records(&self) {
+        let records = std::mem::take(&mut *self.batch_buffer.lock().expect("batch buffer lock"));
+        if records.is_empty() {
+            return;
+        }
+        if let Some(store) = &self.store {
+            if let Err(err) = store.append_batch(&records) {
+                eprintln!("warning: {err}");
+            }
+        }
+    }
+}
+
+impl Drop for EvalEngine {
+    /// Safety net: records buffered by an `evaluate_batch` call that never
+    /// unwound cleanly still reach the store before the engine goes away.
+    fn drop(&mut self) {
+        self.flush_batched_records();
+    }
+}
+
 impl Evaluator for EvalEngine {
     fn evaluate(&self, config: &MinimizationConfig) -> Result<DesignPoint, CoreError> {
         self.evaluate_with_status(config).map(|(point, _)| point)
@@ -762,10 +804,26 @@ impl Evaluator for EvalEngine {
     /// Evaluates the whole batch on the rayon worker pool. Duplicate
     /// configurations within the batch (common in GA populations) are
     /// deduplicated by the in-flight machinery, not recomputed.
+    ///
+    /// Store appends for the batch's cache misses are buffered and flushed as
+    /// **one** [`EvalStore::append_batch`] when the last concurrent batch
+    /// finishes (panic-safe) — over a remote store this turns a
+    /// request-per-miss into a request-per-generation.
     fn evaluate_batch(
         &self,
         configs: &[MinimizationConfig],
     ) -> Result<Vec<DesignPoint>, CoreError> {
+        struct BatchGuard<'a>(&'a EvalEngine);
+        impl Drop for BatchGuard<'_> {
+            fn drop(&mut self) {
+                // Last batch out (depth 1 -> 0) flushes everyone's records.
+                if self.0.batch_depth.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    self.0.flush_batched_records();
+                }
+            }
+        }
+        self.batch_depth.fetch_add(1, Ordering::AcqRel);
+        let _guard = BatchGuard(self);
         configs
             .par_iter()
             .map(|config| self.evaluate(config))

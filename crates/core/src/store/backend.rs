@@ -80,6 +80,31 @@ pub trait StoreBackend: Send + Sync {
     /// Returns [`CoreError::Store`] when the record cannot be persisted.
     fn append(&self, name: &str, fingerprint: u64, record: &EvalRecord) -> Result<(), CoreError>;
 
+    /// Appends many records under `(name, fingerprint)` as one logical batch.
+    ///
+    /// Backends whose append carries fixed per-call overhead override this to
+    /// pay that overhead once per batch: the local tier turns a batch into a
+    /// single flushed write, the remote tier into a single HTTP `POST`. The
+    /// default loops [`StoreBackend::append`], so correctness never depends
+    /// on the override — only throughput does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Store`] when the records cannot be persisted; a
+    /// failed batch may have been partially applied (replay compaction and
+    /// last-write-wins merging make partial batches harmless).
+    fn append_batch(
+        &self,
+        name: &str,
+        fingerprint: u64,
+        records: &[EvalRecord],
+    ) -> Result<(), CoreError> {
+        for record in records {
+            self.append(name, fingerprint, record)?;
+        }
+        Ok(())
+    }
+
     /// Merges duplicate keys in the `(name, fingerprint)` record log (last
     /// write wins), returning how many records were removed. A no-op for
     /// backends without duplicate storage.
@@ -143,6 +168,14 @@ impl<T: StoreBackend + ?Sized> StoreBackend for std::sync::Arc<T> {
     }
     fn append(&self, name: &str, fingerprint: u64, record: &EvalRecord) -> Result<(), CoreError> {
         (**self).append(name, fingerprint, record)
+    }
+    fn append_batch(
+        &self,
+        name: &str,
+        fingerprint: u64,
+        records: &[EvalRecord],
+    ) -> Result<(), CoreError> {
+        (**self).append_batch(name, fingerprint, records)
     }
     fn compact(&self, name: &str, fingerprint: u64) -> Result<usize, CoreError> {
         (**self).compact(name, fingerprint)

@@ -111,6 +111,41 @@ impl LocalJsonlBackend {
         Ok((loaded, dropped, needs_rewrite))
     }
 
+    /// Returns the cached append handle for `path`, opening (and sealing /
+    /// salvaging the header of) the log on first touch by this backend
+    /// instance. Must be called with the writers lock held — the map passed
+    /// in *is* the locked map.
+    fn writer_for<'w>(
+        writers: &'w mut HashMap<PathBuf, fs::File>,
+        path: &Path,
+        fingerprint: u64,
+    ) -> Result<&'w mut fs::File, CoreError> {
+        if !writers.contains_key(path) {
+            // First touch of this log by this backend instance: make sure a
+            // valid header leads the file before appending after it. An
+            // existing file with a foreign/stale header must be salvaged
+            // *now* — appending after a bad header would let the next scan
+            // discard the fresh records along with it.
+            let (records, _, needs_rewrite) = Self::replay(path, fingerprint)?;
+            if needs_rewrite {
+                Self::rewrite(path, fingerprint, &records)?;
+            } else if !path.exists() {
+                // Brand-new log: seal the header so a replay can bind the
+                // file to its fingerprint.
+                let mut contents = header_line(fingerprint);
+                contents.push('\n');
+                write_atomic(path, &contents)
+                    .map_err(|e| store_err(format!("create {}: {e}", path.display())))?;
+            }
+            let file = fs::OpenOptions::new()
+                .append(true)
+                .open(path)
+                .map_err(|e| store_err(format!("open {} for append: {e}", path.display())))?;
+            writers.insert(path.to_path_buf(), file);
+        }
+        Ok(writers.get_mut(path).expect("cached writer"))
+    }
+
     /// Writes `records` (plus the header) to `path` atomically.
     fn rewrite(path: &Path, fingerprint: u64, records: &[EvalRecord]) -> Result<(), CoreError> {
         let mut contents = header_line(fingerprint);
@@ -150,34 +185,36 @@ impl StoreBackend for LocalJsonlBackend {
         let mut line = record_line(record);
         line.push('\n');
         let mut writers = self.writers.lock().expect("writer map lock");
-        if !writers.contains_key(&path) {
-            // First touch of this log by this backend instance: make sure a
-            // valid header leads the file before appending after it. An
-            // existing file with a foreign/stale header must be salvaged
-            // *now* — appending after a bad header would let the next scan
-            // discard the fresh records along with it.
-            let (records, _, needs_rewrite) = Self::replay(&path, fingerprint)?;
-            if needs_rewrite {
-                Self::rewrite(&path, fingerprint, &records)?;
-            } else if !path.exists() {
-                // Brand-new log: seal the header so a replay can bind the
-                // file to its fingerprint.
-                let mut contents = header_line(fingerprint);
-                contents.push('\n');
-                write_atomic(&path, &contents)
-                    .map_err(|e| store_err(format!("create {}: {e}", path.display())))?;
-            }
-            let file = fs::OpenOptions::new()
-                .append(true)
-                .open(&path)
-                .map_err(|e| store_err(format!("open {} for append: {e}", path.display())))?;
-            writers.insert(path.clone(), file);
-        }
-        let writer = writers.get_mut(&path).expect("cached writer");
+        let writer = Self::writer_for(&mut writers, &path, fingerprint)?;
         writer
             .write_all(line.as_bytes())
             .and_then(|()| writer.flush())
             .map_err(|e| store_err(format!("append to {}: {e}", path.display())))
+    }
+
+    fn append_batch(
+        &self,
+        name: &str,
+        fingerprint: u64,
+        records: &[EvalRecord],
+    ) -> Result<(), CoreError> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let path = self.file_path(name, fingerprint);
+        let mut lines = String::new();
+        for record in records {
+            lines.push_str(&record_line(record));
+            lines.push('\n');
+        }
+        // One write + one flush for the whole batch: a crash can still only
+        // truncate the tail, which replay tolerates.
+        let mut writers = self.writers.lock().expect("writer map lock");
+        let writer = Self::writer_for(&mut writers, &path, fingerprint)?;
+        writer
+            .write_all(lines.as_bytes())
+            .and_then(|()| writer.flush())
+            .map_err(|e| store_err(format!("append batch to {}: {e}", path.display())))
     }
 
     fn compact(&self, name: &str, fingerprint: u64) -> Result<usize, CoreError> {
@@ -265,6 +302,40 @@ fn record_log_fingerprint(file_name: &str) -> Option<u64> {
     let stem = file_name.strip_suffix(".jsonl")?;
     let (_, fp) = stem.rsplit_once('_')?;
     (fp.len() == 16).then(|| u64::from_str_radix(fp, 16).ok())?
+}
+
+/// Enumerates the record logs of a store directory as `(shard label,
+/// fingerprint)` pairs — the keys a server preloads its in-memory index with
+/// and the default "everything currently present is live" set of an online
+/// GC pass. Non-log files (documents, markers) are skipped.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Store`] when the directory cannot be read; a missing
+/// directory lists empty (a fresh store has no logs yet).
+pub fn list_record_logs(dir: &Path) -> Result<Vec<(String, u64)>, CoreError> {
+    let mut logs = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(logs),
+        Err(e) => return Err(store_err(format!("read {}: {e}", dir.display()))),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| store_err(format!("read {}: {e}", dir.display())))?;
+        let Some(file_name) = entry.file_name().to_str().map(String::from) else {
+            continue;
+        };
+        if let Some(fp) = record_log_fingerprint(&file_name) {
+            let stem = file_name
+                .strip_suffix(".jsonl")
+                .and_then(|s| s.rsplit_once('_'))
+                .map(|(name, _)| name.to_string())
+                .expect("fingerprinted log names split");
+            logs.push((stem, fp));
+        }
+    }
+    logs.sort();
+    Ok(logs)
 }
 
 /// Extracts the envelope fingerprint of a `done_*.json` completion marker.

@@ -42,6 +42,20 @@ impl MemoryBackend {
     pub fn doc_count(&self) -> usize {
         self.docs.lock().expect("memory docs lock").len()
     }
+
+    /// Every `(shard label, fingerprint)` log currently held, sorted — the
+    /// in-memory analogue of [`list_record_logs`](super::list_record_logs).
+    pub fn logs(&self) -> Vec<(String, u64)> {
+        let mut logs: Vec<(String, u64)> = self
+            .records
+            .lock()
+            .expect("memory records lock")
+            .keys()
+            .cloned()
+            .collect();
+        logs.sort();
+        logs
+    }
 }
 
 impl StoreBackend for MemoryBackend {
@@ -84,6 +98,24 @@ impl StoreBackend for MemoryBackend {
             .entry((sanitize_name(name), fingerprint))
             .or_default()
             .push(record.clone());
+        Ok(())
+    }
+
+    fn append_batch(
+        &self,
+        name: &str,
+        fingerprint: u64,
+        records: &[EvalRecord],
+    ) -> Result<(), CoreError> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        self.records
+            .lock()
+            .expect("memory records lock")
+            .entry((sanitize_name(name), fingerprint))
+            .or_default()
+            .extend_from_slice(records);
         Ok(())
     }
 

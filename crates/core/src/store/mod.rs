@@ -74,6 +74,7 @@
 
 mod backend;
 mod codec;
+mod indexed;
 mod jsonl;
 mod memory;
 mod remote;
@@ -81,7 +82,8 @@ mod tiered;
 
 pub use backend::{safe_component, sanitize_name, ScanOutcome, StoreBackend};
 pub use codec::{decode_artifacts, encode_artifacts};
-pub use jsonl::{gc_store_dir, GcPolicy, GcReport, LocalJsonlBackend};
+pub use indexed::IndexedBackend;
+pub use jsonl::{gc_store_dir, list_record_logs, GcPolicy, GcReport, LocalJsonlBackend};
 pub use memory::MemoryBackend;
 pub use remote::RemoteBackend;
 pub use tiered::{TieredStats, TieredStore};
@@ -344,13 +346,37 @@ pub fn open_backend(
     local_dir: Option<&Path>,
     remote_url: Option<&str>,
 ) -> Result<Option<Box<dyn StoreBackend>>, CoreError> {
+    open_backend_with(local_dir, remote_url, None)
+}
+
+/// [`open_backend`] with an explicit remote timeout (`--remote-timeout-ms`):
+/// `None` keeps the [`RemoteBackend`] default. The timeout covers connect,
+/// read and write of each remote request — the knob that decides how fast a
+/// dead server degrades a tiered composition.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Store`] when the directory cannot be created or the
+/// URL is malformed.
+pub fn open_backend_with(
+    local_dir: Option<&Path>,
+    remote_url: Option<&str>,
+    remote_timeout: Option<std::time::Duration>,
+) -> Result<Option<Box<dyn StoreBackend>>, CoreError> {
+    let remote = |url: &str| -> Result<RemoteBackend, CoreError> {
+        let client = RemoteBackend::new(url)?;
+        Ok(match remote_timeout {
+            Some(timeout) => client.with_timeout(timeout),
+            None => client,
+        })
+    };
     match (local_dir, remote_url) {
         (None, None) => Ok(None),
         (Some(dir), None) => Ok(Some(Box::new(LocalJsonlBackend::open(dir)?))),
-        (None, Some(url)) => Ok(Some(Box::new(RemoteBackend::new(url)?))),
+        (None, Some(url)) => Ok(Some(Box::new(remote(url)?))),
         (Some(dir), Some(url)) => Ok(Some(Box::new(TieredStore::new(
             Box::new(LocalJsonlBackend::open(dir)?),
-            Box::new(RemoteBackend::new(url)?),
+            Box::new(remote(url)?),
         )))),
     }
 }
@@ -438,6 +464,20 @@ impl EvalStore {
     /// Returns [`CoreError::Store`] when the write fails.
     pub fn append(&self, record: &EvalRecord) -> Result<(), CoreError> {
         self.backend.append(&self.name, self.fingerprint, record)
+    }
+
+    /// Appends many records as one batch — one flushed write locally, one
+    /// HTTP `POST` remotely (see [`StoreBackend::append_batch`]). The engine
+    /// buffers per-candidate appends across
+    /// [`evaluate_batch`](crate::engine::Evaluator::evaluate_batch) and
+    /// lands them here at the batch boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Store`] when the write fails.
+    pub fn append_batch(&self, records: &[EvalRecord]) -> Result<(), CoreError> {
+        self.backend
+            .append_batch(&self.name, self.fingerprint, records)
     }
 
     /// Path of the record log on disk, for backends that have one (`None`

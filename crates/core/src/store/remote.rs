@@ -14,11 +14,24 @@
 //! | `DELETE /v1/docs/{name}` | delete a document |
 //! | `GET /v1/healthz` | liveness probe |
 //! | `GET /v1/stats` | server counters (JSON) |
+//! | `POST /v1/gc` | run a garbage-collection pass on the server |
 //!
-//! The client is deliberately dependency-free (`std::net` only), opens one
-//! connection per request (`Connection: close`) and applies conservative
-//! timeouts so a dead server degrades a [`TieredStore`](crate::store::TieredStore)
-//! instead of hanging a search.
+//! The client is deliberately dependency-free (`std::net` only). The
+//! authority resolves **once** (at construction, or lazily on the first
+//! request when construction-time resolution is unavailable) and requests
+//! ride **persistent keep-alive connections** drawn from a small shared pool:
+//! a completed request parks its socket for the next one, a stale parked
+//! socket (server restarted, idle timeout fired) is retried once on a fresh
+//! connection, and a fresh connection that still fails is a real error — the
+//! signal a [`TieredStore`](crate::store::TieredStore) degrades on. All
+//! sockets carry the configured timeout (connect, read, write), so a dead
+//! server fails fast instead of hanging a search.
+//!
+//! Authentication: a server started with `--token` expects
+//! `Authorization: Bearer <token>`; the client learns the token from
+//! [`RemoteBackend::with_token`] or inline in the URL
+//! (`http://TOKEN@host:port`), which threads through every existing
+//! `--remote-store` plumbing unchanged.
 
 use super::backend::{check_doc_name, sanitize_name, ScanOutcome, StoreBackend};
 use super::{header_matches, hex, parse_record_line, record_line};
@@ -26,11 +39,20 @@ use crate::error::CoreError;
 use crate::store::EvalRecord;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 fn store_err(context: String) -> CoreError {
     CoreError::Store { context }
 }
+
+/// Largest accepted response head; a `pmlp-serve` head is a few lines.
+const MAX_RESPONSE_HEAD: usize = 64 * 1024;
+
+/// Most idle keep-alive sockets parked per client. Engines hammer the store
+/// from a rayon pool, so a handful of connections covers the realistic
+/// concurrency without holding dozens of server workers hostage.
+const POOL_CAP: usize = 8;
 
 /// One parsed HTTP response.
 #[derive(Debug)]
@@ -42,22 +64,33 @@ struct Response {
 /// The remote tier: an HTTP client bound to one `pmlp-serve` base URL.
 #[derive(Debug, Clone)]
 pub struct RemoteBackend {
-    /// `host:port` the server listens on.
+    /// `host:port` the server listens on (token stripped).
     authority: String,
+    /// Addresses the authority resolved to, filled at most once.
+    resolved: Arc<OnceLock<Vec<SocketAddr>>>,
     /// Per-request connect/read/write timeout.
     timeout: Duration,
+    /// Bearer token sent as `Authorization` on every request.
+    token: Option<String>,
+    /// Idle keep-alive connections, shared by clones of this client.
+    pool: Arc<Mutex<Vec<TcpStream>>>,
 }
 
 impl RemoteBackend {
-    /// Creates a client for `url` (`http://host:port`, a trailing slash is
-    /// tolerated; `https` is not supported — the store speaks plain HTTP on a
-    /// trusted network, typically loopback or a cluster-internal address).
+    /// Creates a client for `url` (`http://host:port` or
+    /// `http://TOKEN@host:port`; a trailing slash is tolerated; `https` is
+    /// not supported — the store speaks plain HTTP on a trusted network,
+    /// typically loopback or a cluster-internal address).
+    ///
+    /// The authority is resolved here when the resolver cooperates (and never
+    /// again); the server is *not* contacted — a client can be constructed
+    /// before its server starts, and a hostname that fails to resolve now is
+    /// retried on the first request.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::Store`] for unsupported schemes or a malformed
-    /// authority. The server is *not* contacted — a client can be constructed
-    /// before its server starts.
+    /// authority.
     pub fn new(url: &str) -> Result<Self, CoreError> {
         let trimmed = url.trim();
         let rest = match trimmed.split_once("://") {
@@ -69,14 +102,27 @@ impl RemoteBackend {
             }
             None => trimmed,
         };
-        let authority = rest.trim_end_matches('/');
+        let rest = rest.trim_end_matches('/');
+        // URL userinfo carries the bearer token: http://TOKEN@host:port.
+        let (token, authority) = match rest.split_once('@') {
+            Some((token, authority)) if !token.is_empty() => (Some(token.to_string()), authority),
+            Some((_, authority)) => (None, authority),
+            None => (None, rest),
+        };
         if authority.is_empty() || authority.contains('/') {
             return Err(store_err(format!("remote store: malformed URL `{url}`")));
         }
-        Ok(RemoteBackend {
+        let client = RemoteBackend {
             authority: authority.to_string(),
+            resolved: Arc::new(OnceLock::new()),
             timeout: Duration::from_secs(10),
-        })
+            token,
+            pool: Arc::new(Mutex::new(Vec::new())),
+        };
+        // Resolve eagerly; a failure here (no resolver yet, say) retries on
+        // the first request instead of failing construction.
+        let _ = client.addrs();
+        Ok(client)
     }
 
     /// Overrides the per-request timeout (connect, read and write).
@@ -86,12 +132,29 @@ impl RemoteBackend {
         self
     }
 
+    /// Sets the bearer token sent with every request (`Authorization:
+    /// Bearer <token>`), overriding any token parsed from the URL.
+    #[must_use]
+    pub fn with_token(mut self, token: &str) -> Self {
+        self.token = Some(token.to_string());
+        self
+    }
+
     /// The `host:port` this client talks to.
     pub fn authority(&self) -> &str {
         &self.authority
     }
 
-    fn connect(&self) -> Result<TcpStream, CoreError> {
+    /// The bearer token this client authenticates with, if any.
+    pub fn token(&self) -> Option<&str> {
+        self.token.as_deref()
+    }
+
+    /// The resolved (and cached) socket addresses of the authority.
+    fn addrs(&self) -> Result<&[SocketAddr], CoreError> {
+        if let Some(addrs) = self.resolved.get() {
+            return Ok(addrs);
+        }
         let addrs: Vec<SocketAddr> = self
             .authority
             .to_socket_addrs()
@@ -103,15 +166,21 @@ impl RemoteBackend {
                 self.authority
             )));
         }
+        Ok(self.resolved.get_or_init(|| addrs))
+    }
+
+    /// Opens (and deadline-arms) a fresh connection.
+    fn connect(&self) -> Result<TcpStream, CoreError> {
         // Try every resolved address (a dual-stack `localhost` often lists
         // ::1 first while the server bound 127.0.0.1 — the IPv4 attempt must
         // still go through).
         let mut last_err = None;
-        for addr in &addrs {
+        for addr in self.addrs()? {
             match TcpStream::connect_timeout(addr, self.timeout) {
                 Ok(stream) => {
                     stream.set_read_timeout(Some(self.timeout)).ok();
                     stream.set_write_timeout(Some(self.timeout)).ok();
+                    stream.set_nodelay(true).ok();
                     return Ok(stream);
                 }
                 Err(e) => last_err = Some(e),
@@ -124,38 +193,59 @@ impl RemoteBackend {
         )))
     }
 
-    /// One request/response round trip.
-    fn request(&self, method: &str, path: &str, body: &str) -> Result<Response, CoreError> {
-        let mut stream = self.connect()?;
+    /// Takes an idle keep-alive connection out of the pool, if any.
+    fn pool_take(&self) -> Option<TcpStream> {
+        self.pool.lock().expect("connection pool lock").pop()
+    }
+
+    /// Parks a healthy connection for the next request.
+    fn pool_put(&self, stream: TcpStream) {
+        let mut pool = self.pool.lock().expect("connection pool lock");
+        if pool.len() < POOL_CAP {
+            pool.push(stream);
+        }
+    }
+
+    /// One request/response exchange on `stream`. On success the connection
+    /// is parked for reuse unless the server asked to close it.
+    fn roundtrip(
+        &self,
+        mut stream: TcpStream,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<Response> {
+        let auth = match &self.token {
+            Some(token) => format!("Authorization: Bearer {token}\r\n"),
+            None => String::new(),
+        };
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\n{auth}Content-Length: {}\r\nConnection: keep-alive\r\n\r\n",
             self.authority,
             body.len(),
         );
-        stream
-            .write_all(head.as_bytes())
-            .and_then(|()| stream.write_all(body.as_bytes()))
-            .map_err(|e| store_err(format!("remote store: send {method} {path}: {e}")))?;
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        let (response, reusable) = read_response(&mut stream)?;
+        if reusable {
+            self.pool_put(stream);
+        }
+        Ok(response)
+    }
 
-        let mut raw = Vec::new();
-        stream
-            .read_to_end(&mut raw)
-            .map_err(|e| store_err(format!("remote store: read {method} {path}: {e}")))?;
-        let text = String::from_utf8(raw)
-            .map_err(|_| store_err(format!("remote store: non-UTF8 response to {path}")))?;
-        let (head, body) = text
-            .split_once("\r\n\r\n")
-            .ok_or_else(|| store_err(format!("remote store: malformed response to {path}")))?;
-        let status: u16 = head
-            .lines()
-            .next()
-            .and_then(|line| line.split_whitespace().nth(1))
-            .and_then(|code| code.parse().ok())
-            .ok_or_else(|| store_err(format!("remote store: bad status line for {path}")))?;
-        Ok(Response {
-            status,
-            body: body.to_string(),
-        })
+    /// One request/response round trip, reusing a pooled connection when one
+    /// is parked. A stale parked connection (the server restarted or timed
+    /// the socket out between requests) gets exactly one retry on a fresh
+    /// connection; a fresh connection failing is the real dead-server signal.
+    fn request(&self, method: &str, path: &str, body: &str) -> Result<Response, CoreError> {
+        if let Some(stream) = self.pool_take() {
+            if let Ok(response) = self.roundtrip(stream, method, path, body) {
+                return Ok(response);
+            }
+        }
+        let stream = self.connect()?;
+        self.roundtrip(stream, method, path, body)
+            .map_err(|e| store_err(format!("remote store: {method} {path}: {e}")))
     }
 
     fn records_path(name: &str, fingerprint: u64) -> String {
@@ -185,6 +275,97 @@ impl RemoteBackend {
         }
         Ok(response.body)
     }
+
+    /// Runs an online garbage-collection pass on the server (`POST /v1/gc`),
+    /// returning the server's JSON [`GcReport`](crate::store::GcReport).
+    /// `body` is the request JSON (`"{}"` for a pure compaction pass with
+    /// default policy; see the serve crate's endpoint docs for the fields).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Store`] when the server is unreachable, rejects
+    /// the request or fails the pass.
+    pub fn gc(&self, body: &str) -> Result<String, CoreError> {
+        let response = self.request("POST", "/v1/gc", body)?;
+        if response.status != 200 {
+            return Err(store_err(format!(
+                "remote store: gc returned HTTP {}: {}",
+                response.status,
+                response.body.trim()
+            )));
+        }
+        Ok(response.body)
+    }
+}
+
+/// Reads one HTTP response off `stream`, returning it plus whether the
+/// connection may be reused (the server sent `Content-Length` and did not ask
+/// to close).
+fn read_response(stream: &mut TcpStream) -> std::io::Result<(Response, bool)> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        if buf.len() > MAX_RESPONSE_HEAD {
+            return Err(bad("response head too large"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad("connection closed before response"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| bad("non-UTF8 head"))?;
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    let mut content_length: Option<usize> = None;
+    let mut close = false;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = Some(
+                    value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad("bad content-length"))?,
+                );
+            } else if name.eq_ignore_ascii_case("connection")
+                && value.trim().eq_ignore_ascii_case("close")
+            {
+                close = true;
+            }
+        }
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    match content_length {
+        Some(len) => {
+            while body.len() < len {
+                let n = stream.read(&mut chunk)?;
+                if n == 0 {
+                    return Err(bad("connection closed mid-body"));
+                }
+                body.extend_from_slice(&chunk[..n]);
+            }
+            body.truncate(len);
+        }
+        None => {
+            // No framing: drain to EOF, which forfeits reuse.
+            stream.read_to_end(&mut body)?;
+            close = true;
+        }
+    }
+    let body = String::from_utf8(body).map_err(|_| bad("non-UTF8 body"))?;
+    Ok((Response { status, body }, !close))
 }
 
 impl StoreBackend for RemoteBackend {
@@ -224,8 +405,25 @@ impl StoreBackend for RemoteBackend {
     }
 
     fn append(&self, name: &str, fingerprint: u64, record: &EvalRecord) -> Result<(), CoreError> {
+        self.append_batch(name, fingerprint, std::slice::from_ref(record))
+    }
+
+    fn append_batch(
+        &self,
+        name: &str,
+        fingerprint: u64,
+        records: &[EvalRecord],
+    ) -> Result<(), CoreError> {
+        if records.is_empty() {
+            return Ok(());
+        }
         let path = Self::records_path(name, fingerprint);
-        let response = self.request("POST", &path, &record_line(record))?;
+        let mut body = String::new();
+        for record in records {
+            body.push_str(&record_line(record));
+            body.push('\n');
+        }
+        let response = self.request("POST", &path, &body)?;
         if response.status != 204 {
             return Err(store_err(format!(
                 "remote store: append {path} returned HTTP {}",
@@ -297,6 +495,21 @@ mod tests {
         assert!(RemoteBackend::new("https://x:1").is_err());
         assert!(RemoteBackend::new("http://").is_err());
         assert!(RemoteBackend::new("http://host:1/path").is_err());
+    }
+
+    #[test]
+    fn url_userinfo_carries_the_bearer_token() {
+        let client = RemoteBackend::new("http://s3cr3t@127.0.0.1:7878").unwrap();
+        assert_eq!(client.authority(), "127.0.0.1:7878");
+        assert_eq!(client.token(), Some("s3cr3t"));
+        // with_token overrides the URL's token.
+        let client = client.with_token("newer");
+        assert_eq!(client.token(), Some("newer"));
+        // No token: none parsed.
+        assert_eq!(
+            RemoteBackend::new("http://127.0.0.1:7878").unwrap().token(),
+            None
+        );
     }
 
     #[test]

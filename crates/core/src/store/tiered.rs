@@ -195,6 +195,25 @@ impl StoreBackend for TieredStore {
         Ok(())
     }
 
+    fn append_batch(
+        &self,
+        name: &str,
+        fingerprint: u64,
+        records: &[EvalRecord],
+    ) -> Result<(), CoreError> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        self.local.append_batch(name, fingerprint, records)?;
+        self.remote_best_effort("append_batch", || {
+            self.remote.append_batch(name, fingerprint, records)?;
+            self.remote_appends
+                .fetch_add(records.len(), Ordering::Relaxed);
+            Ok(())
+        });
+        Ok(())
+    }
+
     fn compact(&self, name: &str, fingerprint: u64) -> Result<usize, CoreError> {
         // Compaction is a local storage concern; the server compacts its own
         // tier on its own schedule.

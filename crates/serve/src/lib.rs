@@ -14,23 +14,39 @@
 //!
 //! | Method + path | Meaning |
 //! |---------------|---------|
-//! | `GET /v1/healthz` | liveness probe |
-//! | `GET /v1/stats` | request/record counters (JSON) |
+//! | `GET /v1/healthz` | liveness probe (always unauthenticated) |
+//! | `GET /v1/stats` | request/record/connection counters (JSON) |
 //! | `GET /v1/records/{name}/{fp}` | scan: header line + one record per line |
 //! | `POST /v1/records/{name}/{fp}` | append the record line(s) in the body |
 //! | `GET /v1/docs/{name}` | read a document (404 when absent) |
 //! | `PUT /v1/docs/{name}` | write a document |
 //! | `DELETE /v1/docs/{name}` | delete a document |
+//! | `POST /v1/gc` | run a garbage-collection / compaction pass online |
+//!
+//! ## Architecture
+//!
+//! A **bounded worker pool** (default: one worker per core, clamped to
+//! 4..=32) serves **persistent HTTP/1.1 keep-alive connections**: the accept
+//! loop only hands sockets to a channel, and each worker runs a
+//! per-connection request loop until the peer closes, asks for
+//! `Connection: close`, goes idle past [`ServeConfig::idle_timeout`], or
+//! stalls a single request past [`ServeConfig::request_timeout`] (the
+//! slowloris guard — a half-written request costs a worker at most that
+//! long, then it answers `408` and moves on).
 //!
 //! State lives in an in-memory backend by default, or durably in a local
-//! JSONL store directory (`ServeConfig::store_dir`) — the same on-disk format
-//! a single-machine run writes, so an existing `--store` directory can be
-//! promoted to a shared server without conversion.
+//! JSONL store directory (`ServeConfig::store_dir`) — the same on-disk
+//! format a single-machine run writes, so an existing `--store` directory
+//! can be promoted to a shared server without conversion. A disk-backed
+//! server fronts its directory with an in-memory
+//! [`IndexedBackend`]: every record log is replayed **once** (preloaded at
+//! startup) and kept current by the appends flowing through it, so scans and
+//! point-gets stop re-reading files.
 //!
-//! The accept loop is threaded (one handler thread per connection,
-//! `Connection: close`), which is plenty for the request rates a campaign
-//! fleet generates — the expensive work is candidate evaluation, not cache
-//! I/O.
+//! Optional bearer-token auth (`ServeConfig::token` / `--token`): every
+//! endpoint except `/v1/healthz` then requires
+//! `Authorization: Bearer <token>` and answers `401` otherwise. Clients pass
+//! the token inline in the store URL: `--remote-store http://TOKEN@host:port`.
 //!
 //! # Example
 //!
@@ -51,18 +67,18 @@
 
 mod http;
 
-use http::{read_request, respond, Request};
+use http::{read_request, respond, ReadError, Request};
 use pmlp_core::store::{
-    header_line, parse_record_line, record_line, safe_component, LocalJsonlBackend, MemoryBackend,
-    StoreBackend,
+    gc_store_dir, header_line, list_record_logs, parse_record_line, record_line, safe_component,
+    GcPolicy, GcReport, IndexedBackend, LocalJsonlBackend, MemoryBackend, StoreBackend,
 };
 use serde::json::Value;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How a server is stood up.
 #[derive(Debug, Clone)]
@@ -72,6 +88,18 @@ pub struct ServeConfig {
     /// Local JSONL directory to persist records and documents into; `None`
     /// keeps everything in memory for the server's lifetime.
     pub store_dir: Option<PathBuf>,
+    /// Bearer token every endpoint except `/v1/healthz` requires; `None`
+    /// serves unauthenticated (loopback / trusted-network deployments).
+    pub token: Option<String>,
+    /// Worker threads serving connections; `0` picks a per-core default
+    /// (clamped to 4..=32).
+    pub workers: usize,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub idle_timeout: Duration,
+    /// How long a single request may take to arrive once its first byte has
+    /// been read — the slowloris guard.
+    pub request_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -79,11 +107,19 @@ impl Default for ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:0".into(),
             store_dir: None,
+            token: None,
+            workers: 0,
+            idle_timeout: Duration::from_secs(60),
+            request_timeout: Duration::from_secs(20),
         }
     }
 }
 
-/// Monotonic request/record counters, rendered by `GET /v1/stats`.
+fn default_workers() -> usize {
+    thread::available_parallelism().map_or(8, |n| n.get().clamp(4, 32))
+}
+
+/// Monotonic request/record/connection counters, rendered by `GET /v1/stats`.
 #[derive(Debug, Default)]
 struct ServeStats {
     requests: AtomicU64,
@@ -94,6 +130,13 @@ struct ServeStats {
     doc_puts: AtomicU64,
     doc_deletes: AtomicU64,
     bad_requests: AtomicU64,
+    connections_accepted: AtomicU64,
+    connections_active: AtomicU64,
+    requests_reused: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    auth_failures: AtomicU64,
+    gc_runs: AtomicU64,
 }
 
 /// A point-in-time copy of the server's counters.
@@ -115,6 +158,22 @@ pub struct StatsSnapshot {
     pub doc_deletes: u64,
     /// Requests rejected with a 4xx status.
     pub bad_requests: u64,
+    /// Connections the accept loop handed to the worker pool.
+    pub connections_accepted: u64,
+    /// Connections currently inside a worker's request loop.
+    pub connections_active: u64,
+    /// Requests served on an already-used connection — the keep-alive reuse
+    /// count (`requests - requests_reused` ≈ connections that carried
+    /// traffic).
+    pub requests_reused: u64,
+    /// Request bytes read off the wire.
+    pub bytes_in: u64,
+    /// Response bytes written to the wire.
+    pub bytes_out: u64,
+    /// Requests rejected with `401` for a missing or wrong bearer token.
+    pub auth_failures: u64,
+    /// Online garbage-collection passes run via `POST /v1/gc`.
+    pub gc_runs: u64,
 }
 
 impl ServeStats {
@@ -128,13 +187,42 @@ impl ServeStats {
             doc_puts: self.doc_puts.load(Ordering::Relaxed),
             doc_deletes: self.doc_deletes.load(Ordering::Relaxed),
             bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_active: self.connections_active.load(Ordering::Relaxed),
+            requests_reused: self.requests_reused.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            auth_failures: self.auth_failures.load(Ordering::Relaxed),
+            gc_runs: self.gc_runs.load(Ordering::Relaxed),
         }
     }
 }
 
-/// Shared server state: the backing store plus counters.
+/// The server's storage: plain memory, or a JSONL directory fronted by the
+/// in-memory record index.
+enum ServerStore {
+    /// Non-persistent default state.
+    Memory(MemoryBackend),
+    /// Durable directory behind an [`IndexedBackend`] read cache.
+    Disk { dir: PathBuf, index: IndexedBackend },
+}
+
+impl ServerStore {
+    fn backend(&self) -> &dyn StoreBackend {
+        match self {
+            ServerStore::Memory(memory) => memory,
+            ServerStore::Disk { index, .. } => index,
+        }
+    }
+}
+
+/// Shared server state: the backing store plus counters and limits.
 struct ServerState {
-    backend: Box<dyn StoreBackend>,
+    store: ServerStore,
+    token: Option<String>,
+    idle_timeout: Duration,
+    request_timeout: Duration,
+    workers: usize,
     stats: ServeStats,
     started: Instant,
 }
@@ -154,21 +242,41 @@ pub struct ServerHandle {
     thread: Option<thread::JoinHandle<()>>,
 }
 
-/// Binds a server to `config.addr` without serving yet.
+/// Binds a server to `config.addr` without serving yet. A disk-backed server
+/// preloads its record index here — every existing log is replayed exactly
+/// once, before the first request.
 ///
 /// # Errors
 ///
 /// Propagates bind failures and store-directory errors.
 pub fn bind(config: &ServeConfig) -> std::io::Result<BoundServer> {
-    let backend: Box<dyn StoreBackend> = match &config.store_dir {
-        Some(dir) => Box::new(LocalJsonlBackend::open(dir).map_err(std::io::Error::other)?),
-        None => Box::new(MemoryBackend::new()),
+    let store = match &config.store_dir {
+        Some(dir) => {
+            let local = LocalJsonlBackend::open(dir).map_err(std::io::Error::other)?;
+            let index = IndexedBackend::new(Box::new(local));
+            let logs = list_record_logs(dir).map_err(std::io::Error::other)?;
+            index.warm(&logs).map_err(std::io::Error::other)?;
+            ServerStore::Disk {
+                dir: dir.clone(),
+                index,
+            }
+        }
+        None => ServerStore::Memory(MemoryBackend::new()),
     };
     let listener = TcpListener::bind(&config.addr)?;
+    let workers = if config.workers == 0 {
+        default_workers()
+    } else {
+        config.workers
+    };
     Ok(BoundServer {
         listener,
         state: Arc::new(ServerState {
-            backend,
+            store,
+            token: config.token.clone(),
+            idle_timeout: config.idle_timeout,
+            request_timeout: config.request_timeout,
+            workers,
             stats: ServeStats::default(),
             started: Instant::now(),
         }),
@@ -193,11 +301,17 @@ pub fn spawn(config: &ServeConfig) -> std::io::Result<ServerHandle> {
 pub fn run(config: &ServeConfig) -> std::io::Result<()> {
     let bound = bind(config)?;
     eprintln!(
-        "pmlp-serve listening on http://{} ({})",
+        "pmlp-serve listening on http://{} ({}, {} workers{})",
         bound.local_addr()?,
-        bound.state.backend.describe()
+        bound.state.store.backend().describe(),
+        bound.state.workers,
+        if bound.state.token.is_some() {
+            ", bearer auth"
+        } else {
+            ""
+        }
     );
-    bound.serve(&AtomicBool::new(false));
+    bound.serve(&Arc::new(AtomicBool::new(false)));
     Ok(())
 }
 
@@ -230,23 +344,39 @@ impl BoundServer {
         })
     }
 
-    /// The threaded accept loop: one handler thread per connection, until
-    /// `stop` flips.
-    fn serve(&self, stop: &AtomicBool) {
+    /// The accept loop: sockets go onto a channel drained by the bounded
+    /// worker pool, until `stop` flips. Dropping the sender (on exit) is what
+    /// winds the idle workers down.
+    fn serve(&self, stop: &Arc<AtomicBool>) {
+        let (sender, receiver) = mpsc::channel::<TcpStream>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        for _ in 0..self.state.workers {
+            let state = Arc::clone(&self.state);
+            let receiver = Arc::clone(&receiver);
+            let stop = Arc::clone(stop);
+            thread::spawn(move || worker_loop(&state, &receiver, &stop));
+        }
         for stream in self.listener.incoming() {
             if stop.load(Ordering::Relaxed) {
                 break;
             }
             match stream {
                 Ok(stream) => {
-                    let state = Arc::clone(&self.state);
-                    thread::spawn(move || handle_connection(stream, &state));
+                    self.state
+                        .stats
+                        .connections_accepted
+                        .fetch_add(1, Ordering::Relaxed);
+                    if sender.send(stream).is_err() {
+                        break;
+                    }
                 }
                 Err(err) => {
                     eprintln!("pmlp-serve: accept failed: {err}");
                 }
             }
         }
+        // The sender drops here: idle workers see a disconnected channel and
+        // exit; busy ones finish their current connection first.
     }
 }
 
@@ -266,8 +396,10 @@ impl ServerHandle {
         self.state.stats.snapshot()
     }
 
-    /// Stops the accept loop and joins the server thread. In-flight handler
-    /// threads finish their single request on their own.
+    /// Stops the accept loop and joins it. Workers stop answering
+    /// immediately (in-flight requests are dropped, not half-served) and
+    /// wind down as their connections close or idle out — they are detached,
+    /// so a lingering keep-alive peer cannot block shutdown.
     pub fn stop(mut self) {
         self.stop_inner();
     }
@@ -289,31 +421,134 @@ impl Drop for ServerHandle {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, state: &ServerState) {
-    stream
-        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
-        .ok();
-    let request = match read_request(&mut stream) {
-        Ok(Some(request)) => request,
-        Ok(None) => return, // shutdown poke or idle close
-        Err(_) => {
-            state.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-            let _ = respond(
-                &mut stream,
-                400,
-                "Bad Request",
-                "text/plain",
-                "bad request\n",
-            );
-            return;
+/// One pool worker: drain connections off the shared channel until it
+/// disconnects (server shutdown).
+fn worker_loop(
+    state: &Arc<ServerState>,
+    receiver: &Arc<Mutex<mpsc::Receiver<TcpStream>>>,
+    stop: &Arc<AtomicBool>,
+) {
+    loop {
+        let next = receiver.lock().expect("worker queue lock").recv();
+        match next {
+            Ok(stream) => handle_connection(stream, state, stop),
+            Err(_) => break,
         }
-    };
-    state.stats.requests.fetch_add(1, Ordering::Relaxed);
-    let (status, reason, content_type, body) = route(&request, state);
-    if status >= 400 {
-        state.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
     }
-    let _ = respond(&mut stream, status, reason, content_type, &body);
+}
+
+/// The per-connection request loop: serve keep-alive requests until the peer
+/// closes, asks to close, goes idle, stalls past the request deadline, or the
+/// server shuts down.
+fn handle_connection(mut stream: TcpStream, state: &ServerState, stop: &AtomicBool) {
+    struct ActiveGuard<'a>(&'a AtomicU64);
+    impl Drop for ActiveGuard<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    state
+        .stats
+        .connections_active
+        .fetch_add(1, Ordering::Relaxed);
+    let _active = ActiveGuard(&state.stats.connections_active);
+    stream.set_nodelay(true).ok();
+
+    let mut served_on_connection = 0u64;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let mut bytes_in = 0u64;
+        let outcome = read_request(
+            &mut stream,
+            state.idle_timeout,
+            state.request_timeout,
+            &mut bytes_in,
+        );
+        state.stats.bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
+        let request = match outcome {
+            Ok(Some(request)) => request,
+            Ok(None) => break, // clean close or idle timeout between requests
+            Err(ReadError::TimedOut) => {
+                state.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                if let Ok(n) = respond(
+                    &mut stream,
+                    408,
+                    "Request Timeout",
+                    "text/plain",
+                    "request timed out\n",
+                    false,
+                ) {
+                    state.stats.bytes_out.fetch_add(n, Ordering::Relaxed);
+                }
+                break;
+            }
+            Err(ReadError::Malformed(why)) => {
+                state.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                if let Ok(n) = respond(
+                    &mut stream,
+                    400,
+                    "Bad Request",
+                    "text/plain",
+                    &format!("bad request: {why}\n"),
+                    false,
+                ) {
+                    state.stats.bytes_out.fetch_add(n, Ordering::Relaxed);
+                }
+                break;
+            }
+            Err(ReadError::Disconnected) => break,
+        };
+        if stop.load(Ordering::Relaxed) {
+            // Shutting down: close without answering — the client retries on
+            // a fresh connection and learns the server is gone.
+            break;
+        }
+        state.stats.requests.fetch_add(1, Ordering::Relaxed);
+        if served_on_connection > 0 {
+            state.stats.requests_reused.fetch_add(1, Ordering::Relaxed);
+        }
+        served_on_connection += 1;
+
+        let (status, reason, content_type, body) = if authorized(&request, state) {
+            route(&request, state)
+        } else {
+            state.stats.auth_failures.fetch_add(1, Ordering::Relaxed);
+            (
+                401,
+                "Unauthorized",
+                "text/plain",
+                "missing or invalid bearer token\n".to_string(),
+            )
+        };
+        if status >= 400 {
+            state.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+        }
+        let keep_alive = !request.close && !stop.load(Ordering::Relaxed);
+        match respond(&mut stream, status, reason, content_type, &body, keep_alive) {
+            Ok(n) => {
+                state.stats.bytes_out.fetch_add(n, Ordering::Relaxed);
+            }
+            Err(_) => break,
+        }
+        if !keep_alive {
+            break;
+        }
+    }
+}
+
+/// Bearer-auth check: a configured token gates everything except the
+/// liveness probe.
+fn authorized(request: &Request, state: &ServerState) -> bool {
+    match &state.token {
+        None => true,
+        Some(_) if request.path == "/v1/healthz" => true,
+        Some(token) => request.bearer.as_deref() == Some(token.as_str()),
+    }
 }
 
 /// Dispatches one request, returning `(status, reason, content type, body)`.
@@ -326,6 +561,7 @@ fn route(request: &Request, state: &ServerState) -> (u16, &'static str, &'static
             "unknown resource\n".to_string(),
         )
     };
+    let backend = state.store.backend();
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["v1", "healthz"]) => (
@@ -343,8 +579,9 @@ fn route(request: &Request, state: &ServerState) -> (u16, &'static str, &'static
             .render_compact(),
         ),
         ("GET", ["v1", "stats"]) => (200, "OK", "application/json", render_stats(state)),
+        ("POST", ["v1", "gc"]) => handle_gc(state, &request.body),
         ("GET", ["v1", "records", name, fp]) => match parse_record_target(name, fp) {
-            Some(fingerprint) => match state.backend.scan(name, fingerprint) {
+            Some(fingerprint) => match backend.scan(name, fingerprint) {
                 Ok(outcome) => {
                     state.stats.scans.fetch_add(1, Ordering::Relaxed);
                     state
@@ -381,15 +618,13 @@ fn route(request: &Request, state: &ServerState) -> (u16, &'static str, &'static
                         }
                     }
                 }
-                for record in &records {
-                    if let Err(err) = state.backend.append(name, fingerprint, record) {
-                        return (
-                            500,
-                            "Internal Server Error",
-                            "text/plain",
-                            format!("{err}\n"),
-                        );
-                    }
+                if let Err(err) = backend.append_batch(name, fingerprint, &records) {
+                    return (
+                        500,
+                        "Internal Server Error",
+                        "text/plain",
+                        format!("{err}\n"),
+                    );
                 }
                 state
                     .stats
@@ -401,7 +636,7 @@ fn route(request: &Request, state: &ServerState) -> (u16, &'static str, &'static
         },
         ("GET", ["v1", "docs", name]) if safe_component(name) => {
             state.stats.doc_gets.fetch_add(1, Ordering::Relaxed);
-            match state.backend.get_doc(name) {
+            match backend.get_doc(name) {
                 Ok(Some(doc)) => (200, "OK", "application/json", doc),
                 Ok(None) => (404, "Not Found", "text/plain", "no such document\n".into()),
                 Err(err) => (
@@ -413,7 +648,7 @@ fn route(request: &Request, state: &ServerState) -> (u16, &'static str, &'static
             }
         }
         ("PUT" | "POST", ["v1", "docs", name]) if safe_component(name) => {
-            match state.backend.put_doc(name, &request.body) {
+            match backend.put_doc(name, &request.body) {
                 Ok(()) => {
                     state.stats.doc_puts.fetch_add(1, Ordering::Relaxed);
                     (204, "No Content", "text/plain", String::new())
@@ -427,7 +662,7 @@ fn route(request: &Request, state: &ServerState) -> (u16, &'static str, &'static
             }
         }
         ("DELETE", ["v1", "docs", name]) if safe_component(name) => {
-            match state.backend.remove_doc(name) {
+            match backend.remove_doc(name) {
                 Ok(()) => {
                     state.stats.doc_deletes.fetch_add(1, Ordering::Relaxed);
                     (204, "No Content", "text/plain", String::new())
@@ -444,6 +679,92 @@ fn route(request: &Request, state: &ServerState) -> (u16, &'static str, &'static
     }
 }
 
+/// `POST /v1/gc`: an online garbage-collection pass. The optional JSON body
+/// carries `live` (an array of 16-hex baseline fingerprints to keep; when
+/// absent every currently present fingerprint is considered live, making the
+/// pass a pure compaction) and `compact_threshold_bytes` (see [`GcPolicy`]).
+/// Disk-backed servers run [`gc_store_dir`] and then invalidate the record
+/// index so reads reload the rewritten files; the memory tier compacts every
+/// log (it has no files to drop). Answers the [`GcReport`] as JSON.
+fn handle_gc(state: &ServerState, body: &str) -> (u16, &'static str, &'static str, String) {
+    let bad = |msg: &str| (400, "Bad Request", "text/plain", format!("{msg}\n"));
+    let mut policy = GcPolicy::default();
+    let mut live: Option<Vec<u64>> = None;
+    if !body.trim().is_empty() {
+        let Ok(value) = serde::json::parse(body) else {
+            return bad("gc body must be a JSON object");
+        };
+        if let Some(threshold) = value.get("compact_threshold_bytes") {
+            match threshold {
+                Value::Number(n) if *n >= 0.0 => policy.compact_threshold_bytes = *n as u64,
+                _ => return bad("compact_threshold_bytes must be a non-negative number"),
+            }
+        }
+        if let Some(fingerprints) = value.get("live") {
+            let Value::Array(items) = fingerprints else {
+                return bad("live must be an array of hex fingerprint strings");
+            };
+            let mut parsed = Vec::with_capacity(items.len());
+            for item in items {
+                match item.as_str().and_then(|s| u64::from_str_radix(s, 16).ok()) {
+                    Some(fp) => parsed.push(fp),
+                    None => return bad("live must be an array of hex fingerprint strings"),
+                }
+            }
+            live = Some(parsed);
+        }
+    }
+    state.stats.gc_runs.fetch_add(1, Ordering::Relaxed);
+    let report = match &state.store {
+        ServerStore::Disk { dir, index } => {
+            let live = match live {
+                Some(live) => Ok(live),
+                // No explicit live set: keep every fingerprint currently
+                // present — the pass compacts without dropping anything.
+                None => list_record_logs(dir)
+                    .map(|logs| logs.into_iter().map(|(_, fp)| fp).collect::<Vec<u64>>()),
+            };
+            let result = live.and_then(|live| gc_store_dir(dir, &live, &policy));
+            // GC rewrote files underneath the index; reads must reload.
+            index.invalidate();
+            result
+        }
+        ServerStore::Memory(memory) => (|| {
+            let mut report = GcReport::default();
+            for (name, fingerprint) in memory.logs() {
+                report.duplicates_merged += memory.compact(&name, fingerprint)?;
+                report.files_kept += 1;
+            }
+            Ok(report)
+        })(),
+    };
+    match report {
+        Ok(report) => (200, "OK", "application/json", render_gc_report(&report)),
+        Err(err) => (
+            500,
+            "Internal Server Error",
+            "text/plain",
+            format!("{err}\n"),
+        ),
+    }
+}
+
+fn render_gc_report(report: &GcReport) -> String {
+    let n = |v: u64| Value::Number(v as f64);
+    Value::Object(vec![
+        ("magic".into(), Value::String("pmlp-serve-gc".into())),
+        ("files_kept".into(), n(report.files_kept as u64)),
+        ("files_dropped".into(), n(report.files_dropped as u64)),
+        ("bytes_reclaimed".into(), n(report.bytes_reclaimed)),
+        (
+            "duplicates_merged".into(),
+            n(report.duplicates_merged as u64),
+        ),
+        ("corrupt_dropped".into(), n(report.corrupt_dropped as u64)),
+    ])
+    .render_pretty()
+}
+
 /// Validates a `/v1/records/{name}/{fp}` target: the shard label must be a
 /// safe path component and the fingerprint fixed-width hex.
 fn parse_record_target(name: &str, fp: &str) -> Option<u64> {
@@ -456,13 +777,21 @@ fn parse_record_target(name: &str, fp: &str) -> Option<u64> {
 fn render_stats(state: &ServerState) -> String {
     let stats = state.stats.snapshot();
     let n = |v: u64| Value::Number(v as f64);
+    let (index_logs, index_records) = match &state.store {
+        ServerStore::Disk { index, .. } => index.resident(),
+        ServerStore::Memory(memory) => (memory.log_count(), memory.record_count()),
+    };
     Value::Object(vec![
         ("magic".into(), Value::String("pmlp-serve-stats".into())),
-        ("backend".into(), Value::String(state.backend.describe())),
+        (
+            "backend".into(),
+            Value::String(state.store.backend().describe()),
+        ),
         (
             "uptime_secs".into(),
             Value::Number(state.started.elapsed().as_secs_f64()),
         ),
+        ("workers".into(), n(state.workers as u64)),
         ("requests".into(), n(stats.requests)),
         ("scans".into(), n(stats.scans)),
         ("records_served".into(), n(stats.records_served)),
@@ -471,6 +800,15 @@ fn render_stats(state: &ServerState) -> String {
         ("doc_puts".into(), n(stats.doc_puts)),
         ("doc_deletes".into(), n(stats.doc_deletes)),
         ("bad_requests".into(), n(stats.bad_requests)),
+        ("connections_accepted".into(), n(stats.connections_accepted)),
+        ("connections_active".into(), n(stats.connections_active)),
+        ("requests_reused".into(), n(stats.requests_reused)),
+        ("bytes_in".into(), n(stats.bytes_in)),
+        ("bytes_out".into(), n(stats.bytes_out)),
+        ("auth_failures".into(), n(stats.auth_failures)),
+        ("gc_runs".into(), n(stats.gc_runs)),
+        ("index_logs".into(), n(index_logs as u64)),
+        ("index_records".into(), n(index_records as u64)),
     ])
     .render_pretty()
 }

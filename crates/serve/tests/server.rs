@@ -112,7 +112,7 @@ fn server_rejects_malformed_records_and_unsafe_paths() {
     let body = "this is not a record line";
     write!(
         stream,
-        "POST /v1/records/seeds/00000000000000ab HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+        "POST /v1/records/seeds/00000000000000ab HTTP/1.1\r\nHost: x\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
         body.len(),
         body
     )
@@ -128,7 +128,7 @@ fn server_rejects_malformed_records_and_unsafe_paths() {
     let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
     write!(
         stream,
-        "GET /v1/docs/..%2Fescape HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n"
+        "GET /v1/docs/..%2Fescape HTTP/1.1\r\nHost: x\r\nConnection: close\r\nContent-Length: 0\r\n\r\n"
     )
     .unwrap();
     let mut response = String::new();
@@ -202,6 +202,7 @@ fn a_store_directory_backs_the_server_durably() {
     let config = ServeConfig {
         addr: "127.0.0.1:0".into(),
         store_dir: Some(dir.clone()),
+        ..ServeConfig::default()
     };
     let a = record(5, 0.7);
     {
@@ -221,5 +222,181 @@ fn a_store_directory_backs_the_server_durably() {
     // plain single-machine backend too.
     let local = LocalJsonlBackend::open(&dir).unwrap();
     assert_eq!(local.scan("Seeds", 0x33).unwrap().records, vec![a]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A record with a distinguishable key, for concurrency tests that must
+/// prove nothing was lost or duplicated.
+fn keyed_record(thread: u8, i: u32) -> EvalRecord {
+    let mut r = record(thread, 0.5 + f64::from(i) / 1000.0);
+    r.key.sparsity_millis = i;
+    r
+}
+
+#[test]
+fn concurrent_clients_hammering_one_server_lose_nothing() {
+    let handle = spawn(&ServeConfig::default()).unwrap();
+    const THREADS: u8 = 8;
+    const PER_THREAD: u32 = 25;
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let url = handle.url();
+            scope.spawn(move || {
+                // One keep-alive client per thread, mixing single appends,
+                // batches and interleaved scans.
+                let client = RemoteBackend::new(&url).unwrap();
+                let mut i = 0;
+                while i < PER_THREAD {
+                    if i % 5 == 0 && i + 2 <= PER_THREAD {
+                        let batch = [keyed_record(t, i), keyed_record(t, i + 1)];
+                        client.append_batch("Seeds", 0x77, &batch).unwrap();
+                        i += 2;
+                    } else {
+                        client.append("Seeds", 0x77, &keyed_record(t, i)).unwrap();
+                        i += 1;
+                    }
+                    if i % 7 == 0 {
+                        client.scan("Seeds", 0x77).unwrap();
+                    }
+                }
+            });
+        }
+    });
+
+    let client = RemoteBackend::new(&handle.url()).unwrap();
+    let outcome = client.scan("Seeds", 0x77).unwrap();
+    let expected = usize::from(THREADS) * PER_THREAD as usize;
+    assert_eq!(outcome.records.len(), expected, "no record may be lost");
+    let unique: std::collections::HashSet<_> = outcome.records.iter().map(|r| r.key).collect();
+    assert_eq!(unique.len(), expected, "no record may be duplicated");
+
+    let stats = handle.stats();
+    assert_eq!(stats.records_appended, expected as u64);
+    assert!(
+        stats.requests_reused > 0,
+        "keep-alive connections must be reused: {stats:?}"
+    );
+    assert!(
+        stats.connections_accepted < stats.requests,
+        "connection pooling must amortize connections over requests: {stats:?}"
+    );
+    handle.stop();
+}
+
+#[test]
+fn a_slowloris_connection_times_out_without_wedging_the_worker() {
+    // One worker: if the stalled connection wedged it, the healthy request
+    // below could never be served.
+    let config = ServeConfig {
+        workers: 1,
+        request_timeout: std::time::Duration::from_millis(200),
+        ..ServeConfig::default()
+    };
+    let handle = spawn(&config).unwrap();
+
+    use std::io::{Read, Write};
+    let mut slow = std::net::TcpStream::connect(handle.addr()).unwrap();
+    // First byte sent, request never finished: the deadline must fire.
+    slow.write_all(b"POST /v1/records/seeds/00").unwrap();
+
+    let start = std::time::Instant::now();
+    let mut response = String::new();
+    slow.read_to_string(&mut response).ok();
+    assert!(
+        response.starts_with("HTTP/1.1 408"),
+        "stalled request must get 408, got: {response:?}"
+    );
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(5),
+        "deadline must fire promptly"
+    );
+
+    // The (single) worker is free again: a healthy client gets served.
+    let client = RemoteBackend::new(&handle.url()).unwrap();
+    client.append("Seeds", 0x88, &record(3, 0.8)).unwrap();
+    assert_eq!(client.scan("Seeds", 0x88).unwrap().records.len(), 1);
+    assert!(handle.stats().bad_requests >= 1);
+    handle.stop();
+}
+
+#[test]
+fn bearer_auth_rejects_bad_tokens_and_tiered_stores_degrade_cleanly() {
+    let config = ServeConfig {
+        token: Some("sekrit".into()),
+        ..ServeConfig::default()
+    };
+    let handle = spawn(&config).unwrap();
+
+    // The liveness probe stays open (load balancers don't carry tokens)...
+    let anonymous = RemoteBackend::new(&handle.url()).unwrap();
+    assert!(anonymous.ping());
+    // ...but everything else is a 401 without the right token.
+    assert!(anonymous.append("Seeds", 0x99, &record(3, 0.8)).is_err());
+    let wrong = RemoteBackend::new(&handle.url())
+        .unwrap()
+        .with_token("nope");
+    assert!(wrong.scan("Seeds", 0x99).is_err());
+
+    // The token rides in the URL userinfo, exactly like --remote-store.
+    let authed = RemoteBackend::new(&format!("http://sekrit@{}", handle.addr())).unwrap();
+    authed.append("Seeds", 0x99, &record(3, 0.8)).unwrap();
+    assert_eq!(authed.scan("Seeds", 0x99).unwrap().records.len(), 1);
+
+    // A misconfigured worker degrades to its local tier instead of failing.
+    let tiered = TieredStore::new(
+        Box::new(MemoryBackend::new()),
+        Box::new(
+            RemoteBackend::new(&handle.url())
+                .unwrap()
+                .with_token("nope"),
+        ),
+    );
+    tiered.append("Seeds", 0x99, &record(4, 0.9)).unwrap();
+    assert_eq!(tiered.scan("Seeds", 0x99).unwrap().records.len(), 1);
+    assert!(!tiered.remote_healthy());
+
+    let stats = handle.stats();
+    assert!(stats.auth_failures >= 3, "got: {stats:?}");
+    handle.stop();
+}
+
+#[test]
+fn online_gc_compacts_and_drops_dead_fingerprints() {
+    let dir = temp_dir("online-gc");
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        store_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let handle = spawn(&config).unwrap();
+    let client = RemoteBackend::new(&handle.url()).unwrap();
+
+    // One log with a duplicated key, one log that will become dead.
+    let a = record(3, 0.8);
+    let mut a2 = a.clone();
+    a2.point.accuracy = 0.81;
+    client.append("Seeds", 0xAA, &a).unwrap();
+    client.append("Seeds", 0xAA, &a2).unwrap();
+    client.append("Wine", 0xBB, &record(4, 0.9)).unwrap();
+
+    // Pass 1, no live set: pure compaction (threshold 0 forces the rewrite).
+    let report = client.gc("{\"compact_threshold_bytes\": 0}").unwrap();
+    assert!(report.contains("\"duplicates_merged\": 1"), "got: {report}");
+    // The index reloaded from the rewritten file: last write won.
+    let outcome = client.scan("Seeds", 0xAA).unwrap();
+    assert_eq!(outcome.records, vec![a2]);
+    assert_eq!(client.scan("Wine", 0xBB).unwrap().records.len(), 1);
+
+    // Pass 2: only 0xAA is live; the wine log is dropped for good.
+    let report = client
+        .gc("{\"live\": [\"00000000000000aa\"], \"compact_threshold_bytes\": 0}")
+        .unwrap();
+    assert!(report.contains("\"files_dropped\": 1"), "got: {report}");
+    assert!(client.scan("Wine", 0xBB).unwrap().records.is_empty());
+    assert_eq!(client.scan("Seeds", 0xAA).unwrap().records.len(), 1);
+
+    assert_eq!(handle.stats().gc_runs, 2);
+    handle.stop();
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -152,30 +152,43 @@ fn render_seq(
 }
 
 fn render_number(n: f64, out: &mut String) {
+    use std::fmt::Write as _;
     if !n.is_finite() {
         out.push_str("null");
     } else if n == n.trunc() && n.abs() < 1e15 {
         // Integral values print without a fractional part, like serde_json.
-        out.push_str(&format!("{}", n as i64));
+        let _ = write!(out, "{}", n as i64);
     } else {
         // `{}` on f64 produces the shortest representation that round-trips.
-        out.push_str(&format!("{n}"));
+        let _ = write!(out, "{n}");
     }
 }
 
+fn needs_escape(c: char) -> bool {
+    matches!(c, '"' | '\\') || (c as u32) < 0x20
+}
+
 fn render_string(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
     out.push('"');
-    for c in s.chars() {
+    // Copy whole runs of plain characters; escape only where needed.
+    let mut rest = s;
+    while let Some(i) = rest.find(needs_escape) {
+        out.push_str(&rest[..i]);
+        let c = rest[i..].chars().next().expect("match in bounds");
         match c {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+            c => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
         }
+        rest = &rest[i + c.len_utf8()..];
     }
+    out.push_str(rest);
     out.push('"');
 }
 
@@ -382,13 +395,17 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
+                    // Consume the longest run of unescaped bytes in one step
+                    // and validate it as UTF-8 once. Splitting on `"`/`\` is
+                    // UTF-8 safe: multi-byte sequences never contain ASCII
+                    // byte values.
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
-                    let c = s.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
             }
         }

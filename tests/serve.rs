@@ -32,6 +32,7 @@ fn worker_config(
         max_accuracy_loss: 0.05,
         store_dir: Some(local.to_path_buf()),
         remote_store: remote,
+        remote_timeout_ms: None,
         resume,
     }
 }

@@ -27,6 +27,7 @@ fn store_campaign(datasets: Vec<UciDataset>, store: &Path, resume: bool) -> Camp
         max_accuracy_loss: 0.05,
         store_dir: Some(store.to_path_buf()),
         remote_store: None,
+        remote_timeout_ms: None,
         resume,
     })
 }
@@ -230,6 +231,7 @@ fn gc_prunes_a_real_campaign_store() {
         max_accuracy_loss: 0.05,
         store_dir: Some(store.to_path_buf()),
         remote_store: None,
+        remote_timeout_ms: None,
         resume: false,
     };
     let other_campaign = Campaign::new(other.clone());
