@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! cargo run --release -p pmlp-bench --bin campaign -- \
-//!     [datasets|all] [full|quick] [seed] [--quick] \
+//!     [datasets|all] [full|quick] [seed] [--quick] [--float-accuracy] \
 //!     [--store DIR] [--remote-store URL] [--resume] [--require-warm]
 //!
 //! cargo run --release -p pmlp-bench --bin campaign -- \
@@ -16,8 +16,9 @@
 //!
 //! `datasets` is `all` (default) or a comma-separated list of registry names
 //! (e.g. `seeds,balance,vertebral`). `--quick` anywhere on the command line
-//! forces the reduced CI effort. Artifacts land under
-//! `target/experiment-results/campaign/`.
+//! forces the reduced CI effort. `--float-accuracy` opts out of the default
+//! pure-integer accuracy scoring back to the fake-quantized float model.
+//! Artifacts land under `target/experiment-results/campaign/`.
 //!
 //! With `--store DIR` every evaluation persists into the crash-safe store
 //! under `DIR` and each finished dataset commits a completion marker;
@@ -76,6 +77,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         effort,
         seed,
         max_accuracy_loss: 0.05,
+        accuracy_tier: if options.float_accuracy {
+            pmlp_core::AccuracyTier::Float
+        } else {
+            pmlp_core::AccuracyTier::Integer
+        },
         store_dir: options.store.clone(),
         remote_store: options.remote_store.clone(),
         remote_timeout_ms: options.remote_timeout_ms,

@@ -49,6 +49,9 @@ struct PerfReport {
     timings: Timings,
     /// Evaluation-cost counters of the quick campaign run.
     campaign_engine: CampaignEngine,
+    /// Throughput of the pure-integer inference engine (the default accuracy
+    /// tier) on a WhiteWine-shaped candidate.
+    int_infer: IntInferMetrics,
     /// Persistence-tier throughput (local JSONL store + pmlp-serve loopback).
     store: StoreMetrics,
     /// Process-wide constant-multiplier cost-cache counters at exit.
@@ -87,6 +90,18 @@ struct CampaignEngine {
     fast_path_evals: usize,
     /// Evaluations (plus finalist verifications) that ran full synthesis.
     full_synthesis_evals: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct IntInferMetrics {
+    /// Test rows classified per timed repetition.
+    rows: usize,
+    /// Batch classification throughput, rows/second (best of the timed
+    /// repetitions, i.e. steady-state with warm caches and threads).
+    rows_per_sec: f64,
+    /// Whether the accumulator bound forced the `i64` kernel (`false` = the
+    /// narrow `i32` kernel sufficed).
+    wide_kernel: bool,
 }
 
 #[derive(Debug, Serialize)]
@@ -239,7 +254,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .run()?;
     let campaign_quick_secs = t0.elapsed().as_secs_f64();
 
-    // 6. Persistence tier: local store append/replay rate and the same
+    // 6. Pure-integer inference throughput on the same WhiteWine-shaped spec
+    //    (the per-row cost of the default accuracy tier).
+    let int_infer = measure_int_infer(&spec, if quick { 100_000 } else { 1_000_000 })?;
+
+    // 7. Persistence tier: local store append/replay rate and the same
     //    record log served over a loopback pmlp-serve instance.
     let store = measure_store(if quick { 256 } else { 2048 })?;
 
@@ -259,6 +278,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             campaign_quick_secs,
         },
         store,
+        int_infer,
         campaign_engine: CampaignEngine {
             evaluations: campaign.reports.iter().map(|r| r.evaluations).sum(),
             fast_path_evals: campaign.reports.iter().map(|r| r.fast_path_evals).sum(),
@@ -290,12 +310,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Times batch classification through [`pmlp_hw::IntInferEngine`] on `spec`
+/// with `rows` deterministic synthetic test rows. Reports the best of three
+/// repetitions — steady-state throughput with the rayon pool warm.
+fn measure_int_infer(
+    spec: &CircuitSpec,
+    rows: usize,
+) -> Result<IntInferMetrics, Box<dyn std::error::Error>> {
+    let engine = pmlp_hw::IntInferEngine::from_spec(spec)?;
+    let levels = (1u16 << spec.input_bits) - 1;
+    let features = engine.input_count();
+    let data: Vec<u16> = (0..rows * features)
+        .map(|i| ((i * 31 + i / features * 17 + 7) % (levels as usize + 1)) as u16)
+        .collect();
+    let mut best_secs = f64::INFINITY;
+    let mut checksum = 0usize;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let labels = engine.classify_batch(&data);
+        best_secs = best_secs.min(t0.elapsed().as_secs_f64());
+        checksum = labels.iter().sum();
+    }
+    std::hint::black_box(checksum);
+    Ok(IntInferMetrics {
+        rows,
+        rows_per_sec: rows as f64 / best_secs.max(1e-9),
+        wide_kernel: engine.uses_wide_kernel(),
+    })
+}
+
 /// Times the persistence tiers with `records` synthetic evaluation records:
 /// local JSONL append + warm-start replay, then the same log appended to and
 /// scanned from a loopback `pmlp-serve` instance.
 fn measure_store(records: usize) -> Result<StoreMetrics, Box<dyn std::error::Error>> {
     use pmlp_core::engine::EvalKey;
-    use pmlp_core::objective::{DesignPoint, SynthesisTier};
+    use pmlp_core::objective::{AccuracyTier, DesignPoint, SynthesisTier};
     use pmlp_core::store::{EvalRecord, EvalStore, RemoteBackend, StoreBackend};
 
     let record = |i: usize| EvalRecord {
@@ -306,6 +355,7 @@ fn measure_store(records: usize) -> Result<StoreMetrics, Box<dyn std::error::Err
             input_bits: 4,
             fine_tune_epochs: 2,
             salt: i as u64,
+            accuracy_tier: AccuracyTier::Integer,
         },
         tier: SynthesisTier::FastPath,
         point: DesignPoint {

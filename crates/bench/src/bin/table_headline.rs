@@ -46,6 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         effort,
         seed,
         max_accuracy_loss: 0.05,
+        accuracy_tier: pmlp_core::AccuracyTier::default(),
         store_dir: options.store.clone(),
         remote_store: options.remote_store.clone(),
         remote_timeout_ms: options.remote_timeout_ms,

@@ -39,6 +39,11 @@ pub struct CliOptions<'a> {
     /// `--require-warm`: exit with an error if the run needed any fresh
     /// evaluation — CI's assertion that a store re-run recomputes nothing.
     pub require_warm: bool,
+    /// `--float-accuracy`: score accuracies with the fake-quantized float
+    /// model instead of the default pure-integer inference engine (an
+    /// ablation/debugging opt-out; the two tiers agree on every registry
+    /// dataset by the equivalence test suite).
+    pub float_accuracy: bool,
     /// Remote-store request timeout override in milliseconds from
     /// `--remote-timeout-ms N` (connect + read + write deadlines of every
     /// request to the `pmlp-serve` tier; default 10s).
@@ -150,6 +155,7 @@ pub fn parse_cli(args: &[String]) -> CliOptions<'_> {
             },
             "--resume" => options.resume = true,
             "--require-warm" => options.require_warm = true,
+            "--float-accuracy" => options.float_accuracy = true,
             other => {
                 if let Some(dir) = other.strip_prefix("--store=") {
                     if dir.is_empty() {
@@ -319,6 +325,22 @@ mod tests {
 
         let args: Vec<String> = ["--resume"].iter().map(|s| s.to_string()).collect();
         assert!(parse_cli(&args).validate().is_err(), "resume needs a store");
+    }
+
+    #[test]
+    fn float_accuracy_flag_is_parsed() {
+        let args: Vec<String> = ["all", "--float-accuracy"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let options = parse_cli(&args);
+        assert!(options.float_accuracy);
+        assert_eq!(options.positional, vec!["all"]);
+        assert!(options.validate().is_ok());
+        assert!(
+            !parse_cli(&[]).float_accuracy,
+            "defaults to integer scoring"
+        );
     }
 
     #[test]

@@ -3,8 +3,8 @@
 
 use crate::bridge::{estimate_area, synthesize_area, SynthesisSummary};
 use crate::error::CoreError;
-use crate::objective::SynthesisTier;
-use pmlp_data::{DatasetDescriptor, UciDataset};
+use crate::objective::{integer_accuracy, AccuracyTier, SynthesisTier};
+use pmlp_data::{quantize_features, DatasetDescriptor, UciDataset};
 use pmlp_hw::{CellLibrary, SharingStrategy};
 use pmlp_minimize::{minimize, MinimizationConfig};
 use pmlp_nn::{Activation, Dataset, Mlp, MlpBuilder, TrainConfig, Trainer};
@@ -29,6 +29,12 @@ pub struct BaselineConfig {
     /// one-time cost); quick/smoke budgets switch to the bit-identical
     /// analytic fast path and lean on the equivalence test suite instead.
     pub synthesis_tier: SynthesisTier,
+    /// Which arithmetic scores the baseline's (and, by default, every
+    /// candidate's) test accuracy. Defaults to
+    /// [`AccuracyTier::Integer`] — the exact arithmetic of the bespoke
+    /// circuit; [`AccuracyTier::Float`] keeps the fake-quantized `f32` model
+    /// for ablations.
+    pub accuracy_tier: AccuracyTier,
 }
 
 impl Default for BaselineConfig {
@@ -40,6 +46,7 @@ impl Default for BaselineConfig {
             train_fraction: 0.75,
             input_bits: 4,
             synthesis_tier: SynthesisTier::FullSynthesis,
+            accuracy_tier: AccuracyTier::default(),
         }
     }
 }
@@ -58,6 +65,18 @@ pub struct BaselineDesign {
     pub train: Dataset,
     /// Held-out test split (used for all reported accuracies).
     pub test: Dataset,
+    /// The test split with features snapped onto the circuit's unsigned
+    /// `input_bits` grid — exactly what the hardware's primary inputs carry.
+    /// Both accuracy tiers score on this view (the float tier in `f32`, the
+    /// integer tier via the equivalent integer rows in
+    /// [`BaselineDesign::test_rows`]).
+    pub quantized_test: Dataset,
+    /// The quantized test features as flattened sample-major integer grid
+    /// values, the input format of [`pmlp_hw::IntInferEngine`].
+    pub test_rows: Vec<u16>,
+    /// Which arithmetic scored [`BaselineDesign::accuracy`]; evaluation
+    /// contexts default to the same tier.
+    pub accuracy_tier: AccuracyTier,
     /// Test accuracy of the 8-bit baseline bespoke implementation.
     pub accuracy: f64,
     /// Synthesis results of the 8-bit baseline bespoke circuit.
@@ -113,11 +132,27 @@ impl BaselineDesign {
         trainer.fit(&mut model, &train, Some(&test), &mut rng)?;
 
         let library = CellLibrary::egt();
+        // The circuit's view of the test split: features snapped onto the
+        // unsigned input grid, plus the same grid points as raw integers for
+        // the pure-integer engine.
+        let mut quantized_test = test.clone();
+        quantize_features(&mut quantized_test, config.input_bits)?;
+        let test_rows = pmlp_hw::quantize_rows(test.features().as_slice(), config.input_bits)
+            .map_err(CoreError::from)?;
         // The baseline bespoke MLP: 8-bit post-training quantized weights, no
         // pruning, no clustering, no multiplier sharing.
         let baseline_cfg = MinimizationConfig::baseline().with_input_bits(config.input_bits);
         let minimized = minimize(&model, &train, Some(&test), &baseline_cfg, &mut rng)?;
-        let accuracy = minimized.accuracy(&test);
+        let accuracy = match config.accuracy_tier {
+            AccuracyTier::Float => minimized.accuracy(&quantized_test),
+            AccuracyTier::Integer => integer_accuracy(
+                &minimized.integer_layers,
+                config.input_bits,
+                SharingStrategy::None,
+                &test_rows,
+                test.labels(),
+            )?,
+        };
         let synthesis = match config.synthesis_tier {
             SynthesisTier::FullSynthesis => synthesize_area(
                 &minimized.integer_layers,
@@ -139,6 +174,9 @@ impl BaselineDesign {
             model,
             train,
             test,
+            quantized_test,
+            test_rows,
+            accuracy_tier: config.accuracy_tier,
             accuracy,
             synthesis,
             library,
@@ -157,16 +195,22 @@ impl BaselineDesign {
     /// measured against.
     ///
     /// The fingerprint covers the dataset, data/training seed, circuit input
-    /// precision, model topology and the baseline's measured accuracy, area,
-    /// power and gate count — any change to the training budget or the
-    /// hardware model changes the measured numbers and therefore the
-    /// fingerprint, which invalidates stale store files without any explicit
-    /// versioning bookkeeping.
+    /// precision, accuracy tier, model topology and the baseline's measured
+    /// accuracy, area, power and gate count — any change to the training
+    /// budget, the hardware model or the accuracy arithmetic changes the
+    /// measured numbers and therefore the fingerprint, which invalidates
+    /// stale store files without any explicit versioning bookkeeping.
     pub fn fingerprint(&self) -> u64 {
         let mut fp = crate::store::FingerprintHasher::new();
         fp.mix_bytes(self.dataset.to_string().as_bytes());
         fp.mix_u64(self.seed);
         fp.mix_u64(u64::from(self.input_bits));
+        // Explicit tier tag: even an (unlikely) tier change that leaves every
+        // measured number identical must not reuse cached scores.
+        fp.mix_u64(match self.accuracy_tier {
+            AccuracyTier::Float => 0xF10A7,
+            AccuracyTier::Integer => 0x1237,
+        });
         for width in self.model.topology() {
             fp.mix_u64(width as u64);
         }

@@ -6,7 +6,10 @@
 //! [`CampaignConfig`] it trains the bespoke baseline, builds a dedicated
 //! [`EvalEngine`], runs the three standalone technique sweeps, and collects
 //! the normalized Pareto fronts plus the headline area-gain rows into one
-//! [`CampaignResult`].
+//! [`CampaignResult`]. Every reported accuracy — baselines and candidates
+//! alike — is scored under the engine's default
+//! [accuracy tier](crate::objective::AccuracyTier): pure-integer inference,
+//! bit-identical to gate-level simulation of the bespoke circuit.
 //!
 //! Datasets fan out across rayon workers — engines already parallelize
 //! *within* a dataset, so a campaign saturates the machine at both levels —
@@ -45,6 +48,7 @@
 use crate::engine::EvalEngine;
 use crate::error::CoreError;
 use crate::experiment::{headline_summary, Effort, Figure1Experiment};
+use crate::objective::AccuracyTier;
 use crate::report::{FigureSeries, HeadlineRow, TechniqueSummary};
 use crate::store::{open_backend_with, StoreBackend};
 use crate::sweep::Technique;
@@ -69,6 +73,13 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Accuracy-loss threshold of the headline rows (the paper uses 0.05).
     pub max_accuracy_loss: f64,
+    /// Which arithmetic scores every accuracy of the run — baselines and
+    /// candidates alike. Defaults to [`AccuracyTier::Integer`] (bit-identical
+    /// to gate-level simulation of the bespoke circuit);
+    /// [`AccuracyTier::Float`] restores the fake-quantized float model for
+    /// ablations. The tier is part of each baseline's fingerprint, so stores
+    /// and completion markers written under the other tier never resume.
+    pub accuracy_tier: AccuracyTier,
     /// Directory of the persistent evaluation store. When set, every
     /// dataset's engine warm-starts from (and appends to) the store's record
     /// logs, and a completion marker is committed per finished dataset so an
@@ -104,6 +115,7 @@ impl Default for CampaignConfig {
             effort: Effort::Full,
             seed: 42,
             max_accuracy_loss: 0.05,
+            accuracy_tier: AccuracyTier::default(),
             store_dir: None,
             remote_store: None,
             remote_timeout_ms: None,
@@ -351,8 +363,12 @@ impl Campaign {
         dataset: UciDataset,
         backend: Option<&Arc<dyn StoreBackend>>,
     ) -> Result<EvalEngine, CoreError> {
-        let engine =
-            Figure1Experiment::new(dataset, self.config.effort, self.config.seed).build_engine()?;
+        let baseline_config = crate::baseline::BaselineConfig {
+            accuracy_tier: self.config.accuracy_tier,
+            ..self.config.effort.baseline_config()
+        };
+        let engine = EvalEngine::train_with(dataset, self.config.seed, &baseline_config)?
+            .with_fine_tune_epochs(self.config.effort.fine_tune_epochs());
         match backend {
             Some(backend) => engine.with_backend(Box::new(Arc::clone(backend))),
             None => Ok(engine),
@@ -621,6 +637,7 @@ mod tests {
             effort: Effort::Quick,
             seed: 5,
             max_accuracy_loss: 0.05,
+            accuracy_tier: AccuracyTier::default(),
             store_dir: Some(dir.to_path_buf()),
             remote_store: None,
             remote_timeout_ms: None,

@@ -44,7 +44,9 @@
 use crate::baseline::{BaselineConfig, BaselineDesign};
 use crate::bridge::{synthesize_area, SynthesisSummary};
 use crate::error::CoreError;
-use crate::objective::{evaluate_config_detailed, DesignPoint, EvaluationContext, SynthesisTier};
+use crate::objective::{
+    evaluate_config_detailed, AccuracyTier, DesignPoint, EvaluationContext, SynthesisTier,
+};
 use crate::store::{EvalArtifacts, EvalRecord, EvalStore, StoreBackend};
 use pmlp_data::UciDataset;
 use pmlp_hw::SharingStrategy;
@@ -101,6 +103,9 @@ pub struct EvalKey {
     pub fine_tune_epochs: usize,
     /// RNG salt of the evaluation (see [`EvalEngine::with_salt`]).
     pub salt: u64,
+    /// Which arithmetic measured the candidate's accuracy (see
+    /// [`AccuracyTier`]); results scored under different tiers never mix.
+    pub accuracy_tier: AccuracyTier,
 }
 
 impl EvalKey {
@@ -109,6 +114,7 @@ impl EvalKey {
         input_bits: u8,
         fine_tune_epochs: usize,
         salt: u64,
+        accuracy_tier: AccuracyTier,
     ) -> Self {
         EvalKey {
             weight_bits: config.weight_bits.unwrap_or(0),
@@ -120,6 +126,7 @@ impl EvalKey {
             input_bits,
             fine_tune_epochs,
             salt,
+            accuracy_tier,
         }
     }
 
@@ -136,6 +143,10 @@ impl EvalKey {
         mix(u64::from(self.input_bits));
         mix(self.fine_tune_epochs as u64);
         mix(self.salt);
+        mix(match self.accuracy_tier {
+            AccuracyTier::Float => 0,
+            AccuracyTier::Integer => 1,
+        });
         h
     }
 }
@@ -264,6 +275,7 @@ pub struct EvalEngine {
     fine_tune_epochs: usize,
     salt: u64,
     tier: SynthesisTier,
+    accuracy_tier: AccuracyTier,
     shards: Box<[Mutex<HashMap<EvalKey, Slot>>]>,
     hits: AtomicUsize,
     misses: AtomicUsize,
@@ -308,11 +320,15 @@ impl EvalEngine {
         let shards = (0..DEFAULT_SHARDS)
             .map(|_| Mutex::new(HashMap::new()))
             .collect();
+        // Candidates default to the arithmetic that scored the baseline, so
+        // normalized accuracies compare like with like.
+        let accuracy_tier = baseline.accuracy_tier;
         EvalEngine {
             baseline,
             fine_tune_epochs: DEFAULT_FINE_TUNE_EPOCHS,
             salt: 0,
             tier: SynthesisTier::default(),
+            accuracy_tier,
             shards,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
@@ -386,6 +402,23 @@ impl EvalEngine {
     /// The hardware-model tier candidate evaluations run through.
     pub fn synthesis_tier(&self) -> SynthesisTier {
         self.tier
+    }
+
+    /// Overrides which arithmetic scores every candidate's accuracy (part of
+    /// the cache key). Defaults to the tier that scored the baseline —
+    /// [`AccuracyTier::Integer`] unless the baseline opted out — so that
+    /// normalized accuracies always compare like with like; override both the
+    /// baseline's [`crate::BaselineConfig::accuracy_tier`] and this when
+    /// ablating against the fake-quantized float model.
+    #[must_use]
+    pub fn with_accuracy_tier(mut self, tier: AccuracyTier) -> Self {
+        self.accuracy_tier = tier;
+        self
+    }
+
+    /// The arithmetic that scores candidate accuracies.
+    pub fn accuracy_tier(&self) -> AccuracyTier {
+        self.accuracy_tier
     }
 
     /// Attaches the persistent evaluation store under `dir` (the local JSONL
@@ -545,6 +578,7 @@ impl EvalEngine {
             self.baseline.input_bits,
             self.fine_tune_epochs,
             self.salt,
+            self.accuracy_tier,
         );
         let shard = self.shard_for(&key);
 
@@ -615,7 +649,8 @@ impl EvalEngine {
 
                 let ctx = EvaluationContext::new(&self.baseline)
                     .with_fine_tune_epochs(self.fine_tune_epochs)
-                    .with_tier(self.tier);
+                    .with_tier(self.tier)
+                    .with_accuracy_tier(self.accuracy_tier);
                 let outcome = evaluate_config_detailed(&ctx, config, self.salt);
 
                 unwind_guard.armed = false;
@@ -718,6 +753,7 @@ impl EvalEngine {
             self.baseline.input_bits,
             self.fine_tune_epochs,
             self.salt,
+            self.accuracy_tier,
         );
         let cached = {
             let guard = self.shard_for(&key).lock().expect("shard lock");
@@ -743,7 +779,8 @@ impl EvalEngine {
                 self.finalize_reruns.fetch_add(1, Ordering::Relaxed);
                 let ctx = EvaluationContext::new(&self.baseline)
                     .with_fine_tune_epochs(self.fine_tune_epochs)
-                    .with_tier(self.tier);
+                    .with_tier(self.tier)
+                    .with_accuracy_tier(self.accuracy_tier);
                 let detailed = evaluate_config_detailed(&ctx, config, self.salt)?;
                 let artifacts = (Arc::new(detailed.layers), detailed.sharing);
                 let mut guard = self.shard_for(&key).lock().expect("shard lock");
@@ -877,26 +914,42 @@ pub(crate) mod tests {
 
     #[test]
     fn cache_key_canonicalizes_float_noise() {
-        let a = EvalKey::new(&MinimizationConfig::default().with_sparsity(0.3), 4, 8, 0);
+        let tier = AccuracyTier::default();
+        let a = EvalKey::new(
+            &MinimizationConfig::default().with_sparsity(0.3),
+            4,
+            8,
+            0,
+            tier,
+        );
         let b = EvalKey::new(
             &MinimizationConfig::default().with_sparsity(0.30000000001),
             4,
             8,
             0,
+            tier,
         );
         assert_eq!(a, b);
-        let c = EvalKey::new(&MinimizationConfig::default().with_sparsity(0.301), 4, 8, 0);
+        let c = EvalKey::new(
+            &MinimizationConfig::default().with_sparsity(0.301),
+            4,
+            8,
+            0,
+            tier,
+        );
         assert_ne!(a, c);
     }
 
     #[test]
-    fn cache_key_separates_budgets_and_salts() {
+    fn cache_key_separates_budgets_salts_and_tiers() {
         let config = MinimizationConfig::default().with_weight_bits(4);
-        let base = EvalKey::new(&config, 4, 8, 0);
-        assert_ne!(base, EvalKey::new(&config, 4, 2, 0));
-        assert_ne!(base, EvalKey::new(&config, 6, 8, 0));
-        assert_ne!(base, EvalKey::new(&config, 4, 8, 7));
-        assert_eq!(base, EvalKey::new(&config, 4, 8, 0));
+        let tier = AccuracyTier::Integer;
+        let base = EvalKey::new(&config, 4, 8, 0, tier);
+        assert_ne!(base, EvalKey::new(&config, 4, 2, 0, tier));
+        assert_ne!(base, EvalKey::new(&config, 6, 8, 0, tier));
+        assert_ne!(base, EvalKey::new(&config, 4, 8, 7, tier));
+        assert_ne!(base, EvalKey::new(&config, 4, 8, 0, AccuracyTier::Float));
+        assert_eq!(base, EvalKey::new(&config, 4, 8, 0, tier));
     }
 
     #[test]

@@ -37,6 +37,12 @@ impl Effort {
     /// fast path (full synthesis of the reference circuit is the single most
     /// expensive hardware step of a smoke run; the equivalence suite pins the
     /// two tiers to each other).
+    ///
+    /// Both efforts keep the default
+    /// [accuracy tier](crate::objective::AccuracyTier): baseline and candidate
+    /// accuracies are measured by pure-integer inference — the exact
+    /// arithmetic of the printed circuit — not by the fake-quantized float
+    /// model.
     pub fn baseline_config(self) -> BaselineConfig {
         match self {
             Effort::Full => BaselineConfig::default(),

@@ -56,13 +56,13 @@ pub mod report;
 pub mod store;
 pub mod sweep;
 
-pub use baseline::BaselineDesign;
+pub use baseline::{BaselineConfig, BaselineDesign};
 pub use campaign::{Campaign, CampaignConfig, CampaignResult, CampaignRunStats, DatasetReport};
 pub use engine::{EngineStats, EvalEngine, EvalKey, EvalProgress, Evaluator, FinalizedDesign};
 pub use error::CoreError;
 pub use genome::Genome;
 pub use nsga2::{Nsga2, Nsga2Config};
-pub use objective::{evaluate_config, DesignPoint, EvaluationContext, SynthesisTier};
+pub use objective::{evaluate_config, AccuracyTier, DesignPoint, EvaluationContext, SynthesisTier};
 pub use pareto::{area_gain_at_accuracy_loss, pareto_front};
 pub use report::{render_campaign_table, FigureSeries, HeadlineRow, TechniqueSummary};
 pub use store::{EvalRecord, EvalStore};

@@ -2,9 +2,9 @@
 //! bespoke-circuit area/power via the hardware model.
 
 use crate::baseline::BaselineDesign;
-use crate::bridge::{estimate_area, synthesize_area};
+use crate::bridge::{circuit_spec_from_layers, estimate_area, synthesize_area};
 use crate::error::CoreError;
-use pmlp_hw::SharingStrategy;
+use pmlp_hw::{IntInferEngine, SharingStrategy};
 use pmlp_minimize::{minimize, IntegerLayer, MinimizationConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,6 +27,29 @@ pub enum SynthesisTier {
     FullSynthesis,
 }
 
+/// Which arithmetic measures a candidate's test accuracy.
+///
+/// Both tiers consume the *same* test inputs — features snapped to the
+/// circuit's unsigned `input_bits` grid — so the only difference is the
+/// arithmetic: `f32` with fake-quantized weights versus the exact integer
+/// recurrence the printed circuit implements. The differential suite holds
+/// the two together on every registry dataset; the integer tier is
+/// additionally proven bit-identical to gate-level netlist simulation by the
+/// `intinfer_vs_netlist` battery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum AccuracyTier {
+    /// The minimized float model (fake-quantized weights) evaluated in `f32`
+    /// on the quantized test set. Kept for the float-vs-hardware ablation
+    /// and as a cross-check of the integer engine.
+    Float,
+    /// Pure-integer inference over the minimized integer layers
+    /// ([`pmlp_hw::intinfer`]) — the exact arithmetic of the bespoke
+    /// circuit. The default: search, sweeps and campaigns score candidates
+    /// on what the hardware will actually compute.
+    #[default]
+    Integer,
+}
+
 /// Everything needed to evaluate candidate configurations against a baseline.
 #[derive(Debug, Clone)]
 pub struct EvaluationContext<'a> {
@@ -36,16 +59,21 @@ pub struct EvaluationContext<'a> {
     pub fine_tune_epochs: usize,
     /// Which hardware model scores the candidates (fast path by default).
     pub tier: SynthesisTier,
+    /// Which arithmetic measures candidate accuracy. Defaults to the tier
+    /// the baseline itself was scored with, so normalized accuracies always
+    /// compare like with like.
+    pub accuracy_tier: AccuracyTier,
 }
 
 impl<'a> EvaluationContext<'a> {
-    /// Creates a context with the default fine-tuning budget (8 epochs) and
-    /// the fast-path hardware model.
+    /// Creates a context with the default fine-tuning budget (8 epochs), the
+    /// fast-path hardware model, and the baseline's accuracy tier.
     pub fn new(baseline: &'a BaselineDesign) -> Self {
         EvaluationContext {
             baseline,
             fine_tune_epochs: 8,
             tier: SynthesisTier::default(),
+            accuracy_tier: baseline.accuracy_tier,
         }
     }
 
@@ -60,6 +88,15 @@ impl<'a> EvaluationContext<'a> {
     #[must_use]
     pub fn with_tier(mut self, tier: SynthesisTier) -> Self {
         self.tier = tier;
+        self
+    }
+
+    /// Overrides the accuracy-measurement tier. Normalized accuracies stay
+    /// meaningful only when this matches the tier the baseline was scored
+    /// with ([`crate::baseline::BaselineConfig::accuracy_tier`]).
+    #[must_use]
+    pub fn with_accuracy_tier(mut self, tier: AccuracyTier) -> Self {
+        self.accuracy_tier = tier;
         self
     }
 
@@ -186,11 +223,20 @@ pub fn evaluate_config_detailed(
         &config,
         &mut rng,
     )?;
-    let accuracy = minimized.accuracy(&baseline.test);
-    let sharing = if config.clusters_per_input.is_some() {
+    let sharing = if minimized.shares_multipliers() {
         SharingStrategy::SharedPerInput
     } else {
         SharingStrategy::None
+    };
+    let accuracy = match ctx.accuracy_tier {
+        AccuracyTier::Float => minimized.accuracy(&baseline.quantized_test),
+        AccuracyTier::Integer => integer_accuracy(
+            &minimized.integer_layers,
+            config.input_bits,
+            sharing,
+            &baseline.test_rows,
+            baseline.test.labels(),
+        )?,
     };
     let synthesis = match ctx.tier {
         SynthesisTier::FastPath => estimate_area(
@@ -230,6 +276,32 @@ pub fn evaluate_config_detailed(
         layers: minimized.integer_layers,
         sharing,
     })
+}
+
+/// Scores minimized integer layers on pre-quantized test rows with the
+/// pure-integer inference engine ([`pmlp_hw::intinfer`]) — the exact
+/// arithmetic of the bespoke circuit, bit-identical to gate-level netlist
+/// simulation.
+///
+/// `rows` is the flattened sample-major grid view of the test features (see
+/// [`pmlp_hw::quantize_rows`]); `sharing` selects the kernel mirroring the
+/// circuit's multiplier-sharing structure (it never changes the scores, only
+/// which code path computes them).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Hw`] when the layers do not form a valid circuit
+/// spec or their worst-case accumulator exceeds `i64`.
+pub fn integer_accuracy(
+    layers: &[IntegerLayer],
+    input_bits: u8,
+    sharing: SharingStrategy,
+    rows: &[u16],
+    labels: &[usize],
+) -> Result<f64, CoreError> {
+    let spec = circuit_spec_from_layers(layers, input_bits)?;
+    let engine = IntInferEngine::from_spec_with(&spec, sharing).map_err(CoreError::from)?;
+    Ok(engine.accuracy(rows, labels))
 }
 
 /// Deterministic hash of a configuration, used to derive per-candidate seeds.

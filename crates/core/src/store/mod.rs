@@ -4,7 +4,7 @@
 //!
 //! Every candidate evaluation in this workspace is deterministic and keyed by
 //! a canonical [`EvalKey`] (quantization bits, sparsity grid cell, cluster
-//! count, input precision, fine-tuning budget, RNG salt) under a
+//! count, input precision, fine-tuning budget, RNG salt, accuracy tier) under a
 //! [`BaselineDesign::fingerprint`](crate::baseline::BaselineDesign::fingerprint).
 //! That `(fingerprint, key)` pair is a **content address**: the persistence
 //! subsystem stores scored design points (plus compressed finalization
@@ -90,7 +90,7 @@ pub use tiered::{TieredStats, TieredStore};
 
 use crate::engine::EvalKey;
 use crate::error::CoreError;
-use crate::objective::{DesignPoint, SynthesisTier};
+use crate::objective::{AccuracyTier, DesignPoint, SynthesisTier};
 use pmlp_hw::SharingStrategy;
 use pmlp_minimize::IntegerLayer;
 use serde::json::{self, Value};
@@ -274,6 +274,10 @@ pub fn record_line(record: &EvalRecord) -> String {
             Value::Number(record.key.fine_tune_epochs as f64),
         ),
         ("salt".into(), Value::String(hex(record.key.salt))),
+        (
+            "accuracy_tier".into(),
+            record.key.accuracy_tier.serialize_value(),
+        ),
     ]);
     let mut entries = vec![
         ("key".into(), key),
@@ -313,6 +317,12 @@ fn record_from_line_inner(line: &str) -> Result<EvalRecord, json::Error> {
         input_bits: u8::deserialize_value(key_value.field("input_bits")?)?,
         fine_tune_epochs: usize::deserialize_value(key_value.field("fine_tune_epochs")?)?,
         salt: parse_hex(key_value.field("salt")?)?,
+        // Records written before the accuracy-tier field existed were all
+        // scored on the fake-quantized float model.
+        accuracy_tier: match key_value.get("accuracy_tier") {
+            Some(v) => AccuracyTier::deserialize_value(v)?,
+            None => AccuracyTier::Float,
+        },
     };
     let artifacts = value
         .get("artifacts")
@@ -568,6 +578,7 @@ pub(crate) mod tests {
                 input_bits: 4,
                 fine_tune_epochs: 2,
                 salt: 0xDEAD_BEEF_DEAD_BEEF,
+                accuracy_tier: AccuracyTier::Integer,
             },
             tier: SynthesisTier::FastPath,
             point: DesignPoint {
@@ -838,6 +849,12 @@ mod proptests {
                 input_bits: 4,
                 fine_tune_epochs: 2,
                 salt,
+                // Exercise both tiers across the strategy space.
+                accuracy_tier: if bits.is_multiple_of(2) {
+                    AccuracyTier::Integer
+                } else {
+                    AccuracyTier::Float
+                },
             },
             tier: SynthesisTier::FastPath,
             point: DesignPoint {

@@ -4,6 +4,11 @@
 //! parameter ranges the paper reports: quantization at 2–7 bits, unstructured
 //! pruning at 20–60 % sparsity, and weight clustering over a range of cluster
 //! counts.
+//!
+//! Accuracy numbers come from whatever [`Evaluator`] backs the sweep; through
+//! the production [`EvalEngine`](crate::engine::EvalEngine) that means the
+//! engine's [accuracy tier](crate::objective::AccuracyTier) — by default the
+//! pure-integer arithmetic of the bespoke circuit itself.
 
 use crate::engine::Evaluator;
 use crate::error::CoreError;

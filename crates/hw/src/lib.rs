@@ -16,6 +16,9 @@
 //!   analysis,
 //! * [`neuron`] / [`circuit`] — bespoke neurons and whole-MLP circuits,
 //!   including multiplier sharing for clustered weights,
+//! * [`intinfer`] — a pure-integer inference engine, bit-identical to
+//!   gate-level netlist simulation, for scoring candidate accuracy on the
+//!   exact arithmetic the printed circuit performs,
 //! * [`analysis`] / [`report`] — synthesis-style reports.
 //!
 //! In a bespoke implementation every weight is a hard-wired constant, so the
@@ -58,6 +61,7 @@ pub mod cost;
 pub mod csd;
 pub mod error;
 pub mod fixed;
+pub mod intinfer;
 pub mod netlist;
 pub mod neuron;
 pub mod report;
@@ -70,6 +74,7 @@ pub use cost::{estimate_circuit, multiplier_cache_stats, CostCacheStats, CostRep
 pub use csd::CsdDigits;
 pub use error::HwError;
 pub use fixed::FixedPointFormat;
+pub use intinfer::{quantize_rows, IntInferEngine};
 pub use netlist::{Gate, Netlist};
 pub use neuron::NeuronCircuit;
 pub use report::SynthesisReport;

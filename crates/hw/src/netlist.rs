@@ -284,6 +284,39 @@ impl Netlist {
         order
     }
 
+    /// Nets that are *read* — consumed by a gate input or marked as a
+    /// primary output — without any driver (not a constant, not a primary
+    /// input, not any gate's output). [`Netlist::simulate`] evaluates every
+    /// such net to `false`; a non-empty result from this method means a
+    /// builder left a read dangling and the simulation's outputs should not
+    /// be trusted. Allocated-but-never-read nets are not reported: they
+    /// cannot influence simulation.
+    pub fn undriven_nets(&self) -> Vec<NetId> {
+        let mut driven = vec![false; self.net_count];
+        driven[CONST_ZERO] = true;
+        driven[CONST_ONE] = true;
+        for &net in &self.primary_inputs {
+            driven[net] = true;
+        }
+        for gate in &self.gates {
+            for &out in &gate.outputs {
+                driven[out] = true;
+            }
+        }
+        let mut read = vec![false; self.net_count];
+        for gate in &self.gates {
+            for &input in &gate.inputs {
+                read[input] = true;
+            }
+        }
+        for &net in &self.primary_outputs {
+            read[net] = true;
+        }
+        (0..self.net_count)
+            .filter(|&n| read[n] && !driven[n])
+            .collect()
+    }
+
     /// `true` when every gate's inputs are driven only by constants, primary
     /// inputs, undriven nets or gates that appear *earlier* in the list.
     fn insertion_order_is_topological(&self) -> bool {
@@ -310,8 +343,19 @@ impl Netlist {
     /// Functionally simulates the netlist.
     ///
     /// `inputs` maps every primary input to a boolean value; constants are
-    /// driven automatically. Returns the value of every net. Nets that are
-    /// never driven evaluate to `false`.
+    /// driven automatically. Returns the value of every net.
+    ///
+    /// # Undriven nets
+    ///
+    /// A net that is neither a constant, nor a primary input, nor any gate's
+    /// output has no driver. Simulation is still total and deterministic:
+    /// every such net evaluates to `false` (logic 0, identical to
+    /// [`CONST_ZERO`]) both when read by a gate and in the returned vector.
+    /// This is a guarantee, not an accident — the bespoke builders rely on it
+    /// nowhere, but hand-built netlists (tests, external tooling) may read
+    /// nets they forgot to drive, and a silent `false` beats an
+    /// out-of-bounds panic mid-simulation. Use [`Netlist::undriven_nets`] to
+    /// detect such reads before trusting a simulation.
     ///
     /// # Panics
     ///
@@ -435,6 +479,35 @@ mod tests {
         assert_eq!(n.primary_inputs().len(), 3);
         assert_eq!(n.primary_outputs().len(), 1);
         assert_eq!(n.count_by_kind()[&CellKind::And2], 1);
+    }
+
+    #[test]
+    fn undriven_nets_read_as_false_and_are_reported() {
+        let mut n = Netlist::new("undriven");
+        let a = n.add_input();
+        let dangling = n.add_net(); // never driven, but read below
+        let unused = n.add_net(); // never driven, never read: not reported
+        let y = n.add_net();
+        n.add_gate(CellKind::Or2, vec![a, dangling], vec![y]);
+        n.mark_output(y);
+        assert_eq!(n.undriven_nets(), vec![dangling]);
+        let _ = unused;
+        // The documented guarantee: the dangling net is logic 0, so the OR
+        // passes `a` through; the returned vector reports it as false too.
+        for a_val in [false, true] {
+            let values = n.simulate(&[a_val]);
+            assert!(!values[dangling]);
+            assert_eq!(values[y], a_val);
+        }
+        // A net marked as primary output without a driver is also reported.
+        let mut m = Netlist::new("dangling-output");
+        let _ = m.add_input();
+        let out = m.add_net();
+        m.mark_output(out);
+        assert_eq!(m.undriven_nets(), vec![out]);
+        assert!(!m.simulate(&[true])[out]);
+        // Builder-produced netlists have no dangling reads.
+        assert!(and_or_netlist().undriven_nets().is_empty());
     }
 
     #[test]

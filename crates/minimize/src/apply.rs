@@ -37,6 +37,15 @@ impl MinimizedModel {
     pub fn accuracy(&self, data: &Dataset) -> f64 {
         self.model.accuracy(data)
     }
+
+    /// `true` when this model was weight-clustered, i.e. its bespoke circuit
+    /// (and any integer inference over [`integer_layers`](Self::integer_layers))
+    /// should share one multiplier per distinct `(input, weight)` product.
+    /// This is the single source of truth the evaluation layers use to pick a
+    /// `pmlp_hw::SharingStrategy` for the cached integer-layer artifacts.
+    pub fn shares_multipliers(&self) -> bool {
+        self.config.clusters_per_input.is_some()
+    }
 }
 
 /// Applies the minimization pipeline described by `config` to (a copy of)

@@ -4,7 +4,7 @@
 //! input is rejected instead of stored.
 
 use pmlp_core::engine::EvalKey;
-use pmlp_core::objective::{DesignPoint, SynthesisTier};
+use pmlp_core::objective::{AccuracyTier, DesignPoint, SynthesisTier};
 use pmlp_core::store::{
     EvalRecord, EvalStore, LocalJsonlBackend, MemoryBackend, RemoteBackend, StoreBackend,
     TieredStore,
@@ -22,6 +22,7 @@ fn record(bits: u8, accuracy: f64) -> EvalRecord {
             input_bits: 4,
             fine_tune_epochs: 2,
             salt: 0xFEED_FACE_CAFE_BEEF,
+            accuracy_tier: AccuracyTier::Integer,
         },
         tier: SynthesisTier::FastPath,
         point: DesignPoint {

@@ -6,8 +6,10 @@
 //! `prop_assert!` / `prop_assert_eq!` assertion macros.
 //!
 //! Differences from real proptest: cases are drawn from a fixed deterministic
-//! seed (no persistence files), there is no shrinking — a failing case panics
-//! with the assertion message directly — and the case count is fixed at 64.
+//! seed (no persistence files), and there is no shrinking — a failing case
+//! panics with the assertion message directly. The case count comes from the
+//! in-source config (default 64), overridable via the `PROPTEST_CASES`
+//! environment variable as in real proptest.
 
 #![warn(rust_2018_idioms)]
 
@@ -40,6 +42,17 @@ impl ProptestConfig {
 
 /// The RNG handed to strategies.
 pub type TestRng = StdRng;
+
+/// Resolves the case count for one `proptest!` test: the `PROPTEST_CASES`
+/// environment variable overrides the in-source configuration, exactly like
+/// real proptest — CI's equivalence jobs use it to deepen the search without
+/// patching sources.
+pub fn cases_from_env(configured: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(configured)
+}
 
 /// Builds the deterministic RNG for a named test (used by the `proptest!`
 /// expansion; the seed is an FNV-1a hash of the test name).
@@ -231,7 +244,7 @@ macro_rules! proptest {
             fn $name() {
                 // Deterministic per-test seed derived from the test name.
                 let mut __rng = $crate::rng_for(stringify!($name));
-                let __cases = ($config).cases;
+                let __cases = $crate::cases_from_env(($config).cases);
                 for __case in 0..__cases {
                     $( let $arg = $crate::Strategy::generate(&($strategy), &mut __rng); )+
                     $body
