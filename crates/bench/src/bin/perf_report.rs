@@ -54,6 +54,10 @@ struct PerfReport {
     int_infer: IntInferMetrics,
     /// Persistence-tier throughput (local JSONL store + pmlp-serve loopback).
     store: StoreMetrics,
+    /// Fault-tolerance counters of a scripted outage/recovery cycle against
+    /// a loopback server: retries, circuit-breaker transitions and journal
+    /// replay volume (see `ResilienceStats`).
+    resilience: ResilienceMetrics,
     /// Process-wide constant-multiplier cost-cache counters at exit.
     multiplier_cache: MultiplierCache,
     /// Context for readers of the trajectory.
@@ -143,6 +147,30 @@ struct ServeCounters {
     bytes_in: u64,
     /// Response bytes written to the wire.
     bytes_out: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct ResilienceMetrics {
+    /// Records written during the scripted outage window (all must replay).
+    outage_appends: usize,
+    /// Remote request retries after transient failures.
+    remote_retries: usize,
+    /// Transient remote errors (connect/timeout/5xx/early close).
+    transient_errors: usize,
+    /// Permanent remote errors (4xx/protocol) — never retried.
+    permanent_errors: usize,
+    /// Circuit-breaker closed → open transitions.
+    breaker_opens: usize,
+    /// Circuit-breaker recoveries (half-open probe succeeded).
+    breaker_recoveries: usize,
+    /// Records journaled locally while the remote was unreachable.
+    journaled_records: usize,
+    /// Journaled records replayed to the recovered remote.
+    replayed_records: usize,
+    /// Journal entries evicted at capacity (must be 0 in this scenario).
+    journal_dropped: usize,
+    /// Wall-clock of the whole outage/recovery cycle, seconds.
+    cycle_secs: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -262,6 +290,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    record log served over a loopback pmlp-serve instance.
     let store = measure_store(if quick { 256 } else { 2048 })?;
 
+    // 8. Fault tolerance: a scripted outage/recovery cycle — breaker opens,
+    //    appends journal, the restarted server is rejoined and replayed.
+    let resilience = measure_resilience(if quick { 4 } else { 16 })?;
+
     let mul = pmlp_hw::cost::multiplier_cache_stats();
     let report = PerfReport {
         schema: "pmlp-perf-report/v1".into(),
@@ -278,6 +310,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             campaign_quick_secs,
         },
         store,
+        resilience,
         int_infer,
         campaign_engine: CampaignEngine {
             evaluations: campaign.reports.iter().map(|r| r.evaluations).sum(),
@@ -343,33 +376,9 @@ fn measure_int_infer(
 /// local JSONL append + warm-start replay, then the same log appended to and
 /// scanned from a loopback `pmlp-serve` instance.
 fn measure_store(records: usize) -> Result<StoreMetrics, Box<dyn std::error::Error>> {
-    use pmlp_core::engine::EvalKey;
-    use pmlp_core::objective::{AccuracyTier, DesignPoint, SynthesisTier};
     use pmlp_core::store::{EvalRecord, EvalStore, RemoteBackend, StoreBackend};
 
-    let record = |i: usize| EvalRecord {
-        key: EvalKey {
-            weight_bits: (i % 14) as u8 + 2,
-            sparsity_millis: (i * 37 % 900) as u32,
-            clusters: i % 7,
-            input_bits: 4,
-            fine_tune_epochs: 2,
-            salt: i as u64,
-            accuracy_tier: AccuracyTier::Integer,
-        },
-        tier: SynthesisTier::FastPath,
-        point: DesignPoint {
-            config: MinimizationConfig::default().with_weight_bits((i % 14) as u8 + 2),
-            accuracy: 0.5 + (i % 50) as f64 / 100.0,
-            area_mm2: 10.0 + i as f64,
-            power_uw: 100.0 + i as f64,
-            normalized_accuracy: 0.9,
-            normalized_area: 0.5,
-            sparsity: 0.1,
-            gate_count: 100 + i,
-        },
-        artifacts: None,
-    };
+    let record = synthetic_record;
     let rate = |n: usize, secs: f64| n as f64 / secs.max(1e-9);
 
     // Local tier.
@@ -431,6 +440,102 @@ fn measure_store(records: usize) -> Result<StoreMetrics, Box<dyn std::error::Err
             bytes_in: serve_stats.bytes_in,
             bytes_out: serve_stats.bytes_out,
         },
+    })
+}
+
+/// The deterministic synthetic evaluation record the persistence stages push
+/// around.
+fn synthetic_record(i: usize) -> pmlp_core::store::EvalRecord {
+    use pmlp_core::engine::EvalKey;
+    use pmlp_core::objective::{AccuracyTier, DesignPoint, SynthesisTier};
+    pmlp_core::store::EvalRecord {
+        key: EvalKey {
+            weight_bits: (i % 14) as u8 + 2,
+            sparsity_millis: (i * 37 % 900) as u32,
+            clusters: i % 7,
+            input_bits: 4,
+            fine_tune_epochs: 2,
+            salt: i as u64,
+            accuracy_tier: AccuracyTier::Integer,
+        },
+        tier: SynthesisTier::FastPath,
+        point: DesignPoint {
+            config: MinimizationConfig::default().with_weight_bits((i % 14) as u8 + 2),
+            accuracy: 0.5 + (i % 50) as f64 / 100.0,
+            area_mm2: 10.0 + i as f64,
+            power_uw: 100.0 + i as f64,
+            normalized_accuracy: 0.9,
+            normalized_area: 0.5,
+            sparsity: 0.1,
+            gate_count: 100 + i,
+        },
+        artifacts: None,
+    }
+}
+
+/// Runs a scripted outage/recovery cycle against a loopback server — appends
+/// flow, the server dies, appends keep flowing (journaled), the server comes
+/// back on the same address, the breaker rejoins and the journal replays —
+/// and reports the resulting fault-tolerance counters.
+fn measure_resilience(
+    outage_appends: usize,
+) -> Result<ResilienceMetrics, Box<dyn std::error::Error>> {
+    use pmlp_core::store::{
+        BreakerConfig, MemoryBackend, RemoteBackend, StoreBackend, TieredStore,
+    };
+
+    let t0 = Instant::now();
+    let server = pmlp_serve::spawn(&pmlp_serve::ServeConfig::default())?;
+    let addr = server.addr();
+    // Zero cooldown: the recovery probe happens on the next write instead of
+    // after the production default's 1 s wait, so the measured cycle is the
+    // work, not the sleep.
+    let tiered = TieredStore::with_breaker(
+        Box::new(MemoryBackend::new()),
+        Box::new(RemoteBackend::new(&format!("http://{addr}"))?),
+        BreakerConfig {
+            failure_threshold: 1,
+            cooldown: std::time::Duration::ZERO,
+        },
+    );
+    for i in 0..outage_appends {
+        tiered.append("resil", 0xFA11, &synthetic_record(i))?;
+    }
+    server.stop();
+    // The outage window: every append succeeds locally and is journaled.
+    for i in 0..outage_appends {
+        tiered.append("resil", 0xFA11, &synthetic_record(outage_appends + i))?;
+    }
+    let restarted = pmlp_serve::spawn(&pmlp_serve::ServeConfig {
+        addr: addr.to_string(),
+        ..pmlp_serve::ServeConfig::default()
+    })?;
+    // The next write probes the half-open breaker, rejoins and replays.
+    tiered.append("resil", 0xFA11, &synthetic_record(2 * outage_appends))?;
+    let stats = tiered
+        .resilience()
+        .expect("tiered stores report resilience");
+    let replayed = RemoteBackend::new(&restarted.url())?
+        .scan("resil", 0xFA11)?
+        .records
+        .len();
+    restarted.stop();
+    assert!(
+        replayed >= outage_appends,
+        "outage-window appends must replay ({replayed} on the restarted server)"
+    );
+    assert_eq!(stats.journal_dropped, 0, "journal must not overflow");
+    Ok(ResilienceMetrics {
+        outage_appends,
+        remote_retries: stats.remote_retries,
+        transient_errors: stats.transient_errors,
+        permanent_errors: stats.permanent_errors,
+        breaker_opens: stats.breaker_opens,
+        breaker_recoveries: stats.breaker_recoveries,
+        journaled_records: stats.journaled_records,
+        replayed_records: stats.replayed_records,
+        journal_dropped: stats.journal_dropped,
+        cycle_secs: t0.elapsed().as_secs_f64(),
     })
 }
 

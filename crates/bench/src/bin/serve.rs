@@ -7,7 +7,8 @@
 //!
 //! ```text
 //! cargo run --release -p pmlp-bench --bin serve -- \
-//!     [host:port] [--store DIR] [--token TOKEN] [--workers N]
+//!     [host:port] [--store DIR] [--token TOKEN] [--workers N] \
+//!     [--durability POLICY] [--drain-timeout-ms N]
 //! ```
 //!
 //! `host:port` defaults to `127.0.0.1:7878` (use port `0` for an ephemeral
@@ -22,6 +23,11 @@
 //! `/v1/healthz` liveness probe must carry `Authorization: Bearer TOKEN`, and
 //! workers embed the token in their store URL. `--workers N` sizes the
 //! connection worker pool (default: one per core, clamped to 4..=32).
+//! `--durability POLICY` (`buffered`, `sync-each-append`, `sync-on-seal`)
+//! picks how eagerly a `--store`-backed server fsyncs; a graceful shutdown
+//! (SIGTERM/SIGINT) always drains in-flight requests and fsyncs before
+//! exiting, whatever the policy. `--drain-timeout-ms N` bounds how long the
+//! drain waits for in-flight requests before abandoning them (default 5s).
 //!
 //! Point workers at the server with `--remote-store http://host:port` (or
 //! `http://TOKEN@host:port` when auth is on) on the
@@ -40,12 +46,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .copied()
         .unwrap_or("127.0.0.1:7878")
         .to_string();
-    run(&ServeConfig {
+    let mut config = ServeConfig {
         addr,
         store_dir: options.store.clone(),
         token: options.token.clone(),
         workers: options.workers.unwrap_or(0),
+        durability: options.durability.unwrap_or_default(),
         ..ServeConfig::default()
-    })?;
+    };
+    if let Some(ms) = options.drain_timeout_ms {
+        config.drain_timeout = std::time::Duration::from_millis(ms);
+    }
+    run(&config)?;
     Ok(())
 }

@@ -50,6 +50,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         store_dir: options.store.clone(),
         remote_store: options.remote_store.clone(),
         remote_timeout_ms: options.remote_timeout_ms,
+        durability: options.durability.unwrap_or_default(),
+        remote_cooldown_ms: None,
         resume: options.resume,
     });
     let (result, campaign_stats) = campaign.run_with_stats()?;

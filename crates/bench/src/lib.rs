@@ -55,6 +55,15 @@ pub struct CliOptions<'a> {
     /// Worker-pool size override for the `serve` binary from `--workers N`
     /// (default: one per core, clamped to 4..=32).
     pub workers: Option<usize>,
+    /// Durability policy of the local JSONL tier from `--durability POLICY`
+    /// (`buffered`, `sync-each-append` or `sync-on-seal`; default
+    /// `buffered`). Honoured by `--store DIR` compositions and by the
+    /// `serve` binary's disk-backed store.
+    pub durability: Option<pmlp_core::store::DurabilityPolicy>,
+    /// Graceful-shutdown drain deadline override for the `serve` binary
+    /// from `--drain-timeout-ms N`: how long a stopping server waits for
+    /// in-flight requests before abandoning them (default 5s).
+    pub drain_timeout_ms: Option<u64>,
     /// A malformed command line detected during parsing (e.g. `--store`
     /// without a directory); surfaced by [`CliOptions::validate`].
     pub parse_error: Option<String>,
@@ -104,10 +113,11 @@ impl CliOptions<'_> {
     pub fn open_backend(
         &self,
     ) -> Result<Option<Box<dyn pmlp_core::store::StoreBackend>>, pmlp_core::CoreError> {
-        pmlp_core::store::open_backend_with(
+        pmlp_core::store::open_backend_durable(
             self.store.as_deref(),
             self.remote_store.as_deref(),
             self.remote_timeout_ms.map(std::time::Duration::from_millis),
+            self.durability.unwrap_or_default(),
         )
     }
 }
@@ -153,6 +163,20 @@ pub fn parse_cli(args: &[String]) -> CliOptions<'_> {
                     options.parse_error = Some("--workers needs a thread count".into());
                 }
             },
+            "--durability" => match iter.next().map(|v| v.parse()) {
+                Some(Ok(policy)) => options.durability = Some(policy),
+                Some(Err(err)) => options.parse_error = Some(err),
+                None => {
+                    options.parse_error = Some("--durability needs a policy argument".into());
+                }
+            },
+            "--drain-timeout-ms" => match iter.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(ms)) => options.drain_timeout_ms = Some(ms),
+                _ => {
+                    options.parse_error =
+                        Some("--drain-timeout-ms needs a number of milliseconds".into());
+                }
+            },
             "--resume" => options.resume = true,
             "--require-warm" => options.require_warm = true,
             "--float-accuracy" => options.float_accuracy = true,
@@ -188,6 +212,19 @@ pub fn parse_cli(args: &[String]) -> CliOptions<'_> {
                         Ok(n) => options.workers = Some(n),
                         Err(_) => {
                             options.parse_error = Some("--workers needs a thread count".into());
+                        }
+                    }
+                } else if let Some(policy) = other.strip_prefix("--durability=") {
+                    match policy.parse() {
+                        Ok(policy) => options.durability = Some(policy),
+                        Err(err) => options.parse_error = Some(err),
+                    }
+                } else if let Some(ms) = other.strip_prefix("--drain-timeout-ms=") {
+                    match ms.parse::<u64>() {
+                        Ok(ms) => options.drain_timeout_ms = Some(ms),
+                        Err(_) => {
+                            options.parse_error =
+                                Some("--drain-timeout-ms needs a number of milliseconds".into());
                         }
                     }
                 } else {
@@ -419,6 +456,63 @@ mod tests {
             vec!["--remote-timeout-ms", "soon"],
             vec!["--workers", "0"],
             vec!["--remote-timeout-ms", "0"],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(
+                parse_cli(&args).validate().is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn durability_flag_is_parsed_in_both_forms() {
+        use pmlp_core::store::DurabilityPolicy;
+        let args: Vec<String> = ["--store", "target/s", "--durability", "sync-each-append"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let options = parse_cli(&args);
+        assert_eq!(options.durability, Some(DurabilityPolicy::SyncEachAppend));
+        assert!(options.validate().is_ok());
+
+        let args: Vec<String> = ["--durability=sync-on-seal"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(
+            parse_cli(&args).durability,
+            Some(DurabilityPolicy::SyncOnSeal)
+        );
+        assert_eq!(parse_cli(&[]).durability, None, "defaults to buffered");
+
+        for bad in [vec!["--durability"], vec!["--durability", "paranoid"]] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(
+                parse_cli(&args).validate().is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn drain_timeout_flag_is_parsed_in_both_forms() {
+        let args: Vec<String> = ["--drain-timeout-ms", "2500"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_cli(&args).drain_timeout_ms, Some(2500));
+
+        let args: Vec<String> = ["--drain-timeout-ms=100"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_cli(&args).drain_timeout_ms, Some(100));
+        assert_eq!(parse_cli(&[]).drain_timeout_ms, None);
+
+        for bad in [
+            vec!["--drain-timeout-ms"],
+            vec!["--drain-timeout-ms", "soon"],
         ] {
             let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
             assert!(

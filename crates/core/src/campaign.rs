@@ -50,7 +50,7 @@ use crate::error::CoreError;
 use crate::experiment::{headline_summary, Effort, Figure1Experiment};
 use crate::objective::AccuracyTier;
 use crate::report::{FigureSeries, HeadlineRow, TechniqueSummary};
-use crate::store::{open_backend_with, StoreBackend};
+use crate::store::StoreBackend;
 use crate::sweep::Technique;
 use pmlp_data::UciDataset;
 use rayon::prelude::*;
@@ -92,14 +92,24 @@ pub struct CampaignConfig {
     /// write-through cache of the server ([`crate::store::TieredStore`]):
     /// evaluations and completion markers stream in from (and replicate to)
     /// the server, so a fleet of workers shares one cache. Alone, the server
-    /// is the only tier. A killed server degrades the run to local-only
-    /// instead of failing it.
+    /// is the only tier. A killed server never fails the run: the tier's
+    /// circuit breaker opens, writes journal locally, and a restarted
+    /// server is rejoined (and the journal replayed) by a recovery probe.
     pub remote_store: Option<String>,
     /// Per-request deadline for the remote store tier, in milliseconds
     /// (connect + read + write timeouts of every request; `None` keeps the
     /// client's 10s default). Lower it when a flaky server should degrade
     /// the run to local-only quickly instead of stalling each request.
     pub remote_timeout_ms: Option<u64>,
+    /// Durability policy of the local JSONL tier (`--durability`); ignored
+    /// unless [`CampaignConfig::store_dir`] is set.
+    pub durability: crate::store::DurabilityPolicy,
+    /// Circuit-breaker cooldown override for the remote tier, in
+    /// milliseconds: how long an opened breaker waits before its next
+    /// half-open recovery probe. `None` keeps the production default (1 s);
+    /// chaos tests lower it so a quick campaign's breaker can rejoin a
+    /// restarted server within the run.
+    pub remote_cooldown_ms: Option<u64>,
     /// When `true` (and a store tier is configured), datasets whose
     /// completion marker matches this configuration **and** the freshly
     /// trained baseline's fingerprint are loaded from the marker verbatim
@@ -119,6 +129,8 @@ impl Default for CampaignConfig {
             store_dir: None,
             remote_store: None,
             remote_timeout_ms: None,
+            durability: crate::store::DurabilityPolicy::default(),
+            remote_cooldown_ms: None,
             resume: false,
         }
     }
@@ -335,12 +347,23 @@ impl Campaign {
     /// Returns [`CoreError::Store`] when the directory cannot be created or
     /// the URL is malformed.
     pub fn open_backend(&self) -> Result<Option<Arc<dyn StoreBackend>>, CoreError> {
-        Ok(open_backend_with(
+        Ok(crate::store::open_backend_opts(
             self.config.store_dir.as_deref(),
             self.config.remote_store.as_deref(),
-            self.config
-                .remote_timeout_ms
-                .map(std::time::Duration::from_millis),
+            &crate::store::BackendOptions {
+                remote_timeout: self
+                    .config
+                    .remote_timeout_ms
+                    .map(std::time::Duration::from_millis),
+                durability: self.config.durability,
+                breaker: self
+                    .config
+                    .remote_cooldown_ms
+                    .map(|ms| crate::store::BreakerConfig {
+                        cooldown: std::time::Duration::from_millis(ms),
+                        ..crate::store::BreakerConfig::default()
+                    }),
+            },
         )?
         .map(Arc::from))
     }
@@ -431,6 +454,12 @@ impl Campaign {
             })
             .collect();
         let outcomes = outcomes?;
+        // End-of-run synchronization point: push whatever the remote tier
+        // missed during an outage window (the tiered composition's replay
+        // journal) before the backend instance — and its journal — drops.
+        if let Some(backend) = backend.as_deref() {
+            backend.flush()?;
+        }
         // Derive provenance from the (configuration-ordered) outcomes so the
         // stats are deterministic regardless of worker scheduling.
         let stats = CampaignRunStats {
@@ -641,6 +670,8 @@ mod tests {
             store_dir: Some(dir.to_path_buf()),
             remote_store: None,
             remote_timeout_ms: None,
+            durability: crate::store::DurabilityPolicy::default(),
+            remote_cooldown_ms: None,
             resume,
         }
     }

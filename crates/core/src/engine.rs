@@ -227,6 +227,14 @@ pub struct EngineStats {
     pub multiplier_cache_hits: u64,
     /// Process-wide constant-multiplier cost-cache misses at snapshot time.
     pub multiplier_cache_misses: u64,
+    /// Store appends (single or batched) that failed outright — the engine
+    /// warns and continues, degrading persistence to this process's
+    /// lifetime.
+    pub store_append_failures: usize,
+    /// Fault-tolerance counters aggregated from the backing store's tiers
+    /// (retries, circuit-breaker transitions, journal replays); all zeros
+    /// when no store is attached or the backend does not track them.
+    pub store_resilience: crate::store::ResilienceStats,
 }
 
 impl EngineStats {
@@ -284,6 +292,7 @@ pub struct EvalEngine {
     full_synthesis: AtomicUsize,
     warmed: usize,
     finalize_reruns: AtomicUsize,
+    store_append_failures: AtomicUsize,
     store: Option<EvalStore>,
     /// Records computed inside an [`EvalEngine::evaluate_batch`] call, held
     /// back so the whole batch lands in the store as **one** append — over a
@@ -337,6 +346,7 @@ impl EvalEngine {
             full_synthesis: AtomicUsize::new(0),
             warmed: 0,
             finalize_reruns: AtomicUsize::new(0),
+            store_append_failures: AtomicUsize::new(0),
             store: None,
             batch_buffer: Mutex::new(Vec::new()),
             batch_depth: AtomicUsize::new(0),
@@ -532,6 +542,12 @@ impl EvalEngine {
             finalize_reruns: self.finalize_reruns.load(Ordering::Relaxed),
             multiplier_cache_hits: mul.hits,
             multiplier_cache_misses: mul.misses,
+            store_append_failures: self.store_append_failures.load(Ordering::Relaxed),
+            store_resilience: self
+                .store
+                .as_ref()
+                .and_then(|s| s.backend().resilience())
+                .unwrap_or_default(),
         }
     }
 
@@ -701,6 +717,7 @@ impl EvalEngine {
                             .expect("batch buffer lock")
                             .push(record);
                     } else if let Err(err) = store.append(&record) {
+                        self.store_append_failures.fetch_add(1, Ordering::Relaxed);
                         eprintln!("warning: {err}");
                     }
                 }
@@ -819,6 +836,8 @@ impl EvalEngine {
         }
         if let Some(store) = &self.store {
             if let Err(err) = store.append_batch(&records) {
+                self.store_append_failures
+                    .fetch_add(records.len(), Ordering::Relaxed);
                 eprintln!("warning: {err}");
             }
         }

@@ -25,6 +25,53 @@ pub struct ScanOutcome {
     pub dropped: usize,
 }
 
+/// Fault-tolerance counters a backend accumulated over its lifetime:
+/// retries against a remote tier, circuit-breaker transitions, and the
+/// replay journal that guarantees no append is silently lost while a remote
+/// is down. All zeros for purely local backends.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Remote request attempts beyond the first (bounded-backoff retries).
+    pub remote_retries: usize,
+    /// Operations that ultimately failed with a *transient* error
+    /// (connect/timeout/reset/5xx) after exhausting their retry budget.
+    pub transient_errors: usize,
+    /// Operations rejected with a *permanent* error (4xx, protocol garbage)
+    /// — never retried, dropped on the spot.
+    pub permanent_errors: usize,
+    /// Circuit-breaker transitions into the open (remote shunned) state.
+    pub breaker_opens: usize,
+    /// Circuit-breaker recoveries (half-open probe succeeded, remote
+    /// rejoined).
+    pub breaker_recoveries: usize,
+    /// Records and documents captured by the replay journal while the remote
+    /// was unreachable.
+    pub journaled_records: usize,
+    /// Journal entries successfully replayed to a rejoined remote.
+    pub replayed_records: usize,
+    /// Journal entries evicted because the journal hit its capacity bound
+    /// during an extended outage (the local tier still holds them).
+    pub journal_dropped: usize,
+}
+
+impl ResilienceStats {
+    /// Field-wise sum of two counter sets (e.g. a tiered store's own breaker
+    /// counters merged with its remote client's retry counters).
+    #[must_use]
+    pub fn merge(self, other: ResilienceStats) -> ResilienceStats {
+        ResilienceStats {
+            remote_retries: self.remote_retries + other.remote_retries,
+            transient_errors: self.transient_errors + other.transient_errors,
+            permanent_errors: self.permanent_errors + other.permanent_errors,
+            breaker_opens: self.breaker_opens + other.breaker_opens,
+            breaker_recoveries: self.breaker_recoveries + other.breaker_recoveries,
+            journaled_records: self.journaled_records + other.journaled_records,
+            replayed_records: self.replayed_records + other.replayed_records,
+            journal_dropped: self.journal_dropped + other.journal_dropped,
+        }
+    }
+}
+
 /// A persistence tier of the evaluation store.
 ///
 /// Implementations in this workspace:
@@ -146,6 +193,23 @@ pub trait StoreBackend: Send + Sync {
         let _ = (name, fingerprint);
         None
     }
+
+    /// Fault-tolerance counters of this backend, `None` for tiers that have
+    /// no remote leg (and therefore nothing to retry or journal).
+    fn resilience(&self) -> Option<ResilienceStats> {
+        None
+    }
+
+    /// Forces buffered state down to durable storage (fsync of cached append
+    /// handles). A no-op for tiers without buffered file handles; called on
+    /// graceful server shutdown and by explicit durability policies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Store`] when the backing storage fails to sync.
+    fn flush(&self) -> Result<(), CoreError> {
+        Ok(())
+    }
 }
 
 /// Shared tiers: one backend instance (and its internal state — degraded
@@ -191,6 +255,12 @@ impl<T: StoreBackend + ?Sized> StoreBackend for std::sync::Arc<T> {
     }
     fn record_path(&self, name: &str, fingerprint: u64) -> Option<PathBuf> {
         (**self).record_path(name, fingerprint)
+    }
+    fn resilience(&self) -> Option<ResilienceStats> {
+        (**self).resilience()
+    }
+    fn flush(&self) -> Result<(), CoreError> {
+        (**self).flush()
     }
 }
 

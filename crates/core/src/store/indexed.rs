@@ -201,6 +201,14 @@ impl StoreBackend for IndexedBackend {
     fn record_path(&self, name: &str, fingerprint: u64) -> Option<PathBuf> {
         self.inner.record_path(name, fingerprint)
     }
+
+    fn resilience(&self) -> Option<super::backend::ResilienceStats> {
+        self.inner.resilience()
+    }
+
+    fn flush(&self) -> Result<(), CoreError> {
+        self.inner.flush()
+    }
 }
 
 #[cfg(test)]

@@ -25,6 +25,64 @@ fn store_err(context: String) -> CoreError {
     CoreError::Store { context }
 }
 
+/// How hard the local tier pushes appends toward the platters.
+///
+/// The JSONL format is crash-*consistent* under every policy (whole-line
+/// appends; a torn write can only truncate the tail, which replay
+/// tolerates); the policy decides how much a **power loss** can cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum DurabilityPolicy {
+    /// Flush each append to the OS (the historical behavior): a process
+    /// crash loses nothing; an OS crash or power loss may lose recent
+    /// appends still in the page cache.
+    #[default]
+    Buffered,
+    /// `fsync` after every append (and batch): a power loss can lose at most
+    /// the append in flight. The slowest policy — one disk barrier per
+    /// engine batch.
+    SyncEachAppend,
+    /// `fsync` only when a log header is sealed or a log is rewritten
+    /// (compaction, salvage): bounds the damage of a power loss to the
+    /// appends since the last seal, at near-[`Buffered`] speed.
+    ///
+    /// [`Buffered`]: DurabilityPolicy::Buffered
+    SyncOnSeal,
+}
+
+impl std::fmt::Display for DurabilityPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DurabilityPolicy::Buffered => "buffered",
+            DurabilityPolicy::SyncEachAppend => "sync-each-append",
+            DurabilityPolicy::SyncOnSeal => "sync-on-seal",
+        })
+    }
+}
+
+impl std::str::FromStr for DurabilityPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "buffered" => Ok(DurabilityPolicy::Buffered),
+            "sync-each-append" => Ok(DurabilityPolicy::SyncEachAppend),
+            "sync-on-seal" => Ok(DurabilityPolicy::SyncOnSeal),
+            other => Err(format!(
+                "unknown durability policy '{other}' (expected buffered, sync-each-append or \
+                 sync-on-seal)"
+            )),
+        }
+    }
+}
+
+/// Best-effort fsync of an already-committed file (used after atomic
+/// rewrites, where the content is already consistent on disk).
+fn sync_path(path: &Path) {
+    if let Ok(file) = fs::File::open(path) {
+        file.sync_all().ok();
+    }
+}
+
 /// The append-only JSONL directory tier.
 ///
 /// Cheap to construct (one `create_dir_all`); append handles are opened
@@ -32,6 +90,7 @@ fn store_err(context: String) -> CoreError {
 /// `flush` each, exactly like the pre-refactor store.
 pub struct LocalJsonlBackend {
     dir: PathBuf,
+    durability: DurabilityPolicy,
     writers: Mutex<HashMap<PathBuf, fs::File>>,
 }
 
@@ -50,9 +109,20 @@ impl LocalJsonlBackend {
     ///
     /// Returns [`CoreError::Store`] when the directory cannot be created.
     pub fn open(dir: &Path) -> Result<Self, CoreError> {
+        Self::open_with(dir, DurabilityPolicy::default())
+    }
+
+    /// [`open`](Self::open) with an explicit [`DurabilityPolicy`]
+    /// (`--durability` on the binaries).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Store`] when the directory cannot be created.
+    pub fn open_with(dir: &Path, durability: DurabilityPolicy) -> Result<Self, CoreError> {
         fs::create_dir_all(dir).map_err(|e| store_err(format!("create {}: {e}", dir.display())))?;
         Ok(LocalJsonlBackend {
             dir: dir.to_path_buf(),
+            durability,
             writers: Mutex::new(HashMap::new()),
         })
     }
@@ -60,6 +130,11 @@ impl LocalJsonlBackend {
     /// The directory this backend stores into.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The durability policy appends run under.
+    pub fn durability(&self) -> DurabilityPolicy {
+        self.durability
     }
 
     fn file_path(&self, name: &str, fingerprint: u64) -> PathBuf {
@@ -75,9 +150,16 @@ impl LocalJsonlBackend {
     /// header). A missing file replays empty *without* scheduling a rewrite —
     /// reads must never create files (a disk-backed server would otherwise
     /// grow one empty log per probed fingerprint).
+    ///
+    /// Corrupt lines are never silently destroyed: before the compacting
+    /// rewrite discards them, they are copied to a `*.quarantine` sidecar
+    /// next to the log (and counted, and warned about once per replay) so a
+    /// record damaged by something worse than a crash-truncated tail can
+    /// still be inspected by hand. The sidecar's name ends in `.quarantine`,
+    /// invisible to [`list_record_logs`] and the GC pass.
     fn replay(path: &Path, fingerprint: u64) -> Result<(Vec<EvalRecord>, usize, bool), CoreError> {
         let mut loaded: Vec<EvalRecord> = Vec::new();
-        let mut dropped = 0usize;
+        let mut quarantined: Vec<String> = Vec::new();
         let mut needs_rewrite = false;
         if path.exists() {
             let text = fs::read_to_string(path)
@@ -94,7 +176,7 @@ impl LocalJsonlBackend {
                             Err(_) => {
                                 // Truncated tail (crash mid-append) or garbled
                                 // line: skip it and schedule a compaction.
-                                dropped += 1;
+                                quarantined.push(line.to_string());
                                 needs_rewrite = true;
                             }
                         }
@@ -103,12 +185,44 @@ impl LocalJsonlBackend {
                 // Foreign or incompatible-version header: the file is
                 // unusable as-is; start fresh (atomically).
                 _ => {
-                    dropped += text.lines().count();
+                    quarantined.extend(text.lines().map(str::to_string));
                     needs_rewrite = true;
                 }
             }
         }
+        let dropped = quarantined.len();
+        if dropped > 0 {
+            Self::quarantine(path, &quarantined);
+        }
         Ok((loaded, dropped, needs_rewrite))
+    }
+
+    /// Appends unsalvageable lines to the log's `*.quarantine` sidecar,
+    /// best-effort (quarantine failure must never fail a replay), and warns
+    /// once per replay.
+    fn quarantine(path: &Path, lines: &[String]) {
+        let sidecar = PathBuf::from(format!("{}.quarantine", path.display()));
+        let mut body = String::new();
+        for line in lines {
+            body.push_str(line);
+            body.push('\n');
+        }
+        let written = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&sidecar)
+            .and_then(|mut f| f.write_all(body.as_bytes()))
+            .is_ok();
+        eprintln!(
+            "warning: {} corrupt record(s) in {}{}",
+            lines.len(),
+            path.display(),
+            if written {
+                format!(" quarantined to {}", sidecar.display())
+            } else {
+                " (quarantine sidecar could not be written)".to_string()
+            }
+        );
     }
 
     /// Returns the cached append handle for `path`, opening (and sealing /
@@ -119,6 +233,7 @@ impl LocalJsonlBackend {
         writers: &'w mut HashMap<PathBuf, fs::File>,
         path: &Path,
         fingerprint: u64,
+        durability: DurabilityPolicy,
     ) -> Result<&'w mut fs::File, CoreError> {
         if !writers.contains_key(path) {
             // First touch of this log by this backend instance: make sure a
@@ -127,8 +242,10 @@ impl LocalJsonlBackend {
             // *now* — appending after a bad header would let the next scan
             // discard the fresh records along with it.
             let (records, _, needs_rewrite) = Self::replay(path, fingerprint)?;
+            let mut sealed = false;
             if needs_rewrite {
                 Self::rewrite(path, fingerprint, &records)?;
+                sealed = true;
             } else if !path.exists() {
                 // Brand-new log: seal the header so a replay can bind the
                 // file to its fingerprint.
@@ -136,6 +253,10 @@ impl LocalJsonlBackend {
                 contents.push('\n');
                 write_atomic(path, &contents)
                     .map_err(|e| store_err(format!("create {}: {e}", path.display())))?;
+                sealed = true;
+            }
+            if sealed && durability != DurabilityPolicy::Buffered {
+                sync_path(path);
             }
             let file = fs::OpenOptions::new()
                 .append(true)
@@ -175,6 +296,9 @@ impl StoreBackend for LocalJsonlBackend {
             // A rewrite replaces the inode any cached append handle points
             // at; drop the stale handle so later appends reopen the new file.
             Self::rewrite(&path, fingerprint, &records)?;
+            if self.durability != DurabilityPolicy::Buffered {
+                sync_path(&path);
+            }
             writers.remove(&path);
         }
         Ok(ScanOutcome { records, dropped })
@@ -185,10 +309,14 @@ impl StoreBackend for LocalJsonlBackend {
         let mut line = record_line(record);
         line.push('\n');
         let mut writers = self.writers.lock().expect("writer map lock");
-        let writer = Self::writer_for(&mut writers, &path, fingerprint)?;
+        let writer = Self::writer_for(&mut writers, &path, fingerprint, self.durability)?;
         writer
             .write_all(line.as_bytes())
             .and_then(|()| writer.flush())
+            .and_then(|()| match self.durability {
+                DurabilityPolicy::SyncEachAppend => writer.sync_data(),
+                _ => Ok(()),
+            })
             .map_err(|e| store_err(format!("append to {}: {e}", path.display())))
     }
 
@@ -210,10 +338,14 @@ impl StoreBackend for LocalJsonlBackend {
         // One write + one flush for the whole batch: a crash can still only
         // truncate the tail, which replay tolerates.
         let mut writers = self.writers.lock().expect("writer map lock");
-        let writer = Self::writer_for(&mut writers, &path, fingerprint)?;
+        let writer = Self::writer_for(&mut writers, &path, fingerprint, self.durability)?;
         writer
             .write_all(lines.as_bytes())
             .and_then(|()| writer.flush())
+            .and_then(|()| match self.durability {
+                DurabilityPolicy::SyncEachAppend => writer.sync_data(),
+                _ => Ok(()),
+            })
             .map_err(|e| store_err(format!("append batch to {}: {e}", path.display())))
     }
 
@@ -224,6 +356,9 @@ impl StoreBackend for LocalJsonlBackend {
         let (merged, removed) = merge_duplicate_keys(records);
         if removed > 0 {
             Self::rewrite(&path, fingerprint, &merged)?;
+            if self.durability != DurabilityPolicy::Buffered {
+                sync_path(&path);
+            }
             writers.remove(&path);
         }
         Ok(removed)
@@ -255,6 +390,18 @@ impl StoreBackend for LocalJsonlBackend {
 
     fn record_path(&self, name: &str, fingerprint: u64) -> Option<PathBuf> {
         Some(self.file_path(name, fingerprint))
+    }
+
+    fn flush(&self) -> Result<(), CoreError> {
+        // fsync every cached append handle regardless of the durability
+        // policy — this is the graceful-shutdown path, where the process is
+        // about to exit and the page cache is all that holds recent appends.
+        let writers = self.writers.lock().expect("writer map lock");
+        for (path, file) in writers.iter() {
+            file.sync_data()
+                .map_err(|e| store_err(format!("sync {}: {e}", path.display())))?;
+        }
+        Ok(())
     }
 }
 
@@ -531,6 +678,69 @@ mod tests {
         backend.remove_doc("marker.json").unwrap(); // idempotent
         assert!(backend.put_doc("../escape", "x").is_err());
         assert!(backend.get_doc("a/b").is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durability_policies_parse_and_round_trip() {
+        for policy in [
+            DurabilityPolicy::Buffered,
+            DurabilityPolicy::SyncEachAppend,
+            DurabilityPolicy::SyncOnSeal,
+        ] {
+            assert_eq!(policy.to_string().parse::<DurabilityPolicy>(), Ok(policy));
+        }
+        assert!("fast-and-loose".parse::<DurabilityPolicy>().is_err());
+        assert_eq!(DurabilityPolicy::default(), DurabilityPolicy::Buffered);
+    }
+
+    #[test]
+    fn synced_appends_behave_identically_to_buffered_ones() {
+        for policy in [
+            DurabilityPolicy::SyncEachAppend,
+            DurabilityPolicy::SyncOnSeal,
+        ] {
+            let dir = temp_dir(&format!("jsonl-durability-{policy}"));
+            let backend = LocalJsonlBackend::open_with(&dir, policy).unwrap();
+            assert_eq!(backend.durability(), policy);
+            let a = record(3, 0.8, 40.0);
+            let b = record(4, 0.9, 50.0);
+            backend.append("Seeds", 1, &a).unwrap();
+            backend
+                .append_batch("Seeds", 1, std::slice::from_ref(&b))
+                .unwrap();
+            backend.flush().unwrap();
+            let outcome = backend.scan("Seeds", 1).unwrap();
+            assert_eq!(outcome.records, vec![a, b]);
+            fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn corrupt_lines_are_quarantined_to_a_sidecar_not_destroyed() {
+        let dir = temp_dir("jsonl-quarantine");
+        let backend = LocalJsonlBackend::open(&dir).unwrap();
+        let a = record(3, 0.8, 40.0);
+        let b = record(4, 0.9, 50.0);
+        backend.append("Seeds", 7, &a).unwrap();
+        backend.append("Seeds", 7, &b).unwrap();
+
+        // Garble the middle record (worse than a truncated tail).
+        let path = backend.record_path("Seeds", 7).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        let garbled = text.replacen(&record_line(&a), "!!not json!!", 1);
+        fs::write(&path, garbled).unwrap();
+
+        let fresh = LocalJsonlBackend::open(&dir).unwrap();
+        let outcome = fresh.scan("Seeds", 7).unwrap();
+        assert_eq!(outcome.records, vec![b], "the tail survives");
+        assert_eq!(outcome.dropped, 1);
+
+        let sidecar = PathBuf::from(format!("{}.quarantine", path.display()));
+        let quarantined = fs::read_to_string(&sidecar).unwrap();
+        assert!(quarantined.contains("!!not json!!"));
+        // The sidecar is invisible to log enumeration (and therefore GC).
+        assert_eq!(list_record_logs(&dir).unwrap().len(), 1);
         fs::remove_dir_all(&dir).ok();
     }
 

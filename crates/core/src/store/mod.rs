@@ -74,19 +74,23 @@
 
 mod backend;
 mod codec;
+mod fault;
 mod indexed;
 mod jsonl;
 mod memory;
 mod remote;
 mod tiered;
 
-pub use backend::{safe_component, sanitize_name, ScanOutcome, StoreBackend};
+pub use backend::{safe_component, sanitize_name, ResilienceStats, ScanOutcome, StoreBackend};
 pub use codec::{decode_artifacts, encode_artifacts};
+pub use fault::FaultBackend;
 pub use indexed::IndexedBackend;
-pub use jsonl::{gc_store_dir, list_record_logs, GcPolicy, GcReport, LocalJsonlBackend};
+pub use jsonl::{
+    gc_store_dir, list_record_logs, DurabilityPolicy, GcPolicy, GcReport, LocalJsonlBackend,
+};
 pub use memory::MemoryBackend;
-pub use remote::RemoteBackend;
-pub use tiered::{TieredStats, TieredStore};
+pub use remote::{RemoteBackend, RetryPolicy};
+pub use tiered::{BreakerConfig, TieredStats, TieredStore};
 
 use crate::engine::EvalKey;
 use crate::error::CoreError;
@@ -345,8 +349,13 @@ fn record_from_line_inner(line: &str) -> Result<EvalRecord, json::Error> {
 /// |-------|--------|--------|
 /// | — | — | `None` (in-memory caching only) |
 /// | dir | — | [`LocalJsonlBackend`] |
-/// | — | url | [`RemoteBackend`] |
+/// | — | url | [`TieredStore`] ([`MemoryBackend`] cache over the server) |
 /// | dir | url | [`TieredStore`] (local cache over the server) |
+///
+/// Remote-only compositions sit behind the same [`TieredStore`] as the
+/// dir+url case (with an in-process memory tier as the cache), so the
+/// circuit breaker and the replay journal protect every remote
+/// configuration uniformly.
 ///
 /// # Errors
 ///
@@ -373,21 +382,89 @@ pub fn open_backend_with(
     remote_url: Option<&str>,
     remote_timeout: Option<std::time::Duration>,
 ) -> Result<Option<Box<dyn StoreBackend>>, CoreError> {
+    open_backend_durable(
+        local_dir,
+        remote_url,
+        remote_timeout,
+        DurabilityPolicy::default(),
+    )
+}
+
+/// [`open_backend_with`] with an explicit [`DurabilityPolicy`]
+/// (`--durability`) for the local JSONL tier; remote and in-memory tiers
+/// ignore it.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Store`] when the directory cannot be created or the
+/// URL is malformed.
+pub fn open_backend_durable(
+    local_dir: Option<&Path>,
+    remote_url: Option<&str>,
+    remote_timeout: Option<std::time::Duration>,
+    durability: DurabilityPolicy,
+) -> Result<Option<Box<dyn StoreBackend>>, CoreError> {
+    open_backend_opts(
+        local_dir,
+        remote_url,
+        &BackendOptions {
+            remote_timeout,
+            durability,
+            breaker: None,
+        },
+    )
+}
+
+/// Tuning knobs of [`open_backend_opts`] beyond the tier selection itself.
+#[derive(Debug, Clone, Default)]
+pub struct BackendOptions {
+    /// Per-request deadline of the remote tier (`--remote-timeout-ms`);
+    /// `None` keeps the client default.
+    pub remote_timeout: Option<std::time::Duration>,
+    /// Durability policy of the local JSONL tier (`--durability`).
+    pub durability: DurabilityPolicy,
+    /// Circuit-breaker tuning of a tiered composition; `None` keeps the
+    /// [`BreakerConfig`] defaults (trip on the first failure, 1 s cooldown).
+    pub breaker: Option<BreakerConfig>,
+}
+
+/// The fully-tunable backend composition every other `open_backend*` helper
+/// delegates to.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Store`] when the directory cannot be created or the
+/// URL is malformed.
+pub fn open_backend_opts(
+    local_dir: Option<&Path>,
+    remote_url: Option<&str>,
+    options: &BackendOptions,
+) -> Result<Option<Box<dyn StoreBackend>>, CoreError> {
     let remote = |url: &str| -> Result<RemoteBackend, CoreError> {
         let client = RemoteBackend::new(url)?;
-        Ok(match remote_timeout {
+        Ok(match options.remote_timeout {
             Some(timeout) => client.with_timeout(timeout),
             None => client,
         })
     };
+    let tiered = |local: Box<dyn StoreBackend>, url: &str| -> Result<TieredStore, CoreError> {
+        let remote = Box::new(remote(url)?);
+        Ok(match options.breaker {
+            Some(breaker) => TieredStore::with_breaker(local, remote, breaker),
+            None => TieredStore::new(local, remote),
+        })
+    };
     match (local_dir, remote_url) {
         (None, None) => Ok(None),
-        (Some(dir), None) => Ok(Some(Box::new(LocalJsonlBackend::open(dir)?))),
-        (None, Some(url)) => Ok(Some(Box::new(remote(url)?))),
-        (Some(dir), Some(url)) => Ok(Some(Box::new(TieredStore::new(
-            Box::new(LocalJsonlBackend::open(dir)?),
-            Box::new(remote(url)?),
-        )))),
+        (Some(dir), None) => Ok(Some(Box::new(LocalJsonlBackend::open_with(
+            dir,
+            options.durability,
+        )?))),
+        (None, Some(url)) => Ok(Some(Box::new(tiered(Box::new(MemoryBackend::new()), url)?))),
+        (Some(dir), Some(url)) => Ok(Some(Box::new(tiered(
+            Box::new(LocalJsonlBackend::open_with(dir, options.durability)?),
+            url,
+        )?))),
     }
 }
 
@@ -911,6 +988,63 @@ mod proptests {
             let mut store = EvalStore::open(&dir, "proptest", 0x5EED).unwrap();
             let survivors = store.warm_start();
             prop_assert_eq!(&records[..records.len() - 1], &survivors[..]);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn indexed_replay_quarantines_mid_file_garbage_without_losing_the_tail(
+            raw in proptest::collection::vec(
+                (0u8..9, 0.0f64..0.9, 0usize..9, 0.0f64..1.0, 0.001f64..500.0, 0u64..=u64::MAX),
+                2..10,
+            ),
+            position_seed in 0usize..64,
+            garbage_seed in 0u64..=u64::MAX,
+        ) {
+            let dir = std::env::temp_dir().join(format!(
+                "pmlp-store-quarantine-proptest-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+            let records: Vec<EvalRecord> = raw
+                .iter()
+                .map(|&(b, s, c, acc, area, salt)| build_record(b, s, c, acc, area, salt))
+                .collect();
+            let jsonl = LocalJsonlBackend::open(&dir).unwrap();
+            for r in &records {
+                jsonl.append("proptest", 0x5EED, r).unwrap();
+            }
+            let path = jsonl.record_path("proptest", 0x5EED).unwrap();
+
+            // Inject a garbage line anywhere after the header — damage a
+            // crashed append can never cause, only bit rot or a bug can.
+            let text = std::fs::read_to_string(&path).unwrap();
+            let mut lines: Vec<&str> = text.lines().collect();
+            let garbage = format!("!!garbage-{garbage_seed:016x}!!");
+            let at = 1 + position_seed % records.len();
+            lines.insert(at, &garbage);
+            std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+
+            // A fresh indexed replay (the server's read path) must keep every
+            // real record — including all of them *after* the garbage —
+            // counting and quarantining the bad line instead of panicking or
+            // truncating the tail.
+            let indexed = IndexedBackend::new(Box::new(LocalJsonlBackend::open(&dir).unwrap()));
+            let outcome = indexed.scan("proptest", 0x5EED).unwrap();
+            prop_assert_eq!(&outcome.records[..], &records[..]);
+            prop_assert_eq!(outcome.dropped, 1, "exactly the injected line");
+            let sidecar = format!("{}.quarantine", path.display());
+            let quarantined = std::fs::read_to_string(&sidecar).unwrap();
+            prop_assert!(quarantined.contains(&garbage));
+
+            // The salvage rewrite is durable: the next replay is clean.
+            indexed.invalidate();
+            let outcome = indexed.scan("proptest", 0x5EED).unwrap();
+            prop_assert_eq!(&outcome.records[..], &records[..]);
+            prop_assert_eq!(outcome.dropped, 0, "salvage rewrite committed");
             std::fs::remove_dir_all(&dir).ok();
         }
     }

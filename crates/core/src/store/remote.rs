@@ -20,12 +20,16 @@
 //! authority resolves **once** (at construction, or lazily on the first
 //! request when construction-time resolution is unavailable) and requests
 //! ride **persistent keep-alive connections** drawn from a small shared pool:
-//! a completed request parks its socket for the next one, a stale parked
-//! socket (server restarted, idle timeout fired) is retried once on a fresh
-//! connection, and a fresh connection that still fails is a real error — the
-//! signal a [`TieredStore`](crate::store::TieredStore) degrades on. All
-//! sockets carry the configured timeout (connect, read, write), so a dead
-//! server fails fast instead of hanging a search.
+//! a completed request parks its socket for the next one, and a stale parked
+//! socket (server restarted, idle timeout fired) gets one free retry on a
+//! fresh connection. Fresh-connection failures are classified: *transient*
+//! errors (connect refused/reset, timeout, early close, HTTP 5xx) retry with
+//! exponential backoff and deterministic jitter up to the configured
+//! [`RetryPolicy`]; *permanent* errors (4xx, protocol garbage) fail
+//! immediately. An exhausted retry budget is the real dead-server signal a
+//! [`TieredStore`](crate::store::TieredStore) opens its circuit breaker on.
+//! All sockets carry the configured timeout (connect, read, write), so a
+//! dead server fails fast instead of hanging a search.
 //!
 //! Authentication: a server started with `--token` expects
 //! `Authorization: Bearer <token>`; the client learns the token from
@@ -33,12 +37,13 @@
 //! (`http://TOKEN@host:port`), which threads through every existing
 //! `--remote-store` plumbing unchanged.
 
-use super::backend::{check_doc_name, sanitize_name, ScanOutcome, StoreBackend};
+use super::backend::{check_doc_name, sanitize_name, ResilienceStats, ScanOutcome, StoreBackend};
 use super::{header_matches, hex, parse_record_line, record_line};
 use crate::error::CoreError;
 use crate::store::EvalRecord;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
@@ -61,6 +66,56 @@ struct Response {
     body: String,
 }
 
+/// Bounded-retry policy of a [`RemoteBackend`]: how many attempts a request
+/// gets and how the exponential backoff between them grows. Only *transient*
+/// failures (connect/timeout/reset/5xx) consume retries — permanent errors
+/// (4xx, protocol garbage) fail on the first attempt by design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per request (1 = no retries).
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_backoff: Duration,
+    /// Upper bound of the exponential backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_millis(400),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (useful for probes that must fail fast).
+    #[must_use]
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// Lifetime fault counters, shared by every clone of one client.
+#[derive(Debug, Default)]
+struct RemoteCounters {
+    retries: AtomicUsize,
+    transient_errors: AtomicUsize,
+    permanent_errors: AtomicUsize,
+}
+
+/// `true` when an I/O error is worth retrying: anything that smells like the
+/// network or the peer (refused, reset, timeout, early close) rather than a
+/// protocol violation in an otherwise-delivered response.
+fn transient_io(e: &std::io::Error) -> bool {
+    e.kind() != std::io::ErrorKind::InvalidData
+}
+
 /// The remote tier: an HTTP client bound to one `pmlp-serve` base URL.
 #[derive(Debug, Clone)]
 pub struct RemoteBackend {
@@ -74,6 +129,10 @@ pub struct RemoteBackend {
     token: Option<String>,
     /// Idle keep-alive connections, shared by clones of this client.
     pool: Arc<Mutex<Vec<TcpStream>>>,
+    /// Bounded-retry policy applied to transient failures.
+    retry: RetryPolicy,
+    /// Lifetime fault counters, shared by clones of this client.
+    counters: Arc<RemoteCounters>,
 }
 
 impl RemoteBackend {
@@ -118,6 +177,8 @@ impl RemoteBackend {
             timeout: Duration::from_secs(10),
             token,
             pool: Arc::new(Mutex::new(Vec::new())),
+            retry: RetryPolicy::default(),
+            counters: Arc::new(RemoteCounters::default()),
         };
         // Resolve eagerly; a failure here (no resolver yet, say) retries on
         // the first request instead of failing construction.
@@ -140,6 +201,13 @@ impl RemoteBackend {
         self
     }
 
+    /// Overrides the bounded-retry policy (see [`RetryPolicy`]).
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// The `host:port` this client talks to.
     pub fn authority(&self) -> &str {
         &self.authority
@@ -158,13 +226,10 @@ impl RemoteBackend {
         let addrs: Vec<SocketAddr> = self
             .authority
             .to_socket_addrs()
-            .map_err(|e| store_err(format!("remote store: resolve {}: {e}", self.authority)))?
+            .map_err(|e| store_err(format!("resolve {}: {e}", self.authority)))?
             .collect();
         if addrs.is_empty() {
-            return Err(store_err(format!(
-                "remote store: no address for {}",
-                self.authority
-            )));
+            return Err(store_err(format!("no address for {}", self.authority)));
         }
         Ok(self.resolved.get_or_init(|| addrs))
     }
@@ -187,7 +252,7 @@ impl RemoteBackend {
             }
         }
         Err(store_err(format!(
-            "remote store: connect {}: {}",
+            "connect {}: {}",
             self.authority,
             last_err.expect("at least one address was tried")
         )))
@@ -233,19 +298,83 @@ impl RemoteBackend {
         Ok(response)
     }
 
-    /// One request/response round trip, reusing a pooled connection when one
-    /// is parked. A stale parked connection (the server restarted or timed
-    /// the socket out between requests) gets exactly one retry on a fresh
-    /// connection; a fresh connection failing is the real dead-server signal.
+    /// Deterministic backoff before retry number `retry_no` (1-based):
+    /// exponential growth capped at the policy's maximum, plus jitter derived
+    /// from a hash of `(authority, path, retry_no)` — reproducible run to
+    /// run, yet de-synchronized across workers hitting different paths.
+    fn backoff_delay(&self, path: &str, retry_no: u32) -> Duration {
+        let exp = self
+            .retry
+            .base_backoff
+            .saturating_mul(1u32 << (retry_no - 1).min(16));
+        let capped = exp.min(self.retry.max_backoff);
+        let mut fp = crate::store::FingerprintHasher::new();
+        fp.mix_bytes(self.authority.as_bytes());
+        fp.mix_bytes(path.as_bytes());
+        fp.mix_bytes(&retry_no.to_le_bytes());
+        let span_ms = (self.retry.base_backoff.as_millis() as u64 / 2).max(1);
+        capped + Duration::from_millis(fp.finish() % span_ms)
+    }
+
+    /// Counts and builds a *permanent* error (4xx, protocol violation):
+    /// dropped on the spot, never retried.
+    fn reject(&self, context: String) -> CoreError {
+        self.counters
+            .permanent_errors
+            .fetch_add(1, Ordering::Relaxed);
+        store_err(context)
+    }
+
+    /// One request/response round trip with bounded retries.
+    ///
+    /// A stale parked keep-alive connection (the server restarted or timed
+    /// the socket out between requests) gets one free retry that is not
+    /// charged against the policy. Fresh-connection attempts then classify
+    /// every failure: transient ones (connect refused/reset, timeout, early
+    /// close, HTTP 5xx) retry with exponential backoff + deterministic
+    /// jitter up to the policy's attempt budget; permanent ones (protocol
+    /// garbage in a delivered response) fail immediately. Non-5xx HTTP
+    /// statuses are returned to the caller — their meaning is per-endpoint.
     fn request(&self, method: &str, path: &str, body: &str) -> Result<Response, CoreError> {
         if let Some(stream) = self.pool_take() {
-            if let Ok(response) = self.roundtrip(stream, method, path, body) {
-                return Ok(response);
+            match self.roundtrip(stream, method, path, body) {
+                Ok(response) if response.status < 500 => return Ok(response),
+                // A pooled 5xx or transport error falls through to the
+                // fresh-connection attempts below.
+                _ => {}
             }
         }
-        let stream = self.connect()?;
-        self.roundtrip(stream, method, path, body)
-            .map_err(|e| store_err(format!("remote store: {method} {path}: {e}")))
+        let attempts = self.retry.attempts.max(1);
+        let mut last_failure = String::new();
+        for attempt in 1..=attempts {
+            if attempt > 1 {
+                self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(self.backoff_delay(path, attempt - 1));
+            }
+            let outcome = match self.connect() {
+                Ok(stream) => self
+                    .roundtrip(stream, method, path, body)
+                    .map_err(|e| (transient_io(&e), format!("{method} {path}: {e}"))),
+                Err(CoreError::Store { context }) => Err((true, context)),
+                Err(e) => Err((true, e.to_string())),
+            };
+            match outcome {
+                Ok(response) if response.status >= 500 => {
+                    last_failure = format!("{method} {path}: HTTP {}", response.status);
+                }
+                Ok(response) => return Ok(response),
+                Err((true, failure)) => last_failure = failure,
+                Err((false, failure)) => {
+                    return Err(self.reject(format!("remote store: {failure} (permanent)")));
+                }
+            }
+        }
+        self.counters
+            .transient_errors
+            .fetch_add(1, Ordering::Relaxed);
+        Err(store_err(format!(
+            "remote store: {last_failure} (after {attempts} attempt(s))"
+        )))
     }
 
     fn records_path(name: &str, fingerprint: u64) -> String {
@@ -268,7 +397,7 @@ impl RemoteBackend {
     pub fn stats(&self) -> Result<String, CoreError> {
         let response = self.request("GET", "/v1/stats", "")?;
         if response.status != 200 {
-            return Err(store_err(format!(
+            return Err(self.reject(format!(
                 "remote store: stats returned HTTP {}",
                 response.status
             )));
@@ -288,7 +417,7 @@ impl RemoteBackend {
     pub fn gc(&self, body: &str) -> Result<String, CoreError> {
         let response = self.request("POST", "/v1/gc", body)?;
         if response.status != 200 {
-            return Err(store_err(format!(
+            return Err(self.reject(format!(
                 "remote store: gc returned HTTP {}: {}",
                 response.status,
                 response.body.trim()
@@ -302,7 +431,11 @@ impl RemoteBackend {
 /// connection may be reused (the server sent `Content-Length` and did not ask
 /// to close).
 fn read_response(stream: &mut TcpStream) -> std::io::Result<(Response, bool)> {
+    // Protocol violations in a delivered response are `InvalidData`
+    // (classified permanent — retrying cannot fix a garbled server); an
+    // early close is `UnexpectedEof` (transient — classic restart/reset).
     let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let eof = |msg: &str| std::io::Error::new(std::io::ErrorKind::UnexpectedEof, msg.to_string());
 
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
@@ -315,7 +448,7 @@ fn read_response(stream: &mut TcpStream) -> std::io::Result<(Response, bool)> {
         }
         let n = stream.read(&mut chunk)?;
         if n == 0 {
-            return Err(bad("connection closed before response"));
+            return Err(eof("connection closed before response"));
         }
         buf.extend_from_slice(&chunk[..n]);
     };
@@ -352,7 +485,7 @@ fn read_response(stream: &mut TcpStream) -> std::io::Result<(Response, bool)> {
             while body.len() < len {
                 let n = stream.read(&mut chunk)?;
                 if n == 0 {
-                    return Err(bad("connection closed mid-body"));
+                    return Err(eof("connection closed mid-body"));
                 }
                 body.extend_from_slice(&chunk[..n]);
             }
@@ -373,11 +506,20 @@ impl StoreBackend for RemoteBackend {
         format!("remote pmlp-serve at http://{}", self.authority)
     }
 
+    fn resilience(&self) -> Option<ResilienceStats> {
+        Some(ResilienceStats {
+            remote_retries: self.counters.retries.load(Ordering::Relaxed),
+            transient_errors: self.counters.transient_errors.load(Ordering::Relaxed),
+            permanent_errors: self.counters.permanent_errors.load(Ordering::Relaxed),
+            ..ResilienceStats::default()
+        })
+    }
+
     fn scan(&self, name: &str, fingerprint: u64) -> Result<ScanOutcome, CoreError> {
         let path = Self::records_path(name, fingerprint);
         let response = self.request("GET", &path, "")?;
         if response.status != 200 {
-            return Err(store_err(format!(
+            return Err(self.reject(format!(
                 "remote store: scan {path} returned HTTP {}",
                 response.status
             )));
@@ -386,7 +528,7 @@ impl StoreBackend for RemoteBackend {
         match lines.next() {
             Some(header) if header_matches(header, fingerprint) => {}
             _ => {
-                return Err(store_err(format!(
+                return Err(self.reject(format!(
                     "remote store: scan {path} returned a foreign or versionless header"
                 )))
             }
@@ -425,7 +567,7 @@ impl StoreBackend for RemoteBackend {
         }
         let response = self.request("POST", &path, &body)?;
         if response.status != 204 {
-            return Err(store_err(format!(
+            return Err(self.reject(format!(
                 "remote store: append {path} returned HTTP {}",
                 response.status
             )));
@@ -439,7 +581,7 @@ impl StoreBackend for RemoteBackend {
         match response.status {
             200 => Ok(Some(response.body)),
             404 => Ok(None),
-            status => Err(store_err(format!(
+            status => Err(self.reject(format!(
                 "remote store: get doc {name} returned HTTP {status}"
             ))),
         }
@@ -449,7 +591,7 @@ impl StoreBackend for RemoteBackend {
         check_doc_name(name)?;
         let response = self.request("PUT", &format!("/v1/docs/{name}"), contents)?;
         if response.status != 204 {
-            return Err(store_err(format!(
+            return Err(self.reject(format!(
                 "remote store: put doc {name} returned HTTP {}",
                 response.status
             )));
@@ -461,7 +603,7 @@ impl StoreBackend for RemoteBackend {
         check_doc_name(name)?;
         let response = self.request("DELETE", &format!("/v1/docs/{name}"), "")?;
         if response.status != 204 && response.status != 404 {
-            return Err(store_err(format!(
+            return Err(self.reject(format!(
                 "remote store: delete doc {name} returned HTTP {}",
                 response.status
             )));
@@ -518,9 +660,101 @@ mod tests {
         // tiered store converts this error into local-only degradation).
         let client = RemoteBackend::new("http://127.0.0.1:1")
             .unwrap()
-            .with_timeout(Duration::from_millis(200));
+            .with_timeout(Duration::from_millis(200))
+            .with_retry_policy(RetryPolicy::none());
         assert!(!client.ping());
         assert!(client.scan("seeds", 1).is_err());
         assert!(client.get_doc("m.json").is_err());
+    }
+
+    #[test]
+    fn transient_failures_are_retried_and_counted() {
+        let client = RemoteBackend::new("http://127.0.0.1:1")
+            .unwrap()
+            .with_timeout(Duration::from_millis(200))
+            .with_retry_policy(RetryPolicy {
+                attempts: 3,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(4),
+            });
+        assert!(client.scan("seeds", 1).is_err());
+        let stats = client.resilience().unwrap();
+        assert_eq!(stats.remote_retries, 2, "two retries after the first try");
+        assert_eq!(stats.transient_errors, 1, "one op ultimately failed");
+        assert_eq!(stats.permanent_errors, 0);
+    }
+
+    /// A one-shot server that answers each accepted connection with the next
+    /// canned response (closing every connection), then exits.
+    fn canned_server(
+        responses: Vec<&'static str>,
+    ) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            for response in responses {
+                let (mut stream, _) = listener.accept().unwrap();
+                // Read until the head terminator so the client's write lands.
+                let mut seen: Vec<u8> = Vec::new();
+                let mut chunk = [0u8; 1024];
+                while !seen.windows(4).any(|w| w == b"\r\n\r\n") {
+                    match stream.read(&mut chunk) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => seen.extend_from_slice(&chunk[..n]),
+                    }
+                }
+                stream.write_all(response.as_bytes()).ok();
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn a_5xx_is_retried_until_the_server_recovers() {
+        let (addr, handle) = canned_server(vec![
+            "HTTP/1.1 503 Unavailable\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 204 No Content\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+        ]);
+        let client = RemoteBackend::new(&format!("http://{addr}"))
+            .unwrap()
+            .with_timeout(Duration::from_millis(500))
+            .with_retry_policy(RetryPolicy {
+                attempts: 3,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(4),
+            });
+        client
+            .put_doc("probe.json", "{}")
+            .expect("second attempt must succeed");
+        let stats = client.resilience().unwrap();
+        assert_eq!(stats.remote_retries, 1, "exactly one retry");
+        assert_eq!(stats.transient_errors, 0, "the op succeeded in the end");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn a_4xx_is_permanent_and_never_retried() {
+        let (addr, handle) = canned_server(vec![
+            "HTTP/1.1 401 Unauthorized\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+        ]);
+        let client = RemoteBackend::new(&format!("http://{addr}"))
+            .unwrap()
+            .with_timeout(Duration::from_millis(500));
+        assert!(client.put_doc("probe.json", "{}").is_err());
+        let stats = client.resilience().unwrap();
+        assert_eq!(stats.remote_retries, 0, "4xx must not retry");
+        assert_eq!(stats.permanent_errors, 1);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let client = RemoteBackend::new("http://127.0.0.1:1").unwrap();
+        let a = client.backoff_delay("/v1/records/seeds/0", 1);
+        let b = client.backoff_delay("/v1/records/seeds/0", 1);
+        assert_eq!(a, b, "jitter must be deterministic");
+        let late = client.backoff_delay("/v1/records/seeds/0", 12);
+        assert!(late <= client.retry.max_backoff + client.retry.base_backoff);
+        assert!(client.backoff_delay("/v1/records/seeds/0", 2) >= client.retry.base_backoff);
     }
 }

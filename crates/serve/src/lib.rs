@@ -65,12 +65,14 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 mod http;
 
 use http::{read_request, respond, ReadError, Request};
 use pmlp_core::store::{
     gc_store_dir, header_line, list_record_logs, parse_record_line, record_line, safe_component,
-    GcPolicy, GcReport, IndexedBackend, LocalJsonlBackend, MemoryBackend, StoreBackend,
+    DurabilityPolicy, GcPolicy, GcReport, IndexedBackend, LocalJsonlBackend, MemoryBackend,
+    StoreBackend,
 };
 use serde::json::Value;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -100,6 +102,13 @@ pub struct ServeConfig {
     /// How long a single request may take to arrive once its first byte has
     /// been read — the slowloris guard.
     pub request_timeout: Duration,
+    /// How long a graceful shutdown waits for in-flight requests to finish
+    /// answering before giving up on them.
+    pub drain_timeout: Duration,
+    /// Durability policy of a disk-backed store (`--durability`); ignored by
+    /// the in-memory default. Regardless of policy, a graceful shutdown
+    /// fsyncs the record logs before returning.
+    pub durability: DurabilityPolicy,
 }
 
 impl Default for ServeConfig {
@@ -111,6 +120,8 @@ impl Default for ServeConfig {
             workers: 0,
             idle_timeout: Duration::from_secs(60),
             request_timeout: Duration::from_secs(20),
+            drain_timeout: Duration::from_secs(5),
+            durability: DurabilityPolicy::default(),
         }
     }
 }
@@ -137,6 +148,8 @@ struct ServeStats {
     bytes_out: AtomicU64,
     auth_failures: AtomicU64,
     gc_runs: AtomicU64,
+    requests_in_flight: AtomicU64,
+    panics_recovered: AtomicU64,
 }
 
 /// A point-in-time copy of the server's counters.
@@ -174,6 +187,12 @@ pub struct StatsSnapshot {
     pub auth_failures: u64,
     /// Online garbage-collection passes run via `POST /v1/gc`.
     pub gc_runs: u64,
+    /// Requests read off the wire and not yet fully answered — what a
+    /// graceful shutdown drains to zero.
+    pub requests_in_flight: u64,
+    /// Worker panics caught and converted into `500` responses; the pool
+    /// self-heals instead of shrinking.
+    pub panics_recovered: u64,
 }
 
 impl ServeStats {
@@ -194,6 +213,8 @@ impl ServeStats {
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
             auth_failures: self.auth_failures.load(Ordering::Relaxed),
             gc_runs: self.gc_runs.load(Ordering::Relaxed),
+            requests_in_flight: self.requests_in_flight.load(Ordering::Relaxed),
+            panics_recovered: self.panics_recovered.load(Ordering::Relaxed),
         }
     }
 }
@@ -222,9 +243,19 @@ struct ServerState {
     token: Option<String>,
     idle_timeout: Duration,
     request_timeout: Duration,
+    drain_timeout: Duration,
     workers: usize,
     stats: ServeStats,
     started: Instant,
+    /// Readiness toggle: while draining, `/v1/healthz` answers `503`
+    /// (still **live**, no longer **ready**) and every response carries
+    /// `Connection: close` — in-flight requests are answered, new work is
+    /// shed.
+    draining: AtomicBool,
+    /// Terminal toggle, set once the drain window has closed: idle
+    /// keep-alive connections stop being answered — a request arriving after
+    /// this point sees the connection close, exactly like a dead server.
+    halted: AtomicBool,
 }
 
 /// A server bound to its listener but not yet serving; lets callers learn
@@ -252,7 +283,8 @@ pub struct ServerHandle {
 pub fn bind(config: &ServeConfig) -> std::io::Result<BoundServer> {
     let store = match &config.store_dir {
         Some(dir) => {
-            let local = LocalJsonlBackend::open(dir).map_err(std::io::Error::other)?;
+            let local = LocalJsonlBackend::open_with(dir, config.durability)
+                .map_err(std::io::Error::other)?;
             let index = IndexedBackend::new(Box::new(local));
             let logs = list_record_logs(dir).map_err(std::io::Error::other)?;
             index.warm(&logs).map_err(std::io::Error::other)?;
@@ -276,9 +308,12 @@ pub fn bind(config: &ServeConfig) -> std::io::Result<BoundServer> {
             token: config.token.clone(),
             idle_timeout: config.idle_timeout,
             request_timeout: config.request_timeout,
+            drain_timeout: config.drain_timeout,
             workers,
             stats: ServeStats::default(),
             started: Instant::now(),
+            draining: AtomicBool::new(false),
+            halted: AtomicBool::new(false),
         }),
     })
 }
@@ -292,8 +327,13 @@ pub fn spawn(config: &ServeConfig) -> std::io::Result<ServerHandle> {
     bind(config)?.spawn()
 }
 
-/// Binds and serves on the calling thread, forever. This is the `serve`
-/// binary's entry point.
+/// Binds and serves on the calling thread until a shutdown signal arrives.
+/// This is the `serve` binary's entry point.
+///
+/// On Unix, `SIGTERM` and `SIGINT` trigger a **graceful** shutdown: the
+/// server stops accepting, answers what is already in flight (bounded by
+/// [`ServeConfig::drain_timeout`]), fsyncs a disk-backed store, and returns.
+/// On other platforms it serves forever.
 ///
 /// # Errors
 ///
@@ -311,8 +351,47 @@ pub fn run(config: &ServeConfig) -> std::io::Result<()> {
             ""
         }
     );
-    bound.serve(&Arc::new(AtomicBool::new(false)));
-    Ok(())
+    #[cfg(unix)]
+    {
+        install_shutdown_signal_handlers();
+        let handle = bound.spawn()?;
+        while !SHUTDOWN_REQUESTED.load(Ordering::SeqCst) {
+            thread::sleep(Duration::from_millis(100));
+        }
+        eprintln!("pmlp-serve: shutdown signal received; draining in-flight requests");
+        handle.stop();
+        eprintln!("pmlp-serve: drained and flushed; bye");
+        Ok(())
+    }
+    #[cfg(not(unix))]
+    {
+        bound.serve(&Arc::new(AtomicBool::new(false)));
+        Ok(())
+    }
+}
+
+/// Set by the `SIGTERM`/`SIGINT` handler; polled by [`run`]'s main thread.
+#[cfg(unix)]
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Installs async-signal-safe handlers for `SIGTERM` (15) and `SIGINT` (2)
+/// that only flip [`SHUTDOWN_REQUESTED`] — all real shutdown work happens on
+/// the main thread. Uses the raw libc `signal` symbol (already linked by
+/// `std`) to stay dependency-free.
+#[cfg(unix)]
+fn install_shutdown_signal_handlers() {
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_shutdown_signal(_signum: i32) {
+        SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_shutdown_signal as *const () as usize);
+        signal(SIGINT, on_shutdown_signal as *const () as usize);
+    }
 }
 
 impl BoundServer {
@@ -396,10 +475,21 @@ impl ServerHandle {
         self.state.stats.snapshot()
     }
 
-    /// Stops the accept loop and joins it. Workers stop answering
-    /// immediately (in-flight requests are dropped, not half-served) and
-    /// wind down as their connections close or idle out — they are detached,
-    /// so a lingering keep-alive peer cannot block shutdown.
+    /// Flips the server to **draining**: `/v1/healthz` starts answering
+    /// `503` (live but not ready — a load balancer's cue to shift traffic),
+    /// every response carries `Connection: close`, and each connection is
+    /// shed after its next answer. The server keeps accepting and answering
+    /// until [`stop`](Self::stop) — this is the first half of a graceful
+    /// shutdown, exposed for rolling restarts.
+    pub fn drain(&self) {
+        self.state.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Gracefully stops the server: stops accepting, answers every request
+    /// already read off the wire (bounded by [`ServeConfig::drain_timeout`]),
+    /// then fsyncs a disk-backed store before returning. Idle keep-alive
+    /// peers do not block shutdown — their workers are detached and their
+    /// sockets die with the process.
     pub fn stop(mut self) {
         self.stop_inner();
     }
@@ -408,10 +498,35 @@ impl ServerHandle {
         let Some(thread) = self.thread.take() else {
             return;
         };
+        // Drain first, then stop: workers that already read a request see
+        // `draining` and answer it (with `Connection: close`) instead of
+        // slamming the door mid-request.
+        self.state.draining.store(true, Ordering::SeqCst);
         self.stop.store(true, Ordering::Relaxed);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         let _ = thread.join();
+        // Wait (bounded) for in-flight requests to finish answering.
+        let deadline = Instant::now() + self.state.drain_timeout;
+        while self.state.stats.requests_in_flight.load(Ordering::SeqCst) > 0
+            && Instant::now() < deadline
+        {
+            thread::sleep(Duration::from_millis(2));
+        }
+        let abandoned = self.state.stats.requests_in_flight.load(Ordering::SeqCst);
+        if abandoned > 0 {
+            eprintln!("pmlp-serve: drain deadline passed with {abandoned} request(s) in flight");
+        }
+        // The drain window is over: idle keep-alive peers now see their next
+        // request go unanswered (connection closed), the same as a dead
+        // server — a stopped server must not keep quietly serving traffic.
+        self.state.halted.store(true, Ordering::SeqCst);
+        // Push everything the page cache still holds onto the platters; a
+        // graceful exit must never cost records, whatever the durability
+        // policy.
+        if let Err(err) = self.state.store.backend().flush() {
+            eprintln!("pmlp-serve: flush on shutdown failed: {err}");
+        }
     }
 }
 
@@ -423,6 +538,12 @@ impl Drop for ServerHandle {
 
 /// One pool worker: drain connections off the shared channel until it
 /// disconnects (server shutdown).
+///
+/// Each connection is handled under `catch_unwind`, so a panic anywhere in
+/// the request path costs that one connection, not the worker — the pool
+/// never shrinks. (The route dispatcher additionally catches panics
+/// per-request so the peer gets a `500` instead of a reset; this outer net
+/// covers the I/O layers around it.)
 fn worker_loop(
     state: &Arc<ServerState>,
     receiver: &Arc<Mutex<mpsc::Receiver<TcpStream>>>,
@@ -431,7 +552,15 @@ fn worker_loop(
     loop {
         let next = receiver.lock().expect("worker queue lock").recv();
         match next {
-            Ok(stream) => handle_connection(stream, state, stop),
+            Ok(stream) => {
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle_connection(stream, state, stop);
+                }));
+                if caught.is_err() {
+                    state.stats.panics_recovered.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("pmlp-serve: worker recovered from a connection-handler panic");
+                }
+            }
             Err(_) => break,
         }
         if stop.load(Ordering::Relaxed) {
@@ -503,11 +632,22 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState, stop: &AtomicBo
             }
             Err(ReadError::Disconnected) => break,
         };
-        if stop.load(Ordering::Relaxed) {
-            // Shutting down: close without answering — the client retries on
-            // a fresh connection and learns the server is gone.
+        let draining = state.draining.load(Ordering::SeqCst);
+        if state.halted.load(Ordering::SeqCst) || (stop.load(Ordering::Relaxed) && !draining) {
+            // Hard abort: close without answering — the client retries on a
+            // fresh connection and learns the server is gone. (A graceful
+            // shutdown sets `draining` first, so requests already read are
+            // answered below.)
             break;
         }
+        // A fully-read request is in flight until its response is written;
+        // graceful shutdown waits for this counter, and the guard makes the
+        // decrement panic-safe.
+        state
+            .stats
+            .requests_in_flight
+            .fetch_add(1, Ordering::SeqCst);
+        let _in_flight = ActiveGuard(&state.stats.requests_in_flight);
         state.stats.requests.fetch_add(1, Ordering::Relaxed);
         if served_on_connection > 0 {
             state.stats.requests_reused.fetch_add(1, Ordering::Relaxed);
@@ -515,7 +655,23 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState, stop: &AtomicBo
         served_on_connection += 1;
 
         let (status, reason, content_type, body) = if authorized(&request, state) {
-            route(&request, state)
+            // Per-request panic isolation: a panicking handler answers `500`
+            // and the connection closes; the worker (and its siblings'
+            // connections) are unaffected.
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(&request, state)))
+            {
+                Ok(answer) => answer,
+                Err(_) => {
+                    state.stats.panics_recovered.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("pmlp-serve: request handler panicked (answered 500)");
+                    (
+                        500,
+                        "Internal Server Error",
+                        "text/plain",
+                        "internal error: handler panicked\n".to_string(),
+                    )
+                }
+            }
         } else {
             state.stats.auth_failures.fetch_add(1, Ordering::Relaxed);
             (
@@ -528,7 +684,10 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState, stop: &AtomicBo
         if status >= 400 {
             state.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
         }
-        let keep_alive = !request.close && !stop.load(Ordering::Relaxed);
+        let keep_alive = !request.close
+            && status != 500
+            && !stop.load(Ordering::Relaxed)
+            && !state.draining.load(Ordering::SeqCst);
         match respond(&mut stream, status, reason, content_type, &body, keep_alive) {
             Ok(n) => {
                 state.stats.bytes_out.fetch_add(n, Ordering::Relaxed);
@@ -564,20 +723,29 @@ fn route(request: &Request, state: &ServerState) -> (u16, &'static str, &'static
     let backend = state.store.backend();
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["v1", "healthz"]) => (
-            200,
-            "OK",
-            "application/json",
-            Value::Object(vec![
+        ("GET", ["v1", "healthz"]) => {
+            // Live vs ready: answering at all is liveness; the status code
+            // tells a load balancer whether to send new traffic. A draining
+            // server is live (it answers) but not ready (`503`).
+            let draining = state.draining.load(Ordering::SeqCst);
+            let body = Value::Object(vec![
                 ("magic".into(), Value::String("pmlp-serve".into())),
                 (
                     "store_version".into(),
                     Value::Number(f64::from(pmlp_core::store::STORE_VERSION)),
                 ),
-                ("status".into(), Value::String("ok".into())),
+                (
+                    "status".into(),
+                    Value::String(if draining { "draining" } else { "ok" }.into()),
+                ),
             ])
-            .render_compact(),
-        ),
+            .render_compact();
+            if draining {
+                (503, "Service Unavailable", "application/json", body)
+            } else {
+                (200, "OK", "application/json", body)
+            }
+        }
         ("GET", ["v1", "stats"]) => (200, "OK", "application/json", render_stats(state)),
         ("POST", ["v1", "gc"]) => handle_gc(state, &request.body),
         ("GET", ["v1", "records", name, fp]) => match parse_record_target(name, fp) {
@@ -809,6 +977,38 @@ fn render_stats(state: &ServerState) -> String {
         ("gc_runs".into(), n(stats.gc_runs)),
         ("index_logs".into(), n(index_logs as u64)),
         ("index_records".into(), n(index_records as u64)),
+        ("requests_in_flight".into(), n(stats.requests_in_flight)),
+        ("panics_recovered".into(), n(stats.panics_recovered)),
+        (
+            "status".into(),
+            Value::String(
+                if state.draining.load(Ordering::SeqCst) {
+                    "draining"
+                } else {
+                    "ok"
+                }
+                .into(),
+            ),
+        ),
+        ("resilience".into(), render_resilience(state)),
     ])
     .render_pretty()
+}
+
+/// The backend's fault-tolerance counters as a JSON object (all zeros for
+/// backends that do not track them — a purely local server has nothing to
+/// retry).
+fn render_resilience(state: &ServerState) -> Value {
+    let r = state.store.backend().resilience().unwrap_or_default();
+    let n = |v: usize| Value::Number(v as f64);
+    Value::Object(vec![
+        ("remote_retries".into(), n(r.remote_retries)),
+        ("transient_errors".into(), n(r.transient_errors)),
+        ("permanent_errors".into(), n(r.permanent_errors)),
+        ("breaker_opens".into(), n(r.breaker_opens)),
+        ("breaker_recoveries".into(), n(r.breaker_recoveries)),
+        ("journaled_records".into(), n(r.journaled_records)),
+        ("replayed_records".into(), n(r.replayed_records)),
+        ("journal_dropped".into(), n(r.journal_dropped)),
+    ])
 }

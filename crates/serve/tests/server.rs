@@ -401,3 +401,120 @@ fn online_gc_compacts_and_drops_dead_fingerprints() {
     handle.stop();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn a_draining_server_stays_live_but_stops_being_ready() {
+    use std::io::{Read, Write};
+    let healthz = |addr: std::net::SocketAddr| {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "GET /v1/healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\nContent-Length: 0\r\n\r\n"
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    };
+
+    let handle = spawn(&ServeConfig::default()).unwrap();
+    let response = healthz(handle.addr());
+    assert!(response.starts_with("HTTP/1.1 200"), "got: {response}");
+    assert!(response.contains("\"ok\""), "got: {response}");
+
+    // Draining: still live (answers), no longer ready (503) — and data
+    // requests are answered to completion rather than dropped.
+    handle.drain();
+    let response = healthz(handle.addr());
+    assert!(response.starts_with("HTTP/1.1 503"), "got: {response}");
+    assert!(response.contains("\"draining\""), "got: {response}");
+    let client = RemoteBackend::new(&handle.url()).unwrap();
+    client.append("Seeds", 0x51, &record(3, 0.8)).unwrap();
+    assert_eq!(client.scan("Seeds", 0x51).unwrap().records.len(), 1);
+
+    handle.stop();
+}
+
+#[test]
+fn graceful_stop_flushes_a_disk_backed_store() {
+    let dir = temp_dir("graceful-flush");
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        store_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let handle = spawn(&config).unwrap();
+    let client = RemoteBackend::new(&handle.url()).unwrap();
+    let a = record(3, 0.8);
+    let b = record(4, 0.9);
+    client.append("Seeds", 0x61, &a).unwrap();
+    client.append("Seeds", 0x61, &b).unwrap();
+    handle.stop();
+
+    // Everything the server accepted is on disk after a graceful stop.
+    let reopened = LocalJsonlBackend::open(&dir).unwrap();
+    assert_eq!(reopened.scan("Seeds", 0x61).unwrap().records, vec![a, b]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_restarted_server_is_rejoined_and_journaled_appends_replay() {
+    use pmlp_core::store::{BreakerConfig, RetryPolicy};
+    let handle = spawn(&ServeConfig::default()).unwrap();
+    let addr = handle.addr();
+    // Zero cooldown so the half-open probe happens immediately in the test;
+    // production uses the 1 s default.
+    let tiered = TieredStore::with_breaker(
+        Box::new(MemoryBackend::new()),
+        Box::new(
+            RemoteBackend::new(&format!("http://{addr}"))
+                .unwrap()
+                .with_retry_policy(RetryPolicy::none()),
+        ),
+        BreakerConfig {
+            failure_threshold: 1,
+            cooldown: std::time::Duration::ZERO,
+        },
+    );
+    tiered.append("Seeds", 0x71, &record(3, 0.8)).unwrap();
+
+    // Server dies mid-run. Appends keep succeeding against the local tier
+    // and are journaled — not silently lost.
+    handle.stop();
+    tiered.append("Seeds", 0x71, &record(4, 0.9)).unwrap();
+    tiered.append("Seeds", 0x71, &record(5, 0.95)).unwrap();
+    assert!(!tiered.remote_healthy());
+    assert_eq!(tiered.journal_len(), 2);
+
+    // The operator restarts the server on the same address (fresh state —
+    // the in-memory store died with the process).
+    let restarted = spawn(&ServeConfig {
+        addr: addr.to_string(),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+
+    // The next write probes the half-open breaker, rejoins, and replays the
+    // journal; nothing appended during the outage is missing on the server.
+    tiered.append("Seeds", 0x71, &record(6, 0.97)).unwrap();
+    assert!(tiered.remote_healthy());
+    assert_eq!(tiered.journal_len(), 0);
+    let on_server = RemoteBackend::new(&restarted.url())
+        .unwrap()
+        .scan("Seeds", 0x71)
+        .unwrap();
+    let mut bits: Vec<u8> = on_server
+        .records
+        .iter()
+        .map(|r| r.key.weight_bits)
+        .collect();
+    bits.sort_unstable();
+    assert_eq!(bits, vec![4, 5, 6], "outage-window appends must replay");
+
+    let resilience = tiered.resilience().unwrap();
+    assert_eq!(resilience.journaled_records, 2);
+    assert_eq!(resilience.replayed_records, 2);
+    assert_eq!(resilience.breaker_recoveries, 1);
+    assert!(resilience.breaker_opens >= 1);
+    restarted.stop();
+}

@@ -1,7 +1,9 @@
 //! Integration tests of the networked evaluation-cache tier: campaign
 //! workers sharing one `pmlp-serve` instance inherit each other's
 //! evaluations, completion markers and GA checkpoints; a killed server
-//! degrades a worker to its local write-through cache instead of failing it.
+//! trips the worker's circuit breaker onto its local write-through cache
+//! instead of failing it (see `tests/chaos.rs` for the recovery half:
+//! restarted servers are rejoined and journaled writes replayed).
 
 use printed_mlp::core::campaign::{Campaign, CampaignConfig, CampaignResult, CampaignRunStats};
 use printed_mlp::core::experiment::{Effort, Figure2Experiment};
@@ -34,6 +36,8 @@ fn worker_config(
         store_dir: Some(local.to_path_buf()),
         remote_store: remote,
         remote_timeout_ms: None,
+        durability: Default::default(),
+        remote_cooldown_ms: None,
         resume,
     }
 }

@@ -29,6 +29,8 @@ fn store_campaign(datasets: Vec<UciDataset>, store: &Path, resume: bool) -> Camp
         store_dir: Some(store.to_path_buf()),
         remote_store: None,
         remote_timeout_ms: None,
+        durability: Default::default(),
+        remote_cooldown_ms: None,
         resume,
     })
 }
@@ -234,6 +236,8 @@ fn gc_prunes_a_real_campaign_store() {
         store_dir: Some(store.to_path_buf()),
         remote_store: None,
         remote_timeout_ms: None,
+        durability: Default::default(),
+        remote_cooldown_ms: None,
         resume: false,
     };
     let other_campaign = Campaign::new(other.clone());
