@@ -8,7 +8,8 @@
 //! ```text
 //! cargo run --release -p pmlp-bench --bin campaign -- \
 //!     [datasets|all] [full|quick] [seed] [--quick] [--float-accuracy] \
-//!     [--store DIR] [--remote-store URL] [--resume] [--require-warm]
+//!     [--objectives LIST] [--store DIR] [--remote-store URL] [--resume] \
+//!     [--require-warm]
 //!
 //! cargo run --release -p pmlp-bench --bin campaign -- \
 //!     gc [full|quick] [seed] --store DIR
@@ -18,6 +19,12 @@
 //! (e.g. `seeds,balance,vertebral`). `--quick` anywhere on the command line
 //! forces the reduced CI effort. `--float-accuracy` opts out of the default
 //! pure-integer accuracy scoring back to the fake-quantized float model.
+//! `--objectives accuracy,area,energy` selects the objective space the Pareto
+//! fronts and per-dataset hypervolumes are computed in (any comma-separated
+//! subset of `accuracy,area,power,delay,energy`; default `accuracy,area`,
+//! byte-identical to the historical two-objective pipeline). The evaluation
+//! store is objective-agnostic, so a store written under one space
+//! warm-starts a campaign under any other with zero fresh evaluations.
 //! Artifacts land under `target/experiment-results/campaign/`.
 //!
 //! With `--store DIR` every evaluation persists into the crash-safe store
@@ -82,6 +89,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             pmlp_core::AccuracyTier::Integer
         },
+        objectives: options.objectives.clone().unwrap_or_default(),
         store_dir: options.store.clone(),
         remote_store: options.remote_store.clone(),
         remote_timeout_ms: options.remote_timeout_ms,

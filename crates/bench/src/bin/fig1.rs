@@ -6,14 +6,15 @@
 //!
 //! ```text
 //! cargo run --release -p pmlp-bench --bin fig1 -- \
-//!     [dataset|all] [full|quick] [seed] [--quick] \
+//!     [dataset|all] [full|quick] [seed] [--quick] [--objectives LIST] \
 //!     [--store DIR] [--remote-store URL] [--resume] [--require-warm]
 //! ```
 //!
 //! `all` means the four datasets of the paper's Fig. 1 (any registry dataset
 //! can be named explicitly; the full registry is covered by the `campaign`
 //! binary). `--quick` anywhere on the command line forces the reduced CI
-//! effort.
+//! effort. `--objectives accuracy,area,energy` reports the Pareto fronts in
+//! that objective space instead of the classic `(accuracy, area)` plane.
 //!
 //! With `--store DIR` every evaluation persists into (and warm-starts from)
 //! the crash-safe store under `DIR`; a re-run of the same figure is then pure
@@ -51,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut fresh_evaluations = 0;
     for dataset in datasets {
         let start = std::time::Instant::now();
-        let experiment = Figure1Experiment::new(dataset, effort, seed);
+        let mut experiment = Figure1Experiment::new(dataset, effort, seed);
+        if let Some(space) = &options.objectives {
+            experiment = experiment.with_objectives(space.clone());
+        }
         let mut engine = experiment.build_engine()?;
         if let Some(backend) = options.open_backend()? {
             engine = engine.with_backend(backend)?;

@@ -7,11 +7,14 @@
 //!
 //! ```text
 //! cargo run --release -p pmlp-bench --bin fig2 -- \
-//!     [dataset] [full|quick] [seed] [--quick] \
+//!     [dataset] [full|quick] [seed] [--quick] [--objectives LIST] \
 //!     [--store DIR] [--remote-store URL] [--resume] [--require-warm]
 //! ```
 //!
 //! `--quick` anywhere on the command line forces the reduced CI effort.
+//! `--objectives accuracy,area,energy` runs the GA (and reports the fronts)
+//! in that objective space instead of the classic `(accuracy, area)` plane;
+//! checkpoints are bound to the space, so changing it restarts the search.
 //!
 //! With `--store DIR` every evaluation persists into the crash-safe store
 //! under `DIR` **and** the NSGA-II search checkpoints itself there after
@@ -48,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or(42);
 
     let start = std::time::Instant::now();
-    let experiment = Figure2Experiment::new(dataset, effort, seed);
+    let mut experiment = Figure2Experiment::new(dataset, effort, seed);
+    if let Some(space) = &options.objectives {
+        experiment = experiment.with_objectives(space.clone());
+    }
     let mut engine = experiment.build_engine()?;
     if let Some(backend) = options.open_backend()? {
         engine = engine.with_backend(backend)?;

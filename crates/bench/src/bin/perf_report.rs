@@ -94,6 +94,12 @@ struct CampaignEngine {
     fast_path_evals: usize,
     /// Evaluations (plus finalist verifications) that ran full synthesis.
     full_synthesis_evals: usize,
+    /// Objective space the campaign's Pareto fronts were computed in.
+    objectives: String,
+    /// Per-dataset `(name, hypervolume)` in that space — the
+    /// baseline-referenced dominated volume of each dataset's evaluated
+    /// points, a scalar quality-of-front number future PRs can diff.
+    hypervolumes: Vec<(String, f64)>,
 }
 
 #[derive(Debug, Serialize)]
@@ -320,6 +326,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .iter()
                 .map(|r| r.full_synthesis_evals)
                 .sum(),
+            objectives: campaign.objectives.clone(),
+            hypervolumes: campaign
+                .reports
+                .iter()
+                .map(|r| (r.name.clone(), r.hypervolume))
+                .collect(),
         },
         multiplier_cache: MultiplierCache {
             hits: mul.hits,
@@ -464,6 +476,7 @@ fn synthetic_record(i: usize) -> pmlp_core::store::EvalRecord {
             accuracy: 0.5 + (i % 50) as f64 / 100.0,
             area_mm2: 10.0 + i as f64,
             power_uw: 100.0 + i as f64,
+            delay_us: 1.0 + (i % 10) as f64 / 10.0,
             normalized_accuracy: 0.9,
             normalized_area: 0.5,
             sparsity: 0.1,

@@ -11,8 +11,8 @@
 //!
 //! ```text
 //! cargo run --release -p pmlp-bench --bin table_headline -- \
-//!     [full|quick] [seed] [--quick] [--store DIR] [--remote-store URL] \
-//!     [--resume] [--require-warm]
+//!     [full|quick] [seed] [--quick] [--objectives LIST] [--store DIR] \
+//!     [--remote-store URL] [--resume] [--require-warm]
 //! ```
 //!
 //! `--quick` anywhere on the command line forces the reduced CI effort.
@@ -46,6 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         effort,
         seed,
         max_accuracy_loss: 0.05,
+        objectives: options.objectives.clone().unwrap_or_default(),
         accuracy_tier: pmlp_core::AccuracyTier::default(),
         store_dir: options.store.clone(),
         remote_store: options.remote_store.clone(),
@@ -62,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     // The combined (GA) claim is made for WhiteWine in the paper's Fig. 2.
-    let fig2 = Figure2Experiment::new(UciDataset::WhiteWine, effort, seed);
+    let mut fig2 = Figure2Experiment::new(UciDataset::WhiteWine, effort, seed);
+    if let Some(space) = &options.objectives {
+        fig2 = fig2.with_objectives(space.clone());
+    }
     let mut engine = fig2.build_engine()?;
     if let Some(backend) = options.open_backend()? {
         engine = engine.with_backend(backend)?;

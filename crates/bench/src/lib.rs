@@ -44,6 +44,11 @@ pub struct CliOptions<'a> {
     /// ablation/debugging opt-out; the two tiers agree on every registry
     /// dataset by the equivalence test suite).
     pub float_accuracy: bool,
+    /// Objective space from `--objectives LIST` (or `--objectives=LIST`), a
+    /// comma-separated subset of `accuracy,area,power,delay,energy`. `None`
+    /// keeps the classic `(accuracy, area)` space — and byte-identical
+    /// artifacts to the fixed two-objective pipeline.
+    pub objectives: Option<pmlp_core::ObjectiveSpace>,
     /// Remote-store request timeout override in milliseconds from
     /// `--remote-timeout-ms N` (connect + read + write deadlines of every
     /// request to the `pmlp-serve` tier; default 10s).
@@ -177,6 +182,18 @@ pub fn parse_cli(args: &[String]) -> CliOptions<'_> {
                         Some("--drain-timeout-ms needs a number of milliseconds".into());
                 }
             },
+            "--objectives" => match iter.next() {
+                Some(list) if !list.starts_with('-') => {
+                    match pmlp_core::ObjectiveSpace::parse(list) {
+                        Ok(space) => options.objectives = Some(space),
+                        Err(err) => options.parse_error = Some(err.to_string()),
+                    }
+                }
+                _ => {
+                    options.parse_error =
+                        Some("--objectives needs a comma-separated objective list".into());
+                }
+            },
             "--resume" => options.resume = true,
             "--require-warm" => options.require_warm = true,
             "--float-accuracy" => options.float_accuracy = true,
@@ -213,6 +230,11 @@ pub fn parse_cli(args: &[String]) -> CliOptions<'_> {
                         Err(_) => {
                             options.parse_error = Some("--workers needs a thread count".into());
                         }
+                    }
+                } else if let Some(list) = other.strip_prefix("--objectives=") {
+                    match pmlp_core::ObjectiveSpace::parse(list) {
+                        Ok(space) => options.objectives = Some(space),
+                        Err(err) => options.parse_error = Some(err.to_string()),
                     }
                 } else if let Some(policy) = other.strip_prefix("--durability=") {
                     match policy.parse() {
@@ -378,6 +400,47 @@ mod tests {
             !parse_cli(&[]).float_accuracy,
             "defaults to integer scoring"
         );
+    }
+
+    #[test]
+    fn objectives_flag_is_parsed_in_both_forms() {
+        use pmlp_core::ObjectiveKind;
+        let args: Vec<String> = ["all", "--objectives", "accuracy,area,energy"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let options = parse_cli(&args);
+        let space = options.objectives.expect("parsed space");
+        assert_eq!(
+            space.objectives,
+            vec![
+                ObjectiveKind::AccuracyLoss,
+                ObjectiveKind::Area,
+                ObjectiveKind::EnergyPerInference
+            ]
+        );
+        assert_eq!(options.positional, vec!["all"]);
+
+        let args: Vec<String> = ["--objectives=accuracy,area,power,delay"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_cli(&args).objectives.unwrap().dim(), 4);
+        assert!(parse_cli(&[]).objectives.is_none(), "defaults to classic");
+
+        for bad in [
+            vec!["--objectives"],
+            vec!["--objectives", "--resume"],
+            vec!["--objectives", "accuracy,sparkle"],
+            vec!["--objectives", "accuracy,area,accuracy"],
+            vec!["--objectives="],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(
+                parse_cli(&args).validate().is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -142,6 +142,15 @@ pub struct SynthesisSummary {
     pub gate_count: usize,
 }
 
+impl SynthesisSummary {
+    /// Energy per inference in pJ: static power (µW) × critical path (µs).
+    /// Like every other field, bit-identical between the fast path and full
+    /// synthesis (both factors are).
+    pub fn energy_pj(&self) -> f64 {
+        self.power_uw * self.critical_path_us
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +218,10 @@ mod tests {
             let full = synthesize_area(&layers(), 4, &lib, sharing).unwrap();
             let fast = estimate_area(&layers(), 4, &lib, sharing).unwrap();
             assert_eq!(fast, full, "{sharing:?}");
+            // Delay (and hence derived energy) rides on the same guarantee.
+            assert_eq!(fast.critical_path_us, full.critical_path_us);
+            assert_eq!(fast.energy_pj(), full.energy_pj());
+            assert!(fast.energy_pj() > 0.0);
         }
     }
 

@@ -48,7 +48,8 @@
 use crate::engine::EvalEngine;
 use crate::error::CoreError;
 use crate::experiment::{headline_summary, Effort, Figure1Experiment};
-use crate::objective::AccuracyTier;
+use crate::objective::{AccuracyTier, DesignMetrics, ObjectiveSpace};
+use crate::pareto::hypervolume;
 use crate::report::{FigureSeries, HeadlineRow, TechniqueSummary};
 use crate::store::StoreBackend;
 use crate::sweep::Technique;
@@ -73,6 +74,14 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Accuracy-loss threshold of the headline rows (the paper uses 0.05).
     pub max_accuracy_loss: f64,
+    /// Objective space the Pareto fronts (and the per-dataset hypervolume)
+    /// are computed in. Defaults to the classic `(accuracy, area)` space —
+    /// byte-identical artifacts to the fixed two-objective pipeline.
+    /// Evaluation, stores and completion markers are objective-agnostic for
+    /// the *measurements*; markers additionally bind to the space so a
+    /// 3-objective run never replays a 2-objective report (the evaluation
+    /// store itself is shared freely — full metrics are always persisted).
+    pub objectives: ObjectiveSpace,
     /// Which arithmetic scores every accuracy of the run — baselines and
     /// candidates alike. Defaults to [`AccuracyTier::Integer`] (bit-identical
     /// to gate-level simulation of the bespoke circuit);
@@ -125,6 +134,7 @@ impl Default for CampaignConfig {
             effort: Effort::Full,
             seed: 42,
             max_accuracy_loss: 0.05,
+            objectives: ObjectiveSpace::classic(),
             accuracy_tier: AccuracyTier::default(),
             store_dir: None,
             remote_store: None,
@@ -161,6 +171,11 @@ pub struct DatasetReport {
     /// Headline rows: best area gain within the accuracy-loss threshold, one
     /// per technique.
     pub headline: Vec<HeadlineRow>,
+    /// Baseline-referenced hypervolume indicator of everything this dataset
+    /// evaluated, computed in the campaign's objective space
+    /// ([`crate::pareto::hypervolume`]): `0` = nothing beats the baseline,
+    /// larger = a better front, always finite and in `[0, 1]`.
+    pub hypervolume: f64,
     /// Full pipeline evaluations the engine ran for this dataset (cache
     /// misses).
     pub evaluations: usize,
@@ -200,6 +215,9 @@ pub struct CampaignResult {
     pub seed: u64,
     /// Accuracy-loss threshold of the headline rows.
     pub max_accuracy_loss: f64,
+    /// Comma-separated objective axes the run's fronts and hypervolumes were
+    /// computed in (e.g. `accuracy,area` or `accuracy,area,energy`).
+    pub objectives: String,
     /// Per-dataset reports, in configuration order.
     pub reports: Vec<DatasetReport>,
 }
@@ -485,6 +503,7 @@ impl Campaign {
                 effort: self.config.effort,
                 seed: self.config.seed,
                 max_accuracy_loss: self.config.max_accuracy_loss,
+                objectives: self.config.objectives.to_string(),
                 reports,
             },
             stats,
@@ -492,10 +511,14 @@ impl Campaign {
     }
 
     /// Identity of the campaign settings a completion marker must match to be
-    /// resumable: effort, seed and accuracy-loss threshold (the dataset list
-    /// is deliberately excluded so subset campaigns share markers).
+    /// resumable: effort, seed, accuracy-loss threshold and objective space
+    /// (the dataset list is deliberately excluded so subset campaigns share
+    /// markers). The classic objective space is fingerprinted exactly as the
+    /// pre-configurable campaign was (no `objectives` entry), so markers
+    /// written before objectives existed keep resuming classic campaigns,
+    /// while any other space gets its own marker namespace.
     fn marker_fingerprint(&self) -> u64 {
-        let rendered = Value::Object(vec![
+        let mut entries = vec![
             ("effort".into(), self.config.effort.serialize_value()),
             (
                 "seed".into(),
@@ -505,8 +528,14 @@ impl Campaign {
                 "max_accuracy_loss".into(),
                 self.config.max_accuracy_loss.serialize_value(),
             ),
-        ])
-        .render_compact();
+        ];
+        if !self.config.objectives.is_classic() {
+            entries.push((
+                "objectives".into(),
+                Value::String(self.config.objectives.to_string()),
+            ));
+        }
+        let rendered = Value::Object(entries).render_compact();
         let mut fp = crate::store::FingerprintHasher::new();
         fp.mix_bytes(rendered.as_bytes());
         fp.finish()
@@ -595,10 +624,22 @@ impl Campaign {
         start: Instant,
     ) -> Result<DatasetReport, CoreError> {
         let result = Figure1Experiment::new(dataset, self.config.effort, self.config.seed)
+            .with_objectives(self.config.objectives.clone())
             .run_with(engine)?;
         let headline = headline_summary(&result, self.config.max_accuracy_loss);
         let stats = engine.stats();
         let descriptor = dataset.descriptor();
+        // The hypervolume is referenced to the freshly trained baseline's full
+        // metrics and computed over every point the sweeps evaluated (the
+        // dominated ones contribute nothing, so this equals the front's).
+        let baseline_metrics =
+            DesignMetrics::from_synthesis(result.baseline_accuracy, &engine.baseline().synthesis);
+        let evaluated: Vec<crate::objective::DesignPoint> = result
+            .raw_points
+            .iter()
+            .flat_map(|(_, points)| points.iter().cloned())
+            .collect();
+        let volume = hypervolume(&self.config.objectives, &evaluated, &baseline_metrics);
         Ok(DatasetReport {
             dataset,
             name: result.dataset,
@@ -610,6 +651,7 @@ impl Campaign {
             baseline_power_uw: engine.baseline().synthesis.power_uw,
             series: result.series,
             headline,
+            hypervolume: volume,
             evaluations: stats.misses,
             cache_hit_rate: stats.hit_rate(),
             fast_path_evals: stats.fast_path,
@@ -640,6 +682,7 @@ mod tests {
             baseline_area_mm2: 10.0,
             baseline_power_uw: 100.0,
             series: Vec::new(),
+            hypervolume: 0.0,
             headline: techniques
                 .iter()
                 .zip(gains)
@@ -666,6 +709,7 @@ mod tests {
             effort: Effort::Quick,
             seed: 5,
             max_accuracy_loss: 0.05,
+            objectives: ObjectiveSpace::classic(),
             accuracy_tier: AccuracyTier::default(),
             store_dir: Some(dir.to_path_buf()),
             remote_store: None,
@@ -767,6 +811,72 @@ mod tests {
     }
 
     #[test]
+    fn campaign_reports_a_finite_hypervolume_in_every_objective_space() {
+        let classic = Campaign::new(CampaignConfig {
+            datasets: vec![UciDataset::Seeds],
+            effort: Effort::Quick,
+            seed: 5,
+            ..CampaignConfig::default()
+        })
+        .run()
+        .unwrap();
+        assert_eq!(classic.objectives, "accuracy,area");
+        let volume = classic.reports[0].hypervolume;
+        assert!(volume.is_finite() && volume > 0.0 && volume <= 1.0);
+
+        let energy = Campaign::new(CampaignConfig {
+            datasets: vec![UciDataset::Seeds],
+            effort: Effort::Quick,
+            seed: 5,
+            objectives: ObjectiveSpace::parse("accuracy,area,energy").unwrap(),
+            ..CampaignConfig::default()
+        })
+        .run()
+        .unwrap();
+        assert_eq!(energy.objectives, "accuracy,area,energy");
+        let volume3 = energy.reports[0].hypervolume;
+        assert!(volume3.is_finite() && volume3 > 0.0 && volume3 <= 1.0);
+        // Both spaces see the same sweeps; only the measured objective values
+        // differ, so the headline science is identical.
+        assert_eq!(energy.reports[0].headline, classic.reports[0].headline);
+    }
+
+    #[test]
+    fn markers_of_another_objective_space_are_not_resumed() {
+        let dir = std::env::temp_dir().join(format!(
+            "pmlp-campaign-objective-marker-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let datasets = vec![UciDataset::Seeds];
+        Campaign::new(store_config(datasets.clone(), &dir, false))
+            .run()
+            .unwrap();
+
+        // A 3-objective resume must not replay the classic marker — but the
+        // evaluation store is objective-agnostic, so recomputing the dataset
+        // under the new space costs zero fresh evaluations.
+        let mut energy = store_config(datasets.clone(), &dir, true);
+        energy.objectives = ObjectiveSpace::parse("accuracy,area,energy").unwrap();
+        let (result, stats) = Campaign::new(energy.clone()).run_with_stats().unwrap();
+        assert_eq!(stats.resumed, Vec::new(), "marker is bound to the space");
+        assert_eq!(stats.computed, datasets);
+        assert_eq!(stats.fresh_evaluations, 0, "store warm-starts any space");
+        assert!(result.reports[0].hypervolume.is_finite());
+
+        // The 3-objective run committed its own marker; re-running it resumes,
+        // and the classic marker is still intact for classic resumes.
+        let (_, warm) = Campaign::new(energy).run_with_stats().unwrap();
+        assert_eq!(warm.resumed, datasets);
+        let (_, classic) = Campaign::new(store_config(datasets.clone(), &dir, true))
+            .run_with_stats()
+            .unwrap();
+        assert_eq!(classic.resumed, datasets);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn empty_campaign_is_rejected() {
         let campaign = Campaign::new(CampaignConfig {
             datasets: Vec::new(),
@@ -792,6 +902,7 @@ mod tests {
             effort: Effort::Quick,
             seed: 1,
             max_accuracy_loss: 0.05,
+            objectives: "accuracy,area".into(),
             reports: vec![
                 tiny_report("A", [Some(4.0), Some(2.0), None]),
                 tiny_report("B", [Some(6.0), None, None]),
@@ -825,6 +936,7 @@ mod tests {
             effort: Effort::Quick,
             seed: 7,
             max_accuracy_loss: 0.05,
+            objectives: "accuracy,area".into(),
             reports: vec![tiny_report("Seeds", [Some(3.0), Some(2.0), None])],
         };
         let json = serde_json::to_string_pretty(&result).unwrap();
@@ -838,6 +950,7 @@ mod tests {
             effort: Effort::Quick,
             seed: 7,
             max_accuracy_loss: 0.05,
+            objectives: "accuracy,area".into(),
             reports: vec![
                 tiny_report("Seeds", [Some(3.0), None, None]),
                 tiny_report("Balance", [Some(2.0), None, None]),

@@ -908,6 +908,7 @@ pub(crate) mod tests {
                 accuracy,
                 area_mm2: area * 100.0,
                 power_uw: area * 10.0,
+                delay_us: 1.0 + (8.0 - bits) * 0.125,
                 normalized_accuracy: accuracy / 0.9,
                 normalized_area: area,
                 sparsity,

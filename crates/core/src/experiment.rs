@@ -12,8 +12,8 @@ use crate::baseline::BaselineConfig;
 use crate::engine::EvalEngine;
 use crate::error::CoreError;
 use crate::nsga2::{Nsga2, Nsga2Config, SearchResult};
-use crate::objective::DesignPoint;
-use crate::pareto::{area_gain_at_accuracy_loss, pareto_front};
+use crate::objective::{DesignPoint, ObjectiveSpace};
+use crate::pareto::{area_gain_at_accuracy_loss, pareto_front_in};
 use crate::report::{FigureSeries, HeadlineRow};
 use crate::sweep::{sweep_all, SweepRanges, Technique};
 use pmlp_data::UciDataset;
@@ -150,16 +150,30 @@ pub struct Figure1Experiment {
     pub effort: Effort,
     /// RNG seed (data generation + training).
     pub seed: u64,
+    /// Objective space the Pareto fronts are computed in. Defaults to the
+    /// classic `(accuracy, area)` space, reproducing the paper's figures
+    /// byte for byte; evaluation itself (and hence the store/cache) is
+    /// objective-agnostic.
+    pub objectives: ObjectiveSpace,
 }
 
 impl Figure1Experiment {
-    /// Creates the experiment for `dataset` at the given effort.
+    /// Creates the experiment for `dataset` at the given effort, over the
+    /// classic `(accuracy, area)` objective space.
     pub fn new(dataset: UciDataset, effort: Effort, seed: u64) -> Self {
         Figure1Experiment {
             dataset,
             effort,
             seed,
+            objectives: ObjectiveSpace::classic(),
         }
+    }
+
+    /// Overrides the objective space the fronts are computed in.
+    #[must_use]
+    pub fn with_objectives(mut self, objectives: ObjectiveSpace) -> Self {
+        self.objectives = objectives;
+        self
     }
 
     /// Builds the evaluation engine this experiment would use: baseline
@@ -197,7 +211,7 @@ impl Figure1Experiment {
         let mut series = Vec::with_capacity(sweeps.len());
         let mut raw_points = Vec::with_capacity(sweeps.len());
         for sweep in sweeps {
-            let front = pareto_front(&sweep.points);
+            let front = pareto_front_in(&self.objectives, &sweep.points);
             if self.effort.verify_finalists() {
                 verify_front(engine, &front)?;
             }
@@ -247,16 +261,29 @@ pub struct Figure2Experiment {
     pub effort: Effort,
     /// RNG seed.
     pub seed: u64,
+    /// Objective space the GA selects in and the fronts are computed in.
+    /// Defaults to the classic `(accuracy, area)` space (bit-identical to the
+    /// fixed two-objective pipeline, GA checkpoints included).
+    pub objectives: ObjectiveSpace,
 }
 
 impl Figure2Experiment {
-    /// Creates the Fig. 2 experiment (defaults to WhiteWine in the binaries).
+    /// Creates the Fig. 2 experiment (defaults to WhiteWine in the binaries)
+    /// over the classic `(accuracy, area)` objective space.
     pub fn new(dataset: UciDataset, effort: Effort, seed: u64) -> Self {
         Figure2Experiment {
             dataset,
             effort,
             seed,
+            objectives: ObjectiveSpace::classic(),
         }
+    }
+
+    /// Overrides the objective space of the search and its fronts.
+    #[must_use]
+    pub fn with_objectives(mut self, objectives: ObjectiveSpace) -> Self {
+        self.objectives = objectives;
+        self
     }
 
     /// Builds the evaluation engine this experiment would use.
@@ -346,11 +373,17 @@ impl Figure2Experiment {
         let sweeps = sweep_all(engine, &self.effort.sweep_ranges())?;
         let standalone: Vec<FigureSeries> = sweeps
             .iter()
-            .map(|s| FigureSeries::from_points(s.technique, &pareto_front(&s.points)))
+            .map(|s| {
+                FigureSeries::from_points(
+                    s.technique,
+                    &pareto_front_in(&self.objectives, &s.points),
+                )
+            })
             .collect();
 
         let mut ga_config = self.effort.nsga2_config();
         ga_config.seed ^= self.seed;
+        ga_config.objectives = self.objectives.clone();
         let searcher = Nsga2::new(ga_config);
         let search = match checkpoint {
             // The checkpoint identity is tagged with the baseline fingerprint
@@ -482,6 +515,7 @@ mod tests {
             accuracy,
             area_mm2: norm_area * 100.0,
             power_uw: 1.0,
+            delay_us: 1.0,
             normalized_accuracy: accuracy / 0.9,
             normalized_area: norm_area,
             sparsity: 0.0,

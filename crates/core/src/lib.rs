@@ -62,7 +62,10 @@ pub use engine::{EngineStats, EvalEngine, EvalKey, EvalProgress, Evaluator, Fina
 pub use error::CoreError;
 pub use genome::Genome;
 pub use nsga2::{Nsga2, Nsga2Config};
-pub use objective::{evaluate_config, AccuracyTier, DesignPoint, EvaluationContext, SynthesisTier};
-pub use pareto::{area_gain_at_accuracy_loss, pareto_front};
+pub use objective::{
+    evaluate_config, AccuracyTier, DesignMetrics, DesignPoint, EvaluationContext, ObjectiveKind,
+    ObjectiveSpace, SynthesisTier,
+};
+pub use pareto::{area_gain_at_accuracy_loss, hypervolume, pareto_front, pareto_front_in};
 pub use report::{render_campaign_table, FigureSeries, HeadlineRow, TechniqueSummary};
 pub use store::{EvalRecord, EvalStore};

@@ -1,7 +1,8 @@
 //! The hardware-aware genetic algorithm: an NSGA-II loop over
-//! [`Genome`]s whose fitness is the (accuracy, area)
-//! pair measured by retraining the candidate and synthesizing its bespoke
-//! circuit.
+//! [`Genome`]s whose fitness is the objective vector (by default the
+//! (accuracy, area) pair; any [`ObjectiveSpace`] over accuracy, area, power,
+//! delay and energy-per-inference via [`Nsga2Config::objectives`]) measured
+//! by retraining the candidate and synthesizing its bespoke circuit.
 //!
 //! All candidate scoring goes through the shared
 //! [`Evaluator`] — in production the memoizing
@@ -25,8 +26,10 @@
 use crate::engine::Evaluator;
 use crate::error::CoreError;
 use crate::genome::{sparsity_millis, Genome, GenomeSpace};
-use crate::objective::DesignPoint;
-use crate::pareto::{crowding_distances, descending_nan_last, non_dominated_ranks, pareto_front};
+use crate::objective::{DesignPoint, ObjectiveSpace};
+use crate::pareto::{
+    crowding_distances_in, descending_nan_last, non_dominated_ranks_in, pareto_front_in,
+};
 use crate::store::{write_atomic, EvalStore};
 use pmlp_minimize::MinimizationConfig;
 use rand::rngs::StdRng;
@@ -52,6 +55,14 @@ pub struct Nsga2Config {
     pub seed: u64,
     /// Search space of the genomes.
     pub space: GenomeSpace,
+    /// Objective axes selection operates over (ranks, crowding, the final
+    /// front). Defaults to the classic `(accuracy, area)` space, which
+    /// reproduces the fixed two-objective search bit for bit — including its
+    /// checkpoint fingerprints, so pre-existing classic checkpoints keep
+    /// resuming. Objective choice never changes which candidates are
+    /// *measured* or how (the evaluator stores full metrics either way) —
+    /// only which projection selection compares.
+    pub objectives: ObjectiveSpace,
 }
 
 impl Default for Nsga2Config {
@@ -63,6 +74,7 @@ impl Default for Nsga2Config {
             tournament_size: 2,
             seed: 0xDA7E,
             space: GenomeSpace::default(),
+            objectives: ObjectiveSpace::classic(),
         }
     }
 }
@@ -94,6 +106,7 @@ impl Nsga2Config {
                 context: "tournament_size must be >= 1".into(),
             });
         }
+        self.objectives.validate()?;
         Ok(())
     }
 }
@@ -158,7 +171,7 @@ impl Nsga2 {
         while state.history.len() < self.config.generations {
             self.advance(&mut state, evaluator, &mut |_| Ok(()))?;
         }
-        Ok(state.into_result())
+        Ok(state.into_result(&self.config.objectives))
     }
 
     /// Runs the search with checkpointing after **every evaluation batch**:
@@ -253,7 +266,7 @@ impl Nsga2 {
             let mut save = |s: &SearchState| self.save_checkpoint(target, s, tag);
             self.advance(&mut state, evaluator, &mut save)?;
         }
-        Ok(state.into_result())
+        Ok(state.into_result(&self.config.objectives))
     }
 
     /// Seeds and scores the initial population (the state before
@@ -302,8 +315,8 @@ impl Nsga2 {
         let offspring = match &state.pending {
             Some(offspring) => offspring.clone(),
             None => {
-                let ranks = non_dominated_ranks(&state.evaluated);
-                let crowding = crowding_by_rank(&state.evaluated, &ranks);
+                let ranks = non_dominated_ranks_in(&self.config.objectives, &state.evaluated);
+                let crowding = crowding_by_rank(&self.config.objectives, &state.evaluated, &ranks);
                 let mut offspring = Vec::with_capacity(self.config.population);
                 while offspring.len() < self.config.population {
                     let a = self.tournament(&state.population, &ranks, &crowding, &mut state.rng);
@@ -334,8 +347,8 @@ impl Nsga2 {
         // Environmental selection: keep the best `population` individuals by
         // (rank, crowding distance). The ordering is NaN-safe — a degenerate
         // evaluation sorts last instead of panicking the whole search.
-        let ranks = non_dominated_ranks(&combined_points);
-        let crowding = crowding_by_rank(&combined_points, &ranks);
+        let ranks = non_dominated_ranks_in(&self.config.objectives, &combined_points);
+        let crowding = crowding_by_rank(&self.config.objectives, &combined_points, &ranks);
         let mut order: Vec<usize> = (0..combined_points.len()).collect();
         order.sort_by(|&i, &j| {
             ranks[i]
@@ -346,7 +359,7 @@ impl Nsga2 {
         state.population = order.iter().map(|&i| combined_genomes[i]).collect();
         state.evaluated = order.iter().map(|&i| combined_points[i].clone()).collect();
 
-        let front = pareto_front(&state.evaluated);
+        let front = pareto_front_in(&self.config.objectives, &state.evaluated);
         state.history.push(GenerationStats {
             generation,
             front_size: front.len(),
@@ -453,9 +466,9 @@ impl CheckpointTarget<'_> {
 }
 
 impl SearchState {
-    fn into_result(self) -> SearchResult {
+    fn into_result(self, objectives: &ObjectiveSpace) -> SearchResult {
         let all_points: Vec<DesignPoint> = self.seen.into_values().collect();
-        let front = pareto_front(&all_points);
+        let front = pareto_front_in(objectives, &all_points);
         SearchResult {
             pareto_front: front,
             all_points,
@@ -487,8 +500,20 @@ impl Nsga2 {
     /// Hash of the full configuration (space included) plus the caller's
     /// evaluator tag: a checkpoint is only resumed by the exact configuration
     /// (and, when tagged, the exact baseline) that wrote it.
+    ///
+    /// The classic objective space is fingerprinted exactly as the
+    /// pre-configurable searcher rendered its config (the `objectives` entry
+    /// is dropped), so checkpoints written before objectives existed keep
+    /// resuming classic searches; any other space fingerprints distinctly and
+    /// correctly orphans them.
     fn config_fingerprint(&self, tag: u64) -> u64 {
-        let rendered = self.config.serialize_value().render_compact();
+        let mut config_value = self.config.serialize_value();
+        if self.config.objectives.is_classic() {
+            if let Value::Object(entries) = &mut config_value {
+                entries.retain(|(key, _)| key != "objectives");
+            }
+        }
+        let rendered = config_value.render_compact();
         let mut fp = crate::store::FingerprintHasher::new();
         fp.mix_bytes(rendered.as_bytes());
         fp.mix_u64(tag);
@@ -588,13 +613,17 @@ impl Nsga2 {
 }
 
 /// Crowding distances computed within each rank (NSGA-II semantics).
-fn crowding_by_rank(points: &[DesignPoint], ranks: &[usize]) -> Vec<f64> {
+fn crowding_by_rank(
+    objectives: &ObjectiveSpace,
+    points: &[DesignPoint],
+    ranks: &[usize],
+) -> Vec<f64> {
     let mut crowding = vec![0.0_f64; points.len()];
     let max_rank = ranks.iter().copied().max().unwrap_or(0);
     for rank in 0..=max_rank {
         let members: Vec<usize> = (0..points.len()).filter(|&i| ranks[i] == rank).collect();
         let subset: Vec<DesignPoint> = members.iter().map(|&i| points[i].clone()).collect();
-        let distances = crowding_distances(&subset);
+        let distances = crowding_distances_in(objectives, &subset);
         for (slot, &i) in members.iter().enumerate() {
             crowding[i] = distances[slot];
         }
@@ -871,6 +900,58 @@ mod tests {
                 .all(|p| !p.accuracy.is_nan() && !p.area_mm2.is_nan()),
             "NaN points must never reach the front"
         );
+    }
+
+    #[test]
+    fn multi_objective_search_fronts_in_the_requested_space() {
+        let energy_space = ObjectiveSpace::parse("accuracy,area,energy").unwrap();
+        let config = Nsga2Config {
+            population: 8,
+            generations: 3,
+            seed: 21,
+            objectives: energy_space.clone(),
+            ..Nsga2Config::default()
+        };
+        let result = Nsga2::new(config).run(&MockEvaluator).unwrap();
+        assert!(!result.pareto_front.is_empty());
+        for a in &result.pareto_front {
+            for b in &result.pareto_front {
+                assert!(
+                    !energy_space.dominates(a, b)
+                        || energy_space.values(a) == energy_space.values(b),
+                    "3-D front must be mutually non-dominated"
+                );
+            }
+        }
+        // Objective choice changes selection only — never what a point
+        // carries: every front member still has its full metrics.
+        assert!(result.pareto_front.iter().all(|p| p.delay_us.is_finite()));
+    }
+
+    #[test]
+    fn classic_checkpoints_are_not_replayed_by_other_objective_spaces() {
+        let path = checkpoint_path("objective-space");
+        let classic = mock_search(6, 3);
+        let first = classic.run_resumable(&MockEvaluator, &path).unwrap();
+
+        // Same config except for the objective space: the classic checkpoint
+        // must be orphaned, not replayed (a dead evaluator catches replays).
+        let energy = Nsga2::new(Nsga2Config {
+            objectives: ObjectiveSpace::parse("accuracy,area,energy").unwrap(),
+            ..classic.config().clone()
+        });
+        let dead = DyingEvaluator {
+            inner: MockEvaluator,
+            remaining: AtomicUsize::new(0),
+        };
+        assert!(
+            energy.run_resumable(&dead, &path).is_err(),
+            "a classic checkpoint must not satisfy an energy-objective search"
+        );
+        // The classic config itself still short-circuits off its checkpoint.
+        let replay = classic.run_resumable(&dead, &path).unwrap();
+        assert_eq!(replay, first);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -108,7 +108,14 @@ impl<'a> EvaluationContext<'a> {
 
 /// One evaluated design: a minimization configuration together with its
 /// absolute and baseline-normalized metrics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// A point always carries the **full** measurement of its circuit — accuracy,
+/// area, power and critical-path delay — regardless of which objectives the
+/// search that produced it selected. Objective vectors are *projections* of
+/// this record (see [`ObjectiveSpace::values`]), taken after cache lookup,
+/// which is why a store populated under one objective subset warm-starts a
+/// search over any other subset without recomputing anything.
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignPoint {
     /// The configuration that was evaluated.
     pub config: MinimizationConfig,
@@ -118,6 +125,13 @@ pub struct DesignPoint {
     pub area_mm2: f64,
     /// Bespoke-circuit static power in µW.
     pub power_uw: f64,
+    /// Critical-path delay of the bespoke circuit in µs, from the timing
+    /// report (fast path and full synthesis agree bit for bit). `NaN` for
+    /// points parsed from records written before delay was persisted; such
+    /// points rank worst under any delay/energy objective and are skipped by
+    /// the hypervolume indicator, but behave exactly as before under the
+    /// classic (accuracy, area) space.
+    pub delay_us: f64,
     /// Accuracy normalized to the baseline (`1.0` = same as baseline).
     pub normalized_accuracy: f64,
     /// Area normalized to the baseline (`1.0` = same as baseline; smaller is
@@ -129,20 +143,78 @@ pub struct DesignPoint {
     pub gate_count: usize,
 }
 
+// Hand-written serde (instead of the derive) for wire compatibility in both
+// directions: records and checkpoints written before `delay_us` existed must
+// keep parsing (a missing field reads back as `NaN`), and an unknown delay
+// must round-trip as *absent* rather than as `null` (the JSON renderer maps
+// non-finite numbers to `null`, which the f64 parser would then reject).
+impl Serialize for DesignPoint {
+    fn serialize_value(&self) -> serde::json::Value {
+        use serde::json::Value;
+        let mut entries = vec![
+            ("config".to_string(), self.config.serialize_value()),
+            ("accuracy".to_string(), self.accuracy.serialize_value()),
+            ("area_mm2".to_string(), self.area_mm2.serialize_value()),
+            ("power_uw".to_string(), self.power_uw.serialize_value()),
+        ];
+        if self.delay_us.is_finite() {
+            entries.push(("delay_us".to_string(), self.delay_us.serialize_value()));
+        }
+        entries.extend([
+            (
+                "normalized_accuracy".to_string(),
+                self.normalized_accuracy.serialize_value(),
+            ),
+            (
+                "normalized_area".to_string(),
+                self.normalized_area.serialize_value(),
+            ),
+            ("sparsity".to_string(), self.sparsity.serialize_value()),
+            ("gate_count".to_string(), self.gate_count.serialize_value()),
+        ]);
+        Value::Object(entries)
+    }
+}
+
+impl Deserialize for DesignPoint {
+    fn deserialize_value(value: &serde::json::Value) -> Result<Self, serde::json::Error> {
+        Ok(DesignPoint {
+            config: Deserialize::deserialize_value(value.field("config")?)?,
+            accuracy: Deserialize::deserialize_value(value.field("accuracy")?)?,
+            area_mm2: Deserialize::deserialize_value(value.field("area_mm2")?)?,
+            power_uw: Deserialize::deserialize_value(value.field("power_uw")?)?,
+            // Absent in records/checkpoints written before delay was
+            // persisted: those points predate the delay/energy objectives.
+            delay_us: match value.get("delay_us") {
+                Some(v) => Deserialize::deserialize_value(v)?,
+                None => f64::NAN,
+            },
+            normalized_accuracy: Deserialize::deserialize_value(
+                value.field("normalized_accuracy")?,
+            )?,
+            normalized_area: Deserialize::deserialize_value(value.field("normalized_area")?)?,
+            sparsity: Deserialize::deserialize_value(value.field("sparsity")?)?,
+            gate_count: Deserialize::deserialize_value(value.field("gate_count")?)?,
+        })
+    }
+}
+
 impl DesignPoint {
-    /// Absolute accuracy loss relative to the baseline (positive = worse than
-    /// baseline), in accuracy points (0.05 = five percentage points).
+    /// Absolute accuracy loss relative to the baseline, in accuracy points
+    /// (`0.05` = five percentage points; negative = *better* than baseline).
+    ///
+    /// This is **the** definition of loss in this workspace —
+    /// `baseline_accuracy − accuracy` — shared by report rendering, the
+    /// `--max-loss`-style headline filters
+    /// ([`crate::pareto::area_gain_at_accuracy_loss`]) and the
+    /// [`ObjectiveKind::AccuracyLoss`] axis of the hypervolume indicator.
     pub fn accuracy_loss(&self) -> f64 {
-        1.0 - self.normalized_accuracy_to_loss_ratio()
+        self.baseline_accuracy() - self.accuracy
     }
 
-    fn normalized_accuracy_to_loss_ratio(&self) -> f64 {
-        // The paper measures accuracy loss as (baseline - candidate) in
-        // absolute accuracy points; keep helpers consistent with that.
-        1.0 - (self.baseline_accuracy() - self.accuracy)
-    }
-
-    fn baseline_accuracy(&self) -> f64 {
+    /// The baseline accuracy this point was normalized against, recovered
+    /// from the stored normalization (points do not carry their baseline).
+    pub fn baseline_accuracy(&self) -> f64 {
         if self.normalized_accuracy > 0.0 {
             self.accuracy / self.normalized_accuracy
         } else {
@@ -157,6 +229,277 @@ impl DesignPoint {
         } else {
             f64::INFINITY
         }
+    }
+
+    /// Energy per inference in pJ: static power (µW) × critical-path delay
+    /// (µs). `NaN` when the point predates delay persistence.
+    pub fn energy_pj(&self) -> f64 {
+        self.power_uw * self.delay_us
+    }
+
+    /// The full measurement record of this point, from which any objective
+    /// vector is projected.
+    pub fn metrics(&self) -> DesignMetrics {
+        DesignMetrics {
+            accuracy: self.accuracy,
+            area_mm2: self.area_mm2,
+            power_uw: self.power_uw,
+            delay_us: self.delay_us,
+            energy_pj: self.energy_pj(),
+        }
+    }
+}
+
+/// The complete measurement of one circuit — every quantity an
+/// [`ObjectiveSpace`] can project an objective vector from.
+///
+/// Derived quantities (energy) are computed, never stored: a
+/// [`DesignPoint`] persists only `accuracy`/`area_mm2`/`power_uw`/`delay_us`,
+/// so the on-disk record format is independent of which objectives exist.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignMetrics {
+    /// Test accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Cell area in mm².
+    pub area_mm2: f64,
+    /// Static power in µW.
+    pub power_uw: f64,
+    /// Critical-path delay in µs.
+    pub delay_us: f64,
+    /// Energy per inference in pJ (`power_uw × delay_us`).
+    pub energy_pj: f64,
+}
+
+impl DesignMetrics {
+    /// Builds the metrics record from a synthesis summary plus the measured
+    /// accuracy — the form used for baselines, whose reference values anchor
+    /// hypervolume normalization.
+    pub fn from_synthesis(accuracy: f64, synthesis: &crate::bridge::SynthesisSummary) -> Self {
+        DesignMetrics {
+            accuracy,
+            area_mm2: synthesis.area_mm2,
+            power_uw: synthesis.power_uw,
+            delay_us: synthesis.critical_path_us,
+            energy_pj: synthesis.energy_pj(),
+        }
+    }
+}
+
+/// One axis of the multi-objective search space.
+///
+/// Every kind knows how to read its **raw measured value** off a
+/// [`DesignPoint`] and whether larger raw values are better. Selection
+/// (dominance, crowding) compares raw values directly — never re-derived
+/// losses or ratios — so the classic two-objective space is bit-for-bit the
+/// comparison the pipeline always performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObjectiveKind {
+    /// Accuracy loss vs. the baseline, minimized. The raw value compared
+    /// during selection is the measured `accuracy` (maximized — identical
+    /// ordering, no floating-point re-derivation); the hypervolume axis is
+    /// the loss `baseline_accuracy − accuracy`.
+    AccuracyLoss,
+    /// Cell area in mm², minimized.
+    Area,
+    /// Static power in µW, minimized.
+    Power,
+    /// Critical-path delay in µs, minimized.
+    Delay,
+    /// Energy per inference in pJ (`power × delay`), minimized.
+    EnergyPerInference,
+}
+
+impl ObjectiveKind {
+    /// The raw measured value selection compares for this axis.
+    pub fn raw_value(self, point: &DesignPoint) -> f64 {
+        match self {
+            ObjectiveKind::AccuracyLoss => point.accuracy,
+            ObjectiveKind::Area => point.area_mm2,
+            ObjectiveKind::Power => point.power_uw,
+            ObjectiveKind::Delay => point.delay_us,
+            ObjectiveKind::EnergyPerInference => point.energy_pj(),
+        }
+    }
+
+    /// `true` when larger raw values are better (only the accuracy axis).
+    pub fn maximize_raw(self) -> bool {
+        matches!(self, ObjectiveKind::AccuracyLoss)
+    }
+
+    /// Short CLI/report name of the axis.
+    pub fn name(self) -> &'static str {
+        match self {
+            ObjectiveKind::AccuracyLoss => "accuracy",
+            ObjectiveKind::Area => "area",
+            ObjectiveKind::Power => "power",
+            ObjectiveKind::Delay => "delay",
+            ObjectiveKind::EnergyPerInference => "energy",
+        }
+    }
+
+    /// Parses one CLI token (`accuracy`/`loss`, `area`, `power`, `delay`,
+    /// `energy`).
+    pub fn parse(token: &str) -> Option<Self> {
+        match token.trim() {
+            "accuracy" | "loss" | "accuracy_loss" => Some(ObjectiveKind::AccuracyLoss),
+            "area" => Some(ObjectiveKind::Area),
+            "power" => Some(ObjectiveKind::Power),
+            "delay" => Some(ObjectiveKind::Delay),
+            "energy" | "energy_per_inference" => Some(ObjectiveKind::EnergyPerInference),
+            _ => None,
+        }
+    }
+}
+
+/// An ordered list of objectives — the search space NSGA-II fronts, crowding
+/// and environmental selection operate over, and the axes of the hypervolume
+/// indicator.
+///
+/// The default (“classic”) space is `(accuracy, area)`, reproducing the
+/// paper's fixed trade-off bit for bit. Objective choice never touches the
+/// evaluation cache key: every candidate is measured in full and the vector
+/// is projected afterwards, so stores and shared servers populated under one
+/// space serve every other space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveSpace {
+    /// The ordered objective axes.
+    pub objectives: Vec<ObjectiveKind>,
+}
+
+impl Default for ObjectiveSpace {
+    fn default() -> Self {
+        Self::classic()
+    }
+}
+
+impl std::fmt::Display for ObjectiveSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, kind) in self.objectives.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            f.write_str(kind.name())?;
+        }
+        Ok(())
+    }
+}
+
+impl ObjectiveSpace {
+    /// The paper's fixed two-objective space: accuracy (loss) vs. area.
+    pub fn classic() -> Self {
+        ObjectiveSpace {
+            objectives: vec![ObjectiveKind::AccuracyLoss, ObjectiveKind::Area],
+        }
+    }
+
+    /// Builds a space from an explicit axis list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the list is empty or
+    /// contains a duplicate axis.
+    pub fn new(objectives: Vec<ObjectiveKind>) -> Result<Self, CoreError> {
+        if objectives.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                context: "objective space must name at least one objective".into(),
+            });
+        }
+        for (i, kind) in objectives.iter().enumerate() {
+            if objectives[..i].contains(kind) {
+                return Err(CoreError::InvalidConfig {
+                    context: format!("duplicate objective `{}`", kind.name()),
+                });
+            }
+        }
+        Ok(ObjectiveSpace { objectives })
+    }
+
+    /// Parses a comma-separated CLI list, e.g. `accuracy,area,energy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] on an unknown token, an empty
+    /// list or a duplicate axis.
+    pub fn parse(text: &str) -> Result<Self, CoreError> {
+        let objectives = text
+            .split(',')
+            .filter(|t| !t.trim().is_empty())
+            .map(|t| {
+                ObjectiveKind::parse(t).ok_or_else(|| CoreError::InvalidConfig {
+                    context: format!(
+                        "unknown objective `{}` (expected accuracy, area, power, delay or energy)",
+                        t.trim()
+                    ),
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::new(objectives)
+    }
+
+    /// `true` when this is the classic `(accuracy, area)` space.
+    pub fn is_classic(&self) -> bool {
+        self.objectives == [ObjectiveKind::AccuracyLoss, ObjectiveKind::Area]
+    }
+
+    /// Number of objective axes.
+    pub fn dim(&self) -> usize {
+        self.objectives.len()
+    }
+
+    /// Validates the axis list of a deserialized space (checkpoint/config
+    /// payloads bypass [`ObjectiveSpace::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] as [`ObjectiveSpace::new`] would.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        Self::new(self.objectives.clone()).map(|_| ())
+    }
+
+    /// Projects the raw objective vector selection compares (one entry per
+    /// axis, in axis order).
+    pub fn values(&self, point: &DesignPoint) -> Vec<f64> {
+        self.objectives
+            .iter()
+            .map(|kind| kind.raw_value(point))
+            .collect()
+    }
+
+    /// `true` when any axis of `point` is NaN — such points never dominate
+    /// anything and sort behind every clean point.
+    pub fn has_nan(&self, point: &DesignPoint) -> bool {
+        self.objectives
+            .iter()
+            .any(|kind| kind.raw_value(point).is_nan())
+    }
+
+    /// Pareto dominance of `a` over `b` in this space: at least as good on
+    /// every axis and strictly better on at least one. NaN-safe: a point
+    /// with any NaN axis dominates nothing and is dominated by every clean
+    /// point.
+    pub fn dominates(&self, a: &DesignPoint, b: &DesignPoint) -> bool {
+        if self.has_nan(a) {
+            return false;
+        }
+        if self.has_nan(b) {
+            return true;
+        }
+        let mut strictly_better = false;
+        for kind in &self.objectives {
+            let (va, vb) = (kind.raw_value(a), kind.raw_value(b));
+            let (better, worse) = if kind.maximize_raw() {
+                (va > vb, va < vb)
+            } else {
+                (va < vb, va > vb)
+            };
+            if worse {
+                return false;
+            }
+            if better {
+                strictly_better = true;
+            }
+        }
+        strictly_better
     }
 }
 
@@ -258,6 +601,7 @@ pub fn evaluate_config_detailed(
         accuracy,
         area_mm2: synthesis.area_mm2,
         power_uw: synthesis.power_uw,
+        delay_us: synthesis.critical_path_us,
         normalized_accuracy: if baseline.accuracy > 0.0 {
             accuracy / baseline.accuracy
         } else {
@@ -406,6 +750,129 @@ mod tests {
         let a = evaluate_config(&ctx, &cfg, 9).unwrap();
         let b = evaluate_config(&ctx, &cfg, 9).unwrap();
         assert_eq!(a, b);
+    }
+
+    fn sample_point(accuracy: f64, area: f64) -> DesignPoint {
+        DesignPoint {
+            config: MinimizationConfig::default().with_weight_bits(4),
+            accuracy,
+            area_mm2: area,
+            power_uw: area * 10.0,
+            delay_us: 2.5,
+            normalized_accuracy: accuracy / 0.9,
+            normalized_area: area / 100.0,
+            sparsity: 0.0,
+            gate_count: 123,
+        }
+    }
+
+    #[test]
+    fn design_point_serde_round_trips_and_tolerates_legacy_records() {
+        let point = sample_point(0.85, 42.0);
+        let json = point.serialize_value().render_compact();
+        assert!(json.contains("\"delay_us\":2.5"));
+        let back = DesignPoint::deserialize_value(&serde::json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, point);
+
+        // Records written before delay persistence lack the field: they must
+        // keep parsing, with an unknown (NaN) delay ...
+        let legacy = json.replace("\"delay_us\":2.5,", "");
+        assert!(!legacy.contains("delay_us"));
+        let old = DesignPoint::deserialize_value(&serde::json::parse(&legacy).unwrap()).unwrap();
+        assert!(old.delay_us.is_nan());
+        assert!(old.energy_pj().is_nan());
+        assert_eq!(old.accuracy, point.accuracy);
+
+        // ... and re-serializing such a point must omit the field again
+        // (non-finite numbers would render as `null` and fail to re-parse).
+        let rewritten = old.serialize_value().render_compact();
+        assert!(!rewritten.contains("delay_us"));
+        let again =
+            DesignPoint::deserialize_value(&serde::json::parse(&rewritten).unwrap()).unwrap();
+        assert!(again.delay_us.is_nan());
+    }
+
+    #[test]
+    fn accuracy_loss_is_baseline_minus_candidate() {
+        let mut point = sample_point(0.85, 42.0);
+        point.normalized_accuracy = 0.85 / 0.9;
+        assert!((point.baseline_accuracy() - 0.9).abs() < 1e-12);
+        assert!((point.accuracy_loss() - (0.9 - 0.85)).abs() < 1e-12);
+        // A candidate above baseline has negative loss.
+        point.accuracy = 0.95;
+        point.normalized_accuracy = 0.95 / 0.9;
+        assert!(point.accuracy_loss() < 0.0);
+    }
+
+    #[test]
+    fn energy_is_power_times_delay() {
+        let point = sample_point(0.85, 42.0);
+        assert!((point.energy_pj() - 420.0 * 2.5).abs() < 1e-9);
+        let metrics = point.metrics();
+        assert_eq!(metrics.energy_pj, point.energy_pj());
+        assert_eq!(metrics.delay_us, point.delay_us);
+    }
+
+    #[test]
+    fn objective_space_parses_and_validates_cli_lists() {
+        let classic = ObjectiveSpace::parse("accuracy,area").unwrap();
+        assert!(classic.is_classic());
+        assert_eq!(classic, ObjectiveSpace::default());
+        assert_eq!(classic.to_string(), "accuracy,area");
+
+        let three = ObjectiveSpace::parse("accuracy,area,energy").unwrap();
+        assert_eq!(three.dim(), 3);
+        assert_eq!(
+            three.objectives[2],
+            ObjectiveKind::EnergyPerInference,
+            "energy maps to energy-per-inference"
+        );
+        assert!(!three.is_classic());
+
+        assert!(ObjectiveSpace::parse("").is_err());
+        assert!(ObjectiveSpace::parse("accuracy,area,area").is_err());
+        assert!(ObjectiveSpace::parse("accuracy,frobnitz").is_err());
+        ObjectiveSpace::parse("loss,power,delay")
+            .unwrap()
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn objective_space_serde_round_trips() {
+        let space = ObjectiveSpace::parse("accuracy,area,energy").unwrap();
+        let json = space.serialize_value().render_compact();
+        let back = ObjectiveSpace::deserialize_value(&serde::json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, space);
+    }
+
+    #[test]
+    fn dominance_in_three_dimensions_considers_every_axis() {
+        let space = ObjectiveSpace::parse("accuracy,area,energy").unwrap();
+        let a = sample_point(0.9, 40.0);
+        let mut b = sample_point(0.9, 50.0);
+        assert!(space.dominates(&a, &b), "smaller area and energy dominate");
+        assert!(!space.dominates(&b, &a));
+        // Same accuracy/area, but b is faster: neither dominates in 3-D even
+        // though a dominates in the classic space.
+        b.area_mm2 = 40.0;
+        b.power_uw = 400.0;
+        b.delay_us = 1.0;
+        assert!(!space.dominates(&a, &b), "b is strictly faster");
+        assert!(
+            space.dominates(&b, &a),
+            "b ties accuracy/area and wins energy"
+        );
+
+        // NaN delay: dominated by every clean point under an energy space.
+        let mut nan = sample_point(0.99, 1.0);
+        nan.delay_us = f64::NAN;
+        assert!(space.has_nan(&nan));
+        assert!(space.dominates(&a, &nan));
+        assert!(!space.dominates(&nan, &a));
+        // ... but perfectly healthy in the classic space.
+        assert!(!ObjectiveSpace::classic().has_nan(&nan));
+        assert!(ObjectiveSpace::classic().dominates(&nan, &a));
     }
 
     #[test]

@@ -185,20 +185,24 @@ pub fn render_campaign_table(result: &CampaignResult) -> String {
             format_gain(report.gain_for(Technique::Clustering)),
         ));
     }
-    out.push_str("=== evaluation cost (fast-path cost model vs full synthesis) ===\n");
     out.push_str(&format!(
-        "{:<14} {:>6} {:>10} {:>10} {:>11} {:>12} {:>9}\n",
-        "dataset", "evals", "cache hit", "fast-path", "full-synth", "mul-cache", "secs"
+        "=== evaluation cost and hypervolume (objectives: {}) ===\n",
+        result.objectives
+    ));
+    out.push_str(&format!(
+        "{:<14} {:>6} {:>10} {:>10} {:>11} {:>12} {:>10} {:>9}\n",
+        "dataset", "evals", "cache hit", "fast-path", "full-synth", "mul-cache", "hypervol", "secs"
     ));
     for report in &result.reports {
         out.push_str(&format!(
-            "{:<14} {:>6} {:>9.0}% {:>10} {:>11} {:>11.0}% {:>9.2}\n",
+            "{:<14} {:>6} {:>9.0}% {:>10} {:>11} {:>11.0}% {:>10.4} {:>9.2}\n",
             report.name,
             report.evaluations,
             report.cache_hit_rate * 100.0,
             report.fast_path_evals,
             report.full_synthesis_evals,
             report.multiplier_cache_hit_rate * 100.0,
+            report.hypervolume,
             report.elapsed_secs,
         ));
     }
@@ -221,6 +225,7 @@ mod tests {
             accuracy: acc,
             area_mm2: area,
             power_uw: 0.0,
+            delay_us: 1.0,
             normalized_accuracy: acc,
             normalized_area: area,
             sparsity: 0.0,
@@ -266,6 +271,7 @@ mod tests {
             baseline_area_mm2: 12.5,
             baseline_power_uw: 80.0,
             series: Vec::new(),
+            hypervolume: 0.4375,
             headline: vec![HeadlineRow {
                 dataset: "Seeds".into(),
                 technique: Technique::Quantization.name().into(),
@@ -284,6 +290,7 @@ mod tests {
             effort: Effort::Quick,
             seed: 42,
             max_accuracy_loss: 0.05,
+            objectives: "accuracy,area".into(),
             reports: vec![report],
         };
         let table = render_campaign_table(&result);
@@ -295,6 +302,9 @@ mod tests {
         assert!(table.contains("evaluation cost"));
         assert!(table.contains("fast-path"));
         assert!(table.contains("90%"));
+        // The per-dataset hypervolume and the objective space are reported.
+        assert!(table.contains("objectives: accuracy,area"));
+        assert!(table.contains("0.4375"));
         // Pruning/clustering have no headline row -> rendered as "-".
         assert!(table.contains('-'));
         for technique in ["quantization", "pruning", "weight clustering"] {

@@ -663,6 +663,7 @@ pub(crate) mod tests {
                 accuracy,
                 area_mm2: area,
                 power_uw: area * 10.0,
+                delay_us: 2.0,
                 normalized_accuracy: accuracy / 0.9,
                 normalized_area: area / 100.0,
                 sparsity: 0.0,
@@ -939,6 +940,7 @@ mod proptests {
                 accuracy,
                 area_mm2: area,
                 power_uw: area * 9.5,
+                delay_us: 0.5 + area / 256.0,
                 normalized_accuracy: accuracy,
                 normalized_area: area / 128.0,
                 sparsity: if sparsity < 0.05 { 0.0 } else { sparsity },

@@ -129,6 +129,14 @@ impl CostReport {
     pub fn gate_count(&self) -> usize {
         self.area.gate_count
     }
+
+    /// Energy per inference in picojoules, `power × critical path`
+    /// (µW × µs = pJ) — the fast-path counterpart of
+    /// [`SynthesisReport::energy_pj`](crate::SynthesisReport::energy_pj),
+    /// bit-identical to it because both factors are.
+    pub fn energy_pj(&self) -> f64 {
+        self.power.total_uw * self.timing.critical_path_us
+    }
 }
 
 /// A signal word in the cost model: one arrival time (µs) per bit,
@@ -637,6 +645,11 @@ mod tests {
         assert_eq!(fast.power, full.power(), "power mismatch ({sharing:?})");
         assert_eq!(fast.timing, full.timing(), "timing mismatch ({sharing:?})");
         assert_eq!(fast.gate_count(), full.netlist().gate_count());
+        assert_eq!(
+            fast.energy_pj(),
+            full.report().energy_pj(),
+            "energy mismatch ({sharing:?})"
+        );
     }
 
     fn simple_spec() -> CircuitSpec {

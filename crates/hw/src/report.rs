@@ -21,6 +21,18 @@ pub struct SynthesisReport {
     pub timing: TimingReport,
 }
 
+impl SynthesisReport {
+    /// Energy per inference in picojoules: static power integrated over one
+    /// critical-path delay, `power.total_uw × timing.critical_path_us`
+    /// (µW × µs = pJ). Printed electronics run combinational always-on
+    /// circuits, so one classification costs the static power held for the
+    /// propagation time of the longest path. Always derived — never stored —
+    /// so it can't drift from its factors.
+    pub fn energy_pj(&self) -> f64 {
+        self.power.total_uw * self.timing.critical_path_us
+    }
+}
+
 impl fmt::Display for SynthesisReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -30,7 +42,8 @@ impl fmt::Display for SynthesisReport {
         )?;
         write!(f, "{}", self.area)?;
         write!(f, "{}", self.power)?;
-        write!(f, "{}", self.timing)
+        write!(f, "{}", self.timing)?;
+        writeln!(f, "energy per inference: {:.3} pJ", self.energy_pj())
     }
 }
 
@@ -48,6 +61,26 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("whitewine_mlp"));
         assert!(text.contains("EGT"));
+    }
+
+    #[test]
+    fn energy_is_power_times_critical_path() {
+        let report = SynthesisReport {
+            power: crate::analysis::PowerReport {
+                total_uw: 500.0,
+                by_kind: Default::default(),
+            },
+            timing: crate::analysis::TimingReport {
+                critical_path_us: 4.0,
+                max_frequency_hz: 250_000.0,
+            },
+            ..SynthesisReport::default()
+        };
+        // 500 µW × 4 µs = 2000 pJ.
+        assert_eq!(report.energy_pj(), 2000.0);
+        assert!(report.to_string().contains("2000.000 pJ"));
+        // An empty design consumes nothing per inference.
+        assert_eq!(SynthesisReport::default().energy_pj(), 0.0);
     }
 
     #[test]

@@ -30,6 +30,7 @@ fn record(bits: u8, accuracy: f64) -> EvalRecord {
             accuracy,
             area_mm2: 42.5,
             power_uw: 425.0,
+            delay_us: 2.0,
             normalized_accuracy: accuracy / 0.9,
             normalized_area: 0.425,
             sparsity: 0.0,

@@ -48,6 +48,7 @@ fn chaos_config(
         effort: Effort::Quick,
         seed: SEED,
         max_accuracy_loss: 0.05,
+        objectives: Default::default(),
         accuracy_tier: printed_mlp::core::AccuracyTier::default(),
         store_dir: Some(local.to_path_buf()),
         remote_store: remote,
@@ -115,6 +116,7 @@ fn record(bits: u8, accuracy: f64) -> EvalRecord {
             accuracy,
             area_mm2: 42.5,
             power_uw: 425.0,
+            delay_us: 2.0,
             normalized_accuracy: accuracy / 0.9,
             normalized_area: 0.425,
             sparsity: 0.0,

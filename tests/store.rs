@@ -25,6 +25,7 @@ fn store_campaign(datasets: Vec<UciDataset>, store: &Path, resume: bool) -> Camp
         effort: Effort::Quick,
         seed: 11,
         max_accuracy_loss: 0.05,
+        objectives: Default::default(),
         accuracy_tier: printed_mlp::core::AccuracyTier::default(),
         store_dir: Some(store.to_path_buf()),
         remote_store: None,
@@ -232,6 +233,7 @@ fn gc_prunes_a_real_campaign_store() {
         effort: Effort::Quick,
         seed: 12,
         max_accuracy_loss: 0.05,
+        objectives: Default::default(),
         accuracy_tier: printed_mlp::core::AccuracyTier::default(),
         store_dir: Some(store.to_path_buf()),
         remote_store: None,
