@@ -9,7 +9,7 @@
 //! cargo run --release -p pmlp-bench --bin campaign -- \
 //!     [datasets|all] [full|quick] [seed] [--quick] [--float-accuracy] \
 //!     [--objectives LIST] [--store DIR] [--remote-store URL] [--resume] \
-//!     [--require-warm]
+//!     [--require-warm] [--worker-id ID] [--steal] [--lease-ttl-ms N]
 //!
 //! cargo run --release -p pmlp-bench --bin campaign -- \
 //!     gc [full|quick] [seed] --store DIR
@@ -36,6 +36,14 @@
 //! evaluation and marker the first one computed. `--require-warm` makes the
 //! run fail if anything had to be freshly evaluated — CI uses it to prove
 //! that a store re-run is free.
+//!
+//! With `--worker-id ID` the process joins a *fleet*: instead of computing the
+//! battery statically, it claims one dataset at a time through short-lived
+//! leases in the shared store (`--store` and/or `--remote-store`), so K
+//! workers pointed at the same store split the battery dynamically and each
+//! assembles the full result from the fleet's completion markers. `--steal`
+//! additionally lets it break a crashed peer's *expired* lease and take over
+//! the dataset; `--lease-ttl-ms` tunes how long that takes to kick in.
 //!
 //! The `gc` subcommand garbage-collects a local store directory: it trains
 //! every registry baseline at the given effort/seed to learn the *live*
@@ -96,6 +104,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         durability: options.durability.unwrap_or_default(),
         remote_cooldown_ms: None,
         resume: options.resume,
+        worker: options.worker_options(),
     })
     .with_progress(move |report| {
         eprintln!(
@@ -122,6 +131,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             stats.computed.len(),
             stats.fresh_evaluations
         );
+        if let Some(worker) = &options.worker_id {
+            println!(
+                "worker {worker}: computed {:?}, stole {} expired lease(s){}",
+                stats
+                    .computed
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>(),
+                stats.stolen.len(),
+                if stats.stolen.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        " ({:?})",
+                        stats
+                            .stolen
+                            .iter()
+                            .map(|d| d.to_string())
+                            .collect::<Vec<_>>()
+                    )
+                }
+            );
+        }
     }
 
     let dir = Path::new("target")
@@ -166,11 +198,14 @@ fn run_gc(options: &CliOptions<'_>) -> Result<(), Box<dyn std::error::Error>> {
         "[gc] training {} registry baselines ({effort:?}, seed {seed}) to learn live fingerprints",
         UciDataset::all().len()
     );
+    // The baseline characterization cache in the same store makes repeated
+    // gc runs (and the campaigns that follow) skip retraining entirely.
+    let backend = options.open_backend()?;
     let live: Result<Vec<u64>, pmlp_core::CoreError> = UciDataset::all()
         .par_iter()
         .map(|&dataset| {
             Figure1Experiment::new(dataset, effort, seed)
-                .build_engine()
+                .build_engine_cached(backend.as_deref())
                 .map(|engine| engine.fingerprint())
         })
         .collect();

@@ -56,8 +56,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if let Some(space) = &options.objectives {
             experiment = experiment.with_objectives(space.clone());
         }
-        let mut engine = experiment.build_engine()?;
-        if let Some(backend) = options.open_backend()? {
+        // The backend doubles as the baseline characterization cache: a
+        // warm store answers the most expensive step (baseline training +
+        // synthesis) with a single document read.
+        let backend = options.open_backend()?;
+        let mut engine = experiment.build_engine_cached(backend.as_deref())?;
+        if let Some(backend) = backend {
             engine = engine.with_backend(backend)?;
         }
         let result = experiment.run_with(&engine)?;

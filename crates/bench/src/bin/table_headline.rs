@@ -54,6 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         durability: options.durability.unwrap_or_default(),
         remote_cooldown_ms: None,
         resume: options.resume,
+        worker: options.worker_options(),
     });
     let (result, campaign_stats) = campaign.run_with_stats()?;
     let mut rows: Vec<HeadlineRow> = result
@@ -67,8 +68,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(space) = &options.objectives {
         fig2 = fig2.with_objectives(space.clone());
     }
-    let mut engine = fig2.build_engine()?;
-    if let Some(backend) = options.open_backend()? {
+    // The campaign above already published WhiteWine's baseline to the
+    // store's characterization cache, so this engine builds from a document
+    // read instead of retraining.
+    let backend = options.open_backend()?;
+    let mut engine = fig2.build_engine_cached(backend.as_deref())?;
+    if let Some(backend) = backend {
         engine = engine.with_backend(backend)?;
     }
     let combined = if engine.store().is_some() {

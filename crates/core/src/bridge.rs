@@ -6,6 +6,7 @@ use pmlp_hw::{
     BespokeMlpCircuit, CellLibrary, CircuitSpec, HwActivation, LayerSpec, SharingStrategy,
 };
 use pmlp_minimize::IntegerLayer;
+use serde::{Deserialize, Serialize};
 
 /// Builds a [`CircuitSpec`] from the integer layers produced by the
 /// minimization pipeline.
@@ -130,7 +131,7 @@ pub fn estimate_area(
 }
 
 /// Compact synthesis result used by the search objective.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SynthesisSummary {
     /// Total cell area in mm².
     pub area_mm2: f64,

@@ -378,6 +378,26 @@ impl EvalEngine {
         )?))
     }
 
+    /// Same as [`EvalEngine::train_with`] with a baseline characterization
+    /// cache in `backend` (see [`BaselineDesign::train_cached`]): a cache hit
+    /// skips full-precision training and reference synthesis. The backend
+    /// only serves the baseline cache here — attach it for evaluations too
+    /// with [`EvalEngine::with_backend`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset, training, synthesis and store-write errors.
+    pub fn train_cached(
+        dataset: UciDataset,
+        seed: u64,
+        config: &BaselineConfig,
+        backend: Option<&dyn StoreBackend>,
+    ) -> Result<Self, CoreError> {
+        Ok(Self::new(BaselineDesign::train_cached(
+            dataset, seed, config, backend,
+        )?))
+    }
+
     /// Overrides the per-candidate fine-tuning budget.
     ///
     /// The budget is part of the cache key, so results obtained under a

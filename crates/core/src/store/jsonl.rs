@@ -10,7 +10,7 @@
 //! [store module documentation](crate::store) for the crash-safety story.
 
 use super::backend::{
-    check_doc_name, merge_duplicate_keys, sanitize_name, ScanOutcome, StoreBackend,
+    check_doc_name, merge_duplicate_keys, safe_component, sanitize_name, ScanOutcome, StoreBackend,
 };
 use super::{header_line, header_matches, hex, parse_record_line, record_line, write_atomic};
 use crate::error::CoreError;
@@ -388,6 +388,36 @@ impl StoreBackend for LocalJsonlBackend {
         }
     }
 
+    fn list_docs(&self, prefix: &str) -> Result<Vec<String>, CoreError> {
+        // Everything in the directory that is a document: a file whose name
+        // is a safe doc component and is neither a record log, an atomic-write
+        // temporary, nor a quarantine sidecar.
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(store_err(format!("read {}: {e}", self.dir.display()))),
+        };
+        let mut names = Vec::new();
+        for entry in entries {
+            let entry =
+                entry.map_err(|e| store_err(format!("read {}: {e}", self.dir.display())))?;
+            let Some(name) = entry.file_name().to_str().map(String::from) else {
+                continue;
+            };
+            if !name.starts_with(prefix)
+                || !safe_component(&name)
+                || record_log_fingerprint(&name).is_some()
+                || name.ends_with(".tmp")
+                || name.ends_with(".quarantine")
+            {
+                continue;
+            }
+            names.push(name);
+        }
+        names.sort();
+        Ok(names)
+    }
+
     fn record_path(&self, name: &str, fingerprint: u64) -> Option<PathBuf> {
         Some(self.file_path(name, fingerprint))
     }
@@ -485,10 +515,30 @@ pub fn list_record_logs(dir: &Path) -> Result<Vec<(String, u64)>, CoreError> {
     Ok(logs)
 }
 
-/// Extracts the envelope fingerprint of a `done_*.json` completion marker.
+/// Extracts the envelope fingerprint of a sealed store document (a
+/// `done_*.json` completion marker or an `island_*.json` elite front).
 fn marker_fingerprint(path: &Path) -> Option<u64> {
     let parsed = serde::json::parse(&fs::read_to_string(path).ok()?).ok()?;
     super::parse_hex(parsed.get("fingerprint")?).ok()
+}
+
+/// Extracts the `deadline_ms` wall-clock expiry of a `lease_*.json`
+/// work-stealing lease document.
+fn lease_deadline_ms(path: &Path) -> Option<u64> {
+    let parsed = serde::json::parse(&fs::read_to_string(path).ok()?).ok()?;
+    match parsed.get("deadline_ms")? {
+        serde::json::Value::Number(n) if *n >= 0.0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+/// Milliseconds since the Unix epoch — the wall clock work-stealing leases
+/// are claimed, renewed and expired against.
+pub fn now_epoch_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
 }
 
 /// Garbage-collects a local store directory:
@@ -499,7 +549,13 @@ fn marker_fingerprint(path: &Path) -> Option<u64> {
 /// * surviving logs have duplicate keys merged, and logs at or above
 ///   [`GcPolicy::compact_threshold_bytes`] are compacted unconditionally,
 /// * `done_*.json` completion markers bound to a dead baseline fingerprint
-///   are deleted too.
+///   are deleted too,
+/// * `island_*.json` elite-front documents whose baseline fingerprint is
+///   dead are deleted (no worker can ever import those migrants again);
+///   fronts of live baselines are kept,
+/// * `lease_*.json` work-stealing leases past their embedded wall-clock
+///   deadline are deleted; unexpired leases are never reaped, whatever
+///   their fingerprint — a healthy worker may still be holding them.
 ///
 /// Checkpoint documents and unrelated files are left untouched.
 ///
@@ -541,12 +597,27 @@ pub fn gc_store_dir(
                 report.duplicates_merged += removed;
                 report.corrupt_dropped += corrupt;
             }
-        } else if file_name.starts_with("done_") && file_name.ends_with(".json") {
-            // Completion markers carry the baseline fingerprint they were
-            // measured against in their envelope; a dead baseline means the
-            // marker can never be resumed again.
+        } else if (file_name.starts_with("done_") || file_name.starts_with("island_"))
+            && file_name.ends_with(".json")
+        {
+            // Completion markers and island elite fronts carry the baseline
+            // fingerprint they were measured against in their envelope; a
+            // dead baseline means the marker can never be resumed (nor the
+            // migrants imported) again.
             match marker_fingerprint(&path) {
                 Some(fp) if !live_fingerprints.contains(&fp) => {
+                    fs::remove_file(&path).ok();
+                    report.files_dropped += 1;
+                    report.bytes_reclaimed += size;
+                }
+                _ => {}
+            }
+        } else if file_name.starts_with("lease_") && file_name.ends_with(".json") {
+            // Work-stealing leases expire by wall-clock deadline: one past
+            // its deadline belongs to a dead or finished worker either way.
+            // An unexpired lease is live by definition and is never reaped.
+            match lease_deadline_ms(&path) {
+                Some(deadline) if deadline < now_epoch_ms() => {
                     fs::remove_file(&path).ok();
                     report.files_dropped += 1;
                     report.bytes_reclaimed += size;
@@ -800,6 +871,85 @@ mod tests {
         // Checkpoints are never GC'd (their fingerprints are config hashes,
         // not baseline identities).
         assert!(backend.get_doc("fig2_seeds_nsga2.json").unwrap().is_some());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn list_docs_skips_logs_temporaries_and_quarantine() {
+        let dir = temp_dir("jsonl-list-docs");
+        let backend = LocalJsonlBackend::open(&dir).unwrap();
+        backend.append("Seeds", 7, &record(3, 0.8, 40.0)).unwrap();
+        backend.put_doc("island_0007_w1_gen001.json", "{}").unwrap();
+        backend.put_doc("island_0007_w0_gen001.json", "{}").unwrap();
+        backend.put_doc("lease_0007_seeds.json", "{}").unwrap();
+        fs::write(dir.join("half-written.tmp"), "x").unwrap();
+        fs::write(dir.join("seeds_0000000000000007.jsonl.quarantine"), "x").unwrap();
+
+        assert_eq!(
+            backend.list_docs("island_").unwrap(),
+            vec![
+                "island_0007_w0_gen001.json".to_string(),
+                "island_0007_w1_gen001.json".to_string(),
+            ]
+        );
+        // The unfiltered listing still hides record logs, temporaries and
+        // quarantine sidecars.
+        assert_eq!(
+            backend.list_docs("").unwrap(),
+            vec![
+                "island_0007_w0_gen001.json".to_string(),
+                "island_0007_w1_gen001.json".to_string(),
+                "lease_0007_seeds.json".to_string(),
+            ]
+        );
+        assert_eq!(backend.list_docs("zzz").unwrap(), Vec::<String>::new());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_reaps_expired_leases_and_dead_island_fronts_only() {
+        let dir = temp_dir("jsonl-gc-island");
+        let backend = LocalJsonlBackend::open(&dir).unwrap();
+        let front = |fp: u64| {
+            super::super::seal_envelope("pmlp-island-front", 1, fp, Vec::new()).render_pretty()
+        };
+        let lease = |deadline_ms: u64| {
+            super::super::seal_envelope(
+                "pmlp-campaign-lease",
+                1,
+                0xC,
+                vec![(
+                    "deadline_ms".to_string(),
+                    serde::json::Value::Number(deadline_ms as f64),
+                )],
+            )
+            .render_pretty()
+        };
+        backend
+            .put_doc("island_000000000000000a_w0_gen001.json", &front(0xA))
+            .unwrap();
+        backend
+            .put_doc("island_000000000000000b_w0_gen001.json", &front(0xB))
+            .unwrap();
+        let now = now_epoch_ms();
+        backend.put_doc("lease_000c_seeds.json", &lease(1)).unwrap();
+        backend
+            .put_doc("lease_000c_wine.json", &lease(now + 60_000))
+            .unwrap();
+
+        let report = gc_store_dir(&dir, &[0xA], &GcPolicy::default()).unwrap();
+        assert_eq!(report.files_dropped, 2);
+        // The live-baseline front and the unexpired lease survive.
+        assert!(backend
+            .get_doc("island_000000000000000a_w0_gen001.json")
+            .unwrap()
+            .is_some());
+        assert!(backend
+            .get_doc("island_000000000000000b_w0_gen001.json")
+            .unwrap()
+            .is_none());
+        assert!(backend.get_doc("lease_000c_seeds.json").unwrap().is_none());
+        assert!(backend.get_doc("lease_000c_wine.json").unwrap().is_some());
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -86,7 +86,8 @@ pub use codec::{decode_artifacts, encode_artifacts};
 pub use fault::FaultBackend;
 pub use indexed::IndexedBackend;
 pub use jsonl::{
-    gc_store_dir, list_record_logs, DurabilityPolicy, GcPolicy, GcReport, LocalJsonlBackend,
+    gc_store_dir, list_record_logs, now_epoch_ms, DurabilityPolicy, GcPolicy, GcReport,
+    LocalJsonlBackend,
 };
 pub use memory::MemoryBackend;
 pub use remote::{RemoteBackend, RetryPolicy};
@@ -619,6 +620,17 @@ impl EvalStore {
     /// Returns [`CoreError::Store`] when the backend fails.
     pub fn remove_doc(&self, name: &str) -> Result<(), CoreError> {
         self.backend.remove_doc(name)
+    }
+
+    /// Lists the names of stored documents starting with `prefix`, sorted —
+    /// how islands discover each other's published elite fronts and workers
+    /// survey the lease board. An empty prefix lists every document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Store`] when the backend fails.
+    pub fn list_docs(&self, prefix: &str) -> Result<Vec<String>, CoreError> {
+        self.backend.list_docs(prefix)
     }
 
     /// Garbage-collects a local store directory: record logs (and completion

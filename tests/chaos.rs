@@ -56,6 +56,7 @@ fn chaos_config(
         durability: Default::default(),
         remote_cooldown_ms: Some(0),
         resume,
+        worker: None,
     }
 }
 

@@ -1,0 +1,312 @@
+//! Integration tests of the distributed search plane: a fleet of campaign
+//! workers splitting one battery through lease-based work stealing on a
+//! shared `pmlp-serve` store, a crashed worker's lease expiring and being
+//! stolen by a survivor (the outage staged with the chaos proxy), and the
+//! island-model Fig. 2 GA migrating elites between workers through the same
+//! server.
+
+use printed_mlp::core::campaign::{
+    Campaign, CampaignConfig, CampaignResult, CampaignRunStats, WorkerOptions,
+};
+use printed_mlp::core::experiment::{Effort, Figure2Experiment};
+use printed_mlp::core::store::{now_epoch_ms, RemoteBackend, StoreBackend};
+use printed_mlp::data::UciDataset;
+use printed_mlp::serve::chaos::{ChaosConfig, ChaosProxy};
+use printed_mlp::serve::{spawn, ServeConfig};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 11;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pmlp-fleet-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn fleet_config(
+    datasets: Vec<UciDataset>,
+    local: &Path,
+    remote: String,
+    worker: WorkerOptions,
+) -> CampaignConfig {
+    CampaignConfig {
+        datasets,
+        effort: Effort::Quick,
+        seed: SEED,
+        max_accuracy_loss: 0.05,
+        objectives: Default::default(),
+        accuracy_tier: printed_mlp::core::AccuracyTier::default(),
+        store_dir: Some(local.to_path_buf()),
+        remote_store: Some(remote),
+        remote_timeout_ms: Some(2_000),
+        durability: Default::default(),
+        remote_cooldown_ms: Some(0),
+        resume: false,
+        worker: Some(worker),
+    }
+}
+
+fn run_fleet_worker(config: CampaignConfig) -> (CampaignResult, CampaignRunStats) {
+    Campaign::new(config).run_with_stats().unwrap()
+}
+
+/// The tentpole acceptance contract: two workers against one server split
+/// the battery dynamically — every dataset is computed by exactly one of
+/// them, both assemble the identical full result, and the science matches a
+/// classic single-process run. Afterwards the server's document listing
+/// (exercising `list_docs` end to end through the remote backend) shows one
+/// completion marker and one cached baseline per dataset and zero leases.
+#[test]
+fn two_workers_split_the_battery_and_match_the_classic_run() {
+    let datasets = vec![UciDataset::Seeds, UciDataset::Vertebral];
+
+    let classic = Campaign::new(CampaignConfig {
+        datasets: datasets.clone(),
+        effort: Effort::Quick,
+        seed: SEED,
+        ..CampaignConfig::default()
+    })
+    .run()
+    .unwrap();
+
+    let server = spawn(&ServeConfig::default()).unwrap();
+    let dir_a = temp_dir("split-a");
+    let dir_b = temp_dir("split-b");
+    let spawn_worker = |id: &str, dir: &Path| {
+        let config = fleet_config(
+            datasets.clone(),
+            dir,
+            server.url(),
+            WorkerOptions::new(id).with_steal(true),
+        );
+        std::thread::spawn(move || run_fleet_worker(config))
+    };
+    let first = spawn_worker("w1", &dir_a);
+    let second = spawn_worker("w2", &dir_b);
+    let (result_a, stats_a) = first.join().unwrap();
+    let (result_b, stats_b) = second.join().unwrap();
+
+    // No dataset is evaluated twice: the computed sets partition the battery.
+    for dataset in &datasets {
+        let in_a = stats_a.computed.contains(dataset);
+        let in_b = stats_b.computed.contains(dataset);
+        assert!(
+            in_a ^ in_b,
+            "{dataset:?} must be computed by exactly one worker"
+        );
+    }
+
+    // Both workers hold the full battery result, identically, and the
+    // science equals the classic run's.
+    assert_eq!(result_a, result_b);
+    for (fleet, single) in result_a.reports.iter().zip(&classic.reports) {
+        assert_eq!(fleet.series, single.series, "{}: series differ", fleet.name);
+        assert_eq!(fleet.headline, single.headline);
+        assert_eq!(fleet.hypervolume, single.hypervolume);
+        assert_eq!(fleet.baseline_accuracy, single.baseline_accuracy);
+    }
+
+    // list_docs round-trips through the live server: per dataset one
+    // completion marker and one cached baseline characterization; all
+    // leases released.
+    let remote = RemoteBackend::new(&server.url()).unwrap();
+    for dataset in &datasets {
+        let ds = dataset.to_string().to_lowercase();
+        assert_eq!(
+            remote.list_docs(&format!("done_{ds}_")).unwrap().len(),
+            1,
+            "{dataset:?}: exactly one completion marker"
+        );
+        assert_eq!(
+            remote.list_docs(&format!("baseline_{ds}_")).unwrap().len(),
+            1,
+            "{dataset:?}: the baseline characterization must be cached"
+        );
+    }
+    assert!(
+        remote.list_docs("lease_").unwrap().is_empty(),
+        "all leases must be released"
+    );
+
+    server.stop();
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+/// A worker whose link dies mid-dataset stops renewing its lease on the
+/// server; once the lease expires, a stealing survivor takes the dataset
+/// over and finishes the battery. The cut is staged with the chaos proxy:
+/// the doomed worker claims through it, then the proxy goes unhealthy.
+#[test]
+fn a_dead_workers_expired_lease_is_stolen_by_a_survivor() {
+    let datasets = vec![UciDataset::Seeds];
+    let server = spawn(&ServeConfig::default()).unwrap();
+    let quiet = ChaosConfig {
+        delay_per_mille: 0,
+        reset_per_mille: 0,
+        truncate_per_mille: 0,
+        garbage_per_mille: 0,
+        corrupt_per_mille: 0,
+        ..ChaosConfig::default()
+    };
+    let proxy = ChaosProxy::spawn(server.addr(), quiet).unwrap();
+
+    // The doomed worker claims through the proxy with a short lease.
+    let dir_doomed = temp_dir("steal-doomed");
+    let mut doomed_worker = WorkerOptions::new("doomed");
+    doomed_worker.lease_ttl_ms = 500;
+    let doomed_config = fleet_config(datasets.clone(), &dir_doomed, proxy.url(), doomed_worker);
+    let lease_name = Campaign::new(doomed_config.clone()).lease_doc_name(UciDataset::Seeds);
+    let doomed = std::thread::spawn(move || run_fleet_worker(doomed_config));
+
+    // Cut the link the moment the claim lands on the server. From here the
+    // doomed worker's heartbeats fail (journaled locally) and its server-side
+    // lease runs out.
+    let remote = RemoteBackend::new(&server.url()).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while remote.get_doc(&lease_name).unwrap().is_none() {
+        assert!(Instant::now() < deadline, "doomed worker never claimed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    proxy.set_healthy(false);
+
+    // Wait for the orphaned lease to expire server-side.
+    let survivor_config = fleet_config(
+        datasets.clone(),
+        &temp_dir("steal-survivor"),
+        server.url(),
+        WorkerOptions::new("survivor").with_steal(true),
+    );
+    let survivor = Campaign::new(survivor_config.clone());
+    loop {
+        assert!(Instant::now() < deadline, "orphaned lease never expired");
+        match survivor.read_lease(&remote, &lease_name) {
+            Some((holder, lease_deadline)) => {
+                assert_eq!(holder, "doomed");
+                if lease_deadline < now_epoch_ms() {
+                    break;
+                }
+            }
+            // The doomed worker finished and released before the cut bit;
+            // extremely fast machines could get here — the steal scenario
+            // needs the lease present, so keep polling for the marker case.
+            None => break,
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The survivor steals the expired lease and completes the battery.
+    let (survivor_result, survivor_stats) = survivor.run_with_stats().unwrap();
+    assert_eq!(survivor_stats.computed, datasets);
+    assert_eq!(
+        survivor_stats.stolen, datasets,
+        "the survivor must have broken the expired lease"
+    );
+
+    // The doomed worker still completes on its local tier (its duplicate
+    // work is the documented cost of a lost lease, never a correctness
+    // problem) and agrees on the science.
+    let (doomed_result, doomed_stats) = doomed.join().unwrap();
+    assert_eq!(doomed_stats.computed, datasets);
+    for (a, b) in doomed_result.reports.iter().zip(&survivor_result.reports) {
+        assert_eq!(a.series, b.series, "{}: stolen series differ", a.name);
+        assert_eq!(a.headline, b.headline);
+        assert_eq!(a.hypervolume, b.hypervolume);
+    }
+
+    proxy.stop();
+    server.stop();
+    std::fs::remove_dir_all(&dir_doomed).ok();
+}
+
+/// Two island GAs migrate elites through a shared server: each island's
+/// final front dominates-or-equals what it could know alone, both islands
+/// published their fronts, and a solo island (no peers in the store) is
+/// bit-identical to the classic checkpointed search.
+#[test]
+fn fig2_islands_migrate_elites_through_a_shared_server() {
+    let experiment = Figure2Experiment::new(UciDataset::Seeds, Effort::Quick, 21);
+
+    // Reference: the classic checkpointed search against its own server.
+    let solo_server = spawn(&ServeConfig::default()).unwrap();
+    let solo_dir = temp_dir("island-solo");
+    let backend = printed_mlp::core::store::open_backend(Some(&solo_dir), Some(&solo_server.url()))
+        .unwrap()
+        .unwrap();
+    let engine = experiment
+        .build_engine_cached(Some(&*backend))
+        .unwrap()
+        .with_backend(backend)
+        .unwrap();
+    let classic = experiment
+        .run_with_checkpoint_doc(&engine, "fig2_seeds_nsga2.json")
+        .unwrap();
+
+    // A solo island — nobody to migrate with — must reproduce it exactly.
+    let solo = experiment
+        .run_distributed(&engine, "fig2_seeds_solo_nsga2.json", "solo", 1)
+        .unwrap();
+    assert_eq!(
+        solo.search.pareto_front, classic.search.pareto_front,
+        "a peerless island must be bit-identical to the classic search"
+    );
+
+    solo_server.stop();
+    std::fs::remove_dir_all(&solo_dir).ok();
+
+    // Fleet: two islands share one server and migrate every generation.
+    let fleet_server = spawn(&ServeConfig::default()).unwrap();
+    let results: Vec<_> = ["north", "south"]
+        .iter()
+        .map(|worker| {
+            let url = fleet_server.url();
+            let dir = temp_dir(&format!("island-{worker}"));
+            let experiment = Figure2Experiment::new(UciDataset::Seeds, Effort::Quick, 21);
+            let worker = worker.to_string();
+            std::thread::spawn(move || {
+                let backend = printed_mlp::core::store::open_backend(Some(&dir), Some(&url))
+                    .unwrap()
+                    .unwrap();
+                let engine = experiment
+                    .build_engine_cached(Some(&*backend))
+                    .unwrap()
+                    .with_backend(backend)
+                    .unwrap();
+                let result = experiment
+                    .run_distributed(
+                        &engine,
+                        &format!("fig2_seeds_{worker}_nsga2.json"),
+                        &worker,
+                        1,
+                    )
+                    .unwrap();
+                std::fs::remove_dir_all(&dir).ok();
+                result
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|handle| handle.join().unwrap())
+        .collect();
+
+    // Both islands produced non-empty fronts and published them: the server
+    // lists one or more island documents per worker.
+    let remote = RemoteBackend::new(&fleet_server.url()).unwrap();
+    let published = remote.list_docs("island_").unwrap();
+    for worker in ["north", "south"] {
+        assert!(
+            published.iter().any(|doc| doc.contains(worker)),
+            "{worker} never published an elite front: {published:?}"
+        );
+    }
+    for result in &results {
+        assert!(!result.search.pareto_front.is_empty());
+    }
+
+    fleet_server.stop();
+}

@@ -40,6 +40,7 @@ fn worker_config(
         durability: Default::default(),
         remote_cooldown_ms: None,
         resume,
+        worker: None,
     }
 }
 
